@@ -1,0 +1,202 @@
+// Package denovogpu is a simulator-backed reproduction of "Efficient
+// GPU Synchronization without Scopes: Saying No to Complex Consistency
+// Models" (Sinclair, Alsop, Adve — MICRO 2015).
+//
+// It models a tightly coupled CPU-GPU system (15 GPU CUs + 1 CPU core
+// on a 4x4 mesh, private L1s, a 16-bank shared L2, per-CU scratchpads
+// and store buffers) and lets you run workloads under the paper's five
+// configurations:
+//
+//	GD     — conventional GPU coherence, DRF consistency
+//	GH     — conventional GPU coherence, HRF consistency (scopes)
+//	DD     — DeNovo coherence, DRF consistency
+//	DD+RO  — DD plus the read-only region optimization
+//	DH     — DeNovo coherence, HRF consistency
+//
+// A Run produces the paper's three measurements — execution time
+// (cycles), dynamic energy by component, and network traffic in flit
+// crossings by message class — plus diagnostic counters. Workloads are
+// either the built-in benchmarks from the paper's Table 4 (see
+// Workloads, WorkloadsByCategory) or custom kernels written against
+// the device API (see RunKernel and the examples/ directory).
+package denovogpu
+
+import (
+	"fmt"
+
+	"denovogpu/internal/coherence"
+	"denovogpu/internal/consistency"
+	"denovogpu/internal/machine"
+	"denovogpu/internal/mem"
+	"denovogpu/internal/stats"
+	"denovogpu/internal/workload"
+
+	// Register all Table 4 benchmarks.
+	_ "denovogpu/internal/workload/apps"
+	_ "denovogpu/internal/workload/sync"
+)
+
+// Config selects and parameterizes a simulated system. Obtain one from
+// GD/GH/DD/DDRO/DH (the paper's configurations) or ConfigByName, then
+// adjust fields if desired.
+type Config = machine.Config
+
+// The five configurations of the paper's Section 5.3.
+var (
+	GD   = machine.GD
+	GH   = machine.GH
+	DD   = machine.DD
+	DDRO = machine.DDRO
+	DH   = machine.DH
+)
+
+// AllConfigs returns the five paper configurations in figure order
+// (GD, GH, DD, DD+RO, DH).
+func AllConfigs() []Config { return machine.AllConfigs() }
+
+// MESI is the extension configuration: conventional directory-based
+// hardware coherence (Table 1's first row), which the paper classifies
+// but does not evaluate.
+var MESI = machine.MESI
+
+// ConfigByName resolves a configuration name ("GD", "GH", "DD",
+// "DD+RO", "DH", or the extension "MESI"; case-sensitive).
+func ConfigByName(name string) (Config, error) {
+	for _, c := range append(machine.AllConfigs(), machine.MESI()) {
+		if c.Name() == name {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("denovogpu: unknown configuration %q (want GD, GH, DD, DD+RO, DH, or MESI)", name)
+}
+
+// Addr is a byte address in the simulated unified address space.
+type Addr = mem.Addr
+
+// Scope is an HRF synchronization scope (ScopeGlobal or ScopeLocal).
+type Scope = coherence.Scope
+
+// Synchronization scopes. Under DRF configurations, ScopeLocal is
+// treated as ScopeGlobal (the annotation is a hint DRF safely ignores).
+const (
+	ScopeGlobal = coherence.ScopeGlobal
+	ScopeLocal  = coherence.ScopeLocal
+)
+
+// Consistency models.
+const (
+	DRF = consistency.DRF
+	HRF = consistency.HRF
+)
+
+// Kernel is a GPU kernel body; see the workload device API (Ctx).
+type Kernel = workload.Kernel
+
+// Ctx is the per-thread-block context passed to kernels.
+type Ctx = workload.Ctx
+
+// Host is the CPU-side view used by workload drivers: kernel launches
+// plus coherent functional memory access between kernels.
+type Host = workload.Host
+
+// Workload is a benchmark: a host driver plus a result verifier.
+type Workload = workload.Workload
+
+// Report is the outcome of one simulation run.
+type Report struct {
+	Config   string
+	Workload string
+	// Cycles is execution time in GPU cycles (700 MHz in Table 3).
+	Cycles uint64
+	// EnergyPJ is dynamic energy split as in the paper's figures:
+	// GPU core+, scratchpad, L1 D$, L2 $, network.
+	EnergyPJ [stats.NumComponents]float64
+	// Flits is network traffic in flit crossings split as in the
+	// paper's figures: reads, registrations, WB/WT, atomics.
+	Flits [stats.NumTrafficClasses]uint64
+	// Stats exposes every diagnostic counter.
+	Stats *stats.Stats
+}
+
+// TotalEnergyPJ is the summed dynamic energy.
+func (r Report) TotalEnergyPJ() float64 {
+	var t float64
+	for _, e := range r.EnergyPJ {
+		t += e
+	}
+	return t
+}
+
+// TotalFlits is the summed network traffic.
+func (r Report) TotalFlits() uint64 {
+	var t uint64
+	for _, f := range r.Flits {
+		t += f
+	}
+	return t
+}
+
+// Workloads returns the names of all built-in benchmarks (Table 4).
+func Workloads() []string { return workload.Names() }
+
+// WorkloadByName returns a built-in benchmark.
+func WorkloadByName(name string) (Workload, error) { return workload.Get(name) }
+
+// WorkloadsByCategory returns the benchmarks of one of the paper's
+// three groups.
+func WorkloadsByCategory(c workload.Category) []Workload { return workload.ByCategory(c) }
+
+// Benchmark categories (Figures 2, 3 and 4 respectively).
+const (
+	NoSync     = workload.NoSync
+	GlobalSync = workload.GlobalSync
+	LocalSync  = workload.LocalSync
+)
+
+// Run simulates one built-in or custom workload under a configuration,
+// verifies its result, and returns the measurements.
+func Run(cfg Config, w Workload) (Report, error) {
+	m := machine.New(cfg)
+	w.Host(m)
+	if err := m.Err(); err != nil {
+		return Report{}, fmt.Errorf("denovogpu: %s under %s: %w", w.Name, cfg.Name(), err)
+	}
+	if w.Verify != nil {
+		if err := w.Verify(m); err != nil {
+			return Report{}, fmt.Errorf("denovogpu: %s under %s: verification failed: %w", w.Name, cfg.Name(), err)
+		}
+	}
+	st := m.Stats()
+	return Report{
+		Config:   cfg.Name(),
+		Workload: w.Name,
+		Cycles:   st.Cycles,
+		EnergyPJ: st.EnergyPJ,
+		Flits:    st.Flits,
+		Stats:    st,
+	}, nil
+}
+
+// RunByName runs a built-in benchmark by Table 4 name.
+func RunByName(cfg Config, name string) (Report, error) {
+	w, err := workload.Get(name)
+	if err != nil {
+		return Report{}, err
+	}
+	return Run(cfg, w)
+}
+
+// RunKernel is the quickest path for custom code: it runs a single
+// kernel (with optional setup/verify host hooks) under a configuration.
+func RunKernel(cfg Config, name string, k Kernel, numTBs, threadsPerTB int, setup func(Host), verify func(Host) error) (Report, error) {
+	return Run(cfg, Workload{
+		Name: name,
+		Host: func(h Host) {
+			if setup != nil {
+				setup(h)
+			}
+			h.Launch(k, numTBs, threadsPerTB)
+		},
+		Verify: verify,
+	})
+}

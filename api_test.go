@@ -1,0 +1,95 @@
+package denovogpu_test
+
+import (
+	"strings"
+	"testing"
+
+	"denovogpu"
+)
+
+func TestConfigByName(t *testing.T) {
+	for _, name := range []string{"GD", "GH", "DD", "DD+RO", "DH", "MESI"} {
+		cfg, err := denovogpu.ConfigByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if cfg.Name() != name {
+			t.Fatalf("round trip %q -> %q", name, cfg.Name())
+		}
+	}
+	if _, err := denovogpu.ConfigByName("nope"); err == nil {
+		t.Fatal("unknown config must error")
+	}
+}
+
+func TestAllConfigsOrder(t *testing.T) {
+	var names []string
+	for _, c := range denovogpu.AllConfigs() {
+		names = append(names, c.Name())
+	}
+	if strings.Join(names, ",") != "GD,GH,DD,DD+RO,DH" {
+		t.Fatalf("config order %v", names)
+	}
+}
+
+func TestWorkloadInventoryMatchesTable4(t *testing.T) {
+	// 10 applications + 4 global-sync + 9 local-sync = 23 benchmarks.
+	if got := len(denovogpu.Workloads()); got != 23 {
+		t.Fatalf("registered benchmarks = %d, want 23", got)
+	}
+	if got := len(denovogpu.WorkloadsByCategory(denovogpu.NoSync)); got != 10 {
+		t.Fatalf("no-sync = %d, want 10", got)
+	}
+	if got := len(denovogpu.WorkloadsByCategory(denovogpu.GlobalSync)); got != 4 {
+		t.Fatalf("global-sync = %d, want 4", got)
+	}
+	if got := len(denovogpu.WorkloadsByCategory(denovogpu.LocalSync)); got != 9 {
+		t.Fatalf("local-sync = %d, want 9", got)
+	}
+}
+
+func TestRunByNameUnknown(t *testing.T) {
+	if _, err := denovogpu.RunByName(denovogpu.DD(), "NOPE"); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+}
+
+func TestRunKernelRoundTrip(t *testing.T) {
+	kernel := func(c *denovogpu.Ctx) {
+		v := c.Load(0x1000)
+		c.Store(0x2000, v*2)
+	}
+	setup := func(h denovogpu.Host) { h.Write(0x1000, 21) }
+	verify := func(h denovogpu.Host) error {
+		if got := h.Read(0x2000); got != 42 {
+			t.Fatalf("kernel result %d", got)
+		}
+		return nil
+	}
+	for _, cfg := range append(denovogpu.AllConfigs(), denovogpu.MESI()) {
+		rep, err := denovogpu.RunKernel(cfg, "double", kernel, 1, 32, setup, verify)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name(), err)
+		}
+		if rep.Cycles == 0 || rep.TotalEnergyPJ() <= 0 {
+			t.Fatalf("%s: empty report %+v", cfg.Name(), rep)
+		}
+		// (Flit crossings can legitimately be zero here: both lines are
+		// homed at the same node as the executing CU.)
+	}
+}
+
+func TestRunVerificationFailureSurfaces(t *testing.T) {
+	w := denovogpu.Workload{
+		Name:   "bad",
+		Host:   func(h denovogpu.Host) { h.Launch(func(*denovogpu.Ctx) {}, 1, 32) },
+		Verify: func(denovogpu.Host) error { return errBoom{} },
+	}
+	if _, err := denovogpu.Run(denovogpu.GD(), w); err == nil || !strings.Contains(err.Error(), "verification failed") {
+		t.Fatalf("verification failure not surfaced: %v", err)
+	}
+}
+
+type errBoom struct{}
+
+func (errBoom) Error() string { return "boom" }

@@ -1,0 +1,276 @@
+// Benchmark harness: one benchmark function per paper table/figure.
+// Each runs the corresponding experiment matrix and reports the paper's
+// metrics via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every number EXPERIMENTS.md records. The "sim_" metrics
+// are simulated quantities (cycles, picojoules, flit crossings), not
+// wall-clock performance of the simulator itself.
+package denovogpu_test
+
+import (
+	"fmt"
+	"testing"
+
+	"denovogpu"
+	"denovogpu/internal/figures"
+)
+
+// report attaches one run's three headline metrics to the bench.
+func report(b *testing.B, suffix string, r *figures.Run) {
+	b.Helper()
+	if r == nil || r.Err != nil {
+		b.Fatalf("%s: %v", suffix, r.Err)
+	}
+	b.ReportMetric(float64(r.Report.Cycles), "sim_cycles_"+suffix)
+	b.ReportMetric(r.Report.TotalEnergyPJ()/1e6, "sim_uJ_"+suffix)
+	b.ReportMetric(float64(r.Report.TotalFlits()), "sim_flits_"+suffix)
+}
+
+// reportAverages attaches the per-config normalized averages (percent
+// of baseline) — the numbers the paper quotes in its prose.
+func reportAverages(b *testing.B, m *figures.Matrix, baseline string) {
+	b.Helper()
+	for _, mt := range []figures.Metric{figures.Exec, figures.Energy, figures.Traffic} {
+		avg := figures.Average(m.Normalized(mt, baseline), m.Configs)
+		for _, cfg := range m.Configs {
+			name := map[figures.Metric]string{
+				figures.Exec: "avg_exec_pct_", figures.Energy: "avg_energy_pct_", figures.Traffic: "avg_traffic_pct_",
+			}[mt] + cfg
+			b.ReportMetric(avg[cfg], name)
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates Figure 2 (a: execution time, b: dynamic
+// energy, c: network traffic) — ten no-synchronization applications
+// under G* and D*, normalized to D*. Paper: G* ≈ D* (within ~1%), D*
+// ~5% lower traffic, with a large LAVA traffic gap.
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := figures.Fig2()
+		if err := m.FirstErr(); err != nil {
+			b.Fatal(err)
+		}
+		reportAverages(b, m, "DD")
+		report(b, "LAVA_GD", m.Get("LAVA", "GD"))
+		report(b, "LAVA_DD", m.Get("LAVA", "DD"))
+	}
+}
+
+// BenchmarkFig3 regenerates Figure 3 — four globally scoped
+// synchronization microbenchmarks under G* and D*, normalized to G*.
+// Paper: D* at 72% execution time, 49% energy, 19% traffic on average.
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := figures.Fig3()
+		if err := m.FirstErr(); err != nil {
+			b.Fatal(err)
+		}
+		reportAverages(b, m, "GD")
+	}
+}
+
+// BenchmarkFig4 regenerates Figure 4 — nine locally scoped / hybrid
+// synchronization benchmarks under all five configurations, normalized
+// to GD. Paper: GH ~46% faster than GD; GH modestly (~6%) ahead of DD;
+// DD+RO ≈ GH; DH best overall.
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := figures.Fig4()
+		if err := m.FirstErr(); err != nil {
+			b.Fatal(err)
+		}
+		reportAverages(b, m, "GD")
+	}
+}
+
+// BenchmarkTable3Latencies validates the latency ranges of Table 3.
+func BenchmarkTable3Latencies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, r := range figures.Table3Latencies() {
+			b.ReportMetric(float64(r.Min), "cyc_min_"+sanitize(r.What))
+			b.ReportMetric(float64(r.Max), "cyc_max_"+sanitize(r.What))
+		}
+	}
+}
+
+func sanitize(s string) string {
+	out := []rune(s)
+	for i, r := range out {
+		if r == ' ' {
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// BenchmarkAblationStoreBuffer sweeps the store-buffer size on LAVA
+// (DESIGN.md ablation 1): the GPU protocol's traffic blows up once the
+// accumulator set no longer fits, while DeNovo is insensitive.
+func BenchmarkAblationStoreBuffer(b *testing.B) {
+	for _, entries := range []int{64, 256, 1024} {
+		entries := entries
+		b.Run(fmt.Sprintf("entries=%d", entries), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, mk := range []func() denovogpu.Config{denovogpu.GD, denovogpu.DD} {
+					cfg := mk()
+					cfg.SBEntries = entries
+					rep, err := denovogpu.RunByName(cfg, "LAVA")
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(rep.TotalFlits()), "sim_flits_"+cfg.Name())
+					b.ReportMetric(float64(rep.Cycles), "sim_cycles_"+cfg.Name())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMSHRCoalescing toggles DeNovoSync0's same-CU MSHR
+// coalescing on the most contended benchmark (DESIGN.md ablation 2).
+func BenchmarkAblationMSHRCoalescing(b *testing.B) {
+	for _, off := range []bool{false, true} {
+		off := off
+		name := "coalescing"
+		if off {
+			name = "no-coalescing"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := denovogpu.DD()
+				cfg.NoMSHRCoalescing = off
+				rep, err := denovogpu.RunByName(cfg, "SPM_G")
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(rep.Cycles), "sim_cycles")
+				b.ReportMetric(float64(rep.TotalFlits()), "sim_flits")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationReadOnlyRegion isolates the DD -> DD+RO delta on the
+// barrier benchmark, whose read-only coefficient table is reloaded
+// after every acquire under plain DD but survives under DD+RO.
+func BenchmarkAblationReadOnlyRegion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, mk := range []func() denovogpu.Config{denovogpu.DD, denovogpu.DDRO} {
+			cfg := mk()
+			rep, err := denovogpu.RunByName(cfg, "TBEX_LG")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(rep.Cycles), "sim_cycles_"+rep.Config)
+			b.ReportMetric(float64(rep.TotalFlits()), "sim_flits_"+rep.Config)
+		}
+	}
+}
+
+// BenchmarkAblationSyncBackoff compares DeNovoSync0 with the DeNovoSync
+// read-backoff extension on the ticket lock (FAM_G), whose waiters spin
+// with synchronization *reads*. The result reproduces the trade-off the
+// paper describes in Section 3: backoff cuts ownership ping-pong and
+// wire traffic substantially, but on a ticket lock the next waiter is
+// always *successful*, so throttling it lands on the critical path and
+// costs execution time — which is why the paper sticks to DeNovoSync0.
+func BenchmarkAblationSyncBackoff(b *testing.B) {
+	for _, backoff := range []bool{false, true} {
+		backoff := backoff
+		name := "denovosync0"
+		if backoff {
+			name = "denovosync-backoff"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := denovogpu.DD()
+				cfg.SyncBackoff = backoff
+				rep, err := denovogpu.RunByName(cfg, "FAM_G")
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(rep.Cycles), "sim_cycles")
+				b.ReportMetric(float64(rep.TotalFlits()), "sim_flits")
+				b.ReportMetric(float64(rep.Stats.Get("l1.ownership_transfers")), "sim_transfers")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDirectTransfer evaluates direct cache-to-cache
+// transfers (the paper's future-work optimization for remote L1 hits)
+// on the tree barrier, whose exchange phase reads remotely owned data
+// every iteration.
+func BenchmarkAblationDirectTransfer(b *testing.B) {
+	for _, direct := range []bool{false, true} {
+		direct := direct
+		name := "registry-path"
+		if direct {
+			name = "direct-transfer"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := denovogpu.DD()
+				cfg.DirectTransfer = direct
+				rep, err := denovogpu.RunByName(cfg, "TB_LG")
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(rep.Cycles), "sim_cycles")
+				b.ReportMetric(float64(rep.Stats.Get("l1.direct_reads_served")), "sim_direct_hits")
+			}
+		})
+	}
+}
+
+// BenchmarkExtensionMESI runs the extension configuration (conventional
+// directory MESI — Table 1's first row, which the paper classifies but
+// does not evaluate) against GD and DD on one benchmark from each
+// group, quantifying the "poor fit" the paper asserts: invalidation and
+// ack traffic plus write-for-ownership stalls on streaming kernels,
+// against competitive behaviour on fine-grained synchronization.
+func BenchmarkExtensionMESI(b *testing.B) {
+	for _, bench := range []string{"PF", "FAM_G", "SPM_L"} {
+		bench := bench
+		b.Run(bench, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, cfg := range []denovogpu.Config{denovogpu.GD(), denovogpu.DD(), denovogpu.MESI()} {
+					rep, err := denovogpu.RunByName(cfg, bench)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(rep.Cycles), "sim_cycles_"+cfg.Name())
+					b.ReportMetric(float64(rep.TotalFlits()), "sim_flits_"+cfg.Name())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationL1Size sweeps the L1 capacity on the tree barrier,
+// whose per-iteration exchange working set stresses residency:
+// DeNovo's registered-data reuse depends on written working sets
+// staying resident, so small L1s force writebacks and erode its
+// advantage.
+func BenchmarkAblationL1Size(b *testing.B) {
+	for _, kb := range []int{4, 8, 32} {
+		kb := kb
+		b.Run(fmt.Sprintf("l1=%dKB", kb), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, mk := range []func() denovogpu.Config{denovogpu.GD, denovogpu.DD} {
+					cfg := mk()
+					cfg.L1Bytes = kb * 1024
+					rep, err := denovogpu.RunByName(cfg, "TB_LG")
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(rep.Cycles), "sim_cycles_"+cfg.Name())
+					b.ReportMetric(float64(rep.Stats.Get("l1.writebacks")), "sim_writebacks_"+cfg.Name())
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,111 @@
+// Command denovosim runs one benchmark under one configuration and
+// prints the paper's three measurements plus diagnostic counters.
+//
+// Usage:
+//
+//	denovosim -bench SPM_G -config DD [-counters]
+//	denovosim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"denovogpu"
+	"denovogpu/internal/machine"
+	"denovogpu/internal/stats"
+	"denovogpu/internal/trace"
+	"denovogpu/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name from Table 4 (see -list)")
+	config := flag.String("config", "DD", "configuration: GD, GH, DD, DD+RO, DH")
+	counters := flag.Bool("counters", false, "also print diagnostic counters")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	sbEntries := flag.Int("sbentries", 0, "override store-buffer entries (0 = paper default 256)")
+	cus := flag.Int("cus", 0, "override GPU CU count (0 = paper default 15)")
+	backoff := flag.Bool("syncbackoff", false, "enable the DeNovoSync read-backoff extension")
+	direct := flag.Bool("directtransfer", false, "enable direct cache-to-cache transfers")
+	lazy := flag.Bool("lazywrites", false, "delay DeNovo data-write registration to global releases")
+	traceN := flag.Uint64("trace", 0, "print the first N protocol messages to stderr")
+	flag.Parse()
+
+	if *list {
+		for _, name := range denovogpu.Workloads() {
+			w, _ := denovogpu.WorkloadByName(name)
+			fmt.Printf("%-10s %-12s %s\n", w.Name, w.Category, w.Input)
+		}
+		return
+	}
+	if *bench == "" {
+		fmt.Fprintln(os.Stderr, "denovosim: -bench is required (try -list)")
+		os.Exit(2)
+	}
+	cfg, err := denovogpu.ConfigByName(*config)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *sbEntries > 0 {
+		cfg.SBEntries = *sbEntries
+	}
+	if *cus > 0 {
+		cfg.NumCUs = *cus
+	}
+	cfg.SyncBackoff = *backoff
+	cfg.DirectTransfer = *direct
+	cfg.LazyWrites = cfg.LazyWrites || *lazy
+
+	w, err := denovogpu.WorkloadByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	rep, err := runTraced(cfg, w, *traceN)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("benchmark   %s\nconfig      %s\n", rep.Workload, rep.Config)
+	fmt.Printf("exec time   %d cycles (%.3f ms @ 700 MHz)\n", rep.Cycles, float64(rep.Cycles)/700e3)
+	fmt.Printf("energy      %.2f uJ total\n", rep.TotalEnergyPJ()/1e6)
+	for c := stats.Component(0); c < stats.NumComponents; c++ {
+		fmt.Printf("  %-10s %12.2f uJ\n", c, rep.EnergyPJ[c]/1e6)
+	}
+	fmt.Printf("traffic     %d flit crossings\n", rep.TotalFlits())
+	for c := stats.TrafficClass(0); c < stats.NumTrafficClasses; c++ {
+		fmt.Printf("  %-10s %12d\n", c, rep.Flits[c])
+	}
+	if *counters {
+		fmt.Println("counters")
+		for _, n := range rep.Stats.Names() {
+			fmt.Printf("  %-32s %12d\n", n, rep.Stats.Get(n))
+		}
+	}
+}
+
+// runTraced runs the workload, optionally tracing the first n protocol
+// messages to stderr.
+func runTraced(cfg denovogpu.Config, w workload.Workload, n uint64) (denovogpu.Report, error) {
+	m := machine.New(cfg)
+	if n > 0 {
+		m.Mesh().SetTap(trace.New(os.Stderr, m.Engine(), n))
+	}
+	w.Host(m)
+	if err := m.Err(); err != nil {
+		return denovogpu.Report{}, err
+	}
+	if w.Verify != nil {
+		if err := w.Verify(m); err != nil {
+			return denovogpu.Report{}, fmt.Errorf("verification failed: %w", err)
+		}
+	}
+	st := m.Stats()
+	return denovogpu.Report{
+		Config: cfg.Name(), Workload: w.Name,
+		Cycles: st.Cycles, EnergyPJ: st.EnergyPJ, Flits: st.Flits, Stats: st,
+	}, nil
+}

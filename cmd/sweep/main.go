@@ -1,0 +1,85 @@
+// Command sweep regenerates the paper's evaluation: every figure
+// (2, 3, 4 — execution time, dynamic energy, network traffic) and every
+// table (1-5). Its output is the source of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	sweep -all          # everything (several minutes)
+//	sweep -fig3         # one figure's three panels
+//	sweep -table3       # parameter/latency validation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"denovogpu/internal/figures"
+)
+
+func main() {
+	var (
+		all    = flag.Bool("all", false, "regenerate every figure and table")
+		fig2   = flag.Bool("fig2", false, "Figure 2: no-synchronization applications (G* vs D*)")
+		fig3   = flag.Bool("fig3", false, "Figure 3: globally scoped synchronization (G* vs D*)")
+		fig4   = flag.Bool("fig4", false, "Figure 4: locally scoped / hybrid synchronization (all five configs)")
+		table1 = flag.Bool("table1", false, "Table 1: protocol classification")
+		table2 = flag.Bool("table2", false, "Table 2: feature comparison")
+		table3 = flag.Bool("table3", false, "Table 3: parameters and measured latencies")
+		table4 = flag.Bool("table4", false, "Table 4: benchmark inventory")
+		table5 = flag.Bool("table5", false, "Table 5: related-work comparison")
+	)
+	flag.Parse()
+	if !(*all || *fig2 || *fig3 || *fig4 || *table1 || *table2 || *table3 || *table4 || *table5) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *all || *table1 {
+		fmt.Println("## Table 1 — protocol classification\n\n" + figures.Table1())
+	}
+	if *all || *table2 {
+		fmt.Println("## Table 2 — feature comparison\n\n" + figures.Table2())
+	}
+	if *all || *table3 {
+		fmt.Println("## Table 3 — parameters and measured latencies\n\n" + figures.Table3())
+	}
+	if *all || *table4 {
+		fmt.Println("## Table 4 — benchmarks\n\n" + figures.Table4())
+	}
+	if *all || *table5 {
+		fmt.Println("## Table 5 — related work\n\n" + figures.Table5())
+	}
+
+	emit := func(title string, m *figures.Matrix, baseline string, label map[string]string) {
+		if err := m.FirstErr(); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %s: %v\n", title, err)
+			os.Exit(1)
+		}
+		for _, panel := range []struct {
+			sub string
+			mt  figures.Metric
+		}{{"a", figures.Exec}, {"b", figures.Energy}, {"c", figures.Traffic}} {
+			fmt.Printf("## %s%s — %s (normalized to %s)\n\n", title, panel.sub, panel.mt, baseline)
+			fmt.Println(m.FormatNormalizedTable(panel.mt, baseline, label))
+		}
+		fmt.Printf("### %s energy breakdown (components, %% of %s total)\n\n", title, baseline)
+		fmt.Println(m.FormatBreakdown(figures.Energy, baseline))
+		fmt.Printf("### %s traffic breakdown (classes, %% of %s total)\n\n", title, baseline)
+		fmt.Println(m.FormatBreakdown(figures.Traffic, baseline))
+	}
+
+	gstar := map[string]string{"GD": "G*", "DD": "D*"}
+	if *all || *fig2 {
+		fmt.Println("Running Figure 2 sweep (10 apps x G*/D*)...")
+		emit("Figure 2", figures.Fig2(), "DD", gstar)
+	}
+	if *all || *fig3 {
+		fmt.Println("Running Figure 3 sweep (4 global-sync benchmarks x G*/D*)...")
+		emit("Figure 3", figures.Fig3(), "GD", gstar)
+	}
+	if *all || *fig4 {
+		fmt.Println("Running Figure 4 sweep (9 local-sync benchmarks x 5 configs)...")
+		emit("Figure 4", figures.Fig4(), "GD", nil)
+	}
+}

@@ -1,0 +1,3 @@
+module denovogpu
+
+go 1.22

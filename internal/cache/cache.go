@@ -1,0 +1,245 @@
+// Package cache provides the storage structures shared by both L1
+// protocol controllers: a set-associative sector cache with per-word
+// coherence state, a write-combining coalescing store buffer, and a
+// victim buffer for in-flight evictions.
+//
+// The sector organization follows the paper: tags and data transfer at
+// 64-byte line granularity, coherence state at 4-byte word granularity
+// (two bits per word suffice for DeNovo's three states; the GPU
+// protocol uses only the valid bit of each word, all-or-nothing per
+// line for GPU-D and per-word for GPU-H's partial blocks).
+package cache
+
+import (
+	"fmt"
+
+	"denovogpu/internal/mem"
+)
+
+// WordState is the per-word coherence state.
+type WordState uint8
+
+const (
+	// Invalid: the word holds no usable data.
+	Invalid WordState = iota
+	// Valid: the word holds clean, readable data.
+	Valid
+	// Registered: this cache owns the word (DeNovo only); the copy is
+	// up to date and writable, and the registry points here.
+	Registered
+)
+
+// Dirty is the GPU-H partial-block state: the word was written locally
+// and not yet flushed to the L2. It shares an encoding with Registered
+// (both mean "this L1 holds the authoritative copy"), which is also how
+// the paper's DD+RO reuses the spare state encoding.
+const Dirty = Registered
+
+func (s WordState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Valid:
+		return "V"
+	case Registered:
+		return "R"
+	default:
+		return fmt.Sprintf("WordState(%d)", uint8(s))
+	}
+}
+
+// Entry is one cache frame.
+type Entry struct {
+	Line  mem.Line
+	Tag   bool // frame holds a line (any word state)
+	State [mem.WordsPerLine]WordState
+	Data  [mem.WordsPerLine]uint32
+	// Pinned frames are ineligible for eviction (outstanding MSHR).
+	Pinned bool
+	lru    uint64
+}
+
+// HasAny reports whether any word is in state s.
+func (e *Entry) HasAny(s WordState) bool {
+	for _, w := range e.State {
+		if w == s {
+			return true
+		}
+	}
+	return false
+}
+
+// MaskOf returns the mask of words in state s.
+func (e *Entry) MaskOf(s WordState) mem.WordMask {
+	var m mem.WordMask
+	for i, w := range e.State {
+		if w == s {
+			m |= mem.Bit(i)
+		}
+	}
+	return m
+}
+
+// Reset clears the frame and retags it for line l.
+func (e *Entry) Reset(l mem.Line) {
+	e.Line = l
+	e.Tag = true
+	e.Pinned = false
+	for i := range e.State {
+		e.State[i] = Invalid
+		e.Data[i] = 0
+	}
+}
+
+// Cache is a set-associative sector cache.
+type Cache struct {
+	sets int
+	ways int
+	// frames[set*ways+way]
+	frames []Entry
+	tick   uint64
+}
+
+// New returns a cache of the given total size and associativity with
+// 64-byte lines. Size must yield a power-of-two set count.
+func New(sizeBytes, ways int) *Cache {
+	lines := sizeBytes / mem.LineBytes
+	sets := lines / ways
+	if sets == 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: %d sets (size %d, ways %d) is not a power of two", sets, sizeBytes, ways))
+	}
+	return &Cache{sets: sets, ways: ways, frames: make([]Entry, sets*ways)}
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+func (c *Cache) set(l mem.Line) []Entry {
+	s := int(uint64(l) % uint64(c.sets))
+	return c.frames[s*c.ways : (s+1)*c.ways]
+}
+
+// Lookup returns the frame holding l and bumps its recency, or nil.
+func (c *Cache) Lookup(l mem.Line) *Entry {
+	set := c.set(l)
+	for i := range set {
+		if set[i].Tag && set[i].Line == l {
+			c.tick++
+			set[i].lru = c.tick
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Peek returns the frame holding l without touching recency, or nil.
+func (c *Cache) Peek(l mem.Line) *Entry {
+	set := c.set(l)
+	for i := range set {
+		if set[i].Tag && set[i].Line == l {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Victim returns the frame to use for line l: an existing frame for l,
+// else an untagged frame, else the least recently used unpinned frame.
+// It returns nil if every candidate is pinned (the caller must retry
+// later). The returned frame is NOT reset; the caller must inspect its
+// state (e.g. write back Registered words) before calling Reset.
+func (c *Cache) Victim(l mem.Line) *Entry {
+	set := c.set(l)
+	var free, lru *Entry
+	for i := range set {
+		e := &set[i]
+		if e.Tag && e.Line == l {
+			return e
+		}
+		if e.Pinned {
+			continue
+		}
+		if !e.Tag {
+			if free == nil {
+				free = e
+			}
+			continue
+		}
+		if lru == nil || e.lru < lru.lru {
+			lru = e
+		}
+	}
+	if free != nil {
+		return free
+	}
+	return lru
+}
+
+// Touch bumps recency of a frame (used after fills).
+func (c *Cache) Touch(e *Entry) {
+	c.tick++
+	e.lru = c.tick
+}
+
+// ForEach visits every tagged frame in deterministic (set, way) order.
+func (c *Cache) ForEach(fn func(e *Entry)) {
+	for i := range c.frames {
+		if c.frames[i].Tag {
+			fn(&c.frames[i])
+		}
+	}
+}
+
+// Invalidate applies a per-word invalidation filter to the whole cache:
+// words for which keep returns false become Invalid; frames left with
+// no Valid or Registered words are untagged (unless pinned). It returns
+// the number of words invalidated. This implements both the GPU
+// protocol's flash invalidation (keep nothing) and DeNovo's selective
+// invalidation (keep Registered words, and optionally a read-only
+// region).
+func (c *Cache) Invalidate(keep func(e *Entry, word int) bool) int {
+	n := 0
+	for i := range c.frames {
+		e := &c.frames[i]
+		if !e.Tag {
+			continue
+		}
+		live := false
+		for w := 0; w < mem.WordsPerLine; w++ {
+			if e.State[w] == Invalid {
+				continue
+			}
+			if keep(e, w) {
+				live = true
+				continue
+			}
+			e.State[w] = Invalid
+			n++
+		}
+		if !live && !e.Pinned {
+			e.Tag = false
+		}
+	}
+	return n
+}
+
+// Stats-ish helpers used by tests.
+
+// CountWords returns the number of words currently in state s.
+func (c *Cache) CountWords(s WordState) int {
+	n := 0
+	for i := range c.frames {
+		if !c.frames[i].Tag {
+			continue
+		}
+		for _, st := range c.frames[i].State {
+			if st == s {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,180 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"denovogpu/internal/mem"
+)
+
+func TestNewGeometry(t *testing.T) {
+	c := New(32*1024, 8) // the paper's L1
+	if c.Sets() != 64 || c.Ways() != 8 {
+		t.Fatalf("32KB 8-way: sets=%d ways=%d, want 64/8", c.Sets(), c.Ways())
+	}
+}
+
+func TestNewBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two sets should panic")
+		}
+	}()
+	New(3*1024, 8)
+}
+
+func TestLookupMissThenFill(t *testing.T) {
+	c := New(8*1024, 4)
+	l := mem.Line(42)
+	if c.Lookup(l) != nil {
+		t.Fatal("empty cache should miss")
+	}
+	e := c.Victim(l)
+	if e == nil {
+		t.Fatal("empty cache must offer a victim")
+	}
+	e.Reset(l)
+	e.State[3] = Valid
+	e.Data[3] = 99
+	got := c.Lookup(l)
+	if got == nil || got.Data[3] != 99 || got.State[3] != Valid {
+		t.Fatal("fill not visible")
+	}
+}
+
+func TestVictimPrefersExistingThenFreeThenLRU(t *testing.T) {
+	c := New(4*mem.LineBytes*2, 2) // 4 sets, 2 ways
+	// Two lines mapping to the same set (stride = sets).
+	stride := mem.Line(c.Sets())
+	a, b, d := mem.Line(0), stride, 2*stride
+	ea := c.Victim(a)
+	ea.Reset(a)
+	c.Touch(ea)
+	eb := c.Victim(b)
+	if eb == ea {
+		t.Fatal("victim should prefer a free frame over evicting")
+	}
+	eb.Reset(b)
+	c.Touch(eb)
+	// Same line again: must return its own frame.
+	if c.Victim(a) != ea {
+		t.Fatal("victim for resident line must be its own frame")
+	}
+	// Set full: LRU is a (touched first).
+	c.Lookup(b) // make b more recent
+	if v := c.Victim(d); v != ea {
+		t.Fatal("victim should pick LRU frame")
+	}
+}
+
+func TestVictimSkipsPinned(t *testing.T) {
+	c := New(2*mem.LineBytes*2, 2) // 2 sets, 2 ways
+	stride := mem.Line(c.Sets())
+	e0 := c.Victim(0)
+	e0.Reset(0)
+	e0.Pinned = true
+	e1 := c.Victim(stride)
+	e1.Reset(stride)
+	e1.Pinned = true
+	if c.Victim(2*stride) != nil {
+		t.Fatal("all-pinned set must yield no victim")
+	}
+	e1.Pinned = false
+	if c.Victim(2*stride) != e1 {
+		t.Fatal("unpinned frame should become the victim")
+	}
+}
+
+func TestInvalidateFlash(t *testing.T) {
+	c := New(8*1024, 4)
+	for i := 0; i < 10; i++ {
+		e := c.Victim(mem.Line(i))
+		e.Reset(mem.Line(i))
+		e.State[0] = Valid
+		e.State[1] = Registered
+	}
+	n := c.Invalidate(func(*Entry, int) bool { return false })
+	if n != 20 {
+		t.Fatalf("flash invalidated %d words, want 20", n)
+	}
+	if c.CountWords(Valid)+c.CountWords(Registered) != 0 {
+		t.Fatal("flash left live words")
+	}
+	if c.Lookup(mem.Line(3)) != nil {
+		t.Fatal("fully invalid frames should be untagged")
+	}
+}
+
+func TestInvalidateKeepsRegistered(t *testing.T) {
+	c := New(8*1024, 4)
+	e := c.Victim(mem.Line(5))
+	e.Reset(mem.Line(5))
+	e.State[0] = Valid
+	e.State[1] = Registered
+	e.Data[1] = 7
+	n := c.Invalidate(func(e *Entry, w int) bool { return e.State[w] == Registered })
+	if n != 1 {
+		t.Fatalf("invalidated %d, want 1 (only the Valid word)", n)
+	}
+	got := c.Lookup(mem.Line(5))
+	if got == nil || got.State[1] != Registered || got.Data[1] != 7 {
+		t.Fatal("DeNovo acquire must keep registered (owned) words")
+	}
+	if got.State[0] != Invalid {
+		t.Fatal("valid word should have been invalidated")
+	}
+}
+
+func TestEntryMaskOf(t *testing.T) {
+	var e Entry
+	e.Reset(mem.Line(1))
+	e.State[2] = Valid
+	e.State[7] = Registered
+	e.State[8] = Registered
+	if e.MaskOf(Registered) != mem.Bit(7)|mem.Bit(8) {
+		t.Fatal("MaskOf(Registered) wrong")
+	}
+	if e.MaskOf(Valid) != mem.Bit(2) {
+		t.Fatal("MaskOf(Valid) wrong")
+	}
+	if !e.HasAny(Valid) || e.HasAny(WordState(9)) {
+		t.Fatal("HasAny wrong")
+	}
+}
+
+// Property: after filling k distinct lines into an empty large cache,
+// all are resident (no premature evictions while capacity remains).
+func TestNoSpuriousEvictionProperty(t *testing.T) {
+	f := func(seeds []uint16) bool {
+		c := New(32*1024, 8)
+		seen := map[mem.Line]bool{}
+		for _, s := range seeds {
+			l := mem.Line(s % 256) // 256 distinct lines fit easily in 512 frames
+			if seen[l] {
+				continue
+			}
+			seen[l] = true
+			e := c.Victim(l)
+			if e == nil {
+				return false
+			}
+			if e.Tag && e.Line != l && len(seen) <= c.Sets() {
+				// Should never evict while whole cache has room per set;
+				// with uniform small lines per set this won't trigger.
+				return false
+			}
+			e.Reset(l)
+			e.State[0] = Valid
+			c.Touch(e)
+		}
+		for l := range seen {
+			if c.Peek(l) == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,190 @@
+package cache
+
+import (
+	"denovogpu/internal/mem"
+)
+
+// SBEntry is one store-buffer slot: a pending word write.
+type SBEntry struct {
+	Word mem.Word
+	Val  uint32
+}
+
+// StoreBuffer is the 256-entry coalescing store buffer that sits next
+// to each L1 (paper Table 3). Writes to a word already buffered
+// coalesce into the existing slot; when the buffer is full the oldest
+// slot is evicted to make room — that forced, one-at-a-time draining is
+// exactly the effect the paper blames for LavaMD's and TB_LG's
+// writethrough traffic under GPU coherence.
+type StoreBuffer struct {
+	cap   int
+	slots map[mem.Word]uint32
+	fifo  []mem.Word // insertion order of live words
+}
+
+// NewStoreBuffer returns a buffer with the given capacity in word slots.
+func NewStoreBuffer(capacity int) *StoreBuffer {
+	return &StoreBuffer{cap: capacity, slots: make(map[mem.Word]uint32, capacity)}
+}
+
+// Cap returns the capacity.
+func (b *StoreBuffer) Cap() int { return b.cap }
+
+// Len returns the number of live slots.
+func (b *StoreBuffer) Len() int { return len(b.slots) }
+
+// Full reports whether the buffer has no free slots.
+func (b *StoreBuffer) Full() bool { return len(b.slots) >= b.cap }
+
+// Lookup returns the buffered value for w, for store-to-load forwarding.
+func (b *StoreBuffer) Lookup(w mem.Word) (uint32, bool) {
+	v, ok := b.slots[w]
+	return v, ok
+}
+
+// Insert buffers a write of v to w. If w is already buffered the write
+// coalesces (coalesced=true) and nothing is evicted. If the buffer is
+// full, the oldest slot's entire line group is evicted and returned for
+// the caller to drain as one coalesced writethrough — the hardware
+// drains at line granularity, so streaming writes keep their
+// coalescing; what overflow destroys is the ability of *future* writes
+// to the evicted words to coalesce (the paper's LavaMD effect).
+func (b *StoreBuffer) Insert(w mem.Word, v uint32) (coalesced bool, evicted *LineGroup) {
+	if _, ok := b.slots[w]; ok {
+		b.slots[w] = v
+		return true, nil
+	}
+	if b.Full() {
+		evicted = b.popOldestLine()
+	}
+	b.slots[w] = v
+	b.fifo = append(b.fifo, w)
+	return false, evicted
+}
+
+// popOldestLine removes the oldest slot and every other buffered slot
+// of its line, returning them as one group.
+func (b *StoreBuffer) popOldestLine() *LineGroup {
+	for len(b.fifo) > 0 {
+		w := b.fifo[0]
+		if _, ok := b.slots[w]; !ok {
+			b.fifo = b.fifo[1:] // dead fifo head
+			continue
+		}
+		g := &LineGroup{Line: w.LineOf()}
+		for i := 0; i < mem.WordsPerLine; i++ {
+			word := g.Line.Word(i)
+			if v, ok := b.slots[word]; ok {
+				g.Mask |= mem.Bit(i)
+				g.Data[i] = v
+				delete(b.slots, word)
+			}
+		}
+		return g
+	}
+	panic("cache: popOldestLine on empty store buffer")
+}
+
+// Remove deletes the slot for w (e.g. when its registration completes)
+// and returns its value.
+func (b *StoreBuffer) Remove(w mem.Word) (uint32, bool) {
+	v, ok := b.slots[w]
+	if ok {
+		delete(b.slots, w)
+	}
+	return v, ok
+}
+
+// PeekOldest returns the oldest live slot without removing it.
+func (b *StoreBuffer) PeekOldest() (SBEntry, bool) {
+	for len(b.fifo) > 0 {
+		w := b.fifo[0]
+		if v, ok := b.slots[w]; ok {
+			return SBEntry{Word: w, Val: v}, true
+		}
+		b.fifo = b.fifo[1:] // drop dead fifo heads lazily
+	}
+	return SBEntry{}, false
+}
+
+// Entries returns all live slots in insertion order without removing
+// them.
+func (b *StoreBuffer) Entries() []SBEntry {
+	out := make([]SBEntry, 0, len(b.slots))
+	for _, w := range b.fifo {
+		if v, ok := b.slots[w]; ok {
+			out = append(out, SBEntry{Word: w, Val: v})
+		}
+	}
+	return out
+}
+
+// DrainAll empties the buffer, returning all slots in insertion order.
+func (b *StoreBuffer) DrainAll() []SBEntry {
+	out := make([]SBEntry, 0, len(b.slots))
+	for _, w := range b.fifo {
+		if v, ok := b.slots[w]; ok {
+			out = append(out, SBEntry{Word: w, Val: v})
+			delete(b.slots, w)
+		}
+	}
+	b.fifo = b.fifo[:0]
+	return out
+}
+
+// LineGroup is a set of buffered words of one line, for coalesced
+// writethrough messages.
+type LineGroup struct {
+	Line mem.Line
+	Mask mem.WordMask
+	Data [mem.WordsPerLine]uint32
+}
+
+// GroupByLine coalesces drained entries into per-line groups, preserving
+// the order of first occurrence. A release drains the whole buffer and
+// sends one writethrough per line — the coalescing benefit the buffer
+// exists for.
+func GroupByLine(entries []SBEntry) []LineGroup {
+	index := make(map[mem.Line]int)
+	var groups []LineGroup
+	for _, e := range entries {
+		l := e.Word.LineOf()
+		i, ok := index[l]
+		if !ok {
+			i = len(groups)
+			index[l] = i
+			groups = append(groups, LineGroup{Line: l})
+		}
+		groups[i].Mask |= mem.Bit(e.Word.Index())
+		groups[i].Data[e.Word.Index()] = e.Val
+	}
+	return groups
+}
+
+// VictimBuffer holds words whose ownership is in flight away from this
+// cache: evicted Registered words awaiting WriteBackAck, and words
+// transferred by RegXfer that may still receive stale forwards. It is a
+// correctness structure for protocol races, not a performance one.
+type VictimBuffer struct {
+	vals map[mem.Word]uint32
+}
+
+// NewVictimBuffer returns an empty victim buffer.
+func NewVictimBuffer() *VictimBuffer {
+	return &VictimBuffer{vals: make(map[mem.Word]uint32)}
+}
+
+// Put stores a word value.
+func (v *VictimBuffer) Put(w mem.Word, val uint32) { v.vals[w] = val }
+
+// Get returns a word value if present.
+func (v *VictimBuffer) Get(w mem.Word) (uint32, bool) {
+	val, ok := v.vals[w]
+	return val, ok
+}
+
+// Drop removes a word.
+func (v *VictimBuffer) Drop(w mem.Word) { delete(v.vals, w) }
+
+// Len returns the number of held words.
+func (v *VictimBuffer) Len() int { return len(v.vals) }

@@ -1,0 +1,136 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+
+	"denovogpu/internal/mem"
+	"denovogpu/internal/stats"
+)
+
+func TestOrderSemantics(t *testing.T) {
+	cases := []struct {
+		o        Order
+		acq, rel bool
+	}{
+		{OrderAcquire, true, false},
+		{OrderRelease, false, true},
+		{OrderAcqRel, true, true},
+	}
+	for _, c := range cases {
+		if c.o.Acquires() != c.acq || c.o.Releases() != c.rel {
+			t.Errorf("%v: Acquires=%v Releases=%v, want %v/%v", c.o, c.o.Acquires(), c.o.Releases(), c.acq, c.rel)
+		}
+	}
+}
+
+func TestAtomicOpApply(t *testing.T) {
+	cases := []struct {
+		op                AtomicOp
+		cur, op1, op2     uint32
+		wantNext, wantRet uint32
+	}{
+		{AtomicLoad, 7, 0, 0, 7, 7},
+		{AtomicStore, 7, 9, 0, 9, 7},
+		{AtomicAdd, 7, 3, 0, 10, 7},
+		{AtomicExch, 7, 9, 0, 9, 7},
+		{AtomicCAS, 7, 9, 7, 9, 7}, // success
+		{AtomicCAS, 7, 9, 5, 7, 7}, // failure
+		{AtomicMin, 7, 3, 0, 3, 7},
+		{AtomicMin, 7, 9, 0, 7, 7},
+		{AtomicMax, 7, 9, 0, 9, 7},
+		{AtomicMax, 7, 3, 0, 7, 7},
+	}
+	for _, c := range cases {
+		next, ret := c.op.Apply(c.cur, c.op1, c.op2)
+		if next != c.wantNext || ret != c.wantRet {
+			t.Errorf("%v.Apply(%d,%d,%d) = (%d,%d), want (%d,%d)",
+				c.op, c.cur, c.op1, c.op2, next, ret, c.wantNext, c.wantRet)
+		}
+	}
+}
+
+// Property: Apply always returns the pre-image as ret (except Load which
+// returns current — same thing), and AtomicAdd composes like addition.
+func TestAtomicApplyProperty(t *testing.T) {
+	f := func(cur, a, b uint32) bool {
+		n1, r1 := AtomicAdd.Apply(cur, a, 0)
+		n2, r2 := AtomicAdd.Apply(n1, b, 0)
+		return r1 == cur && r2 == n1 && n2 == cur+a+b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CAS succeeds iff the comparand matches.
+func TestCASProperty(t *testing.T) {
+	f := func(cur, newV, cmp uint32) bool {
+		next, ret := AtomicCAS.Apply(cur, newV, cmp)
+		if cur == cmp {
+			return next == newV && ret == cur
+		}
+		return next == cur && ret == cur
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMsgTrafficClass(t *testing.T) {
+	cases := []struct {
+		kind MsgKind
+		want stats.TrafficClass
+	}{
+		{ReadReq, stats.TrafficRead},
+		{ReadResp, stats.TrafficRead},
+		{ReadFwd, stats.TrafficRead},
+		{RegReq, stats.TrafficRegistration},
+		{RegAck, stats.TrafficRegistration},
+		{RegFwd, stats.TrafficRegistration},
+		{RegXfer, stats.TrafficRegistration},
+		{WriteThrough, stats.TrafficWBWT},
+		{WriteThroughAck, stats.TrafficWBWT},
+		{WriteBack, stats.TrafficWBWT},
+		{WriteBackAck, stats.TrafficWBWT},
+		{AtomicReq, stats.TrafficAtomic},
+		{AtomicResp, stats.TrafficAtomic},
+	}
+	for _, c := range cases {
+		m := &Msg{Kind: c.kind}
+		if got := m.NocClass(); got != c.want {
+			t.Errorf("%v classified as %v, want %v", c.kind, got, c.want)
+		}
+	}
+}
+
+func TestMsgPayloadBytes(t *testing.T) {
+	m := &Msg{Kind: ReadResp, Mask: mem.AllWords}
+	if m.PayloadBytes() != 64 {
+		t.Fatalf("full-line ReadResp payload = %d, want 64", m.PayloadBytes())
+	}
+	m = &Msg{Kind: ReadResp, Mask: mem.Bit(0) | mem.Bit(1)}
+	if m.PayloadBytes() != 8 {
+		t.Fatalf("two-word ReadResp payload = %d, want 8 (decoupled granularity)", m.PayloadBytes())
+	}
+	m = &Msg{Kind: ReadReq, Mask: mem.AllWords}
+	if m.PayloadBytes() != 0 {
+		t.Fatalf("ReadReq should be a control message, got %d bytes", m.PayloadBytes())
+	}
+	m = &Msg{Kind: AtomicReq}
+	if m.PayloadBytes() != 8 {
+		t.Fatalf("AtomicReq payload = %d, want 8", m.PayloadBytes())
+	}
+}
+
+func TestScopeAndKindStrings(t *testing.T) {
+	if ScopeLocal.String() != "local" || ScopeGlobal.String() != "global" {
+		t.Fatal("scope strings wrong")
+	}
+	if ReadReq.String() != "ReadReq" || AtomicResp.String() != "AtomicResp" {
+		t.Fatal("kind strings wrong")
+	}
+	if AtomicCAS.String() != "cas" {
+		t.Fatal("op string wrong")
+	}
+}

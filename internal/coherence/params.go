@@ -1,0 +1,66 @@
+package coherence
+
+import "denovogpu/internal/mem"
+
+// Timing parameters (cycles), chosen with the mesh parameters in
+// internal/noc so achieved latencies land in the paper's Table 3
+// ranges: L1 hit 1, L2 hit 29-61, remote L1 hit 35-83, memory 197-261.
+const (
+	// L1HitCycles is the L1 hit latency.
+	L1HitCycles = 1
+	// L2AccessCycles is the L2 bank access latency.
+	L2AccessCycles = 21
+	// L2OccupancyCycles is how long one request occupies the (pipelined)
+	// bank.
+	L2OccupancyCycles = 4
+	// L2AtomicOccupancyCycles is the bank occupancy of a remote atomic:
+	// read-modify-write serializes at the bank, which is part of why
+	// globally scoped synchronization is expensive under GPU coherence.
+	L2AtomicOccupancyCycles = 8
+	// DRAMCycles is the additional latency of a DRAM line fetch.
+	DRAMCycles = 168
+	// DRAMOccupancyCycles is per-fetch memory-port occupancy.
+	DRAMOccupancyCycles = 8
+)
+
+// L1 is the interface both protocol controllers present to their CU.
+// All completion is callback based: the controller invokes the callback
+// at the simulated time the access completes. State mutations inside
+// the controllers are synchronous (they happen when a message or
+// request is processed); only completions are delayed, which keeps the
+// protocol state machine free of transient states, as DeNovo's design
+// intends.
+type L1 interface {
+	// ReadLine reads the words of line l selected by need, invoking cb
+	// with the line's values once all needed words are present.
+	ReadLine(l mem.Line, need mem.WordMask, cb func(vals [mem.WordsPerLine]uint32))
+	// WriteLine writes the words of line l selected by mask. The write
+	// is posted: cb fires when the write is accepted (store buffer),
+	// not when it is globally visible; Release provides the fence.
+	WriteLine(l mem.Line, mask mem.WordMask, data [mem.WordsPerLine]uint32, cb func())
+	// Atomic performs a synchronization access on word w with the given
+	// scope, invoking cb with the operation's return value. Consistency
+	// actions (acquire/release) are orchestrated by the caller around
+	// this call.
+	Atomic(op AtomicOp, w mem.Word, operand, operand2 uint32, scope Scope, cb func(old uint32))
+	// Acquire applies the protocol's acquire action (invalidations) for
+	// the given scope. It is immediate.
+	Acquire(scope Scope)
+	// Release applies the protocol's release action for the given scope,
+	// invoking cb when all prior writes are complete per the protocol's
+	// definition of completion (writethroughs acked at L2, or ownership
+	// registered).
+	Release(scope Scope, cb func())
+	// Drained reports whether the controller has no buffered writes or
+	// outstanding transactions (test and invariant hook).
+	Drained() bool
+	// PeekWord returns the L1-visible value of a word without timing
+	// (functional host access between kernels); ok is false if the word
+	// is not present in the L1 or its store buffer.
+	PeekWord(w mem.Word) (uint32, bool)
+	// HostInvalidate functionally drops any clean cached copy of a word
+	// (host writes between kernels must not leave stale Valid copies
+	// that a read-only-region declaration could preserve past the next
+	// acquire).
+	HostInvalidate(w mem.Word)
+}

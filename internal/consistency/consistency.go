@@ -1,0 +1,50 @@
+// Package consistency encodes the machine's memory consistency model:
+// data-race-free (DRF) or heterogeneous-race-free (HRF-Indirect).
+//
+// The difference is deliberately small — that is the paper's point.
+// Under DRF there are no scopes: every synchronization access behaves
+// as if globally scoped, and the model guarantees sequential
+// consistency to data-race-free programs. Under HRF, synchronization
+// accesses carry a scope annotation and only same-scope
+// synchronization orders accesses; the protocols exploit local scope by
+// skipping invalidations, flushes, and (for DeNovo) eager ownership.
+//
+// The program-order requirement common to both models (an acquire
+// completes before later accesses issue; earlier writes complete before
+// a release; synchronization accesses are ordered with each other) is
+// enforced by the CU: it wraps each synchronization access in the
+// protocol's Release/Atomic/Acquire sequence and does not issue
+// subsequent instructions from the thread block until the sequence
+// completes.
+package consistency
+
+import "denovogpu/internal/coherence"
+
+// Model selects the consistency model.
+type Model int
+
+const (
+	// DRF is data-race-free (SC-for-DRF); scopes are ignored.
+	DRF Model = iota
+	// HRF is heterogeneous-race-free (HRF-Indirect); scopes are honored.
+	HRF
+)
+
+func (m Model) String() string {
+	if m == HRF {
+		return "HRF"
+	}
+	return "DRF"
+}
+
+// Effective maps a program-level scope annotation to the scope the
+// protocol acts on: under DRF every synchronization is global, so a
+// program annotated with scopes runs correctly (if conservatively) —
+// scope annotations are hints that DRF is free to ignore, which is
+// exactly the programmability argument the paper makes.
+func (m Model) Effective(s coherence.Scope) coherence.Scope {
+	if m == DRF {
+		return coherence.ScopeGlobal
+	}
+	return s
+}

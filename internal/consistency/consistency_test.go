@@ -1,0 +1,31 @@
+package consistency
+
+import (
+	"testing"
+
+	"denovogpu/internal/coherence"
+)
+
+func TestEffectiveScope(t *testing.T) {
+	cases := []struct {
+		model Model
+		in    coherence.Scope
+		want  coherence.Scope
+	}{
+		{DRF, coherence.ScopeLocal, coherence.ScopeGlobal},
+		{DRF, coherence.ScopeGlobal, coherence.ScopeGlobal},
+		{HRF, coherence.ScopeLocal, coherence.ScopeLocal},
+		{HRF, coherence.ScopeGlobal, coherence.ScopeGlobal},
+	}
+	for _, c := range cases {
+		if got := c.model.Effective(c.in); got != c.want {
+			t.Errorf("%v.Effective(%v) = %v, want %v", c.model, c.in, got, c.want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if DRF.String() != "DRF" || HRF.String() != "HRF" {
+		t.Fatal("model names wrong")
+	}
+}

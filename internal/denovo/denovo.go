@@ -1,0 +1,1113 @@
+// Package denovo implements the DeNovo hybrid coherence protocol at the
+// L1, extended to GPUs as the paper proposes:
+//
+//   - Three word-granularity states (Invalid / Valid / Registered) with
+//     no transient states: every mutation is synchronous; only
+//     completions are delayed.
+//   - Writes obtain ownership (registration) at the L2 registry; owned
+//     words are never self-invalidated, so written data is reused
+//     across synchronization boundaries.
+//   - Synchronization reads and writes both register (DeNovoSync0), so
+//     sync variables with temporal locality hit in the L1; racy
+//     registrations are served in arrival order at the registry,
+//     forwarding to the previous owner and forming a distributed queue.
+//     Requests from thread blocks on the same CU coalesce in the MSHR
+//     and are serviced before any queued remote request.
+//   - Acquires self-invalidate only non-Registered words; the optional
+//     read-only region optimization (DD+RO) also spares Valid words in
+//     a software-identified read-only region.
+//   - The HRF variant (DH) skips invalidation/flush for local scopes
+//     and delays ownership for locally scoped synchronization and, when
+//     lazy-write mode is on, for data writes.
+package denovo
+
+import (
+	"fmt"
+
+	"denovogpu/internal/cache"
+	"denovogpu/internal/coherence"
+	"denovogpu/internal/energy"
+	"denovogpu/internal/l2"
+	"denovogpu/internal/mem"
+	"denovogpu/internal/noc"
+	"denovogpu/internal/sim"
+	"denovogpu/internal/stats"
+)
+
+type syncOp struct {
+	op       coherence.AtomicOp
+	operand  uint32
+	operand2 uint32
+	cb       func(uint32)
+}
+
+// regTxn is an outstanding registration for one word.
+type regTxn struct {
+	dataWrite   bool // a store-buffer slot is waiting on this
+	syncWaiters []syncOp
+}
+
+type readWaiter struct {
+	need mem.WordMask
+	vals [mem.WordsPerLine]uint32
+	cb   func([mem.WordsPerLine]uint32)
+}
+
+type readTxn struct {
+	line      mem.Line
+	epoch     uint64
+	requested mem.WordMask
+	arrived   mem.WordMask
+	waiters   []readWaiter
+	// direct marks a transaction whose first request went to a
+	// predicted owner; a ReadNack falls it back to the registry.
+	direct bool
+}
+
+type victimWord struct {
+	servicedFwd   bool // a forward was already served from the victim copy
+	rejectedKnown bool // the registry rejected our writeback for this word
+}
+
+// Options configure protocol variants.
+type Options struct {
+	// ReadOnly, when non-nil, identifies the software-conveyed
+	// read-only region: Valid words satisfying it survive acquires
+	// (the paper's DD+RO).
+	ReadOnly func(mem.Word) bool
+	// LazyWrites delays data-write registration until a global release
+	// (DH's "delay obtaining ownership for local writes").
+	LazyWrites bool
+	// NoMSHRCoalescing disables servicing same-CU sync waiters before a
+	// queued remote request (ablation of DeNovoSync0's locality
+	// optimization; see DESIGN.md).
+	NoMSHRCoalescing bool
+	// SyncBackoff enables DeNovoSync's refinement over DeNovoSync0:
+	// synchronization *reads* back off before re-registering a word
+	// whose ownership this CU lost very recently, reducing the
+	// ownership ping-pong of read-read contention (spinning readers).
+	// The paper evaluates DeNovoSync0 and leaves this off; it is
+	// provided as the paper's referenced extension and exercised by an
+	// ablation bench.
+	SyncBackoff bool
+	// DirectTransfer enables the direct cache-to-cache transfer
+	// optimization the paper's conclusion lists as future work: a read
+	// miss first tries the L1 that last supplied the line (2-hop)
+	// before falling back to the registry (3-hop).
+	DirectTransfer bool
+}
+
+// Backoff parameters for Options.SyncBackoff.
+const (
+	syncBackoffWindow = 64   // "recently lost" horizon, cycles
+	syncBackoffMin    = 32   // first delay
+	syncBackoffMax    = 1024 // cap
+)
+
+// Controller is one CU's (or the CPU's) DeNovo L1.
+type Controller struct {
+	node  noc.NodeID
+	eng   *sim.Engine
+	mesh  *noc.Mesh
+	st    *stats.Stats
+	meter *energy.Meter
+	opts  Options
+
+	cache  *cache.Cache
+	sb     *cache.StoreBuffer // data writes awaiting registration (or delayed, when lazy)
+	lazy   map[mem.Word]bool  // sb slots whose registration is delayed
+	victim *cache.VictimBuffer
+	vstate map[mem.Word]*victimWord
+
+	regs        map[mem.Word]*regTxn
+	deferredFwd map[mem.Word]*coherence.Msg
+	pendingOwn  map[mem.Word]uint32 // owned words awaiting a cache frame
+
+	reads   map[uint64]*readTxn
+	lineTxn map[mem.Line]uint64
+
+	pins map[mem.Line]int
+
+	nextID       uint64
+	epoch        uint64
+	relWaiters   []*relWaiter
+	spaceWaiters []func()
+
+	// lostAt/backoffDelay drive Options.SyncBackoff.
+	lostAt       map[mem.Word]sim.Time
+	backoffDelay map[mem.Word]sim.Time
+	// lastSupplier predicts owners for Options.DirectTransfer.
+	lastSupplier map[mem.Line]noc.NodeID
+}
+
+// relWaiter is a release waiting for the store-buffer entries that
+// existed when it was issued. Entries buffered afterwards belong to
+// other thread blocks and must not block this release — they will be
+// covered by their own block's release (waiting for them can deadlock
+// if their block has already finished).
+type relWaiter struct {
+	pending map[mem.Word]struct{}
+	cb      func()
+}
+
+// New returns a DeNovo L1 controller attached to the mesh at node.
+func New(node noc.NodeID, eng *sim.Engine, mesh *noc.Mesh, st *stats.Stats, meter *energy.Meter, l1Bytes, l1Ways, sbEntries int, opts Options) *Controller {
+	c := &Controller{
+		node: node, eng: eng, mesh: mesh, st: st, meter: meter, opts: opts,
+		cache:        cache.New(l1Bytes, l1Ways),
+		sb:           cache.NewStoreBuffer(sbEntries),
+		lazy:         make(map[mem.Word]bool),
+		victim:       cache.NewVictimBuffer(),
+		vstate:       make(map[mem.Word]*victimWord),
+		regs:         make(map[mem.Word]*regTxn),
+		deferredFwd:  make(map[mem.Word]*coherence.Msg),
+		pendingOwn:   make(map[mem.Word]uint32),
+		reads:        make(map[uint64]*readTxn),
+		lineTxn:      make(map[mem.Line]uint64),
+		pins:         make(map[mem.Line]int),
+		lostAt:       make(map[mem.Word]sim.Time),
+		backoffDelay: make(map[mem.Word]sim.Time),
+		lastSupplier: make(map[mem.Line]noc.NodeID),
+	}
+	mesh.Attach(node, noc.PortL1, c)
+	return c
+}
+
+var _ coherence.L1 = (*Controller)(nil)
+
+// pin management: lines with outstanding transactions must not be
+// evicted.
+
+func (c *Controller) pin(l mem.Line) {
+	c.pins[l]++
+	if e := c.cache.Peek(l); e != nil {
+		e.Pinned = true
+	}
+}
+
+func (c *Controller) unpin(l mem.Line) {
+	c.pins[l]--
+	if c.pins[l] <= 0 {
+		delete(c.pins, l)
+		if e := c.cache.Peek(l); e != nil {
+			e.Pinned = false
+		}
+	}
+}
+
+// frame returns a cache frame for line l, evicting (with writeback of
+// registered words) if needed. Returns nil when every candidate is
+// pinned; callers must cope (retry or deliver without installing).
+func (c *Controller) frame(l mem.Line) *cache.Entry {
+	e := c.cache.Victim(l)
+	if e == nil {
+		return nil
+	}
+	if e.Tag && e.Line == l {
+		return e
+	}
+	if e.Tag {
+		c.evict(e)
+	}
+	e.Reset(l)
+	e.Pinned = c.pins[l] > 0
+	return e
+}
+
+// evict writes back the frame's registered words and moves them to the
+// victim buffer until the registry acknowledges.
+func (c *Controller) evict(e *cache.Entry) {
+	reg := e.MaskOf(cache.Registered)
+	if reg == 0 {
+		return
+	}
+	c.st.Inc("l1.writebacks", 1)
+	for i := 0; i < mem.WordsPerLine; i++ {
+		if reg.Has(i) {
+			w := e.Line.Word(i)
+			c.victim.Put(w, e.Data[i])
+			c.vstate[w] = &victimWord{}
+		}
+	}
+	c.mesh.Send(&coherence.Msg{
+		Kind: coherence.WriteBack, Src: c.node, Dst: l2.HomeNode(e.Line), Port: noc.PortL2,
+		Line: e.Line, Mask: reg, Data: e.Data,
+	})
+}
+
+// ReadLine implements coherence.L1.
+func (c *Controller) ReadLine(l mem.Line, need mem.WordMask, cb func([mem.WordsPerLine]uint32)) {
+	c.meter.L1Access(1)
+	var vals [mem.WordsPerLine]uint32
+	missing := mem.WordMask(0)
+	entry := c.cache.Lookup(l)
+	for i := 0; i < mem.WordsPerLine; i++ {
+		if !need.Has(i) {
+			continue
+		}
+		if v, ok := c.sb.Lookup(l.Word(i)); ok {
+			vals[i] = v
+			continue
+		}
+		if v, ok := c.pendingOwn[l.Word(i)]; ok {
+			vals[i] = v
+			continue
+		}
+		if entry != nil && entry.State[i] != cache.Invalid {
+			vals[i] = entry.Data[i]
+			continue
+		}
+		missing |= mem.Bit(i)
+	}
+	if missing == 0 {
+		c.st.Inc("l1.read_hits", 1)
+		c.eng.Schedule(coherence.L1HitCycles, func() { cb(vals) })
+		return
+	}
+	c.st.Inc("l1.read_misses", 1)
+	c.meter.L1Tag(1)
+	var txn *readTxn
+	if id, ok := c.lineTxn[l]; ok {
+		// Join only current-epoch transactions that have not already
+		// received any of our demanded words (an already-arrived word
+		// would never be re-sent, and it may not have been installed).
+		if t := c.reads[id]; t != nil && t.epoch == c.epoch && missing&t.arrived == 0 {
+			txn = t
+			if extra := missing &^ t.requested; extra != 0 {
+				// A joining reader demands words the original request did
+				// not cover (they may be registered remotely and need a
+				// forward); issue a supplementary request under the same
+				// transaction.
+				t.requested |= extra
+				c.mesh.Send(&coherence.Msg{
+					Kind: coherence.ReadReq, Src: c.node, Dst: l2.HomeNode(l), Port: noc.PortL2,
+					Line: l, Mask: extra, ID: id,
+				})
+			}
+		}
+	}
+	if txn == nil {
+		c.nextID++
+		txn = &readTxn{line: l, epoch: c.epoch, requested: missing}
+		c.reads[c.nextID] = txn
+		c.lineTxn[l] = c.nextID
+		c.pin(l)
+		if pred, ok := c.lastSupplier[l]; c.opts.DirectTransfer && ok && pred != c.node {
+			// Direct cache-to-cache transfer: try the L1 that last
+			// supplied this line (2 hops) before the registry (3 hops).
+			txn.direct = true
+			c.st.Inc("l1.direct_reads", 1)
+			c.mesh.Send(&coherence.Msg{
+				Kind: coherence.DirectReadReq, Src: c.node, Dst: pred, Port: noc.PortL1,
+				Line: l, Mask: missing, ID: c.nextID,
+			})
+		} else {
+			c.mesh.Send(&coherence.Msg{
+				Kind: coherence.ReadReq, Src: c.node, Dst: l2.HomeNode(l), Port: noc.PortL2,
+				Line: l, Mask: missing, ID: c.nextID,
+			})
+		}
+	}
+	txn.waiters = append(txn.waiters, readWaiter{need: missing, vals: vals, cb: cb})
+}
+
+// WriteLine implements coherence.L1. Writes to Registered words hit in
+// place; others are buffered in the store buffer until their
+// registration completes (eager) or until a global release (lazy, DH).
+// A full buffer stalls the write until an acknowledgment frees a slot —
+// cheaper than the GPU protocol's forced writethrough, as the paper
+// notes for TB_LG.
+func (c *Controller) WriteLine(l mem.Line, mask mem.WordMask, data [mem.WordsPerLine]uint32, cb func()) {
+	c.meter.L1Access(1)
+	i := 0
+	var newReg mem.WordMask
+	var step func()
+	flush := func() {
+		if newReg != 0 {
+			c.sendRegReq(l, newReg, false, false)
+			newReg = 0
+		}
+	}
+	step = func() {
+		entry := c.cache.Peek(l)
+		for ; i < mem.WordsPerLine; i++ {
+			if !mask.Has(i) {
+				continue
+			}
+			w := l.Word(i)
+			if entry != nil && entry.State[i] == cache.Registered {
+				entry.Data[i] = data[i]
+				c.st.Inc("l1.write_hits", 1)
+				continue
+			}
+			if _, ok := c.pendingOwn[w]; ok {
+				c.pendingOwn[w] = data[i]
+				c.st.Inc("l1.write_hits", 1)
+				continue
+			}
+			if _, ok := c.sb.Lookup(w); ok {
+				c.sb.Insert(w, data[i])
+				c.st.Inc("sb.coalesced_writes", 1)
+				continue
+			}
+			if txn := c.regs[w]; txn != nil {
+				// A sync registration for this word is already in
+				// flight; ride it rather than double-registering.
+				if !c.sb.Full() {
+					c.meter.StoreBuffer(1)
+					c.sb.Insert(w, data[i])
+					txn.dataWrite = true
+					continue
+				}
+			}
+			if c.sb.Full() {
+				flush()
+				c.stallForSpace(step)
+				return
+			}
+			c.meter.StoreBuffer(1)
+			c.sb.Insert(w, data[i])
+			if c.opts.LazyWrites {
+				c.lazy[w] = true
+			} else {
+				c.regs[w] = &regTxn{dataWrite: true}
+				c.pin(l)
+				newReg |= mem.Bit(i)
+			}
+		}
+		flush()
+		c.eng.Schedule(coherence.L1HitCycles, cb)
+	}
+	step()
+}
+
+// stallForSpace queues fn until a store-buffer slot frees; in lazy mode
+// it kicks off registration of the oldest delayed slot so space will
+// eventually appear.
+func (c *Controller) stallForSpace(fn func()) {
+	c.st.Inc("sb.write_stalls", 1)
+	c.kickOldestLazy()
+	c.spaceWaiters = append(c.spaceWaiters, fn)
+}
+
+// kickOldestLazy starts registration of the oldest delayed slot so a
+// stalled writer will eventually get space (lazy mode only; in eager
+// mode every slot already has its registration in flight).
+func (c *Controller) kickOldestLazy() {
+	if !c.opts.LazyWrites {
+		return
+	}
+	if oldest, ok := c.sb.PeekOldest(); ok && c.lazy[oldest.Word] {
+		c.st.Inc("sb.kicked_regs", 1)
+		delete(c.lazy, oldest.Word)
+		c.regs[oldest.Word] = &regTxn{dataWrite: true}
+		c.pin(oldest.Word.LineOf())
+		c.sendRegReq(oldest.Word.LineOf(), mem.Bit(oldest.Word.Index()), false, false)
+	}
+}
+
+func (c *Controller) sendRegReq(l mem.Line, mask mem.WordMask, sync, needsData bool) {
+	c.st.Inc("l1.reg_requests", 1)
+	c.mesh.Send(&coherence.Msg{
+		Kind: coherence.RegReq, Src: c.node, Dst: l2.HomeNode(l), Port: noc.PortL2,
+		Line: l, Mask: mask, Sync: sync, NeedsData: needsData,
+	})
+}
+
+// Atomic implements coherence.L1: DeNovoSync0 registers synchronization
+// reads and writes; once a CU owns the sync variable, all thread blocks
+// on that CU hit locally until ownership moves. Locally scoped
+// synchronization (DH) executes at the L1 without eager ownership.
+func (c *Controller) Atomic(op coherence.AtomicOp, w mem.Word, operand, operand2 uint32, scope coherence.Scope, cb func(uint32)) {
+	if scope == coherence.ScopeLocal && c.opts.LazyWrites {
+		// Fully lazy local synchronization (the delayed-ownership
+		// variant): perform at the L1 on the cached/buffered value and
+		// register at the next global release. Under frequent global
+		// synchronization the deferred registrations land on the
+		// release's critical path, so the default DH registers local
+		// sync eagerly instead (below) — the CU-level scope handling
+		// already skips the invalidate/flush, which is where DH's win
+		// lives.
+		c.localAtomic(op, w, operand, operand2, cb)
+		return
+	}
+	l := w.LineOf()
+	if e := c.cache.Lookup(l); e != nil && e.State[w.Index()] == cache.Registered && c.regs[w] == nil {
+		// Synchronization hit: the variable is owned here.
+		next, ret := op.Apply(e.Data[w.Index()], operand, operand2)
+		e.Data[w.Index()] = next
+		c.st.Inc("l1.sync_hits", 1)
+		c.meter.L1Access(1)
+		c.eng.Schedule(coherence.L1HitCycles, func() { cb(ret) })
+		c.serviceDeferred(w)
+		return
+	}
+	if v, ok := c.pendingOwn[w]; ok && c.regs[w] == nil {
+		next, ret := op.Apply(v, operand, operand2)
+		c.pendingOwn[w] = next
+		c.st.Inc("l1.sync_hits", 1)
+		c.eng.Schedule(coherence.L1HitCycles, func() { cb(ret) })
+		return
+	}
+	txn := c.regs[w]
+	if txn == nil {
+		txn = &regTxn{}
+		c.regs[w] = txn
+		c.pin(l)
+		c.st.Inc("l1.sync_misses", 1)
+		send := func() { c.sendRegReq(l, mem.Bit(w.Index()), true, true) }
+		if c.opts.SyncBackoff && op == coherence.AtomicLoad {
+			if lost, ok := c.lostAt[w]; ok && c.eng.Now()-lost < syncBackoffWindow {
+				// DeNovoSync: a reader that just lost this word backs
+				// off before re-registering, breaking read-read
+				// ownership ping-pong.
+				d := c.backoffDelay[w]
+				if d == 0 {
+					d = syncBackoffMin
+				} else {
+					d = min(d*2, syncBackoffMax)
+				}
+				c.backoffDelay[w] = d
+				c.st.Inc("l1.sync_backoffs", 1)
+				c.eng.Schedule(d, send)
+			} else {
+				delete(c.backoffDelay, w)
+				send()
+			}
+		} else {
+			send()
+		}
+	} else {
+		// Same-CU coalescing in the MSHR: another thread block on this
+		// CU already has a registration in flight for this word.
+		c.st.Inc("l1.sync_coalesced", 1)
+	}
+	txn.syncWaiters = append(txn.syncWaiters, syncOp{op, operand, operand2, cb})
+}
+
+// localAtomic (DH) performs a locally scoped synchronization at the L1
+// without obtaining ownership: the result is buffered like a lazy write
+// and registered at the next global release.
+func (c *Controller) localAtomic(op coherence.AtomicOp, w mem.Word, operand, operand2 uint32, cb func(uint32)) {
+	l := w.LineOf()
+	finish := func(cur uint32) {
+		next, ret := op.Apply(cur, operand, operand2)
+		c.st.Inc("l1.sync_local", 1)
+		c.meter.L1Access(1)
+		if e := c.cache.Peek(l); e != nil && e.State[w.Index()] == cache.Registered {
+			e.Data[w.Index()] = next
+			c.eng.Schedule(coherence.L1HitCycles, func() { cb(ret) })
+			return
+		}
+		if c.sb.Full() {
+			if _, ok := c.sb.Lookup(w); !ok {
+				c.stallForSpace(func() { c.localAtomic(op, w, operand, operand2, cb) })
+				return
+			}
+		}
+		c.sb.Insert(w, next)
+		// Mark delayed only if no registration is already in flight for
+		// this slot (a global release may have kicked it); re-marking
+		// would double-register and corrupt the transaction state.
+		if c.regs[w] == nil {
+			c.lazy[w] = true
+		}
+		if e := c.cache.Peek(l); e != nil && e.State[w.Index()] == cache.Valid {
+			e.Data[w.Index()] = next
+		}
+		c.eng.Schedule(coherence.L1HitCycles, func() { cb(ret) })
+	}
+	if v, ok := c.sb.Lookup(w); ok {
+		finish(v)
+		return
+	}
+	if v, ok := c.pendingOwn[w]; ok {
+		finish(v)
+		return
+	}
+	if e := c.cache.Lookup(l); e != nil && e.State[w.Index()] != cache.Invalid {
+		finish(e.Data[w.Index()])
+		return
+	}
+	// Miss: fetch the line, then retry from scratch — the retry re-reads
+	// through the store buffer and cache so concurrent local atomics to
+	// the same word cannot lose updates.
+	c.ReadLine(l, mem.Bit(w.Index()), func([mem.WordsPerLine]uint32) {
+		c.localAtomic(op, w, operand, operand2, cb)
+	})
+}
+
+// Acquire implements coherence.L1: DeNovo's selective self-invalidation
+// spares Registered (owned, up-to-date) words — the source of its data
+// reuse across synchronization points — and, with the read-only
+// optimization, Valid words in the read-only region.
+func (c *Controller) Acquire(scope coherence.Scope) {
+	if scope == coherence.ScopeLocal {
+		return
+	}
+	ro := c.opts.ReadOnly
+	n := c.cache.Invalidate(func(e *cache.Entry, i int) bool {
+		if e.State[i] == cache.Registered {
+			return true
+		}
+		return ro != nil && ro(e.Line.Word(i))
+	})
+	c.epoch++
+	// Flash/selective invalidation is a bulk clear of state bits, not a
+	// per-frame tag walk; charge a single tag-array access.
+	c.meter.L1Tag(1)
+	c.st.Inc("l1.flash_invalidations", 1)
+	c.st.Inc("l1.invalidated_words", uint64(n))
+}
+
+// Release implements coherence.L1: a global release completes when
+// every buffered write has obtained ownership — no data moves, unlike
+// the GPU protocol's writethrough flush. Lazy (DH) slots start their
+// registration here. Local releases complete immediately.
+func (c *Controller) Release(scope coherence.Scope, cb func()) {
+	if scope == coherence.ScopeLocal {
+		c.eng.Schedule(coherence.L1HitCycles, cb)
+		return
+	}
+	if len(c.lazy) > 0 {
+		// Batch delayed registrations by line.
+		var lines []mem.Line
+		masks := make(map[mem.Line]mem.WordMask)
+		for _, e := range c.sb.Entries() {
+			if !c.lazy[e.Word] {
+				continue
+			}
+			delete(c.lazy, e.Word)
+			l := e.Word.LineOf()
+			if masks[l] == 0 {
+				lines = append(lines, l)
+			}
+			masks[l] |= mem.Bit(e.Word.Index())
+			c.regs[e.Word] = &regTxn{dataWrite: true}
+			c.pin(l)
+		}
+		for _, l := range lines {
+			c.sendRegReq(l, masks[l], false, false)
+		}
+	}
+	entries := c.sb.Entries()
+	if len(entries) == 0 {
+		c.eng.Schedule(coherence.L1HitCycles, cb)
+		return
+	}
+	c.st.Inc("sb.release_drains", 1)
+	w := &relWaiter{pending: make(map[mem.Word]struct{}, len(entries)), cb: cb}
+	for _, e := range entries {
+		w.pending[e.Word] = struct{}{}
+	}
+	c.relWaiters = append(c.relWaiters, w)
+}
+
+// Drained implements coherence.L1.
+func (c *Controller) Drained() bool {
+	return c.sb.Len() == 0 && len(c.regs) == 0 && len(c.reads) == 0 &&
+		len(c.pendingOwn) == 0 && c.victim.Len() == 0
+}
+
+// sbFreed services stalled writers after store-buffer slots free.
+func (c *Controller) sbFreed() {
+	for len(c.spaceWaiters) > 0 && !c.sb.Full() {
+		fn := c.spaceWaiters[0]
+		c.spaceWaiters = c.spaceWaiters[1:]
+		fn()
+	}
+	// If waiters remain with a full buffer, keep the drain moving: a
+	// woken writer that finished (instead of stalling again) must not
+	// strand the rest.
+	if len(c.spaceWaiters) > 0 && c.sb.Full() {
+		c.kickOldestLazy()
+	}
+}
+
+// notifyReleases tells waiting releases that word w has obtained
+// ownership (left the store buffer); a release completes when every
+// entry it was issued over is registered.
+func (c *Controller) notifyReleases(w mem.Word) {
+	remaining := c.relWaiters[:0]
+	for _, rw := range c.relWaiters {
+		delete(rw.pending, w)
+		if len(rw.pending) == 0 {
+			cb := rw.cb
+			c.eng.Schedule(0, cb)
+		} else {
+			remaining = append(remaining, rw)
+		}
+	}
+	c.relWaiters = remaining
+}
+
+// Deliver implements noc.Handler.
+func (c *Controller) Deliver(p noc.Packet) {
+	msg, ok := p.(*coherence.Msg)
+	if !ok {
+		panic(fmt.Sprintf("denovo: non-coherence packet %T", p))
+	}
+	switch msg.Kind {
+	case coherence.ReadResp:
+		c.fill(msg)
+	case coherence.ReadFwd:
+		c.readFwd(msg)
+	case coherence.RegAck:
+		c.ownershipArrived(msg.Line, msg.Mask, msg.Data, msg.NeedsData)
+	case coherence.RegXfer:
+		c.ownershipArrived(msg.Line, msg.Mask, msg.Data, true)
+	case coherence.RegFwd:
+		c.regFwd(msg)
+	case coherence.WriteBackAck:
+		c.writeBackAck(msg)
+	case coherence.DirectReadReq:
+		c.directRead(msg)
+	case coherence.ReadNack:
+		c.readNack(msg)
+	default:
+		panic(fmt.Sprintf("denovo: unexpected message %v", msg.Kind))
+	}
+}
+
+// fill handles read data arriving from the L2 bank or a forwarding
+// owner L1.
+func (c *Controller) fill(msg *coherence.Msg) {
+	if c.opts.DirectTransfer {
+		if l2.HomeNode(msg.Line) == msg.Src {
+			delete(c.lastSupplier, msg.Line)
+		} else {
+			c.lastSupplier[msg.Line] = msg.Src
+		}
+	}
+	txn := c.reads[msg.ID]
+	if txn == nil {
+		// The transaction completed from an earlier response that
+		// already covered these words (e.g. a supplementary request
+		// raced a generous line response). Nothing to do.
+		c.st.Inc("l1.fills_late", 1)
+		return
+	}
+	newWords := msg.Mask &^ txn.arrived
+	txn.arrived |= msg.Mask
+	// Install in cache only while no acquire intervened.
+	if txn.epoch == c.epoch && newWords != 0 {
+		if e := c.frame(msg.Line); e != nil {
+			for i := 0; i < mem.WordsPerLine; i++ {
+				if newWords.Has(i) && e.State[i] == cache.Invalid {
+					e.Data[i] = msg.Data[i]
+					e.State[i] = cache.Valid
+				}
+			}
+			c.cache.Touch(e)
+			c.meter.L1Access(1)
+		}
+	} else if txn.epoch != c.epoch {
+		c.st.Inc("l1.fills_dropped_stale", 1)
+	}
+	// Complete waiters whose demanded words have all arrived.
+	remaining := txn.waiters[:0]
+	for _, w := range txn.waiters {
+		for i := 0; i < mem.WordsPerLine; i++ {
+			if w.need.Has(i) && msg.Mask.Has(i) {
+				w.vals[i] = msg.Data[i]
+				w.need &^= mem.Bit(i)
+			}
+		}
+		if w.need == 0 {
+			vals, cb := w.vals, w.cb
+			c.eng.Schedule(coherence.L1HitCycles, func() { cb(vals) })
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	txn.waiters = remaining
+	if txn.arrived&txn.requested == txn.requested {
+		if len(txn.waiters) != 0 {
+			panic("denovo: read transaction complete with unsatisfied waiters")
+		}
+		delete(c.reads, msg.ID)
+		if c.lineTxn[txn.line] == msg.ID {
+			delete(c.lineTxn, txn.line)
+		}
+		c.unpin(txn.line)
+	}
+}
+
+// readFwd serves a data read forwarded by the registry for words this
+// L1 owns; the response goes directly to the requester (3-hop).
+func (c *Controller) readFwd(msg *coherence.Msg) {
+	var data [mem.WordsPerLine]uint32
+	for i := 0; i < mem.WordsPerLine; i++ {
+		if !msg.Mask.Has(i) {
+			continue
+		}
+		w := msg.Line.Word(i)
+		// Priority matters: a pendingOwn copy (current ownership,
+		// awaiting a frame) is newer than any victim-buffer copy left
+		// over from an earlier eviction of the same word.
+		if e := c.cache.Peek(msg.Line); e != nil && e.State[i] == cache.Registered {
+			data[i] = e.Data[i]
+		} else if v, ok := c.pendingOwn[w]; ok {
+			data[i] = v
+		} else if v, ok := c.victim.Get(w); ok {
+			data[i] = v
+		} else {
+			panic(fmt.Sprintf("denovo: node %d forwarded read for %v it does not own", c.node, w))
+		}
+	}
+	c.st.Inc("l1.remote_reads_served", 1)
+	c.meter.L1Access(1)
+	c.mesh.Send(&coherence.Msg{
+		Kind: coherence.ReadResp, Src: c.node, Dst: msg.Requester, Port: noc.PortL1,
+		Line: msg.Line, Mask: msg.Mask, Data: data, ID: msg.ID,
+	})
+}
+
+// ownershipArrived handles RegAck (from the registry) and RegXfer (from
+// the previous owner): words become Registered here, buffered writes
+// drain into the cache, and queued sync operations are serviced — all
+// same-CU waiters before any deferred remote request (DeNovoSync0's
+// MSHR coalescing).
+func (c *Controller) ownershipArrived(l mem.Line, mask mem.WordMask, data [mem.WordsPerLine]uint32, carriesData bool) {
+	e := c.frame(l)
+	for i := 0; i < mem.WordsPerLine; i++ {
+		if !mask.Has(i) {
+			continue
+		}
+		w := l.Word(i)
+		// Establish the word's current value.
+		var val uint32
+		if v, ok := c.sb.Remove(w); ok {
+			val = v // our buffered write supersedes any carried value
+			// Wake stalled writers after this delivery finishes
+			// (zero-delay event) to avoid reentrant state mutation.
+			c.eng.Schedule(0, c.sbFreed)
+			c.notifyReleases(w)
+		} else if carriesData {
+			val = data[i]
+		}
+		txn := c.regs[w]
+		if txn == nil {
+			panic(fmt.Sprintf("denovo: node %d ownership for %v without transaction", c.node, w))
+		}
+		c.st.Inc("l1.ownership_words", 1)
+		waiters := txn.syncWaiters
+		if c.opts.NoMSHRCoalescing && len(waiters) > 1 {
+			// Ablation: service only the first waiter now; the rest
+			// re-register one by one after the deferred remote (if any)
+			// is serviced, modelling a protocol without same-CU
+			// coalescing.
+			head, rest := waiters[0], waiters[1:]
+			waiters = []syncOp{head}
+			txn.syncWaiters = nil
+			defer func() {
+				for _, op := range rest {
+					op := op
+					c.eng.Schedule(1, func() {
+						c.Atomic(op.op, w, op.operand, op.operand2, coherence.ScopeGlobal, op.cb)
+					})
+				}
+			}()
+		}
+		delay := sim.Time(coherence.L1HitCycles)
+		for _, op := range waiters {
+			next, ret := op.op.Apply(val, op.operand, op.operand2)
+			val = next
+			cb := op.cb
+			c.eng.Schedule(delay, func() { cb(ret) })
+			delay++
+			c.st.Inc("l1.sync_serviced_on_arrival", 1)
+		}
+		delete(c.regs, w)
+		c.unpin(l)
+		// Install.
+		if e != nil {
+			e.Data[i] = val
+			e.State[i] = cache.Registered
+			c.cache.Touch(e)
+		} else {
+			c.pendingOwn[w] = val
+			c.eng.Schedule(2, func() { c.retryInstall(w) })
+		}
+		c.meter.L1Access(1)
+		// Now the distributed queue: pass ownership onward if a remote
+		// request was queued behind our own accesses.
+		c.serviceDeferred(w)
+	}
+}
+
+// retryInstall moves a frameless owned word into the cache once a frame
+// frees up.
+func (c *Controller) retryInstall(w mem.Word) {
+	val, ok := c.pendingOwn[w]
+	if !ok {
+		return // transferred away meanwhile
+	}
+	e := c.frame(w.LineOf())
+	if e == nil {
+		c.eng.Schedule(2, func() { c.retryInstall(w) })
+		return
+	}
+	delete(c.pendingOwn, w)
+	e.Data[w.Index()] = val
+	e.State[w.Index()] = cache.Registered
+	c.cache.Touch(e)
+	c.serviceDeferred(w)
+}
+
+// regFwd handles the registry telling us to pass ownership of words to
+// a new owner. Words transferable immediately go out as one batched
+// RegXfer (whole-line migrations cost one message, like a writethrough
+// would); words with our own registration still in flight defer
+// per-word into the distributed queue.
+func (c *Controller) regFwd(msg *coherence.Msg) {
+	var now mem.WordMask
+	for i := 0; i < mem.WordsPerLine; i++ {
+		if !msg.Mask.Has(i) {
+			continue
+		}
+		w := msg.Line.Word(i)
+		if vs := c.vstate[w]; vs != nil && !vs.servicedFwd {
+			// This forward targets the ownership we already evicted
+			// (the registry had not yet processed our writeback when it
+			// forwarded); serve it from the victim copy even if we have
+			// a new registration of our own in flight — that new
+			// request is ordered *after* this one at the registry.
+			now |= mem.Bit(i)
+			continue
+		}
+		if c.regs[w] != nil {
+			// Our own registration (and coalesced same-CU accesses) are
+			// still in flight; the remote request waits its turn in the
+			// distributed queue.
+			if c.deferredFwd[w] != nil {
+				panic(fmt.Sprintf("denovo: node %d second deferred forward for %v", c.node, w))
+			}
+			m := *msg
+			m.Mask = mem.Bit(i)
+			c.deferredFwd[w] = &m
+			c.st.Inc("l1.fwd_deferred", 1)
+			continue
+		}
+		now |= mem.Bit(i)
+	}
+	if now != 0 {
+		c.transferMask(msg.Line, now, msg.Requester, msg.Sync, msg.ID)
+	}
+}
+
+// transfer passes ownership and data of word w to the requester.
+func (c *Controller) transfer(w mem.Word, to noc.NodeID, sync bool, id uint64) {
+	c.transferMask(w.LineOf(), mem.Bit(w.Index()), to, sync, id)
+}
+
+// transferMask passes ownership and data of a set of words of one line
+// to the requester in a single RegXfer.
+func (c *Controller) transferMask(l mem.Line, mask mem.WordMask, to noc.NodeID, sync bool, id uint64) {
+	var data [mem.WordsPerLine]uint32
+	e := c.cache.Peek(l)
+	for i := 0; i < mem.WordsPerLine; i++ {
+		if !mask.Has(i) {
+			continue
+		}
+		w := l.Word(i)
+		// As in readFwd: pendingOwn (current ownership) outranks any
+		// stale victim-buffer copy of the same word.
+		if e != nil && e.State[i] == cache.Registered {
+			data[i] = e.Data[i]
+			e.State[i] = cache.Invalid
+		} else if v, ok := c.pendingOwn[w]; ok {
+			data[i] = v
+			delete(c.pendingOwn, w)
+		} else if v, ok := c.victim.Get(w); ok {
+			data[i] = v
+			vs := c.vstate[w]
+			if vs != nil && vs.rejectedKnown {
+				c.victim.Drop(w)
+				delete(c.vstate, w)
+			} else if vs != nil {
+				vs.servicedFwd = true
+			}
+		} else {
+			panic(fmt.Sprintf("denovo: node %d cannot transfer %v it does not own", c.node, w))
+		}
+		c.st.Inc("l1.ownership_transfers", 1)
+		if c.opts.SyncBackoff {
+			c.lostAt[w] = c.eng.Now()
+		}
+	}
+	if e != nil && !e.HasAny(cache.Valid) && !e.HasAny(cache.Registered) && !e.Pinned {
+		e.Tag = false
+	}
+	c.meter.L1Access(1)
+	c.mesh.Send(&coherence.Msg{
+		Kind: coherence.RegXfer, Src: c.node, Dst: to, Port: noc.PortL1,
+		Line: l, Mask: mask, Data: data, Sync: sync, ID: id,
+	})
+}
+
+// serviceDeferred passes ownership to a queued remote requester once
+// local accesses have been serviced.
+func (c *Controller) serviceDeferred(w mem.Word) {
+	msg := c.deferredFwd[w]
+	if msg == nil || c.regs[w] != nil {
+		return
+	}
+	delete(c.deferredFwd, w)
+	c.transfer(w, msg.Requester, msg.Sync, msg.ID)
+}
+
+// directRead serves a predicted-owner read: if every requested word is
+// registered here, respond directly (a 2-hop hit); otherwise nack so
+// the requester falls back to the registry.
+func (c *Controller) directRead(msg *coherence.Msg) {
+	e := c.cache.Peek(msg.Line)
+	var have mem.WordMask
+	var data [mem.WordsPerLine]uint32
+	if e != nil {
+		for i := 0; i < mem.WordsPerLine; i++ {
+			if msg.Mask.Has(i) && e.State[i] == cache.Registered {
+				have |= mem.Bit(i)
+				data[i] = e.Data[i]
+			}
+		}
+	}
+	if have == msg.Mask {
+		c.st.Inc("l1.direct_reads_served", 1)
+		c.meter.L1Access(1)
+		c.mesh.Send(&coherence.Msg{
+			Kind: coherence.ReadResp, Src: c.node, Dst: msg.Src, Port: noc.PortL1,
+			Line: msg.Line, Mask: have, Data: data, ID: msg.ID,
+		})
+		return
+	}
+	c.st.Inc("l1.direct_reads_nacked", 1)
+	c.mesh.Send(&coherence.Msg{
+		Kind: coherence.ReadNack, Src: c.node, Dst: msg.Src, Port: noc.PortL1,
+		Line: msg.Line, Mask: msg.Mask, ID: msg.ID,
+	})
+}
+
+// readNack falls a missed direct read back to the registry.
+func (c *Controller) readNack(msg *coherence.Msg) {
+	txn := c.reads[msg.ID]
+	if txn == nil || !txn.direct {
+		return // transaction already satisfied some other way
+	}
+	txn.direct = false
+	delete(c.lastSupplier, msg.Line)
+	c.mesh.Send(&coherence.Msg{
+		Kind: coherence.ReadReq, Src: c.node, Dst: l2.HomeNode(msg.Line), Port: noc.PortL2,
+		Line: msg.Line, Mask: txn.requested &^ txn.arrived, ID: msg.ID,
+	})
+}
+
+// writeBackAck resolves victim-buffer entries. Accepted words are done;
+// rejected words had their ownership reassigned before our writeback
+// arrived, so a forward either already came (serviced from the victim
+// copy) or is about to.
+func (c *Controller) writeBackAck(msg *coherence.Msg) {
+	for i := 0; i < mem.WordsPerLine; i++ {
+		if !msg.Mask.Has(i) {
+			continue
+		}
+		w := msg.Line.Word(i)
+		vs := c.vstate[w]
+		if vs == nil {
+			continue // already fully resolved
+		}
+		if msg.WBAccepted.Has(i) || vs.servicedFwd {
+			c.victim.Drop(w)
+			delete(c.vstate, w)
+		} else {
+			vs.rejectedKnown = true
+		}
+	}
+}
+
+// Test and host hooks.
+
+// CacheWordState exposes a word's L1 state.
+func (c *Controller) CacheWordState(w mem.Word) cache.WordState {
+	if _, ok := c.pendingOwn[w]; ok {
+		return cache.Registered
+	}
+	if e := c.cache.Peek(w.LineOf()); e != nil {
+		return e.State[w.Index()]
+	}
+	return cache.Invalid
+}
+
+// PeekWord returns the L1-visible value of a word, for functional host
+// reads.
+func (c *Controller) PeekWord(w mem.Word) (uint32, bool) {
+	if v, ok := c.sb.Lookup(w); ok {
+		return v, true
+	}
+	if v, ok := c.pendingOwn[w]; ok {
+		return v, true
+	}
+	if e := c.cache.Peek(w.LineOf()); e != nil && e.State[w.Index()] != cache.Invalid {
+		return e.Data[w.Index()], true
+	}
+	if v, ok := c.victim.Get(w); ok {
+		return v, true
+	}
+	return 0, false
+}
+
+// DebugDump returns store-buffer slots with their lazy/pending state
+// (diagnostic aid for tests).
+func (c *Controller) DebugDump() string {
+	out := ""
+	for _, e := range c.sb.Entries() {
+		out += fmt.Sprintf("word %v lazy=%v regs=%v\n", e.Word, c.lazy[e.Word], c.regs[e.Word] != nil)
+	}
+	out += fmt.Sprintf("spaceWaiters=%d relWaiters=%d\n", len(c.spaceWaiters), len(c.relWaiters))
+	for w, txn := range c.regs {
+		out += fmt.Sprintf("reg pending %v dataWrite=%v waiters=%d deferredHere=%v\n", w, txn.dataWrite, len(txn.syncWaiters), c.deferredFwd[w] != nil)
+	}
+	for w := range c.deferredFwd {
+		out += fmt.Sprintf("deferred fwd for %v (regs=%v)\n", w, c.regs[w] != nil)
+	}
+	return out
+}
+
+// StoreBufferLen exposes store-buffer occupancy for tests.
+func (c *Controller) StoreBufferLen() int { return c.sb.Len() }
+
+// OwnsWord reports whether this L1 currently holds the word in
+// Registered state (or in flight structures) — the L1 side of the
+// registry's single-owner invariant.
+func (c *Controller) OwnsWord(w mem.Word) bool {
+	if e := c.cache.Peek(w.LineOf()); e != nil && e.State[w.Index()] == cache.Registered {
+		return true
+	}
+	if _, ok := c.pendingOwn[w]; ok {
+		return true
+	}
+	if _, ok := c.victim.Get(w); ok {
+		return true
+	}
+	return false
+}
+
+// HostInvalidate implements coherence.L1.
+func (c *Controller) HostInvalidate(w mem.Word) {
+	if e := c.cache.Peek(w.LineOf()); e != nil && e.State[w.Index()] == cache.Valid {
+		e.State[w.Index()] = cache.Invalid
+	}
+}
+
+// HostSteal functionally removes this L1's ownership of a word and
+// returns its value, for host writes between kernels (the machine
+// recalls the word to the registry). It requires a quiesced controller.
+func (c *Controller) HostSteal(w mem.Word) (uint32, bool) {
+	e := c.cache.Peek(w.LineOf())
+	if e == nil || e.State[w.Index()] != cache.Registered {
+		return 0, false
+	}
+	v := e.Data[w.Index()]
+	e.State[w.Index()] = cache.Invalid
+	return v, true
+}

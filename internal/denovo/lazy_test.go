@@ -1,0 +1,43 @@
+package denovo
+
+import (
+	"testing"
+
+	"denovogpu/internal/mem"
+	"denovogpu/internal/testrig"
+)
+
+// TestLazyOverflowDrainsWithoutStranding is a regression test: with
+// lazy writes (DH) and a tiny store buffer, interleaved writers whose
+// wakeups complete (rather than stall again) must not strand the
+// remaining stalled writers — sbFreed has to keep kicking registrations
+// while waiters remain.
+func TestLazyOverflowDrainsWithoutStranding(t *testing.T) {
+	r := testrig.New()
+	c := New(0, r.Eng, r.Mesh, r.Stats, r.Meter, 32*1024, 8, 8, Options{LazyWrites: true})
+	done := 0
+	r.Eng.Schedule(0, func() {
+		for w := 0; w < 3; w++ {
+			var data [mem.WordsPerLine]uint32
+			for i := range data {
+				data[i] = uint32(w*100 + i)
+			}
+			c.WriteLine(mem.Line(w), mem.AllWords, data, func() { done++ })
+		}
+	})
+	if err := r.Eng.Run(); err != nil {
+		t.Fatalf("hang: %v (done=%d, sb=%d)", err, done, c.StoreBufferLen())
+	}
+	if done != 3 {
+		t.Fatalf("done=%d, want 3 (stalls=%d kicks=%d)", done,
+			r.Stats.Get("sb.write_stalls"), r.Stats.Get("sb.kicked_regs"))
+	}
+	for w := 0; w < 3; w++ {
+		for i := 0; i < mem.WordsPerLine; i++ {
+			word := mem.Line(w).Word(i)
+			if v, ok := c.PeekWord(word); !ok || v != uint32(w*100+i) {
+				t.Fatalf("word %v = %d (ok=%v), want %d", word, v, ok, w*100+i)
+			}
+		}
+	}
+}

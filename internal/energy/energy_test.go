@@ -1,0 +1,60 @@
+package energy
+
+import (
+	"testing"
+
+	"denovogpu/internal/stats"
+)
+
+func TestMeterRouting(t *testing.T) {
+	s := stats.New()
+	m := NewMeter(s)
+	m.L1Access(2)
+	m.L1Tag(1)
+	m.StoreBuffer(3)
+	m.L2Access(1)
+	m.DRAMAccess(1)
+	m.Scratch(4)
+	m.FlitHops(10)
+	m.Instr(5)
+	m.ActiveCycles(100)
+
+	wantL1 := 2*L1AccessPJ + L1TagPJ + 3*StoreBufferPJ
+	if got := s.EnergyPJ[stats.CompL1D]; got != wantL1 {
+		t.Errorf("L1 energy %f, want %f", got, wantL1)
+	}
+	wantL2 := L2AccessPJ + DRAMAccessPJ
+	if got := s.EnergyPJ[stats.CompL2]; got != wantL2 {
+		t.Errorf("L2 energy %f, want %f", got, wantL2)
+	}
+	if got := s.EnergyPJ[stats.CompScratch]; got != 4*ScratchAccessPJ {
+		t.Errorf("scratch energy %f", got)
+	}
+	if got := s.EnergyPJ[stats.CompNoC]; got != 10*FlitHopPJ {
+		t.Errorf("NoC energy %f", got)
+	}
+	wantCore := 5*CoreInstrPJ + 100*CoreActiveCyclePJ
+	if got := s.EnergyPJ[stats.CompGPUCore]; got != wantCore {
+		t.Errorf("core energy %f, want %f", got, wantCore)
+	}
+}
+
+func TestNilMeterIsSafe(t *testing.T) {
+	var m *Meter
+	m.L1Access(1) // must not panic
+	m.FlitHops(5)
+	m2 := NewMeter(nil)
+	m2.Instr(1)
+}
+
+func TestConstantsPlausible(t *testing.T) {
+	// Sanity ordering: DRAM > L2 > L1 > scratch > flit-hop; an
+	// instruction costs more than a cache access (register file, FUs).
+	if !(DRAMAccessPJ > L2AccessPJ && L2AccessPJ > L1AccessPJ &&
+		L1AccessPJ > ScratchAccessPJ && ScratchAccessPJ > FlitHopPJ) {
+		t.Fatal("energy constants ordering implausible")
+	}
+	if CoreInstrPJ < L1AccessPJ {
+		t.Fatal("instruction energy should exceed an L1 access")
+	}
+}

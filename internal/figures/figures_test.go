@@ -1,0 +1,65 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"denovogpu"
+)
+
+func TestTable3LatenciesInPaperRanges(t *testing.T) {
+	for _, r := range Table3Latencies() {
+		t.Logf("%-14s measured %d-%d, paper %d-%d", r.What, r.Min, r.Max, r.PaperMin, r.PaperMax)
+		if !r.InRange() {
+			t.Errorf("%s latency %d-%d outside calibration window of paper's %d-%d",
+				r.What, r.Min, r.Max, r.PaperMin, r.PaperMax)
+		}
+	}
+}
+
+func TestStaticTablesRender(t *testing.T) {
+	for name, s := range map[string]string{
+		"Table1": Table1(), "Table2": Table2(), "Table4": Table4(), "Table5": Table5(),
+	} {
+		if !strings.Contains(s, "|") || len(s) < 100 {
+			t.Errorf("%s looks malformed:\n%s", name, s)
+		}
+	}
+	if !strings.Contains(Table4(), "FAM_G") || !strings.Contains(Table4(), "LAVA") {
+		t.Error("Table4 missing benchmarks")
+	}
+}
+
+func TestTable2VerdictConsistency(t *testing.T) {
+	// Every feature must have a verdict for every config column.
+	for _, f := range Table2Features {
+		for _, cfg := range []string{"GD", "GH", "DD", "DH"} {
+			if Table2Verdict(f.Name, cfg) == "" {
+				t.Errorf("missing Table 2 verdict for %q / %s", f.Name, cfg)
+			}
+		}
+	}
+}
+
+// TestSweepSmall exercises the sweep machinery on one tiny pair.
+func TestSweepSmall(t *testing.T) {
+	m := Sweep([]string{"NN"}, []denovogpu.Config{denovogpu.GD(), denovogpu.DD()})
+	if err := m.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	norm := m.Normalized(Exec, "GD")
+	if v, ok := norm["NN"]["GD"]; !ok || v != 100 {
+		t.Fatalf("baseline must normalize to 100%%, got %v", v)
+	}
+	if _, ok := norm["NN"]["DD"]; !ok {
+		t.Fatal("missing DD normalized value")
+	}
+	table := m.FormatNormalizedTable(Exec, "GD", nil)
+	if !strings.Contains(table, "NN") || !strings.Contains(table, "AVG") {
+		t.Fatalf("bad table:\n%s", table)
+	}
+	breakdown := m.FormatBreakdown(Traffic, "GD")
+	if !strings.Contains(breakdown, "WB/WT") {
+		t.Fatalf("bad breakdown:\n%s", breakdown)
+	}
+}

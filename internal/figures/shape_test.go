@@ -1,0 +1,62 @@
+package figures
+
+import (
+	"testing"
+)
+
+// TestFig3Shape asserts the paper's qualitative Figure 3 result: on
+// globally scoped synchronization, DeNovo beats GPU coherence on all
+// three metrics for every benchmark. (Full-size simulations; skipped
+// in -short runs.)
+func TestFig3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size sweep")
+	}
+	m := Fig3()
+	if err := m.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	for _, mt := range []Metric{Exec, Energy, Traffic} {
+		norm := m.Normalized(mt, "GD")
+		for _, b := range m.Benches {
+			if dd := norm[b]["DD"]; dd >= 100 {
+				t.Errorf("%s %v: DD at %.0f%% of GD — DeNovo should win on global sync", b, mt, dd)
+			}
+		}
+		avg := Average(norm, m.Configs)
+		t.Logf("%v: D* average %.0f%% of G* (paper: exec 72%%, energy 49%%, traffic 19%%)", mt, avg["DD"])
+	}
+}
+
+// TestFig2Shape asserts Figure 2's qualitative result: for classic
+// applications the two protocols are comparable — no benchmark's
+// execution time differs by more than ~40%, and the average is within
+// ~15% (the paper reports 0.5%; our substrate is coarser).
+func TestFig2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size sweep")
+	}
+	m := Fig2()
+	if err := m.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	norm := m.Normalized(Exec, "DD")
+	for _, b := range m.Benches {
+		gd := norm[b]["GD"]
+		if gd < 55 || gd > 145 {
+			t.Errorf("%s: G* exec at %.0f%% of D* — apps should be comparable", b, gd)
+		}
+	}
+	avg := Average(norm, m.Configs)
+	if avg["GD"] < 85 || avg["GD"] > 115 {
+		t.Errorf("average G* exec %.0f%% of D*, want within 15%%", avg["GD"])
+	}
+	t.Logf("exec: G* average %.0f%% of D* (paper: ~100.5%%)", avg["GD"])
+	// The LavaMD effect: G* WB/WT traffic far above D*.
+	gd := m.Get("LAVA", "GD")
+	dd := m.Get("LAVA", "DD")
+	if gd.Report.Flits[2] < 3*dd.Report.Flits[2] {
+		t.Errorf("LAVA WB/WT: GD %d vs DD %d — store-buffer overflow effect missing",
+			gd.Report.Flits[2], dd.Report.Flits[2])
+	}
+}

@@ -1,0 +1,360 @@
+// Package gpu models a GPU compute unit (CU): resident thread blocks
+// sharing the CU's L1, SIMT lockstep execution with per-warp memory
+// coalescing, a scratchpad, and the consistency-model orchestration
+// around synchronization accesses.
+//
+// Thread blocks execute as coroutines: each runs its kernel body in a
+// goroutine that communicates with the CU through an unbuffered
+// channel handshake, so exactly one goroutine is ever runnable and the
+// simulation stays deterministic. The CU resumes a block by delivering
+// the response to its last memory operation and then synchronously
+// waits for the block's next request (kernel code between operations is
+// pure computation).
+package gpu
+
+import (
+	"denovogpu/internal/coherence"
+	"denovogpu/internal/consistency"
+	"denovogpu/internal/energy"
+	"denovogpu/internal/mem"
+	"denovogpu/internal/noc"
+	"denovogpu/internal/sim"
+	"denovogpu/internal/stats"
+	"denovogpu/internal/workload"
+)
+
+// WarpSize is the SIMT width.
+const WarpSize = 32
+
+type reqKind int
+
+const (
+	reqVec reqKind = iota
+	reqAtomic
+	reqCompute
+	reqWait
+	reqScratch
+	reqDone
+)
+
+type request struct {
+	kind reqKind
+
+	loads     []mem.Addr
+	stores    []mem.Addr
+	storeVals []uint32
+
+	op       coherence.AtomicOp
+	addr     mem.Addr
+	operand  uint32
+	operand2 uint32
+	order    coherence.Order
+	scope    coherence.Scope
+
+	cycles int
+}
+
+type response struct {
+	loadVals  []uint32
+	atomicOld uint32
+}
+
+// tbState is one resident thread block.
+type tbState struct {
+	index   int
+	threads int
+	req     chan *request
+	resp    chan *response
+}
+
+// tbExec implements workload.Executor from inside the block's goroutine.
+type tbExec struct{ tb *tbState }
+
+func (e tbExec) Vec(loads []mem.Addr, stores []mem.Addr, storeVals []uint32) []uint32 {
+	e.tb.req <- &request{kind: reqVec, loads: loads, stores: stores, storeVals: storeVals}
+	return (<-e.tb.resp).loadVals
+}
+
+func (e tbExec) Atomic(op coherence.AtomicOp, a mem.Addr, o1, o2 uint32, order coherence.Order, scope coherence.Scope) uint32 {
+	e.tb.req <- &request{kind: reqAtomic, op: op, addr: a, operand: o1, operand2: o2, order: order, scope: scope}
+	return (<-e.tb.resp).atomicOld
+}
+
+func (e tbExec) Compute(n int) {
+	if n <= 0 {
+		return
+	}
+	e.tb.req <- &request{kind: reqCompute, cycles: n}
+	<-e.tb.resp
+}
+
+func (e tbExec) Wait(n int) {
+	if n <= 0 {
+		return
+	}
+	e.tb.req <- &request{kind: reqWait, cycles: n}
+	<-e.tb.resp
+}
+
+func (e tbExec) Scratch(n int) {
+	if n <= 0 {
+		return
+	}
+	e.tb.req <- &request{kind: reqScratch, cycles: n}
+	<-e.tb.resp
+}
+
+// CU is one compute unit.
+type CU struct {
+	Node noc.NodeID
+
+	eng   *sim.Engine
+	l1    coherence.L1
+	model consistency.Model
+	st    *stats.Stats
+	meter *energy.Meter
+
+	maxResident int
+	resident    int
+	queue       []*tbState
+
+	nextIssue   sim.Time // L1 port: one line access issued per cycle
+	activeStart sim.Time
+	onAllDone   func() // fires when the CU's queue drains and resident = 0
+
+	kernelTBsLeft int
+}
+
+// New returns a CU at the given node using the given L1.
+func New(node noc.NodeID, eng *sim.Engine, l1 coherence.L1, model consistency.Model, st *stats.Stats, meter *energy.Meter, maxResident int) *CU {
+	return &CU{Node: node, eng: eng, l1: l1, model: model, st: st, meter: meter, maxResident: maxResident}
+}
+
+// L1 exposes the CU's L1 controller.
+func (cu *CU) L1() coherence.L1 { return cu.l1 }
+
+// StartKernel enqueues the CU's share of a kernel's thread blocks and
+// begins executing them (up to maxResident concurrently). onAllDone
+// fires when every enqueued block has finished. The caller is
+// responsible for the kernel-boundary acquire/release.
+func (cu *CU) StartKernel(k workload.Kernel, tbIndices []int, threadsPerTB, numTBs, numCUs int, onAllDone func()) {
+	cu.onAllDone = onAllDone
+	cu.kernelTBsLeft = len(tbIndices)
+	if len(tbIndices) == 0 {
+		done := cu.onAllDone
+		cu.onAllDone = nil
+		cu.eng.Schedule(0, done)
+		return
+	}
+	if cu.resident == 0 {
+		cu.activeStart = cu.eng.Now()
+	}
+	for _, idx := range tbIndices {
+		tb := &tbState{index: idx, threads: threadsPerTB, req: make(chan *request), resp: make(chan *response)}
+		cu.queue = append(cu.queue, tb)
+		idx := idx
+		go func() {
+			ctx := &workload.Ctx{
+				TB: idx, NumTBs: numTBs, Threads: threadsPerTB,
+				CU: int(cu.Node), NumCUs: numCUs,
+				Ex: tbExec{tb: tb},
+			}
+			k(ctx)
+			tb.req <- &request{kind: reqDone}
+		}()
+	}
+	cu.eng.Schedule(0, cu.fillResident)
+}
+
+func (cu *CU) fillResident() {
+	for cu.resident < cu.maxResident && len(cu.queue) > 0 {
+		tb := cu.queue[0]
+		cu.queue = cu.queue[1:]
+		cu.resident++
+		cu.st.Inc("cu.tbs_started", 1)
+		// The goroutine is already running its kernel body; receive its
+		// first request.
+		cu.receive(tb)
+	}
+}
+
+// receive blocks (the engine goroutine) until the thread block issues
+// its next request, then handles it. The block always either sends a
+// request or reqDone, so this never hangs.
+func (cu *CU) receive(tb *tbState) {
+	cu.handle(tb, <-tb.req)
+}
+
+// resume delivers a response to the block and receives its next request.
+func (cu *CU) resume(tb *tbState, r *response) {
+	tb.resp <- r
+	cu.receive(tb)
+}
+
+func (cu *CU) handle(tb *tbState, rq *request) {
+	switch rq.kind {
+	case reqDone:
+		cu.finishTB()
+	case reqCompute:
+		cu.meter.Instr(rq.cycles * cu.warps(tb))
+		cu.st.Inc("cu.compute_cycles", uint64(rq.cycles))
+		cu.eng.Schedule(sim.Time(rq.cycles), func() { cu.resume(tb, &response{}) })
+	case reqWait:
+		// Idle wait: the warp is descheduled; time passes without
+		// instruction energy.
+		cu.st.Inc("cu.wait_cycles", uint64(rq.cycles))
+		cu.eng.Schedule(sim.Time(rq.cycles), func() { cu.resume(tb, &response{}) })
+	case reqScratch:
+		cu.meter.Scratch(rq.cycles * tb.threads)
+		cu.st.Inc("cu.scratch_accesses", uint64(rq.cycles*tb.threads))
+		cu.eng.Schedule(sim.Time(rq.cycles), func() { cu.resume(tb, &response{}) })
+	case reqVec:
+		cu.vec(tb, rq)
+	case reqAtomic:
+		cu.atomic(tb, rq)
+	}
+}
+
+func (cu *CU) warps(tb *tbState) int { return (tb.threads + WarpSize - 1) / WarpSize }
+
+func (cu *CU) finishTB() {
+	cu.resident--
+	cu.kernelTBsLeft--
+	cu.st.Inc("cu.tbs_finished", 1)
+	if cu.resident == 0 && len(cu.queue) == 0 {
+		cu.meter.ActiveCycles(uint64(cu.eng.Now() - cu.activeStart))
+		if cu.kernelTBsLeft == 0 && cu.onAllDone != nil {
+			done := cu.onAllDone
+			cu.onAllDone = nil
+			done()
+		}
+		return
+	}
+	cu.fillResident()
+}
+
+// lineAccess is one coalesced L1 access.
+type lineAccess struct {
+	line  mem.Line
+	need  mem.WordMask // loads
+	wmask mem.WordMask // stores
+	data  [mem.WordsPerLine]uint32
+	// lanes maps word index -> lane indices loading that word.
+	lanes map[int][]int
+}
+
+// coalesce groups a vector operation's lane addresses into per-warp
+// line accesses, exactly one access per distinct line per warp.
+func coalesce(rq *request) []*lineAccess {
+	byKey := make(map[uint64]*lineAccess)
+	var order []*lineAccess
+	get := func(warp int, l mem.Line) *lineAccess {
+		key := uint64(warp)<<48 ^ uint64(l)
+		la, ok := byKey[key]
+		if !ok {
+			la = &lineAccess{line: l, lanes: make(map[int][]int)}
+			byKey[key] = la
+			order = append(order, la)
+		}
+		return la
+	}
+	for lane, a := range rq.loads {
+		la := get(lane/WarpSize, a.LineOf())
+		la.need |= mem.Bit(a.WordIndex())
+		la.lanes[a.WordIndex()] = append(la.lanes[a.WordIndex()], lane)
+	}
+	for lane, a := range rq.stores {
+		la := get(lane/WarpSize, a.LineOf())
+		la.wmask |= mem.Bit(a.WordIndex())
+		la.data[a.WordIndex()] = rq.storeVals[lane]
+	}
+	return order
+}
+
+// vec issues the coalesced accesses of one vector memory instruction,
+// one per cycle through the L1 port, and resumes the block when all
+// complete.
+func (cu *CU) vec(tb *tbState, rq *request) {
+	accesses := coalesce(rq)
+	nWarps := 0
+	if len(rq.loads) > 0 {
+		nWarps += (len(rq.loads) + WarpSize - 1) / WarpSize
+	}
+	if len(rq.stores) > 0 {
+		nWarps += (len(rq.stores) + WarpSize - 1) / WarpSize
+	}
+	if nWarps == 0 {
+		nWarps = 1
+	}
+	cu.meter.Instr(nWarps)
+	cu.st.Inc("cu.mem_instrs", 1)
+	cu.st.Inc("cu.line_accesses", uint64(len(accesses)))
+	if len(accesses) == 0 {
+		cu.eng.Schedule(1, func() { cu.resume(tb, &response{}) })
+		return
+	}
+	loadVals := make([]uint32, len(rq.loads))
+	remaining := len(accesses)
+	finish := func() {
+		remaining--
+		if remaining == 0 {
+			cu.resume(tb, &response{loadVals: loadVals})
+		}
+	}
+	for _, la := range accesses {
+		la := la
+		at := cu.eng.Now()
+		if cu.nextIssue > at {
+			at = cu.nextIssue
+		}
+		cu.nextIssue = at + 1
+		cu.eng.At(at, func() {
+			switch {
+			case la.need != 0 && la.wmask != 0:
+				// A lane-mixed access (loads and stores to one line in
+				// one instruction) issues the store after the load.
+				cu.l1.ReadLine(la.line, la.need, func(vals [mem.WordsPerLine]uint32) {
+					la.scatter(vals, loadVals)
+					cu.l1.WriteLine(la.line, la.wmask, la.data, finish)
+				})
+			case la.need != 0:
+				cu.l1.ReadLine(la.line, la.need, func(vals [mem.WordsPerLine]uint32) {
+					la.scatter(vals, loadVals)
+					finish()
+				})
+			default:
+				cu.l1.WriteLine(la.line, la.wmask, la.data, finish)
+			}
+		})
+	}
+}
+
+func (la *lineAccess) scatter(vals [mem.WordsPerLine]uint32, loadVals []uint32) {
+	for w, lanes := range la.lanes {
+		for _, lane := range lanes {
+			loadVals[lane] = vals[w]
+		}
+	}
+}
+
+// atomic wraps a synchronization access in the consistency model's
+// program-order requirement: prior writes complete before a release;
+// the acquire's invalidation happens before subsequent accesses issue.
+func (cu *CU) atomic(tb *tbState, rq *request) {
+	scope := cu.model.Effective(rq.scope)
+	cu.meter.Instr(1)
+	cu.st.Inc("cu.sync_instrs", 1)
+	perform := func() {
+		cu.l1.Atomic(rq.op, rq.addr.WordOf(), rq.operand, rq.operand2, scope, func(old uint32) {
+			if rq.order.Acquires() {
+				cu.l1.Acquire(scope)
+			}
+			cu.resume(tb, &response{atomicOld: old})
+		})
+	}
+	if rq.order.Releases() {
+		cu.l1.Release(scope, perform)
+	} else {
+		perform()
+	}
+}

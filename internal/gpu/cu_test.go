@@ -1,0 +1,307 @@
+package gpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"denovogpu/internal/coherence"
+	"denovogpu/internal/consistency"
+	"denovogpu/internal/energy"
+	"denovogpu/internal/mem"
+	"denovogpu/internal/sim"
+	"denovogpu/internal/stats"
+	"denovogpu/internal/workload"
+)
+
+func TestCoalesceGroupsByWarpAndLine(t *testing.T) {
+	// 64 lanes (2 warps) all loading consecutive words: 2 lines per
+	// warp (32 lanes x 4 B = 128 B), no cross-warp merging.
+	rq := &request{kind: reqVec}
+	for lane := 0; lane < 64; lane++ {
+		rq.loads = append(rq.loads, mem.Addr(4*lane))
+	}
+	groups := coalesce(rq)
+	if len(groups) != 4 {
+		t.Fatalf("%d accesses, want 4 (2 lines x 2 warps)", len(groups))
+	}
+	for _, g := range groups {
+		if g.need.Count() != 16 {
+			t.Fatalf("group needs %d words, want full line", g.need.Count())
+		}
+	}
+}
+
+func TestCoalesceBroadcast(t *testing.T) {
+	// All lanes load the same word: one access, one word.
+	rq := &request{kind: reqVec}
+	for lane := 0; lane < 32; lane++ {
+		rq.loads = append(rq.loads, mem.Addr(0x40))
+	}
+	groups := coalesce(rq)
+	if len(groups) != 1 || groups[0].need != mem.Bit(0) {
+		t.Fatalf("broadcast should coalesce to one word: %+v", groups)
+	}
+	if len(groups[0].lanes[0]) != 32 {
+		t.Fatal("all lanes must receive the broadcast value")
+	}
+}
+
+func TestCoalesceStridedWorstCase(t *testing.T) {
+	// Stride of one line per lane: 32 distinct lines.
+	rq := &request{kind: reqVec}
+	for lane := 0; lane < 32; lane++ {
+		rq.loads = append(rq.loads, mem.Addr(lane*mem.LineBytes))
+	}
+	if groups := coalesce(rq); len(groups) != 32 {
+		t.Fatalf("%d accesses, want 32 (fully uncoalesced)", len(groups))
+	}
+}
+
+func TestCoalesceStores(t *testing.T) {
+	rq := &request{kind: reqVec}
+	for lane := 0; lane < 16; lane++ {
+		rq.stores = append(rq.stores, mem.Addr(4*lane))
+		rq.storeVals = append(rq.storeVals, uint32(lane*10))
+	}
+	groups := coalesce(rq)
+	if len(groups) != 1 || groups[0].wmask != mem.AllWords {
+		t.Fatalf("store coalescing wrong: %+v", groups)
+	}
+	if groups[0].data[3] != 30 {
+		t.Fatal("store data misplaced")
+	}
+}
+
+// Property: the union of all groups' needs covers exactly the loaded
+// words, and every lane appears exactly once.
+func TestCoalesceCoverageProperty(t *testing.T) {
+	f := func(rawAddrs []uint16) bool {
+		if len(rawAddrs) == 0 || len(rawAddrs) > 96 {
+			return true
+		}
+		rq := &request{kind: reqVec}
+		for _, a := range rawAddrs {
+			rq.loads = append(rq.loads, mem.Addr(a)&^3)
+		}
+		groups := coalesce(rq)
+		lanesSeen := make(map[int]int)
+		for _, g := range groups {
+			for w, lanes := range g.lanes {
+				if !g.need.Has(w) {
+					return false
+				}
+				for _, lane := range lanes {
+					lanesSeen[lane]++
+					if rq.loads[lane].LineOf() != g.line || rq.loads[lane].WordIndex() != w {
+						return false
+					}
+				}
+			}
+		}
+		if len(lanesSeen) != len(rq.loads) {
+			return false
+		}
+		for _, n := range lanesSeen {
+			if n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fakeL1 is an immediate-completion L1 backed by a flat map, for
+// testing CU scheduling in isolation.
+type fakeL1 struct {
+	eng      *sim.Engine
+	mem      map[mem.Word]uint32
+	acquires map[coherence.Scope]int
+	releases map[coherence.Scope]int
+	atomics  int
+}
+
+func newFakeL1(eng *sim.Engine) *fakeL1 {
+	return &fakeL1{eng: eng, mem: map[mem.Word]uint32{},
+		acquires: map[coherence.Scope]int{}, releases: map[coherence.Scope]int{}}
+}
+
+func (f *fakeL1) ReadLine(l mem.Line, need mem.WordMask, cb func([mem.WordsPerLine]uint32)) {
+	var vals [mem.WordsPerLine]uint32
+	for i := 0; i < mem.WordsPerLine; i++ {
+		if need.Has(i) {
+			vals[i] = f.mem[l.Word(i)]
+		}
+	}
+	f.eng.Schedule(1, func() { cb(vals) })
+}
+
+func (f *fakeL1) WriteLine(l mem.Line, mask mem.WordMask, data [mem.WordsPerLine]uint32, cb func()) {
+	for i := 0; i < mem.WordsPerLine; i++ {
+		if mask.Has(i) {
+			f.mem[l.Word(i)] = data[i]
+		}
+	}
+	f.eng.Schedule(1, cb)
+}
+
+func (f *fakeL1) Atomic(op coherence.AtomicOp, w mem.Word, o1, o2 uint32, scope coherence.Scope, cb func(uint32)) {
+	f.atomics++
+	next, ret := op.Apply(f.mem[w], o1, o2)
+	f.mem[w] = next
+	f.eng.Schedule(1, func() { cb(ret) })
+}
+
+func (f *fakeL1) Acquire(scope coherence.Scope) { f.acquires[scope]++ }
+func (f *fakeL1) Release(scope coherence.Scope, cb func()) {
+	f.releases[scope]++
+	f.eng.Schedule(1, cb)
+}
+func (f *fakeL1) Drained() bool                      { return true }
+func (f *fakeL1) PeekWord(w mem.Word) (uint32, bool) { v, ok := f.mem[w]; return v, ok }
+func (f *fakeL1) HostInvalidate(mem.Word)            {}
+
+func runCU(t *testing.T, model consistency.Model, k workload.Kernel, tbs, threads int) (*fakeL1, *stats.Stats) {
+	t.Helper()
+	eng := sim.NewEngine(10_000_000)
+	st := stats.New()
+	l1 := newFakeL1(eng)
+	cu := New(0, eng, l1, model, st, energy.NewMeter(st), 3)
+	indices := make([]int, tbs)
+	for i := range indices {
+		indices[i] = i
+	}
+	done := false
+	eng.Schedule(0, func() {
+		cu.StartKernel(k, indices, threads, tbs, 1, func() { done = true })
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("kernel did not complete")
+	}
+	return l1, st
+}
+
+func TestCUExecutesKernelLockstep(t *testing.T) {
+	k := func(c *workload.Ctx) {
+		vals := c.LoadStride(0)
+		out := make([]uint32, c.Threads)
+		for i := range out {
+			out[i] = vals[i] + uint32(c.TB*100+i)
+		}
+		c.StoreStride(0x1000*mem.Addr(c.TB+1), out)
+	}
+	l1, st := runCU(t, consistency.DRF, k, 5, 32)
+	for tb := 0; tb < 5; tb++ {
+		for i := 0; i < 32; i++ {
+			w := (mem.Addr(0x1000*(tb+1)) + mem.Addr(4*i)).WordOf()
+			if v := l1.mem[w]; v != uint32(tb*100+i) {
+				t.Fatalf("tb %d lane %d = %d", tb, i, v)
+			}
+		}
+	}
+	if st.Get("cu.tbs_finished") != 5 {
+		t.Fatal("TB accounting wrong")
+	}
+}
+
+func TestCUResidencyLimit(t *testing.T) {
+	// 7 TBs, residency 3: all run to completion, scheduled in waves.
+	// A block counts as resident between its first and last timed
+	// operation (kernel prologues before the first operation execute
+	// untimed when the goroutine launches).
+	running, maxRunning := 0, 0
+	k := func(c *workload.Ctx) {
+		c.Compute(1) // first timed op: block is now resident
+		running++
+		if running > maxRunning {
+			maxRunning = running
+		}
+		c.Compute(50)
+		running--
+		c.Compute(1)
+	}
+	_, st := runCU(t, consistency.DRF, k, 7, 32)
+	if st.Get("cu.tbs_finished") != 7 {
+		t.Fatal("not all TBs finished")
+	}
+	if maxRunning > 3 {
+		t.Fatalf("residency %d exceeded limit 3", maxRunning)
+	}
+}
+
+func TestCUConsistencyOrchestration(t *testing.T) {
+	k := func(c *workload.Ctx) {
+		c.AtomicAdd(0x40, 1, coherence.ScopeLocal)   // acq+rel
+		c.AtomicLoad(0x80, coherence.ScopeLocal)     // acquire only
+		c.AtomicStore(0xc0, 1, coherence.ScopeLocal) // release only
+	}
+	// Under DRF, local annotations become global.
+	l1, _ := runCU(t, consistency.DRF, k, 1, 32)
+	if l1.acquires[coherence.ScopeGlobal] != 2 || l1.acquires[coherence.ScopeLocal] != 0 {
+		t.Fatalf("DRF acquires: %v", l1.acquires)
+	}
+	if l1.releases[coherence.ScopeGlobal] != 2 {
+		t.Fatalf("DRF releases: %v", l1.releases)
+	}
+	// Under HRF, scopes are honored.
+	l1, _ = runCU(t, consistency.HRF, k, 1, 32)
+	if l1.acquires[coherence.ScopeLocal] != 2 || l1.acquires[coherence.ScopeGlobal] != 0 {
+		t.Fatalf("HRF acquires: %v", l1.acquires)
+	}
+	if l1.releases[coherence.ScopeLocal] != 2 {
+		t.Fatalf("HRF releases: %v", l1.releases)
+	}
+}
+
+func TestCUScratchAndComputeTiming(t *testing.T) {
+	var span sim.Time
+	eng := sim.NewEngine(0)
+	st := stats.New()
+	l1 := newFakeL1(eng)
+	cu := New(0, eng, l1, consistency.DRF, st, energy.NewMeter(st), 3)
+	k := func(c *workload.Ctx) {
+		c.Compute(100)
+		c.Scratch(20)
+	}
+	eng.Schedule(0, func() {
+		start := eng.Now()
+		cu.StartKernel(k, []int{0}, 32, 1, 1, func() { span = eng.Now() - start })
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if span < 120 {
+		t.Fatalf("compute+scratch took %d cycles, want >= 120", span)
+	}
+	if st.Get("cu.scratch_accesses") != 20*32 {
+		t.Fatalf("scratch accesses %d", st.Get("cu.scratch_accesses"))
+	}
+}
+
+func TestCUEmptyKernelCompletes(t *testing.T) {
+	_, st := runCU(t, consistency.DRF, func(*workload.Ctx) {}, 3, 32)
+	if st.Get("cu.tbs_finished") != 3 {
+		t.Fatal("empty kernels must still complete")
+	}
+}
+
+func TestCUZeroTBShare(t *testing.T) {
+	eng := sim.NewEngine(0)
+	st := stats.New()
+	cu := New(0, eng, newFakeL1(eng), consistency.DRF, st, energy.NewMeter(st), 3)
+	done := false
+	eng.Schedule(0, func() {
+		cu.StartKernel(func(*workload.Ctx) {}, nil, 32, 0, 1, func() { done = true })
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("a CU with no blocks must report completion")
+	}
+}

@@ -1,0 +1,539 @@
+// Package gpucoh implements conventional GPU (software-driven,
+// writethrough) coherence at the L1: reader-initiated flash
+// invalidation on acquires, buffered coalesced writethroughs drained at
+// releases, and synchronization performed remotely at the L2 bank.
+//
+// The same controller serves both consistency models. Under DRF the
+// machine maps every synchronization to global scope and the controller
+// behaves exactly like the paper's GPU-D. Under HRF, locally scoped
+// synchronizations reach the controller with ScopeLocal: they execute
+// at the L1, and local acquires/releases skip the invalidate/flush —
+// the paper's GPU-H. The only added hardware GPU-H needs is a bit per
+// word to track partially written blocks; in this model that role is
+// played by the word-granular store buffer plus per-word valid bits.
+package gpucoh
+
+import (
+	"fmt"
+
+	"denovogpu/internal/cache"
+	"denovogpu/internal/coherence"
+	"denovogpu/internal/energy"
+	"denovogpu/internal/l2"
+	"denovogpu/internal/mem"
+	"denovogpu/internal/noc"
+	"denovogpu/internal/sim"
+	"denovogpu/internal/stats"
+)
+
+type readWaiter struct {
+	need mem.WordMask // words still to come from the fill
+	vals [mem.WordsPerLine]uint32
+	cb   func([mem.WordsPerLine]uint32)
+}
+
+type readTxn struct {
+	epoch   uint64
+	waiters []readWaiter
+}
+
+type pendingLocalAtomic struct {
+	op       coherence.AtomicOp
+	operand  uint32
+	operand2 uint32
+	cb       func(uint32)
+}
+
+// Controller is one CU's (or the CPU's) GPU-coherence L1.
+type Controller struct {
+	node  noc.NodeID
+	eng   *sim.Engine
+	mesh  *noc.Mesh
+	st    *stats.Stats
+	meter *energy.Meter
+
+	// partialBlocks enables GPU-H's per-word dirty tracking: writes
+	// allocate into the L1 as Dirty words (no fetch needed — the dirty
+	// bits identify the written subset of the block) and are flushed to
+	// the L2 only at global releases or evictions. Without it (GPU-D),
+	// writes live in the store buffer until they write through.
+	partialBlocks bool
+
+	cache *cache.Cache
+	sb    *cache.StoreBuffer
+
+	// Read transactions are keyed by request ID; lineTxn points at the
+	// joinable (current-epoch) transaction for a line, if any. A
+	// post-acquire miss must not join a pre-acquire fill, so joining
+	// checks the transaction's epoch.
+	reads         map[uint64]*readTxn
+	lineTxn       map[mem.Line]uint64
+	atomics       map[uint64]func(uint32)
+	localAtomicQ  map[mem.Word][]pendingLocalAtomic
+	localAtomicIn map[mem.Word]bool // head of queue being processed
+
+	nextID        uint64
+	outstandingWT int
+	relWaiters    []func()
+	epoch         uint64
+
+	// wtPending holds the latest value and in-flight count of every
+	// word with an outstanding writethrough. A fill arriving while a
+	// writethrough is in flight must not resurrect the pre-write value:
+	// reads and fill merges consult this map after the store buffer.
+	wtPending map[mem.Word]*wtWord
+}
+
+type wtWord struct {
+	val   uint32
+	count int
+}
+
+// New returns a controller with the given L1 geometry and store buffer
+// capacity, attached to the mesh at node.
+func New(node noc.NodeID, eng *sim.Engine, mesh *noc.Mesh, st *stats.Stats, meter *energy.Meter, l1Bytes, l1Ways, sbEntries int, partialBlocks bool) *Controller {
+	c := &Controller{
+		node: node, eng: eng, mesh: mesh, st: st, meter: meter,
+		partialBlocks: partialBlocks,
+		cache:         cache.New(l1Bytes, l1Ways),
+		sb:            cache.NewStoreBuffer(sbEntries),
+		reads:         make(map[uint64]*readTxn),
+		lineTxn:       make(map[mem.Line]uint64),
+		atomics:       make(map[uint64]func(uint32)),
+		localAtomicQ:  make(map[mem.Word][]pendingLocalAtomic),
+		localAtomicIn: make(map[mem.Word]bool),
+		wtPending:     make(map[mem.Word]*wtWord),
+	}
+	mesh.Attach(node, noc.PortL1, c)
+	return c
+}
+
+var _ coherence.L1 = (*Controller)(nil)
+
+// ReadLine implements coherence.L1.
+func (c *Controller) ReadLine(l mem.Line, need mem.WordMask, cb func([mem.WordsPerLine]uint32)) {
+	c.meter.L1Access(1)
+	var vals [mem.WordsPerLine]uint32
+	missing := mem.WordMask(0)
+	entry := c.cache.Lookup(l)
+	for i := 0; i < mem.WordsPerLine; i++ {
+		if !need.Has(i) {
+			continue
+		}
+		// A dirty word in the L1 (GPU-H) is the newest copy — newer
+		// than any in-flight writethrough of a previously flushed value.
+		if c.partialBlocks && entry != nil && entry.State[i] == cache.Dirty {
+			vals[i] = entry.Data[i]
+			continue
+		}
+		if v, ok := c.sb.Lookup(l.Word(i)); ok {
+			vals[i] = v
+			continue
+		}
+		if p, ok := c.wtPending[l.Word(i)]; ok {
+			vals[i] = p.val
+			continue
+		}
+		if entry != nil && entry.State[i] != cache.Invalid {
+			vals[i] = entry.Data[i]
+			continue
+		}
+		missing |= mem.Bit(i)
+	}
+	if missing == 0 {
+		c.st.Inc("l1.read_hits", 1)
+		c.eng.Schedule(coherence.L1HitCycles, func() { cb(vals) })
+		return
+	}
+	c.st.Inc("l1.read_misses", 1)
+	c.meter.L1Tag(1)
+	var txn *readTxn
+	if id, ok := c.lineTxn[l]; ok {
+		if t := c.reads[id]; t != nil && t.epoch == c.epoch {
+			txn = t
+		}
+	}
+	if txn == nil {
+		txn = &readTxn{epoch: c.epoch}
+		c.nextID++
+		c.reads[c.nextID] = txn
+		c.lineTxn[l] = c.nextID
+		c.mesh.Send(&coherence.Msg{
+			Kind: coherence.ReadReq, Src: c.node, Dst: l2.HomeNode(l), Port: noc.PortL2,
+			Line: l, Mask: mem.AllWords, ID: c.nextID,
+		})
+	}
+	txn.waiters = append(txn.waiters, readWaiter{need: missing, vals: vals, cb: cb})
+}
+
+// WriteLine implements coherence.L1: writes are buffered in the
+// coalescing store buffer; overflow drains the oldest line group early,
+// so future writes to those words cannot coalesce and each rewrite
+// goes through separately (the LavaMD effect).
+func (c *Controller) WriteLine(l mem.Line, mask mem.WordMask, data [mem.WordsPerLine]uint32, cb func()) {
+	c.meter.L1Access(1)
+	if c.partialBlocks {
+		c.writeDirty(l, mask, data)
+		c.eng.Schedule(coherence.L1HitCycles, cb)
+		return
+	}
+	entry := c.cache.Lookup(l)
+	for i := 0; i < mem.WordsPerLine; i++ {
+		if !mask.Has(i) {
+			continue
+		}
+		w := l.Word(i)
+		c.meter.StoreBuffer(1)
+		coalesced, evicted := c.sb.Insert(w, data[i])
+		if coalesced {
+			c.st.Inc("sb.coalesced_writes", 1)
+		}
+		if evicted != nil {
+			c.st.Inc("sb.overflow_writethroughs", 1)
+			c.sendWT(evicted.Line, evicted.Mask, evicted.Data)
+		}
+		if entry != nil {
+			entry.Data[i] = data[i]
+			entry.State[i] = cache.Valid
+		}
+	}
+	c.eng.Schedule(coherence.L1HitCycles, cb)
+}
+
+func (c *Controller) sendWT(l mem.Line, mask mem.WordMask, data [mem.WordsPerLine]uint32) {
+	c.outstandingWT++
+	c.st.Inc("l1.writethroughs", 1)
+	for i := 0; i < mem.WordsPerLine; i++ {
+		if !mask.Has(i) {
+			continue
+		}
+		w := l.Word(i)
+		if p, ok := c.wtPending[w]; ok {
+			p.val = data[i]
+			p.count++
+		} else {
+			c.wtPending[w] = &wtWord{val: data[i], count: 1}
+		}
+	}
+	c.mesh.Send(&coherence.Msg{
+		Kind: coherence.WriteThrough, Src: c.node, Dst: l2.HomeNode(l), Port: noc.PortL2,
+		Line: l, Mask: mask, Data: data,
+	})
+}
+
+// writeDirty installs written words into the L1 as Dirty (GPU-H's
+// partial-block writes): no fetch, no store-buffer slot; the words are
+// flushed at a global release or on eviction.
+func (c *Controller) writeDirty(l mem.Line, mask mem.WordMask, data [mem.WordsPerLine]uint32) {
+	e := c.cache.Victim(l)
+	if e == nil {
+		panic("gpucoh: no victim available (GPU L1 frames are never pinned)")
+	}
+	if !e.Tag || e.Line != l {
+		if e.Tag {
+			c.evictDirty(e)
+		}
+		e.Reset(l)
+	}
+	for i := 0; i < mem.WordsPerLine; i++ {
+		if mask.Has(i) {
+			e.Data[i] = data[i]
+			e.State[i] = cache.Dirty
+		}
+	}
+	c.cache.Touch(e)
+}
+
+// evictDirty writes back a victim frame's dirty words before reuse.
+func (c *Controller) evictDirty(e *cache.Entry) {
+	dirty := e.MaskOf(cache.Dirty)
+	if dirty == 0 {
+		return
+	}
+	c.st.Inc("l1.dirty_evictions", 1)
+	c.sendWT(e.Line, dirty, e.Data)
+}
+
+// Atomic implements coherence.L1. Global-scope synchronizations execute
+// remotely at the L2 bank (no L1 caching of synchronization variables —
+// the central inefficiency the paper attributes to GPU coherence).
+// Local-scope synchronizations execute at the L1.
+func (c *Controller) Atomic(op coherence.AtomicOp, w mem.Word, operand, operand2 uint32, scope coherence.Scope, cb func(uint32)) {
+	if scope == coherence.ScopeLocal {
+		c.st.Inc("l1.atomics_local", 1)
+		c.localAtomicQ[w] = append(c.localAtomicQ[w], pendingLocalAtomic{op, operand, operand2, cb})
+		c.pumpLocalAtomics(w)
+		return
+	}
+	c.st.Inc("l1.atomics_remote", 1)
+	c.nextID++
+	id := c.nextID
+	c.atomics[id] = cb
+	c.mesh.Send(&coherence.Msg{
+		Kind: coherence.AtomicReq, Src: c.node, Dst: l2.HomeNode(w.LineOf()), Port: noc.PortL2,
+		Line: w.LineOf(), WordIdx: w.Index(), Op: op, Operand: operand, Operand2: operand2, ID: id,
+	})
+}
+
+// pumpLocalAtomics serializes same-word local atomics: each one reads
+// the current value (store buffer, then cache, then a line fetch),
+// applies the RMW, and buffers the result as a dirty word.
+func (c *Controller) pumpLocalAtomics(w mem.Word) {
+	if c.localAtomicIn[w] || len(c.localAtomicQ[w]) == 0 {
+		return
+	}
+	c.localAtomicIn[w] = true
+	p := c.localAtomicQ[w][0]
+	c.localAtomicQ[w] = c.localAtomicQ[w][1:]
+
+	finish := func(cur uint32) {
+		next, ret := p.op.Apply(cur, p.operand, p.operand2)
+		c.meter.L1Access(1)
+		if c.partialBlocks {
+			var data [mem.WordsPerLine]uint32
+			data[w.Index()] = next
+			c.writeDirty(w.LineOf(), mem.Bit(w.Index()), data)
+		} else {
+			c.meter.StoreBuffer(1)
+			_, evicted := c.sb.Insert(w, next)
+			if evicted != nil {
+				c.st.Inc("sb.overflow_writethroughs", 1)
+				c.sendWT(evicted.Line, evicted.Mask, evicted.Data)
+			}
+			if e := c.cache.Peek(w.LineOf()); e != nil {
+				e.Data[w.Index()] = next
+				e.State[w.Index()] = cache.Valid
+			}
+		}
+		c.eng.Schedule(coherence.L1HitCycles, func() {
+			p.cb(ret)
+			c.localAtomicIn[w] = false
+			c.pumpLocalAtomics(w)
+		})
+	}
+
+	if e := c.cache.Lookup(w.LineOf()); c.partialBlocks && e != nil && e.State[w.Index()] == cache.Dirty {
+		finish(e.Data[w.Index()])
+		return
+	}
+	if v, ok := c.sb.Lookup(w); ok {
+		finish(v)
+		return
+	}
+	if p, ok := c.wtPending[w]; ok {
+		finish(p.val)
+		return
+	}
+	if e := c.cache.Lookup(w.LineOf()); e != nil && e.State[w.Index()] != cache.Invalid {
+		finish(e.Data[w.Index()])
+		return
+	}
+	// Miss: fetch the line, then RMW.
+	c.ReadLine(w.LineOf(), mem.Bit(w.Index()), func(vals [mem.WordsPerLine]uint32) {
+		finish(vals[w.Index()])
+	})
+}
+
+// Acquire implements coherence.L1: a global acquire flash-invalidates
+// the whole L1 so no stale data can be read; a local acquire (HRF) does
+// nothing.
+func (c *Controller) Acquire(scope coherence.Scope) {
+	if scope == coherence.ScopeLocal {
+		return
+	}
+	n := c.cache.Invalidate(func(e *cache.Entry, i int) bool {
+		// GPU-H keeps its own unflushed (dirty) words: they are this
+		// CU's writes, not potentially-stale remote data.
+		return c.partialBlocks && e.State[i] == cache.Dirty
+	})
+	c.epoch++
+	// Flash/selective invalidation is a bulk clear of state bits, not a
+	// per-frame tag walk; charge a single tag-array access.
+	c.meter.L1Tag(1)
+	c.st.Inc("l1.flash_invalidations", 1)
+	c.st.Inc("l1.invalidated_words", uint64(n))
+}
+
+// Release implements coherence.L1: a global release drains the store
+// buffer as per-line coalesced writethroughs and completes when every
+// writethrough (including earlier overflow drains) has been acked by
+// the L2; a local release (HRF) completes immediately.
+func (c *Controller) Release(scope coherence.Scope, cb func()) {
+	if scope == coherence.ScopeLocal {
+		c.eng.Schedule(coherence.L1HitCycles, cb)
+		return
+	}
+	entries := c.sb.DrainAll()
+	if len(entries) > 0 {
+		c.meter.StoreBuffer(len(entries))
+		groups := cache.GroupByLine(entries)
+		c.st.Inc("sb.release_drains", 1)
+		for _, g := range groups {
+			c.sendWT(g.Line, g.Mask, g.Data)
+		}
+	}
+	if c.partialBlocks {
+		// Flush and downgrade every dirty word (the paper's "on a
+		// globally scoped release, GPU-H must flush and downgrade all
+		// dirty data to the L2").
+		c.cache.ForEach(func(e *cache.Entry) {
+			dirty := e.MaskOf(cache.Dirty)
+			if dirty == 0 {
+				return
+			}
+			c.sendWT(e.Line, dirty, e.Data)
+			for i := 0; i < mem.WordsPerLine; i++ {
+				if dirty.Has(i) {
+					e.State[i] = cache.Valid
+				}
+			}
+		})
+	}
+	if c.outstandingWT == 0 {
+		c.eng.Schedule(coherence.L1HitCycles, cb)
+		return
+	}
+	c.relWaiters = append(c.relWaiters, cb)
+}
+
+// Drained implements coherence.L1.
+func (c *Controller) Drained() bool {
+	return c.sb.Len() == 0 && c.outstandingWT == 0 && len(c.reads) == 0 &&
+		len(c.atomics) == 0 && len(c.wtPending) == 0
+}
+
+// Deliver implements noc.Handler.
+func (c *Controller) Deliver(p noc.Packet) {
+	msg, ok := p.(*coherence.Msg)
+	if !ok {
+		panic(fmt.Sprintf("gpucoh: non-coherence packet %T", p))
+	}
+	switch msg.Kind {
+	case coherence.ReadResp:
+		c.fill(msg)
+	case coherence.WriteThroughAck:
+		c.outstandingWT--
+		if c.outstandingWT < 0 {
+			panic("gpucoh: more writethrough acks than writethroughs")
+		}
+		for i := 0; i < mem.WordsPerLine; i++ {
+			if !msg.Mask.Has(i) {
+				continue
+			}
+			w := msg.Line.Word(i)
+			if p, ok := c.wtPending[w]; ok {
+				p.count--
+				if p.count == 0 {
+					delete(c.wtPending, w)
+				}
+			}
+		}
+		if c.outstandingWT == 0 {
+			waiters := c.relWaiters
+			c.relWaiters = nil
+			for _, w := range waiters {
+				w()
+			}
+		}
+	case coherence.AtomicResp:
+		cb, ok := c.atomics[msg.ID]
+		if !ok {
+			panic(fmt.Sprintf("gpucoh: atomic response with unknown id %d", msg.ID))
+		}
+		delete(c.atomics, msg.ID)
+		cb(msg.Result)
+	default:
+		panic(fmt.Sprintf("gpucoh: unexpected message %v", msg.Kind))
+	}
+}
+
+func (c *Controller) fill(msg *coherence.Msg) {
+	txn := c.reads[msg.ID]
+	if txn == nil {
+		panic(fmt.Sprintf("gpucoh: fill for %v without transaction", msg.Line))
+	}
+	delete(c.reads, msg.ID)
+	if c.lineTxn[msg.Line] == msg.ID {
+		delete(c.lineTxn, msg.Line)
+	}
+	// Install only if no acquire invalidated the cache since the
+	// request: a post-acquire read must not be satisfied by a
+	// pre-acquire fill lingering in the cache.
+	if txn.epoch == c.epoch {
+		if e := c.cache.Victim(msg.Line); e != nil {
+			if e.Line != msg.Line || !e.Tag {
+				if e.Tag && c.partialBlocks {
+					c.evictDirty(e)
+				}
+				e.Reset(msg.Line)
+			}
+			for i := 0; i < mem.WordsPerLine; i++ {
+				if msg.Mask.Has(i) {
+					if c.partialBlocks && e.State[i] == cache.Dirty {
+						continue // own unflushed write is newer
+					}
+					// Own buffered or in-flight writes are newer than
+					// the fill.
+					if v, ok := c.sb.Lookup(msg.Line.Word(i)); ok {
+						e.Data[i] = v
+					} else if p, ok := c.wtPending[msg.Line.Word(i)]; ok {
+						e.Data[i] = p.val
+					} else {
+						e.Data[i] = msg.Data[i]
+					}
+					e.State[i] = cache.Valid
+				}
+			}
+			c.cache.Touch(e)
+			c.meter.L1Access(1)
+		}
+	} else {
+		c.st.Inc("l1.fills_dropped_stale", 1)
+	}
+	for _, w := range txn.waiters {
+		vals := w.vals
+		for i := 0; i < mem.WordsPerLine; i++ {
+			if w.need.Has(i) {
+				vals[i] = msg.Data[i]
+			}
+		}
+		cb := w.cb
+		c.eng.Schedule(coherence.L1HitCycles, func() { cb(vals) })
+	}
+}
+
+// CacheWordState exposes a word's L1 state for tests.
+func (c *Controller) CacheWordState(w mem.Word) cache.WordState {
+	if e := c.cache.Peek(w.LineOf()); e != nil {
+		return e.State[w.Index()]
+	}
+	return cache.Invalid
+}
+
+// PeekWord returns the L1-visible value of a word (store buffer first),
+// for functional host reads; ok is false if the word is not present.
+func (c *Controller) PeekWord(w mem.Word) (uint32, bool) {
+	if e := c.cache.Peek(w.LineOf()); c.partialBlocks && e != nil && e.State[w.Index()] == cache.Dirty {
+		return e.Data[w.Index()], true
+	}
+	if v, ok := c.sb.Lookup(w); ok {
+		return v, true
+	}
+	if p, ok := c.wtPending[w]; ok {
+		return p.val, true
+	}
+	if e := c.cache.Peek(w.LineOf()); e != nil && e.State[w.Index()] != cache.Invalid {
+		return e.Data[w.Index()], true
+	}
+	return 0, false
+}
+
+// StoreBufferLen exposes store-buffer occupancy for tests.
+func (c *Controller) StoreBufferLen() int { return c.sb.Len() }
+
+// HostInvalidate implements coherence.L1.
+func (c *Controller) HostInvalidate(w mem.Word) {
+	if e := c.cache.Peek(w.LineOf()); e != nil && e.State[w.Index()] == cache.Valid {
+		e.State[w.Index()] = cache.Invalid
+	}
+}

@@ -1,0 +1,369 @@
+// Package l2 implements the shared L2 cache banks. Each of the 16 mesh
+// nodes hosts one bank; lines are interleaved across banks by line
+// address (NUCA, paper Table 3).
+//
+// The bank plays two roles, depending on which protocol is driving it:
+//
+//   - For GPU coherence it is the backing shared cache: it serves full
+//     line reads, absorbs writethroughs, and executes remote atomics.
+//   - For DeNovo it is additionally the *registry*: per word it either
+//     holds the up-to-date data or records which L1 owns (has
+//     registered) the word. There is no directory and no sharer list.
+//
+// One implementation covers both because the GPU protocol simply never
+// registers anything: with an empty registry, every read returns the
+// full line and no forwards ever happen.
+//
+// Capacity: the bank models DRAM cold-fetch latency and energy for the
+// first touch of every line but does not model L2 capacity evictions —
+// the paper's 4 MB L2 comfortably holds every workload's footprint, and
+// modelling eviction of registered words would add recall machinery the
+// paper never exercises. DESIGN.md records this simplification.
+package l2
+
+import (
+	"fmt"
+
+	"denovogpu/internal/coherence"
+	"denovogpu/internal/energy"
+	"denovogpu/internal/mem"
+	"denovogpu/internal/noc"
+	"denovogpu/internal/sim"
+	"denovogpu/internal/stats"
+)
+
+// MemoryOwner marks a word as owned by the bank (not registered).
+const MemoryOwner noc.NodeID = -1
+
+type bankLine struct {
+	data  [mem.WordsPerLine]uint32
+	owner [mem.WordsPerLine]noc.NodeID
+}
+
+// Bank is one L2 bank plus its slice of the registry.
+type Bank struct {
+	Node noc.NodeID
+
+	eng     *sim.Engine
+	mesh    *noc.Mesh
+	backing *mem.Backing
+	st      *stats.Stats
+	meter   *energy.Meter
+
+	lines map[mem.Line]*bankLine
+	// fetching maps lines with an in-flight DRAM fetch to the work
+	// queued behind the fetch.
+	fetching map[mem.Line][]func()
+
+	busy     sim.Time // bank pipeline occupancy
+	dramBusy sim.Time // memory port occupancy
+}
+
+// New returns a bank for the given node.
+func New(node noc.NodeID, eng *sim.Engine, mesh *noc.Mesh, backing *mem.Backing, st *stats.Stats, meter *energy.Meter) *Bank {
+	return &Bank{
+		Node:     node,
+		eng:      eng,
+		mesh:     mesh,
+		backing:  backing,
+		st:       st,
+		meter:    meter,
+		lines:    make(map[mem.Line]*bankLine),
+		fetching: make(map[mem.Line][]func()),
+	}
+}
+
+// HomeNode returns the node whose bank homes the given line.
+func HomeNode(l mem.Line) noc.NodeID { return noc.NodeID(uint64(l) % noc.Nodes) }
+
+// Deliver implements noc.Handler.
+func (b *Bank) Deliver(p noc.Packet) {
+	msg, ok := p.(*coherence.Msg)
+	if !ok {
+		panic(fmt.Sprintf("l2: non-coherence packet %T", p))
+	}
+	if HomeNode(msg.Line) != b.Node {
+		panic(fmt.Sprintf("l2: %v for %v delivered to wrong bank %d", msg.Kind, msg.Line, b.Node))
+	}
+	occ := sim.Time(coherence.L2OccupancyCycles)
+	if msg.Kind == coherence.AtomicReq {
+		occ = coherence.L2AtomicOccupancyCycles
+	}
+	start := b.eng.Now()
+	if b.busy > start {
+		start = b.busy
+	}
+	b.busy = start + occ
+	b.meter.L2Access(1)
+	serviceAt := start + coherence.L2AccessCycles
+	b.withLine(msg.Line, serviceAt, func() { b.process(msg) })
+}
+
+// withLine runs fn at time at (or later) with the line resident,
+// inserting a DRAM fetch for cold lines and coalescing concurrent
+// fetches for the same line.
+func (b *Bank) withLine(l mem.Line, at sim.Time, fn func()) {
+	if _, ok := b.lines[l]; ok {
+		b.eng.At(at, fn)
+		return
+	}
+	if waiters, inFlight := b.fetching[l]; inFlight {
+		b.fetching[l] = append(waiters, fn)
+		return
+	}
+	b.fetching[l] = []func(){fn}
+	b.st.Inc("l2.dram_fetches", 1)
+	b.meter.DRAMAccess(1)
+	start := at
+	if b.dramBusy > start {
+		start = b.dramBusy
+	}
+	b.dramBusy = start + coherence.DRAMOccupancyCycles
+	b.eng.At(start+coherence.DRAMCycles, func() {
+		bl := &bankLine{data: b.backing.ReadLine(l)}
+		for i := range bl.owner {
+			bl.owner[i] = MemoryOwner
+		}
+		b.lines[l] = bl
+		waiters := b.fetching[l]
+		delete(b.fetching, l)
+		for _, w := range waiters {
+			w()
+		}
+	})
+}
+
+func (b *Bank) line(l mem.Line) *bankLine {
+	bl, ok := b.lines[l]
+	if !ok {
+		panic(fmt.Sprintf("l2: line %v processed before fetch", l))
+	}
+	return bl
+}
+
+func (b *Bank) process(msg *coherence.Msg) {
+	switch msg.Kind {
+	case coherence.ReadReq:
+		b.read(msg)
+	case coherence.WriteThrough:
+		b.writeThrough(msg)
+	case coherence.RegReq:
+		b.register(msg)
+	case coherence.WriteBack:
+		b.writeBack(msg)
+	case coherence.AtomicReq:
+		b.atomic(msg)
+	default:
+		panic(fmt.Sprintf("l2: unexpected message kind %v", msg.Kind))
+	}
+}
+
+// read serves the words the bank owns and forwards demanded words that
+// are registered to an L1 (DeNovo's remote L1 hit path; never taken by
+// the GPU protocol, whose registry is always empty).
+func (b *Bank) read(msg *coherence.Msg) {
+	bl := b.line(msg.Line)
+	var have mem.WordMask
+	for i := 0; i < mem.WordsPerLine; i++ {
+		if bl.owner[i] == MemoryOwner {
+			have |= mem.Bit(i)
+		}
+	}
+	// Forward only demanded words; respond with every word we hold
+	// (line-granularity transfer of the useful words).
+	fwd := make(map[noc.NodeID]mem.WordMask)
+	for i := 0; i < mem.WordsPerLine; i++ {
+		if msg.Mask.Has(i) && bl.owner[i] != MemoryOwner {
+			fwd[bl.owner[i]] |= mem.Bit(i)
+		}
+	}
+	if have != 0 {
+		b.mesh.Send(&coherence.Msg{
+			Kind: coherence.ReadResp, Src: b.Node, Dst: msg.Src, Port: noc.PortL1,
+			Line: msg.Line, Mask: have, Data: bl.data, ID: msg.ID,
+		})
+	}
+	// Deterministic iteration: owners in node order.
+	for owner := noc.NodeID(0); owner < noc.Nodes; owner++ {
+		m, ok := fwd[owner]
+		if !ok {
+			continue
+		}
+		b.st.Inc("l2.read_forwards", 1)
+		b.mesh.Send(&coherence.Msg{
+			Kind: coherence.ReadFwd, Src: b.Node, Dst: owner, Port: noc.PortL1,
+			Line: msg.Line, Mask: m, Requester: msg.Src, ID: msg.ID,
+		})
+	}
+}
+
+func (b *Bank) writeThrough(msg *coherence.Msg) {
+	bl := b.line(msg.Line)
+	for i := 0; i < mem.WordsPerLine; i++ {
+		if msg.Mask.Has(i) {
+			bl.data[i] = msg.Data[i]
+		}
+	}
+	b.st.Inc("l2.writethroughs", 1)
+	b.mesh.Send(&coherence.Msg{
+		Kind: coherence.WriteThroughAck, Src: b.Node, Dst: msg.Src, Port: noc.PortL1,
+		Line: msg.Line, Mask: msg.Mask, ID: msg.ID,
+	})
+}
+
+// register implements the DeNovo registry: every requested word's
+// ownership moves to the requester immediately, in arrival order
+// (DeNovoSync0). Words the bank owned are granted with their data;
+// words registered elsewhere produce a forward to the previous owner,
+// which will pass data directly to the requester — under contention
+// this chains into the distributed queue.
+func (b *Bank) register(msg *coherence.Msg) {
+	bl := b.line(msg.Line)
+	var grant mem.WordMask
+	fwd := make(map[noc.NodeID]mem.WordMask)
+	for i := 0; i < mem.WordsPerLine; i++ {
+		if !msg.Mask.Has(i) {
+			continue
+		}
+		prev := bl.owner[i]
+		switch prev {
+		case MemoryOwner, msg.Src:
+			grant |= mem.Bit(i)
+		default:
+			fwd[prev] |= mem.Bit(i)
+		}
+		bl.owner[i] = msg.Src
+	}
+	if grant != 0 {
+		b.mesh.Send(&coherence.Msg{
+			Kind: coherence.RegAck, Src: b.Node, Dst: msg.Src, Port: noc.PortL1,
+			Line: msg.Line, Mask: grant, Data: bl.data, Sync: msg.Sync, NeedsData: msg.NeedsData, ID: msg.ID,
+		})
+	}
+	for owner := noc.NodeID(0); owner < noc.Nodes; owner++ {
+		m, ok := fwd[owner]
+		if !ok {
+			continue
+		}
+		b.st.Inc("l2.reg_forwards", 1)
+		b.mesh.Send(&coherence.Msg{
+			Kind: coherence.RegFwd, Src: b.Node, Dst: owner, Port: noc.PortL1,
+			Line: msg.Line, Mask: m, Requester: msg.Src, Sync: msg.Sync, NeedsData: msg.NeedsData, ID: msg.ID,
+		})
+	}
+}
+
+// writeBack accepts evicted registered words if the evictor still owns
+// them; words whose ownership has already moved on are rejected, and
+// the WBAccepted mask tells the evictor which is which.
+func (b *Bank) writeBack(msg *coherence.Msg) {
+	bl := b.line(msg.Line)
+	var accepted mem.WordMask
+	for i := 0; i < mem.WordsPerLine; i++ {
+		if !msg.Mask.Has(i) {
+			continue
+		}
+		if bl.owner[i] == msg.Src {
+			bl.owner[i] = MemoryOwner
+			bl.data[i] = msg.Data[i]
+			accepted |= mem.Bit(i)
+		} else {
+			b.st.Inc("l2.stale_writebacks", 1)
+		}
+	}
+	b.mesh.Send(&coherence.Msg{
+		Kind: coherence.WriteBackAck, Src: b.Node, Dst: msg.Src, Port: noc.PortL1,
+		Line: msg.Line, Mask: msg.Mask, WBAccepted: accepted, ID: msg.ID,
+	})
+}
+
+func (b *Bank) atomic(msg *coherence.Msg) {
+	bl := b.line(msg.Line)
+	i := msg.WordIdx
+	if bl.owner[i] != MemoryOwner {
+		panic(fmt.Sprintf("l2: remote atomic on registered word %v[%d] (protocol mixing bug)", msg.Line, i))
+	}
+	next, ret := msg.Op.Apply(bl.data[i], msg.Operand, msg.Operand2)
+	bl.data[i] = next
+	b.st.Inc("l2.atomics", 1)
+	b.mesh.Send(&coherence.Msg{
+		Kind: coherence.AtomicResp, Src: b.Node, Dst: msg.Src, Port: noc.PortL1,
+		Line: msg.Line, WordIdx: i, Result: ret, ID: msg.ID,
+	})
+}
+
+// Functional access helpers used by the host (CPU) between kernels and
+// by verification. They are not timed.
+
+// PeekOwner returns the registered owner of a word, or MemoryOwner.
+func (b *Bank) PeekOwner(w mem.Word) noc.NodeID {
+	if bl, ok := b.lines[w.LineOf()]; ok {
+		return bl.owner[w.Index()]
+	}
+	return MemoryOwner
+}
+
+// PeekData returns the bank's copy of a word (DRAM value if cold).
+func (b *Bank) PeekData(w mem.Word) uint32 {
+	if bl, ok := b.lines[w.LineOf()]; ok {
+		return bl.data[w.Index()]
+	}
+	return b.backing.Read(w)
+}
+
+// PokeData sets the bank's copy of a word (host writes between kernels).
+// It panics if the word is registered to an L1 — the host must recall it
+// first (machine.HostWrite handles that).
+func (b *Bank) PokeData(w mem.Word, v uint32) {
+	bl, ok := b.lines[w.LineOf()]
+	if !ok {
+		b.backing.Write(w, v)
+		return
+	}
+	if bl.owner[w.Index()] != MemoryOwner {
+		panic(fmt.Sprintf("l2: host write to registered %v", w))
+	}
+	bl.data[w.Index()] = v
+}
+
+// Recall functionally returns ownership of one word to memory with the
+// given up-to-date value (host access between kernels). Not timed.
+func (b *Bank) Recall(w mem.Word, val uint32) {
+	bl, ok := b.lines[w.LineOf()]
+	if !ok {
+		b.backing.Write(w, val)
+		return
+	}
+	bl.owner[w.Index()] = MemoryOwner
+	bl.data[w.Index()] = val
+}
+
+// ForEachRegistered visits every word currently registered to an L1
+// (invariant checking). Iteration order is unspecified; callers must
+// not depend on it.
+func (b *Bank) ForEachRegistered(fn func(w mem.Word, owner noc.NodeID)) {
+	for l, bl := range b.lines {
+		for i := 0; i < mem.WordsPerLine; i++ {
+			if bl.owner[i] != MemoryOwner {
+				fn(l.Word(i), bl.owner[i])
+			}
+		}
+	}
+}
+
+// RecallAll functionally returns ownership of all words registered to
+// the given node back to memory with the supplied data reader (used at
+// teardown and by host access between kernels). It is not timed.
+func (b *Bank) RecallAll(node noc.NodeID, read func(w mem.Word) uint32) int {
+	n := 0
+	for l, bl := range b.lines {
+		for i := 0; i < mem.WordsPerLine; i++ {
+			if bl.owner[i] == node {
+				bl.data[i] = read(l.Word(i))
+				bl.owner[i] = MemoryOwner
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,222 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+
+	"denovogpu/internal/coherence"
+	"denovogpu/internal/mem"
+	"denovogpu/internal/workload"
+
+	syncbench "denovogpu/internal/workload/sync"
+)
+
+// TestHRFIndirectTransitivity checks the defining property of
+// HRF-Indirect (the HRF variant the paper uses): synchronization
+// composes transitively across scopes. Block A writes data and
+// local-releases to sibling B (same CU); B global-releases to C
+// (another CU); C must observe A's write even though A and C never
+// synchronized directly.
+func TestHRFIndirectTransitivity(t *testing.T) {
+	var (
+		data  = mem.Addr(0x1000)
+		lflag = mem.Addr(0x2000) // local flag, one per CU (only CU 0 used)
+		gflag = mem.Addr(0x3000) // global flag
+		out   = mem.Addr(0x4000)
+	)
+	// Blocks 0 and 15 land on CU 0 (45-block grid, first launch); block
+	// 1 lands on CU 1.
+	kernel := func(c *workload.Ctx) {
+		switch c.TB {
+		case 0: // A, on CU 0
+			c.Store(data, 77)
+			c.AtomicStore(lflag, 1, coherence.ScopeLocal)
+		case 15: // B, also on CU 0
+			for c.AtomicLoad(lflag, coherence.ScopeLocal) == 0 {
+				c.Compute(15)
+			}
+			c.AtomicStore(gflag, 1, coherence.ScopeGlobal)
+		case 1: // C, on CU 1
+			for c.AtomicLoad(gflag, coherence.ScopeGlobal) == 0 {
+				c.Compute(15)
+			}
+			c.Store(out, c.Load(data))
+		}
+	}
+	for _, cfg := range AllConfigs() {
+		cfg := cfg
+		t.Run(cfg.Name(), func(t *testing.T) {
+			m := New(cfg)
+			m.Launch(kernel, 45, 32)
+			if err := m.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if got := m.Read(out); got != 77 {
+				t.Fatalf("C read %d, want 77 — transitive synchronization broken", got)
+			}
+		})
+	}
+}
+
+// TestReleaseOrdersAllPriorWrites: a release must publish *every*
+// program-order-earlier write, including writes to many distinct lines
+// that stress buffer drain, under contention from other blocks.
+func TestReleaseOrdersAllPriorWrites(t *testing.T) {
+	const words = 80
+	var (
+		data = mem.Addr(0x1000)
+		flag = mem.Addr(0x8000)
+		sink = mem.Addr(0x9000)
+	)
+	kernel := func(c *workload.Ctx) {
+		if c.TB == 0 {
+			for i := 0; i < words; i++ {
+				// Strided across lines to defeat coalescing.
+				c.Store(data+mem.Addr(4*i*mem.WordsPerLine), uint32(i+1))
+			}
+			c.AtomicStore(flag, 1, coherence.ScopeGlobal)
+			return
+		}
+		for c.AtomicLoad(flag, coherence.ScopeGlobal) == 0 {
+			c.Compute(11)
+		}
+		var sum uint32
+		for i := 0; i < words; i++ {
+			sum += c.Load(data + mem.Addr(4*i*mem.WordsPerLine))
+		}
+		c.Store(sink+mem.Addr(4*c.TB), sum)
+	}
+	want := uint32(words * (words + 1) / 2)
+	for _, cfg := range AllConfigs() {
+		cfg := cfg
+		t.Run(cfg.Name(), func(t *testing.T) {
+			m := New(cfg)
+			m.Launch(kernel, 8, 32)
+			if err := m.Err(); err != nil {
+				t.Fatal(err)
+			}
+			for tb := 1; tb < 8; tb++ {
+				if got := m.Read(sink + mem.Addr(4*tb)); got != want {
+					t.Fatalf("TB %d sum %d, want %d — release published partial writes", tb, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestAcquireCascade: values handed through a chain of flags across
+// every CU; each link is release-acquire, so the final reader must see
+// the accumulated sum (a 15-hop message-passing chain).
+func TestAcquireCascade(t *testing.T) {
+	var (
+		vals  = mem.Addr(0x1000)
+		flags = mem.Addr(0x8000)
+	)
+	const n = 15
+	kernel := func(c *workload.Ctx) {
+		i := c.TB
+		if i >= n {
+			return
+		}
+		if i > 0 {
+			for c.AtomicLoad(flags+mem.Addr(64*(i-1)), coherence.ScopeGlobal) == 0 {
+				c.Compute(13)
+			}
+		}
+		prev := uint32(0)
+		if i > 0 {
+			prev = c.Load(vals + mem.Addr(64*(i-1)))
+		}
+		c.Store(vals+mem.Addr(64*i), prev+uint32(i+1))
+		c.AtomicStore(flags+mem.Addr(64*i), 1, coherence.ScopeGlobal)
+	}
+	for _, cfg := range AllConfigs() {
+		cfg := cfg
+		t.Run(cfg.Name(), func(t *testing.T) {
+			m := New(cfg)
+			m.Launch(kernel, n, 32)
+			if err := m.Err(); err != nil {
+				t.Fatal(err)
+			}
+			want := uint32(n * (n + 1) / 2)
+			if got := m.Read(vals + mem.Addr(64*(n-1))); got != want {
+				t.Fatalf("chain sum %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+// TestDirectTransferConfigEndToEnd runs a whole benchmark with the
+// direct cache-to-cache optimization enabled and verifies functional
+// correctness plus that the predictor actually fired.
+func TestDirectTransferConfigEndToEnd(t *testing.T) {
+	cfg := DD()
+	cfg.DirectTransfer = true
+	m := New(cfg)
+	w := syncbench.TreeBarrier(syncbench.BarrierParams{Iters: 10, Accesses: 4})
+	w.Host(m)
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Get("l1.direct_reads_served") == 0 {
+		t.Fatal("direct transfers never served on a remote-exchange benchmark")
+	}
+}
+
+// TestSyncBackoffConfigEndToEnd runs a contended benchmark with
+// DeNovoSync backoff and verifies correctness plus reduced transfers.
+func TestSyncBackoffConfigEndToEnd(t *testing.T) {
+	run := func(backoff bool) (uint64, error) {
+		cfg := DD()
+		cfg.SyncBackoff = backoff
+		m := New(cfg)
+		w := syncbench.Mutex(syncbench.MutexParams{Kind: syncbench.FAMutex, Iters: 25})
+		w.Host(m)
+		if err := m.Err(); err != nil {
+			return 0, err
+		}
+		if err := w.Verify(m); err != nil {
+			return 0, err
+		}
+		return m.Stats().Get("l1.ownership_transfers"), nil
+	}
+	base, err := run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bo, err := run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bo >= base {
+		t.Fatalf("backoff should cut ownership transfers: %d -> %d", base, bo)
+	}
+}
+
+// TestSmallL1BarrierCorrectness is a regression test for a same-node
+// FIFO bug: under heavy L1 pressure, a DeNovo eviction's WriteBack to a
+// co-located bank was overtaken by the immediately following
+// re-registration (shorter message, empty route), so the registry
+// accepted the writeback after re-granting ownership and stranded the
+// fresh value. An 8 KB L1 reproduces the eviction/re-register cadence.
+func TestSmallL1BarrierCorrectness(t *testing.T) {
+	for _, kb := range []int{4, 8} {
+		kb := kb
+		t.Run(fmt.Sprintf("l1=%dKB", kb), func(t *testing.T) {
+			w := syncbench.TreeBarrier(syncbench.BarrierParams{Iters: 30, Accesses: 10})
+			cfg := DD()
+			cfg.L1Bytes = kb * 1024
+			m := New(cfg)
+			w.Host(m)
+			if err := m.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Verify(m); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

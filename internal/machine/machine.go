@@ -1,0 +1,450 @@
+// Package machine assembles the full simulated system — engine, mesh,
+// L2 banks, per-CU L1 controllers under the configured protocol, and
+// the CUs — and runs workloads on it, producing the measurements the
+// paper reports.
+package machine
+
+import (
+	"fmt"
+
+	"denovogpu/internal/coherence"
+	"denovogpu/internal/consistency"
+	"denovogpu/internal/denovo"
+	"denovogpu/internal/energy"
+	"denovogpu/internal/gpu"
+	"denovogpu/internal/gpucoh"
+	"denovogpu/internal/l2"
+	"denovogpu/internal/mem"
+	"denovogpu/internal/mesi"
+	"denovogpu/internal/noc"
+	"denovogpu/internal/sim"
+	"denovogpu/internal/stats"
+	"denovogpu/internal/workload"
+)
+
+// Protocol selects the coherence protocol.
+type Protocol int
+
+const (
+	// ProtoGPU is conventional GPU (writethrough) coherence.
+	ProtoGPU Protocol = iota
+	// ProtoDeNovo is the DeNovo hybrid protocol.
+	ProtoDeNovo
+	// ProtoMESI is a conventional hardware directory protocol
+	// (writer-initiated invalidations) — Table 1's first row, provided
+	// as an extension; the paper does not evaluate it.
+	ProtoMESI
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case ProtoDeNovo:
+		return "DeNovo"
+	case ProtoMESI:
+		return "MESI"
+	default:
+		return "GPU"
+	}
+}
+
+// Config describes one simulated system (paper Table 3 defaults).
+type Config struct {
+	Protocol Protocol
+	Model    consistency.Model
+	// ReadOnlyOpt enables DeNovo's read-only region optimization (DD+RO).
+	ReadOnlyOpt bool
+	// LazyWrites delays DeNovo data-write registration to the next
+	// global release (part of DH).
+	LazyWrites bool
+	// NoMSHRCoalescing disables DeNovoSync0's same-CU MSHR coalescing
+	// (ablation).
+	NoMSHRCoalescing bool
+	// SyncBackoff enables the DeNovoSync read-backoff extension.
+	SyncBackoff bool
+	// DirectTransfer enables direct cache-to-cache transfers (the
+	// paper's future-work optimization).
+	DirectTransfer bool
+
+	NumCUs         int
+	MaxResidentTBs int
+	L1Bytes        int
+	L1Ways         int
+	SBEntries      int
+	// LaunchOverheadCycles models kernel-dispatch cost.
+	LaunchOverheadCycles int
+	// HorizonCycles aborts hung simulations.
+	HorizonCycles uint64
+}
+
+// Defaults fills zero fields with the paper's parameters.
+func (c Config) Defaults() Config {
+	if c.NumCUs == 0 {
+		c.NumCUs = 15
+	}
+	if c.MaxResidentTBs == 0 {
+		c.MaxResidentTBs = 3
+	}
+	if c.L1Bytes == 0 {
+		c.L1Bytes = 32 * 1024
+	}
+	if c.L1Ways == 0 {
+		c.L1Ways = 8
+	}
+	if c.SBEntries == 0 {
+		c.SBEntries = 256
+	}
+	if c.LaunchOverheadCycles == 0 {
+		c.LaunchOverheadCycles = 300
+	}
+	if c.HorizonCycles == 0 {
+		c.HorizonCycles = 5_000_000_000
+	}
+	return c
+}
+
+// Name returns the paper's abbreviation for the configuration (GD, GH,
+// DD, DD+RO, DH) when it matches one, or a descriptive string.
+func (c Config) Name() string {
+	switch {
+	case c.Protocol == ProtoGPU && c.Model == consistency.DRF:
+		return "GD"
+	case c.Protocol == ProtoGPU && c.Model == consistency.HRF:
+		return "GH"
+	case c.Protocol == ProtoDeNovo && c.Model == consistency.DRF && c.ReadOnlyOpt:
+		return "DD+RO"
+	case c.Protocol == ProtoDeNovo && c.Model == consistency.DRF:
+		return "DD"
+	case c.Protocol == ProtoDeNovo && c.Model == consistency.HRF:
+		return "DH"
+	case c.Protocol == ProtoMESI:
+		return "MESI"
+	default:
+		return fmt.Sprintf("%v+%v", c.Protocol, c.Model)
+	}
+}
+
+// The five configurations evaluated by the paper (Section 5.3).
+
+// GD is GPU coherence with the DRF model.
+func GD() Config { return Config{Protocol: ProtoGPU, Model: consistency.DRF}.Defaults() }
+
+// GH is GPU coherence with the HRF model (scoped synchronization).
+func GH() Config { return Config{Protocol: ProtoGPU, Model: consistency.HRF}.Defaults() }
+
+// DD is DeNovo coherence with the DRF model.
+func DD() Config { return Config{Protocol: ProtoDeNovo, Model: consistency.DRF}.Defaults() }
+
+// DDRO is DD plus the read-only region optimization.
+func DDRO() Config {
+	return Config{Protocol: ProtoDeNovo, Model: consistency.DRF, ReadOnlyOpt: true}.Defaults()
+}
+
+// DH is DeNovo coherence with the HRF model: local scopes skip
+// invalidations and flushes, and locally scoped synchronization delays
+// ownership. Data writes register eagerly as in DD — delaying them too
+// (Config.LazyWrites) parks whole working sets in the finite store
+// buffer and loses to DD on write-heavy kernels, so it is left as an
+// ablation knob rather than part of the paper configuration.
+func DH() Config {
+	return Config{Protocol: ProtoDeNovo, Model: consistency.HRF}.Defaults()
+}
+
+// MESI is the extension configuration: conventional directory-based
+// hardware coherence under DRF. Not part of the paper's evaluation.
+func MESI() Config {
+	return Config{Protocol: ProtoMESI, Model: consistency.DRF}.Defaults()
+}
+
+// AllConfigs returns the paper's five configurations in figure order.
+func AllConfigs() []Config { return []Config{GD(), GH(), DD(), DDRO(), DH()} }
+
+// addrRange is a half-open [Lo, Hi) byte range.
+type addrRange struct{ lo, hi mem.Addr }
+
+// Machine is one assembled system.
+type Machine struct {
+	cfg     Config
+	eng     *sim.Engine
+	mesh    *noc.Mesh
+	backing *mem.Backing
+	banks   [noc.Nodes]*l2.Bank
+	dirs    [noc.Nodes]*mesi.Directory // MESI only
+	l1s     []coherence.L1
+	cus     []*gpu.CU
+	st      *stats.Stats
+	meter   *energy.Meter
+
+	ro  []addrRange
+	err error
+}
+
+// New builds a machine for the configuration.
+func New(cfg Config) *Machine {
+	cfg = cfg.Defaults()
+	m := &Machine{
+		cfg:     cfg,
+		eng:     sim.NewEngine(sim.Time(cfg.HorizonCycles)),
+		backing: mem.NewBacking(),
+		st:      stats.New(),
+	}
+	m.meter = energy.NewMeter(m.st)
+	m.mesh = noc.New(m.eng, m.st, m.meter)
+	for n := noc.NodeID(0); n < noc.Nodes; n++ {
+		if cfg.Protocol == ProtoMESI {
+			m.dirs[n] = mesi.NewDirectory(n, m.eng, m.mesh, m.backing, m.st, m.meter)
+			m.mesh.Attach(n, noc.PortL2, m.dirs[n])
+			continue
+		}
+		m.banks[n] = l2.New(n, m.eng, m.mesh, m.backing, m.st, m.meter)
+		m.mesh.Attach(n, noc.PortL2, m.banks[n])
+	}
+	for i := 0; i < cfg.NumCUs; i++ {
+		node := noc.NodeID(i)
+		var l1 coherence.L1
+		switch cfg.Protocol {
+		case ProtoGPU:
+			// HRF (GPU-H) adds per-word dirty bits for partial blocks.
+			l1 = gpucoh.New(node, m.eng, m.mesh, m.st, m.meter, cfg.L1Bytes, cfg.L1Ways, cfg.SBEntries,
+				cfg.Model == consistency.HRF)
+		case ProtoDeNovo:
+			opts := denovo.Options{
+				LazyWrites:       cfg.LazyWrites,
+				NoMSHRCoalescing: cfg.NoMSHRCoalescing,
+				SyncBackoff:      cfg.SyncBackoff,
+				DirectTransfer:   cfg.DirectTransfer,
+			}
+			if cfg.ReadOnlyOpt {
+				opts.ReadOnly = m.inReadOnly
+			}
+			l1 = denovo.New(node, m.eng, m.mesh, m.st, m.meter, cfg.L1Bytes, cfg.L1Ways, cfg.SBEntries, opts)
+		case ProtoMESI:
+			l1 = mesi.New(node, m.eng, m.mesh, m.st, m.meter, cfg.L1Bytes, cfg.L1Ways)
+		default:
+			panic(fmt.Sprintf("machine: unknown protocol %d", cfg.Protocol))
+		}
+		m.l1s = append(m.l1s, l1)
+		m.cus = append(m.cus, gpu.New(node, m.eng, l1, cfg.Model, m.st, m.meter, cfg.MaxResidentTBs))
+	}
+	return m
+}
+
+func (m *Machine) inReadOnly(w mem.Word) bool {
+	a := w.Addr()
+	for _, r := range m.ro {
+		if a >= r.lo && a < r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Mesh exposes the interconnect (for installing trace taps).
+func (m *Machine) Mesh() *noc.Mesh { return m.mesh }
+
+// Engine exposes the simulation engine (for trace timestamps).
+func (m *Machine) Engine() *sim.Engine { return m.eng }
+
+// Stats returns the accumulated measurements.
+func (m *Machine) Stats() *stats.Stats { return m.st }
+
+// Err returns the first simulation error (hang/horizon), if any.
+func (m *Machine) Err() error { return m.err }
+
+var _ workload.Host = (*Machine)(nil)
+
+// NumCUs implements workload.Host.
+func (m *Machine) NumCUs() int { return m.cfg.NumCUs }
+
+// Launch implements workload.Host: it dispatches the kernel's thread
+// blocks round-robin across CUs, performs the kernel-boundary global
+// acquire on every participating CU, runs the simulation until every
+// block finishes and every CU's kernel-end global release completes,
+// and advances simulated time accordingly.
+func (m *Machine) Launch(k workload.Kernel, numTBs, threadsPerTB int) {
+	if m.err != nil {
+		return
+	}
+	if numTBs <= 0 || threadsPerTB <= 0 {
+		m.err = fmt.Errorf("machine: invalid grid %d x %d", numTBs, threadsPerTB)
+		return
+	}
+	// Thread blocks are distributed round-robin with a per-launch
+	// rotation: real GPU block schedulers give no cross-kernel
+	// CU affinity, so block i of kernel n+1 must not be assumed to land
+	// on the CU that ran block i of kernel n.
+	rot := int(m.st.Get("kernels_launched")) * 7
+	assign := make([][]int, m.cfg.NumCUs)
+	for tb := 0; tb < numTBs; tb++ {
+		cu := (tb + rot) % m.cfg.NumCUs
+		assign[cu] = append(assign[cu], tb)
+	}
+	complete := false
+	remaining := m.cfg.NumCUs
+	m.eng.Schedule(sim.Time(m.cfg.LaunchOverheadCycles), func() {
+		for i, cu := range m.cus {
+			cu.L1().Acquire(coherence.ScopeGlobal)
+			cu := cu
+			cu.StartKernel(k, assign[i], threadsPerTB, numTBs, m.cfg.NumCUs, func() {
+				cu.L1().Release(coherence.ScopeGlobal, func() {
+					remaining--
+					if remaining == 0 {
+						complete = true
+					}
+				})
+			})
+		}
+	})
+	if err := m.eng.Run(); err != nil {
+		m.err = fmt.Errorf("machine: kernel launch: %w", err)
+		return
+	}
+	if !complete {
+		m.err = fmt.Errorf("machine: kernel deadlocked (event queue drained with %d CUs unfinished)", remaining)
+		return
+	}
+	for i, l1 := range m.l1s {
+		if !l1.Drained() {
+			m.err = fmt.Errorf("machine: CU %d not drained after kernel", i)
+			return
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		m.err = fmt.Errorf("machine: after kernel: %w", err)
+		return
+	}
+	m.st.Cycles = uint64(m.eng.Now())
+	m.st.Inc("kernels_launched", 1)
+}
+
+// CheckInvariants validates the protocol's global single-owner
+// invariant at a quiesced point: every word the registry records as
+// registered must be present (and only be writable) at exactly that
+// L1. It runs automatically after every kernel, so every benchmark in
+// the suite doubles as a protocol invariant check.
+func (m *Machine) CheckInvariants() error {
+	if m.cfg.Protocol != ProtoDeNovo {
+		return nil // the registry invariant is DeNovo-specific
+	}
+	for n := noc.NodeID(0); n < noc.Nodes; n++ {
+		bank := m.banks[n]
+		var err error
+		bank.ForEachRegistered(func(w mem.Word, owner noc.NodeID) {
+			if err != nil {
+				return
+			}
+			if int(owner) >= len(m.l1s) {
+				err = fmt.Errorf("word %v registered to nonexistent node %d", w, owner)
+				return
+			}
+			dn := m.l1s[owner].(*denovo.Controller)
+			if !dn.OwnsWord(w) {
+				err = fmt.Errorf("word %v registered to node %d, which does not own it", w, owner)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read implements workload.Host: a functional, coherent read that
+// honors DeNovo ownership (registered words live in L1s between
+// kernels).
+func (m *Machine) Read(a mem.Addr) uint32 {
+	w := a.WordOf()
+	if m.cfg.Protocol == ProtoMESI {
+		return m.mesiRead(w)
+	}
+	bank := m.banks[l2.HomeNode(w.LineOf())]
+	if owner := bank.PeekOwner(w); owner != l2.MemoryOwner {
+		if v, ok := m.l1s[owner].PeekWord(w); ok {
+			return v
+		}
+		panic(fmt.Sprintf("machine: registry says node %d owns %v but its L1 has no copy", owner, w))
+	}
+	return bank.PeekData(w)
+}
+
+// Write implements workload.Host: a functional, coherent write; if an
+// L1 owns the word it is recalled first.
+func (m *Machine) Write(a mem.Addr, v uint32) {
+	w := a.WordOf()
+	if m.cfg.Protocol == ProtoMESI {
+		m.mesiWrite(w, v)
+		return
+	}
+	bank := m.banks[l2.HomeNode(w.LineOf())]
+	if owner := bank.PeekOwner(w); owner != l2.MemoryOwner {
+		dn, ok := m.l1s[owner].(*denovo.Controller)
+		if !ok {
+			panic("machine: non-DeNovo L1 owns a word")
+		}
+		if _, ok := dn.HostSteal(w); !ok {
+			panic(fmt.Sprintf("machine: cannot steal %v from node %d", w, owner))
+		}
+		bank.Recall(w, v)
+	} else {
+		bank.PokeData(w, v)
+	}
+	// Stale clean copies in any L1 must not survive (a read-only-region
+	// declaration could otherwise carry them past the next acquire).
+	for _, l1 := range m.l1s {
+		l1.HostInvalidate(w)
+	}
+}
+
+// mesiRead is the MESI host read path: modified lines live in an L1.
+func (m *Machine) mesiRead(w mem.Word) uint32 {
+	d := m.dirs[mesi.HomeNode(w.LineOf())]
+	if owner := d.PeekOwner(w.LineOf()); owner != -1 && int(owner) < len(m.l1s) {
+		if v, ok := m.l1s[owner].PeekWord(w); ok {
+			return v
+		}
+	}
+	return d.PeekData(w)
+}
+
+// mesiWrite is the MESI host write path: recall any modified copy, then
+// update the directory's data and shoot down shared copies.
+func (m *Machine) mesiWrite(w mem.Word, v uint32) {
+	l := w.LineOf()
+	d := m.dirs[mesi.HomeNode(l)]
+	if owner := d.PeekOwner(l); owner != -1 && int(owner) < len(m.l1s) {
+		mc := m.l1s[owner].(*mesi.Controller)
+		if data, ok := mc.HostSteal(l); ok {
+			d.Recall(l, data)
+		}
+	}
+	d.PokeWord(w, v)
+	for _, l1 := range m.l1s {
+		l1.HostInvalidate(w)
+	}
+}
+
+// SetReadOnly implements workload.Host: marks [lo, hi) as a read-only
+// region for DD+RO's selective invalidation.
+func (m *Machine) SetReadOnly(lo, hi mem.Addr) {
+	m.ro = append(m.ro, addrRange{lo: lo, hi: hi})
+}
+
+// ClearReadOnly implements workload.Host. It must be called before the
+// host mutates a previously read-only range.
+func (m *Machine) ClearReadOnly() {
+	m.ro = nil
+}
+
+// DumpL1s returns a diagnostic dump of every L1 controller's pending
+// state (DeNovo only), for debugging hangs.
+func (m *Machine) DumpL1s() string {
+	out := ""
+	for i, l1 := range m.l1s {
+		if dn, ok := l1.(*denovo.Controller); ok {
+			out += fmt.Sprintf("== CU %d (drained=%v)\n%s", i, dn.Drained(), dn.DebugDump())
+		}
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometry(t *testing.T) {
+	if WordsPerLine != 16 {
+		t.Fatalf("WordsPerLine = %d, want 16", WordsPerLine)
+	}
+	a := Addr(0x1234)
+	if !a.Aligned() {
+		t.Fatal("0x1234 should be word aligned")
+	}
+	if a.LineOf() != Line(0x48) {
+		t.Fatalf("LineOf(0x1234) = %v", a.LineOf())
+	}
+	if a.WordOf() != Word(0x48D) {
+		t.Fatalf("WordOf(0x1234) = %v", a.WordOf())
+	}
+	if a.WordIndex() != 13 {
+		t.Fatalf("WordIndex(0x1234) = %d, want 13", a.WordIndex())
+	}
+}
+
+// Property: word/line round trips are consistent for any address.
+func TestAddressRoundTripProperty(t *testing.T) {
+	f := func(raw uint64) bool {
+		a := Addr(raw &^ 3) // word align
+		w := a.WordOf()
+		l := a.LineOf()
+		return w.Addr() == a &&
+			w.LineOf() == l &&
+			l.Word(w.Index()) == w &&
+			a.WordIndex() == w.Index() &&
+			l.Addr().LineOf() == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWordMask(t *testing.T) {
+	m := Bit(0) | Bit(5) | Bit(15)
+	if m.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", m.Count())
+	}
+	if !m.Has(5) || m.Has(6) {
+		t.Fatal("Has gives wrong membership")
+	}
+	if AllWords.Count() != WordsPerLine {
+		t.Fatalf("AllWords.Count = %d", AllWords.Count())
+	}
+}
+
+// Property: mask count equals number of set bits for any mask.
+func TestWordMaskCountProperty(t *testing.T) {
+	f := func(m uint16) bool {
+		mask := WordMask(m)
+		n := 0
+		for i := 0; i < 16; i++ {
+			if m&(1<<i) != 0 {
+				n++
+			}
+		}
+		return mask.Count() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackingReadWrite(t *testing.T) {
+	b := NewBacking()
+	if b.Read(Word(10)) != 0 {
+		t.Fatal("unwritten word should read 0")
+	}
+	b.Write(Word(10), 42)
+	if b.Read(Word(10)) != 42 {
+		t.Fatal("write not visible")
+	}
+	if b.Footprint() != 1 {
+		t.Fatalf("footprint = %d, want 1", b.Footprint())
+	}
+}
+
+func TestBackingLineOps(t *testing.T) {
+	b := NewBacking()
+	var vals [WordsPerLine]uint32
+	for i := range vals {
+		vals[i] = uint32(i * 100)
+	}
+	l := Line(7)
+	b.WriteLine(l, vals, Bit(3)|Bit(4))
+	got := b.ReadLine(l)
+	for i := range got {
+		want := uint32(0)
+		if i == 3 || i == 4 {
+			want = uint32(i * 100)
+		}
+		if got[i] != want {
+			t.Fatalf("word %d = %d, want %d (mask-selective write leaked)", i, got[i], want)
+		}
+	}
+	b.WriteLine(l, vals, AllWords)
+	got = b.ReadLine(l)
+	for i := range got {
+		if got[i] != vals[i] {
+			t.Fatalf("full-line write word %d = %d, want %d", i, got[i], vals[i])
+		}
+	}
+}
+
+// Property: a masked line write followed by a read returns written values
+// under the mask and leaves others untouched.
+func TestBackingMaskedWriteProperty(t *testing.T) {
+	f := func(line uint32, m uint16, seedVals [WordsPerLine]uint32) bool {
+		b := NewBacking()
+		l := Line(line)
+		base := [WordsPerLine]uint32{}
+		for i := range base {
+			base[i] = uint32(i) + 1
+		}
+		b.WriteLine(l, base, AllWords)
+		b.WriteLine(l, seedVals, WordMask(m))
+		got := b.ReadLine(l)
+		for i := 0; i < WordsPerLine; i++ {
+			want := base[i]
+			if WordMask(m).Has(i) {
+				want = seedVals[i]
+			}
+			if got[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

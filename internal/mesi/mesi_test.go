@@ -1,0 +1,342 @@
+package mesi_test
+
+import (
+	"testing"
+
+	"denovogpu/internal/coherence"
+	"denovogpu/internal/energy"
+	"denovogpu/internal/machine"
+	"denovogpu/internal/mem"
+	"denovogpu/internal/mesi"
+	"denovogpu/internal/noc"
+	"denovogpu/internal/sim"
+	"denovogpu/internal/stats"
+	"denovogpu/internal/workload"
+	syncbench "denovogpu/internal/workload/sync"
+)
+
+// rig builds engine + mesh + directories + n controllers.
+type rig struct {
+	eng  *sim.Engine
+	mesh *noc.Mesh
+	st   *stats.Stats
+	back *mem.Backing
+	dirs [noc.Nodes]*mesi.Directory
+	ctls []*mesi.Controller
+}
+
+func newRig(n int) *rig {
+	r := &rig{eng: sim.NewEngine(10_000_000), st: stats.New(), back: mem.NewBacking()}
+	meter := energy.NewMeter(r.st)
+	r.mesh = noc.New(r.eng, r.st, meter)
+	for i := noc.NodeID(0); i < noc.Nodes; i++ {
+		r.dirs[i] = mesi.NewDirectory(i, r.eng, r.mesh, r.back, r.st, meter)
+		r.mesh.Attach(i, noc.PortL2, r.dirs[i])
+	}
+	for i := 0; i < n; i++ {
+		r.ctls = append(r.ctls, mesi.New(noc.NodeID(i), r.eng, r.mesh, r.st, meter, 32*1024, 8))
+	}
+	return r
+}
+
+func (r *rig) run(t *testing.T) {
+	t.Helper()
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMESIReadSharedWriteModified(t *testing.T) {
+	r := newRig(2)
+	l := mem.Line(3)
+	r.back.Write(l.Word(0), 5)
+	r.eng.Schedule(0, func() {
+		// Both read (Shared), then node 0 writes (invalidates node 1).
+		r.ctls[0].ReadLine(l, mem.Bit(0), func(v [mem.WordsPerLine]uint32) {
+			if v[0] != 5 {
+				t.Errorf("read %d", v[0])
+			}
+			r.ctls[1].ReadLine(l, mem.Bit(0), func([mem.WordsPerLine]uint32) {
+				var d [mem.WordsPerLine]uint32
+				d[0] = 9
+				r.ctls[0].WriteLine(l, mem.Bit(0), d, func() {})
+			})
+		})
+	})
+	r.run(t)
+	if r.st.Get("mesi.invalidations") != 1 {
+		t.Fatalf("invalidations = %d, want 1 (writer-initiated)", r.st.Get("mesi.invalidations"))
+	}
+	if v, ok := r.ctls[0].PeekWord(l.Word(0)); !ok || v != 9 {
+		t.Fatalf("writer value %d (ok=%v), want 9", v, ok)
+	}
+	if _, ok := r.ctls[1].PeekWord(l.Word(0)); ok {
+		t.Fatal("sharer must be invalidated by the write")
+	}
+	if r.dirs[3].PeekOwner(l) != 0 {
+		t.Fatalf("directory owner = %d, want 0", r.dirs[3].PeekOwner(l))
+	}
+}
+
+func TestMESIOwnershipForwarding(t *testing.T) {
+	r := newRig(3)
+	l := mem.Line(4)
+	done := false
+	r.eng.Schedule(0, func() {
+		var d [mem.WordsPerLine]uint32
+		d[2] = 7
+		r.ctls[0].WriteLine(l, mem.Bit(2), d, func() {
+			// Node 1 writes: FwdGetM chain through node 0.
+			d[2] = 8
+			r.ctls[1].WriteLine(l, mem.Bit(2), d, func() {
+				// Node 2 reads: FwdGetS from node 1, downgrade + copyback.
+				r.ctls[2].ReadLine(l, mem.Bit(2), func(v [mem.WordsPerLine]uint32) {
+					if v[2] != 8 {
+						t.Errorf("forwarded read %d, want 8", v[2])
+					}
+					done = true
+				})
+			})
+		})
+	})
+	r.run(t)
+	if !done {
+		t.Fatal("chain did not complete")
+	}
+	if r.st.Get("mesi.dir_fwd_getm") != 1 || r.st.Get("mesi.dir_fwd_gets") != 1 {
+		t.Fatalf("forwards: getm=%d gets=%d, want 1/1",
+			r.st.Get("mesi.dir_fwd_getm"), r.st.Get("mesi.dir_fwd_gets"))
+	}
+	// After the downgrade copyback, the directory's copy is current.
+	if r.dirs[4].PeekData(l.Word(2)) != 8 {
+		t.Fatalf("directory data %d, want 8 (copyback)", r.dirs[4].PeekData(l.Word(2)))
+	}
+}
+
+func TestMESIAtomicsAtL1(t *testing.T) {
+	r := newRig(2)
+	w := mem.Line(5).Word(0)
+	r.eng.Schedule(0, func() {
+		r.ctls[0].Atomic(coherence.AtomicAdd, w, 1, 0, coherence.ScopeGlobal, func(old uint32) {
+			if old != 0 {
+				t.Errorf("first atomic old = %d", old)
+			}
+			// Second atomic hits in M state: no traffic.
+			sent := r.mesh.Sent()
+			r.ctls[0].Atomic(coherence.AtomicAdd, w, 1, 0, coherence.ScopeGlobal, func(old uint32) {
+				if old != 1 {
+					t.Errorf("second atomic old = %d", old)
+				}
+				if r.mesh.Sent() != sent {
+					t.Error("atomic hit generated traffic")
+				}
+				// Migrate to node 1.
+				r.ctls[1].Atomic(coherence.AtomicAdd, w, 1, 0, coherence.ScopeGlobal, func(old uint32) {
+					if old != 2 {
+						t.Errorf("migrated atomic old = %d", old)
+					}
+				})
+			})
+		})
+	})
+	r.run(t)
+	if v, ok := r.ctls[1].PeekWord(w); !ok || v != 3 {
+		t.Fatalf("final value %d (ok=%v), want 3", v, ok)
+	}
+}
+
+func TestMESIAcquireIsFree(t *testing.T) {
+	r := newRig(1)
+	l := mem.Line(6)
+	r.back.Write(l.Word(0), 4)
+	r.eng.Schedule(0, func() {
+		r.ctls[0].ReadLine(l, mem.Bit(0), func([mem.WordsPerLine]uint32) {
+			r.ctls[0].Acquire(coherence.ScopeGlobal)
+			// Unlike the self-invalidating protocols, the copy survives.
+			r.ctls[0].ReadLine(l, mem.Bit(0), func([mem.WordsPerLine]uint32) {})
+		})
+	})
+	r.run(t)
+	if r.st.Get("l1.read_hits") != 1 {
+		t.Fatal("MESI acquire must not invalidate (writer-initiated coherence)")
+	}
+}
+
+// TestMESIMachineWorkloads runs real benchmarks under the MESI
+// extension configuration and verifies functional correctness.
+func TestMESIMachineWorkloads(t *testing.T) {
+	for _, w := range []workload.Workload{
+		syncbench.Mutex(syncbench.MutexParams{Kind: syncbench.SpinMutex, Iters: 5, Accesses: 4}),
+		syncbench.TreeBarrier(syncbench.BarrierParams{Iters: 3, Accesses: 3}),
+		syncbench.Semaphore(syncbench.SemParams{Iters: 5, LoadsPer: 4}),
+	} {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			m := machine.New(machine.MESI())
+			w.Host(m)
+			if err := m.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Verify(m); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestMESIMessagePassing is the MP litmus under MESI.
+func TestMESIMessagePassing(t *testing.T) {
+	m := machine.New(machine.MESI())
+	data, flag, out := mem.Addr(0x1000), mem.Addr(0x2000), mem.Addr(0x3000)
+	kernel := func(c *workload.Ctx) {
+		if c.TB == 0 {
+			c.Store(data, 42)
+			c.AtomicStore(flag, 1, coherence.ScopeGlobal)
+			return
+		}
+		for c.AtomicLoad(flag, coherence.ScopeGlobal) == 0 {
+			c.Wait(20)
+		}
+		c.Store(out+mem.Addr(4*c.TB), c.Load(data))
+	}
+	m.Launch(kernel, 8, 32)
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for tb := 1; tb < 8; tb++ {
+		if got := m.Read(out + mem.Addr(4*tb)); got != 42 {
+			t.Fatalf("TB %d read %d, want 42", tb, got)
+		}
+	}
+}
+
+// TestMESICopybackRace: a GetM processed while a downgrade copyback is
+// in flight must wait for the fresh data — granting the directory's
+// stale copy would lose the previous owner's writes.
+func TestMESICopybackRace(t *testing.T) {
+	r := newRig(3)
+	l := mem.Line(7)
+	var got uint32
+	r.eng.Schedule(0, func() {
+		var d [mem.WordsPerLine]uint32
+		d[0] = 111
+		// Node 0 modifies the line.
+		r.ctls[0].WriteLine(l, mem.Bit(0), d, func() {
+			// Node 1 reads (FwdGetS: node 0 downgrades; copyback in
+			// flight to the directory) and node 2 immediately writes.
+			r.ctls[1].ReadLine(l, mem.Bit(0), func([mem.WordsPerLine]uint32) {})
+			var d2 [mem.WordsPerLine]uint32
+			d2[1] = 222
+			r.ctls[2].WriteLine(l, mem.Bit(1), d2, func() {
+				r.ctls[2].ReadLine(l, mem.Bit(0)|mem.Bit(1), func(v [mem.WordsPerLine]uint32) {
+					got = v[0]
+				})
+			})
+		})
+	})
+	r.run(t)
+	if got != 111 {
+		t.Fatalf("word 0 = %d after copyback race, want 111 (stale grant)", got)
+	}
+	if v, ok := r.ctls[2].PeekWord(l.Word(1)); !ok || v != 222 {
+		t.Fatalf("word 1 = %d (ok=%v), want 222", v, ok)
+	}
+}
+
+// TestMESIRandomMixedStress: random single-writer-per-word traffic plus
+// shared atomics over tiny caches, verified word-for-word — the MESI
+// analogue of the DeNovo eviction stress test.
+func TestMESIRandomMixedStress(t *testing.T) {
+	r := newRig(6)
+	// Rebuild controllers with tiny caches to force evictions.
+	r = func() *rig {
+		rr := &rig{eng: sim.NewEngine(10_000_000), st: stats.New(), back: mem.NewBacking()}
+		meter := energy.NewMeter(rr.st)
+		rr.mesh = noc.New(rr.eng, rr.st, meter)
+		for i := noc.NodeID(0); i < noc.Nodes; i++ {
+			rr.dirs[i] = mesi.NewDirectory(i, rr.eng, rr.mesh, rr.back, rr.st, meter)
+			rr.mesh.Attach(i, noc.PortL2, rr.dirs[i])
+		}
+		for i := 0; i < 6; i++ {
+			rr.ctls = append(rr.ctls, mesi.New(noc.NodeID(i), rr.eng, rr.mesh, rr.st, meter, 1024, 2))
+		}
+		return rr
+	}()
+	const words, ops = 256, 200
+	ref := make([]uint32, words)
+	dataBase := mem.Addr(0x10000)
+	syncW := mem.Addr(0x90000).WordOf()
+	rng := newSplitMix(77)
+	type step struct {
+		isSync bool
+		idx    int
+		val    uint32
+	}
+	scripts := make([][]step, 6)
+	totalSyncs := 0
+	for n := 0; n < 6; n++ {
+		for k := 0; k < ops; k++ {
+			if rng()%5 == 0 {
+				scripts[n] = append(scripts[n], step{isSync: true})
+				totalSyncs++
+			} else {
+				w := int(rng())%(words/6)*6 + n
+				v := rng()
+				scripts[n] = append(scripts[n], step{idx: w, val: v})
+				ref[w] = v
+			}
+		}
+	}
+	for n := 0; n < 6; n++ {
+		n := n
+		c := r.ctls[n]
+		var run func(i int)
+		run = func(i int) {
+			if i == len(scripts[n]) {
+				return
+			}
+			s := scripts[n][i]
+			if s.isSync {
+				c.Atomic(coherence.AtomicAdd, syncW, 1, 0, coherence.ScopeGlobal, func(uint32) { run(i + 1) })
+				return
+			}
+			a := dataBase + mem.Addr(4*s.idx)
+			var d [mem.WordsPerLine]uint32
+			d[a.WordIndex()] = s.val
+			c.WriteLine(a.LineOf(), mem.Bit(a.WordIndex()), d, func() { run(i + 1) })
+		}
+		r.eng.Schedule(0, func() { run(0) })
+	}
+	r.run(t)
+	// Read every word coherently via the directory/owner.
+	readWord := func(w mem.Word) uint32 {
+		d := r.dirs[mesi.HomeNode(w.LineOf())]
+		if owner := d.PeekOwner(w.LineOf()); owner != -1 && int(owner) < len(r.ctls) {
+			if v, ok := r.ctls[owner].PeekWord(w); ok {
+				return v
+			}
+		}
+		return d.PeekData(w)
+	}
+	for w := 0; w < words; w++ {
+		a := dataBase + mem.Addr(4*w)
+		if got := readWord(a.WordOf()); got != ref[w] {
+			t.Fatalf("word %d = %d, want %d", w, got, ref[w])
+		}
+	}
+	if got := readWord(syncW); got != uint32(totalSyncs) {
+		t.Fatalf("sync counter %d, want %d", got, totalSyncs)
+	}
+}
+
+// newSplitMix is a tiny deterministic RNG for test scripts.
+func newSplitMix(seed uint64) func() uint32 {
+	s := seed
+	return func() uint32 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return uint32(z ^ (z >> 31))
+	}
+}

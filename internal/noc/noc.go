@@ -1,0 +1,222 @@
+// Package noc models the on-chip interconnect: a 4x4 mesh with XY
+// dimension-order routing, per-link serialization, and flit-crossing
+// accounting by message class — the quantity the paper's traffic
+// figures report (it uses Garnet; we reproduce the same measurement).
+//
+// Timing model per message: the head flit pays an injection latency,
+// then HopCycles per link; each link transmits one flit per cycle, so a
+// message of F flits occupies each link on its path for F cycles and
+// contends with other messages for that link; the tail arrives F-1
+// cycles after the head, plus an ejection latency. This captures both
+// the distance-dependent latency that produces the paper's Table 3
+// latency ranges and the bursty-writethrough contention that its
+// qualitative analysis (Table 2, "no bursty traffic") relies on.
+package noc
+
+import (
+	"fmt"
+
+	"denovogpu/internal/energy"
+	"denovogpu/internal/sim"
+	"denovogpu/internal/stats"
+)
+
+// NodeID identifies a mesh node. The simulated machine has 16 nodes:
+// 0..14 are GPU CUs and 15 is the CPU core; every node also hosts one
+// L2 bank.
+type NodeID int
+
+// Mesh geometry.
+const (
+	Width  = 4
+	Height = 4
+	Nodes  = Width * Height
+)
+
+// Timing parameters (cycles), chosen so achieved latencies land in the
+// paper's Table 3 ranges (L2 hit 29-61, remote L1 35-83, memory
+// 197-261); cmd/sweep -table3 validates this.
+const (
+	HopCycles    = 3 // per-link head latency (router + channel)
+	InjectCycles = 2 // network interface injection
+	EjectCycles  = 2 // network interface ejection
+	FlitBytes    = 16
+	HeaderBytes  = 8
+)
+
+// Port distinguishes the two endpoints co-located at each node.
+type Port int
+
+const (
+	PortL1 Port = iota
+	PortL2
+	numPorts
+)
+
+// Packet is a routable message. The concrete message types live in the
+// coherence package; the mesh needs only addressing, class, and size.
+type Packet interface {
+	NocSrc() NodeID
+	NocDst() NodeID
+	NocPort() Port
+	NocClass() stats.TrafficClass
+	// PayloadBytes is the data carried beyond the header; it determines
+	// the flit count.
+	PayloadBytes() int
+}
+
+// Flits returns the number of flits needed for a payload of n bytes.
+func Flits(n int) int {
+	f := (HeaderBytes + n + FlitBytes - 1) / FlitBytes
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// Handler receives delivered packets.
+type Handler interface {
+	Deliver(p Packet)
+}
+
+// Tap observes every packet as it is sent (tracing/debugging hook).
+type Tap interface {
+	Packet(p Packet)
+}
+
+// Mesh is the interconnect.
+type Mesh struct {
+	eng      *sim.Engine
+	st       *stats.Stats
+	meter    *energy.Meter
+	tap      Tap
+	handlers [Nodes][numPorts]Handler
+	// linkFree[from][dir] is the first cycle the link is available.
+	// Directions: 0=east 1=west 2=north 3=south.
+	linkFree [Nodes][4]sim.Time
+	// pairLast[src][dst] is the last delivery time between a pair,
+	// enforcing point-to-point FIFO. Routed messages already deliver in
+	// order (one XY path, per-link serialization), but same-node
+	// messages have no links, so a short message could otherwise
+	// overtake an earlier multi-flit one — which the coherence
+	// protocols' writeback races must never see.
+	pairLast [Nodes][Nodes]sim.Time
+	sent     uint64
+}
+
+// New returns a mesh wired to the engine and measurement sinks.
+func New(eng *sim.Engine, st *stats.Stats, meter *energy.Meter) *Mesh {
+	return &Mesh{eng: eng, st: st, meter: meter}
+}
+
+// Attach registers the handler for a node's port.
+func (m *Mesh) Attach(n NodeID, p Port, h Handler) {
+	m.handlers[n][p] = h
+}
+
+// SetTap installs a packet observer (nil to remove).
+func (m *Mesh) SetTap(t Tap) { m.tap = t }
+
+// Sent returns the number of packets sent, a determinism diagnostic.
+func (m *Mesh) Sent() uint64 { return m.sent }
+
+func xy(n NodeID) (x, y int) { return int(n) % Width, int(n) / Width }
+
+// Hops returns the XY-route hop count between two nodes.
+func Hops(a, b NodeID) int {
+	ax, ay := xy(a)
+	bx, by := xy(b)
+	dx, dy := ax-bx, ay-by
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// route returns the sequence of (node, direction) link traversals from
+// a to b under XY routing.
+func route(a, b NodeID) [](struct {
+	node NodeID
+	dir  int
+}) {
+	var links [](struct {
+		node NodeID
+		dir  int
+	})
+	cx, cy := xy(a)
+	bx, by := xy(b)
+	for cx != bx {
+		dir := 0 // east
+		next := cx + 1
+		if bx < cx {
+			dir, next = 1, cx-1
+		}
+		links = append(links, struct {
+			node NodeID
+			dir  int
+		}{NodeID(cy*Width + cx), dir})
+		cx = next
+	}
+	for cy != by {
+		dir := 3 // south (increasing y)
+		next := cy + 1
+		if by < cy {
+			dir, next = 2, cy-1
+		}
+		links = append(links, struct {
+			node NodeID
+			dir  int
+		}{NodeID(cy*Width + cx), dir})
+		cy = next
+	}
+	return links
+}
+
+// Send routes p through the mesh and delivers it to the destination
+// handler. Statistics (flit crossings by class) and NoC energy are
+// recorded per link traversed. Send panics if no handler is attached at
+// the destination: that is a wiring bug, not a runtime condition.
+func (m *Mesh) Send(p Packet) {
+	dst := p.NocDst()
+	h := m.handlers[dst][p.NocPort()]
+	if h == nil {
+		panic(fmt.Sprintf("noc: no handler attached at node %d port %d", dst, p.NocPort()))
+	}
+	m.sent++
+	if m.tap != nil {
+		m.tap.Packet(p)
+	}
+	flits := Flits(p.PayloadBytes())
+	path := route(p.NocSrc(), dst)
+
+	crossings := uint64(flits) * uint64(len(path))
+	if crossings > 0 {
+		m.st.AddFlits(p.NocClass(), crossings)
+		m.meter.FlitHops(crossings)
+	}
+
+	t := m.eng.Now() + InjectCycles
+	for _, l := range path {
+		free := m.linkFree[l.node][l.dir]
+		if free > t {
+			t = free
+		}
+		m.linkFree[l.node][l.dir] = t + sim.Time(flits)
+		t += HopCycles
+	}
+	t += sim.Time(flits-1) + EjectCycles
+	if last := m.pairLast[p.NocSrc()][dst]; t < last {
+		t = last // same-cycle deliveries keep send order (event FIFO)
+	}
+	m.pairLast[p.NocSrc()][dst] = t
+	m.eng.At(t, func() { h.Deliver(p) })
+}
+
+// MinLatency returns the unloaded head-to-tail latency for a payload of
+// n bytes between two nodes (used by tests and the Table 3 validation).
+func MinLatency(a, b NodeID, payloadBytes int) sim.Time {
+	return sim.Time(InjectCycles + Hops(a, b)*HopCycles + Flits(payloadBytes) - 1 + EjectCycles)
+}

@@ -1,0 +1,140 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Every timed component in the simulator (caches, network links, compute
+// units, DRAM) advances by scheduling events on a single Engine. Events
+// fire in (time, insertion-sequence) order, so two events scheduled for
+// the same cycle fire in the order they were scheduled. This total order,
+// combined with the single-threaded event loop, makes every simulation
+// bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is simulation time in cycles. The whole machine runs on the GPU
+// clock domain (700 MHz in the paper's Table 3); the CPU core only
+// launches kernels, so a single domain is sufficient.
+type Time uint64
+
+// Forever is a time later than any reachable simulation time.
+const Forever Time = math.MaxUint64
+
+// Event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event simulation kernel.
+//
+// The zero value is not usable; create engines with NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventQueue
+	fired  uint64
+	limit  Time // horizon: exceeding it means a hang; Run returns an error
+	halted bool
+}
+
+// NewEngine returns an engine at time 0 with the given horizon. A zero
+// horizon means no limit.
+func NewEngine(horizon Time) *Engine {
+	if horizon == 0 {
+		horizon = Forever
+	}
+	return &Engine{limit: horizon}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far (a useful progress
+// and determinism diagnostic).
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Schedule runs fn at the given delay from now. A zero delay fires later
+// in the current cycle, after all previously scheduled events for this
+// cycle.
+func (e *Engine) Schedule(delay Time, fn func()) {
+	e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute time t. Scheduling in the past panics: it is
+// always a model bug.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d in the past (now %d)", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// Pending reports whether any events remain.
+func (e *Engine) Pending() bool { return len(e.queue) > 0 }
+
+// Halt stops the event loop after the current event returns. Remaining
+// events stay queued; Run returns nil.
+func (e *Engine) Halt() { e.halted = true }
+
+// Step fires the single next event and returns true, or returns false if
+// the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue drains, Halt is called, or the time
+// horizon is exceeded (returned as an error, since it indicates a hang
+// such as a deadlocked synchronization benchmark).
+func (e *Engine) Run() error {
+	e.halted = false
+	for len(e.queue) > 0 && !e.halted {
+		if e.queue[0].at > e.limit {
+			return fmt.Errorf("sim: horizon %d cycles exceeded at %d events; simulation is likely deadlocked", e.limit, e.fired)
+		}
+		e.Step()
+	}
+	return nil
+}
+
+// RunUntil fires events up to and including time t, leaving later events
+// queued.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.queue) > 0 && e.queue[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}

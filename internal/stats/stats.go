@@ -1,0 +1,152 @@
+// Package stats collects the measurements the paper reports: execution
+// time in cycles, network traffic in flit crossings split by message
+// class, and dynamic energy split by hardware component, plus named
+// diagnostic counters used by tests and the ablation benches.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TrafficClass labels network traffic the way the paper's Figures 2c,
+// 3c and 4c do.
+type TrafficClass int
+
+const (
+	// TrafficRead is data read requests and their data responses.
+	TrafficRead TrafficClass = iota
+	// TrafficRegistration is DeNovo ownership (registration) requests,
+	// forwards and acknowledgments; the paper labels this "Regist."
+	// and it also covers data-write traffic.
+	TrafficRegistration
+	// TrafficWBWT is writebacks and writethroughs of dirty data.
+	TrafficWBWT
+	// TrafficAtomic is synchronization (atomic) requests and responses.
+	TrafficAtomic
+
+	NumTrafficClasses
+)
+
+func (c TrafficClass) String() string {
+	switch c {
+	case TrafficRead:
+		return "Read"
+	case TrafficRegistration:
+		return "Regist."
+	case TrafficWBWT:
+		return "WB/WT"
+	case TrafficAtomic:
+		return "Atomics"
+	default:
+		return fmt.Sprintf("TrafficClass(%d)", int(c))
+	}
+}
+
+// Component labels dynamic energy the way the paper's Figures 2b, 3b
+// and 4b do.
+type Component int
+
+const (
+	// CompGPUCore is "GPU core+": instruction cache, register file,
+	// FPU/SFU, scheduler and core pipeline energy.
+	CompGPUCore Component = iota
+	// CompScratch is the per-CU scratchpad.
+	CompScratch
+	// CompL1D is the private L1 data caches.
+	CompL1D
+	// CompL2 is the shared L2 cache banks.
+	CompL2
+	// CompNoC is the interconnection network.
+	CompNoC
+
+	NumComponents
+)
+
+func (c Component) String() string {
+	switch c {
+	case CompGPUCore:
+		return "GPU Core+"
+	case CompScratch:
+		return "Scratch"
+	case CompL1D:
+		return "L1 D$"
+	case CompL2:
+		return "L2 $"
+	case CompNoC:
+		return "N/W"
+	default:
+		return fmt.Sprintf("Component(%d)", int(c))
+	}
+}
+
+// Stats accumulates measurements for one simulation run.
+// The zero value of counters is usable but Stats should be created with
+// New so the named-counter map exists.
+type Stats struct {
+	// Cycles is total execution time (set by the machine at the end).
+	Cycles uint64
+	// Flits[c] counts flit crossings (flits × links traversed).
+	Flits [NumTrafficClasses]uint64
+	// EnergyPJ[c] is dynamic energy per component, in picojoules.
+	EnergyPJ [NumComponents]float64
+
+	named map[string]uint64
+}
+
+// New returns an empty Stats.
+func New() *Stats { return &Stats{named: make(map[string]uint64)} }
+
+// AddFlits records n flit crossings of the given class.
+func (s *Stats) AddFlits(c TrafficClass, n uint64) { s.Flits[c] += n }
+
+// AddEnergy records pj picojoules against the given component.
+func (s *Stats) AddEnergy(c Component, pj float64) { s.EnergyPJ[c] += pj }
+
+// Inc adds n to a named diagnostic counter.
+func (s *Stats) Inc(name string, n uint64) { s.named[name] += n }
+
+// Get returns a named diagnostic counter.
+func (s *Stats) Get(name string) uint64 { return s.named[name] }
+
+// TotalFlits returns all flit crossings.
+func (s *Stats) TotalFlits() uint64 {
+	var t uint64
+	for _, f := range s.Flits {
+		t += f
+	}
+	return t
+}
+
+// TotalEnergyPJ returns total dynamic energy.
+func (s *Stats) TotalEnergyPJ() float64 {
+	var t float64
+	for _, e := range s.EnergyPJ {
+		t += e
+	}
+	return t
+}
+
+// Names returns the sorted names of all diagnostic counters.
+func (s *Stats) Names() []string {
+	names := make([]string, 0, len(s.named))
+	for n := range s.named {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders a compact human-readable report.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles=%d flits=%d energy=%.1fnJ\n", s.Cycles, s.TotalFlits(), s.TotalEnergyPJ()/1000)
+	for c := TrafficClass(0); c < NumTrafficClasses; c++ {
+		fmt.Fprintf(&b, "  flits[%s]=%d\n", c, s.Flits[c])
+	}
+	for c := Component(0); c < NumComponents; c++ {
+		fmt.Fprintf(&b, "  energy[%s]=%.1fnJ\n", c, s.EnergyPJ[c]/1000)
+	}
+	return b.String()
+}

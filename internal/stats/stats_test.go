@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulation(t *testing.T) {
+	s := New()
+	s.AddFlits(TrafficRead, 10)
+	s.AddFlits(TrafficRead, 5)
+	s.AddFlits(TrafficAtomic, 3)
+	if s.Flits[TrafficRead] != 15 || s.TotalFlits() != 18 {
+		t.Fatalf("flits: %v total %d", s.Flits, s.TotalFlits())
+	}
+	s.AddEnergy(CompL1D, 2.5)
+	s.AddEnergy(CompNoC, 1.5)
+	if s.TotalEnergyPJ() != 4 {
+		t.Fatalf("energy total %f", s.TotalEnergyPJ())
+	}
+}
+
+func TestNamedCounters(t *testing.T) {
+	s := New()
+	s.Inc("a.b", 2)
+	s.Inc("a.b", 3)
+	s.Inc("z", 1)
+	if s.Get("a.b") != 5 || s.Get("missing") != 0 {
+		t.Fatal("counter arithmetic wrong")
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a.b" || names[1] != "z" {
+		t.Fatalf("names %v", names)
+	}
+}
+
+func TestStringsAndLabels(t *testing.T) {
+	// The labels must match the paper's figure legends.
+	wantTraffic := []string{"Read", "Regist.", "WB/WT", "Atomics"}
+	for c := TrafficClass(0); c < NumTrafficClasses; c++ {
+		if c.String() != wantTraffic[c] {
+			t.Errorf("traffic class %d = %q, want %q", c, c.String(), wantTraffic[c])
+		}
+	}
+	wantComp := []string{"GPU Core+", "Scratch", "L1 D$", "L2 $", "N/W"}
+	for c := Component(0); c < NumComponents; c++ {
+		if c.String() != wantComp[c] {
+			t.Errorf("component %d = %q, want %q", c, c.String(), wantComp[c])
+		}
+	}
+	s := New()
+	s.Cycles = 7
+	out := s.String()
+	if !strings.Contains(out, "cycles=7") {
+		t.Fatalf("report: %s", out)
+	}
+}
+
+// Property: totals always equal the sum of parts.
+func TestTotalsProperty(t *testing.T) {
+	f := func(adds []uint16) bool {
+		s := New()
+		var want uint64
+		for i, a := range adds {
+			s.AddFlits(TrafficClass(i%int(NumTrafficClasses)), uint64(a))
+			want += uint64(a)
+		}
+		return s.TotalFlits() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

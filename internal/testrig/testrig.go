@@ -1,0 +1,60 @@
+// Package testrig assembles a minimal but real memory system — engine,
+// mesh, one L2 bank per node, backing store — for protocol unit tests.
+// Controllers under test attach to L1 ports; everything else is live.
+package testrig
+
+import (
+	"testing"
+
+	"denovogpu/internal/energy"
+	"denovogpu/internal/l2"
+	"denovogpu/internal/mem"
+	"denovogpu/internal/noc"
+	"denovogpu/internal/sim"
+	"denovogpu/internal/stats"
+)
+
+// Rig is the assembled memory system.
+type Rig struct {
+	Eng     *sim.Engine
+	Mesh    *noc.Mesh
+	Backing *mem.Backing
+	Banks   [noc.Nodes]*l2.Bank
+	Stats   *stats.Stats
+	Meter   *energy.Meter
+}
+
+// New builds a rig with banks on every node and an event horizon that
+// fails fast on hangs.
+func New() *Rig {
+	r := &Rig{
+		Eng:     sim.NewEngine(50_000_000),
+		Backing: mem.NewBacking(),
+		Stats:   stats.New(),
+	}
+	r.Meter = energy.NewMeter(r.Stats)
+	r.Mesh = noc.New(r.Eng, r.Stats, r.Meter)
+	for n := noc.NodeID(0); n < noc.Nodes; n++ {
+		r.Banks[n] = l2.New(n, r.Eng, r.Mesh, r.Backing, r.Stats, r.Meter)
+		r.Mesh.Attach(n, noc.PortL2, r.Banks[n])
+	}
+	return r
+}
+
+// Run drains the event queue, failing the test on a horizon hang.
+func (r *Rig) Run(t *testing.T) {
+	t.Helper()
+	if err := r.Eng.Run(); err != nil {
+		t.Fatalf("simulation hang: %v", err)
+	}
+}
+
+// L2Word reads a word's value as the L2/registry sees it.
+func (r *Rig) L2Word(w mem.Word) uint32 {
+	return r.Banks[l2.HomeNode(w.LineOf())].PeekData(w)
+}
+
+// Owner returns the registered owner of a word, or l2.MemoryOwner.
+func (r *Rig) Owner(w mem.Word) noc.NodeID {
+	return r.Banks[l2.HomeNode(w.LineOf())].PeekOwner(w)
+}

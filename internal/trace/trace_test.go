@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"denovogpu/internal/coherence"
+	"denovogpu/internal/mem"
+	"denovogpu/internal/sim"
+)
+
+func TestTracerFormatsCoherenceMessages(t *testing.T) {
+	var b strings.Builder
+	eng := sim.NewEngine(0)
+	tr := New(&b, eng, 0)
+	tr.Packet(&coherence.Msg{
+		Kind: coherence.RegReq, Src: 3, Dst: 7, Line: mem.Line(0x40), Mask: mem.Bit(2), Sync: true,
+	})
+	out := b.String()
+	for _, want := range []string{"RegReq", "3->7", "sync=true", "line 0x40"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace %q missing %q", out, want)
+		}
+	}
+	if tr.Count() != 1 {
+		t.Fatalf("count = %d", tr.Count())
+	}
+}
+
+func TestTracerLimit(t *testing.T) {
+	var b strings.Builder
+	eng := sim.NewEngine(0)
+	tr := New(&b, eng, 2)
+	for i := 0; i < 5; i++ {
+		tr.Packet(&coherence.Msg{Kind: coherence.ReadReq, Src: 0, Dst: 1})
+	}
+	if tr.Count() != 2 {
+		t.Fatalf("count = %d, want 2 (limit)", tr.Count())
+	}
+	if strings.Count(b.String(), "\n") != 2 {
+		t.Fatalf("trace lines = %d, want 2", strings.Count(b.String(), "\n"))
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Packet(&coherence.Msg{}) // nil receiver is a no-op
+}

@@ -1,0 +1,102 @@
+package appbench
+
+import (
+	"testing"
+
+	"denovogpu/internal/machine"
+	"denovogpu/internal/workload"
+)
+
+// TestAppsCorrectUnderGDAndDD runs every application under the two base
+// protocols and verifies results against the host references. (G* and
+// D* are the only distinct behaviours for no-sync apps; the HRF
+// variants add nothing without local synchronization.)
+func TestAppsCorrectUnderGDAndDD(t *testing.T) {
+	names := []string{"BP", "PF", "LUD", "NW", "SGEMM", "ST", "HS", "NN", "SRAD", "LAVA"}
+	for _, name := range names {
+		w, err := workload.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range []machine.Config{machine.GD(), machine.DD()} {
+			cfg := cfg
+			w := w
+			t.Run(name+"/"+cfg.Name(), func(t *testing.T) {
+				t.Parallel()
+				m := machine.New(cfg)
+				w.Host(m)
+				if err := m.Err(); err != nil {
+					t.Fatal(err)
+				}
+				if err := w.Verify(m); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestAppsCorrectUnderRemainingConfigs spot-checks the three remaining
+// configurations on a representative subset (full coverage of all 50
+// combinations runs in the sweep, not the unit suite).
+func TestAppsCorrectUnderRemainingConfigs(t *testing.T) {
+	for _, name := range []string{"PF", "SGEMM", "LAVA"} {
+		w, err := workload.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range []machine.Config{machine.GH(), machine.DDRO(), machine.DH()} {
+			cfg := cfg
+			w := w
+			t.Run(name+"/"+cfg.Name(), func(t *testing.T) {
+				t.Parallel()
+				m := machine.New(cfg)
+				w.Host(m)
+				if err := m.Err(); err != nil {
+					t.Fatal(err)
+				}
+				if err := w.Verify(m); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestLavaStoreBufferEffect verifies the mechanism behind the paper's
+// LavaMD observation: under GPU coherence the accumulator set overflows
+// the store buffer (forced word writethroughs); under DeNovo writes hit
+// after registration, so WB/WT traffic collapses.
+func TestLavaStoreBufferEffect(t *testing.T) {
+	w, err := workload.Get("LAVA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(cfg machine.Config) *machine.Machine {
+		m := machine.New(cfg)
+		w.Host(m)
+		if err := m.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	gd := run(machine.GD())
+	dd := run(machine.DD())
+	if gd.Stats().Get("sb.overflow_writethroughs") == 0 {
+		t.Error("LAVA under GD should overflow the store buffer")
+	}
+	gdWT := gd.Stats().Flits[2] // WB/WT class
+	ddWT := dd.Stats().Flits[2]
+	if ddWT >= gdWT {
+		t.Errorf("DD WB/WT traffic (%d flits) should be far below GD (%d)", ddWT, gdWT)
+	}
+	if dd.Stats().Get("l1.write_hits") == 0 {
+		t.Error("DD should see write hits on registered accumulators")
+	}
+}
+
+func TestRegistryHasAllTable4Apps(t *testing.T) {
+	if got := len(workload.ByCategory(workload.NoSync)); got != 10 {
+		t.Errorf("no-sync apps registered = %d, want 10", got)
+	}
+}

@@ -1,0 +1,133 @@
+// Package workload defines the device programming API that benchmark
+// kernels are written against, and the registry of all benchmarks from
+// the paper's Table 4.
+//
+// Kernels execute as SIMT lockstep vector code at thread-block
+// granularity: every memory operation supplies one address per thread
+// (or uses the scalar forms, which model "thread 0 does X" idioms from
+// the original microbenchmarks). The GPU timing model coalesces each
+// vector access into per-warp line accesses, exactly as the simulated
+// hardware would.
+package workload
+
+import (
+	"denovogpu/internal/coherence"
+	"denovogpu/internal/mem"
+)
+
+// Executor is the backend a kernel's context drives; the GPU package
+// implements it with the CU timing model.
+type Executor interface {
+	// Vec performs a vector memory operation: loads (one address per
+	// active lane) and/or stores. It returns the loaded values, indexed
+	// like loads.
+	Vec(loads []mem.Addr, stores []mem.Addr, storeVals []uint32) []uint32
+	// Atomic performs a scalar synchronization access.
+	Atomic(op coherence.AtomicOp, a mem.Addr, operand, operand2 uint32, order coherence.Order, scope coherence.Scope) uint32
+	// Compute models n cycles of ALU work.
+	Compute(n int)
+	// Wait models n cycles of idle waiting (spin backoff, sleep): time
+	// passes but the warp issues no instructions, so no instruction
+	// energy is charged.
+	Wait(n int)
+	// Scratch models n scratchpad accesses.
+	Scratch(n int)
+}
+
+// Kernel is a GPU kernel body, executed once per thread block.
+type Kernel func(c *Ctx)
+
+// Ctx is the per-thread-block execution context handed to kernels.
+type Ctx struct {
+	// TB is this thread block's index within the grid.
+	TB int
+	// NumTBs is the grid size in thread blocks.
+	NumTBs int
+	// Threads is the number of threads in this block.
+	Threads int
+	// CU is the compute unit executing this block.
+	CU int
+	// NumCUs is the number of compute units in the machine.
+	NumCUs int
+
+	Ex Executor
+}
+
+// Load reads one word (a scalar, thread-0 access).
+func (c *Ctx) Load(a mem.Addr) uint32 {
+	return c.Ex.Vec([]mem.Addr{a}, nil, nil)[0]
+}
+
+// Store writes one word (a scalar, thread-0 access).
+func (c *Ctx) Store(a mem.Addr, v uint32) {
+	c.Ex.Vec(nil, []mem.Addr{a}, []uint32{v})
+}
+
+// LoadV reads one word per thread.
+func (c *Ctx) LoadV(addrs []mem.Addr) []uint32 {
+	return c.Ex.Vec(addrs, nil, nil)
+}
+
+// StoreV writes one word per thread.
+func (c *Ctx) StoreV(addrs []mem.Addr, vals []uint32) {
+	c.Ex.Vec(nil, addrs, vals)
+}
+
+// StrideAddrs returns the addresses thread i = base + 4*i*stride words,
+// one per thread — the canonical coalesced access.
+func (c *Ctx) StrideAddrs(base mem.Addr, stride int) []mem.Addr {
+	addrs := make([]mem.Addr, c.Threads)
+	for i := range addrs {
+		addrs[i] = base + mem.Addr(i*stride*mem.WordBytes)
+	}
+	return addrs
+}
+
+// LoadStride loads thread-contiguous words starting at base.
+func (c *Ctx) LoadStride(base mem.Addr) []uint32 {
+	return c.LoadV(c.StrideAddrs(base, 1))
+}
+
+// StoreStride stores thread-contiguous words starting at base.
+func (c *Ctx) StoreStride(base mem.Addr, vals []uint32) {
+	c.StoreV(c.StrideAddrs(base, 1), vals)
+}
+
+// Compute models n cycles of per-warp ALU work.
+func (c *Ctx) Compute(n int) { c.Ex.Compute(n) }
+
+// Wait models n cycles of idle waiting (backoff, sleep quantum).
+func (c *Ctx) Wait(n int) { c.Ex.Wait(n) }
+
+// Scratch models n scratchpad accesses.
+func (c *Ctx) Scratch(n int) { c.Ex.Scratch(n) }
+
+// Synchronization accesses. Following the DRF/HRF conventions (and the
+// paper's ban on relaxed atomics), a sync read is an acquire, a sync
+// write is a release, and RMWs are both.
+
+// AtomicLoad is a synchronization read (acquire).
+func (c *Ctx) AtomicLoad(a mem.Addr, s coherence.Scope) uint32 {
+	return c.Ex.Atomic(coherence.AtomicLoad, a, 0, 0, coherence.OrderAcquire, s)
+}
+
+// AtomicStore is a synchronization write (release).
+func (c *Ctx) AtomicStore(a mem.Addr, v uint32, s coherence.Scope) {
+	c.Ex.Atomic(coherence.AtomicStore, a, v, 0, coherence.OrderRelease, s)
+}
+
+// AtomicAdd is a fetch-and-add (acquire+release).
+func (c *Ctx) AtomicAdd(a mem.Addr, v uint32, s coherence.Scope) uint32 {
+	return c.Ex.Atomic(coherence.AtomicAdd, a, v, 0, coherence.OrderAcqRel, s)
+}
+
+// AtomicCAS stores newV if the current value is oldV, returning the
+// prior value (acquire+release).
+func (c *Ctx) AtomicCAS(a mem.Addr, oldV, newV uint32, s coherence.Scope) uint32 {
+	return c.Ex.Atomic(coherence.AtomicCAS, a, newV, oldV, coherence.OrderAcqRel, s)
+}
+
+// AtomicExch swaps in v, returning the prior value (acquire+release).
+func (c *Ctx) AtomicExch(a mem.Addr, v uint32, s coherence.Scope) uint32 {
+	return c.Ex.Atomic(coherence.AtomicExch, a, v, 0, coherence.OrderAcqRel, s)
+}

@@ -1,0 +1,192 @@
+package syncbench
+
+import (
+	"fmt"
+
+	"denovogpu/internal/coherence"
+	"denovogpu/internal/mem"
+	"denovogpu/internal/workload"
+)
+
+// BarrierParams configures the tree-barrier benchmarks (TB_LG,
+// TBEX_LG). All thread blocks on a CU join a locally scoped barrier;
+// one representative per CU then joins the globally scoped barrier
+// (a two-level tree barrier). Each iteration's compute phase exchanges
+// double-buffered data between blocks: TB_LG exchanges with a block on
+// another CU; TBEX_LG additionally exchanges with a sibling block on
+// the same CU before joining the global barrier.
+type BarrierParams struct {
+	LocalExchange bool // TBEX_LG
+	TBsPerCU      int
+	Iters         int
+	Accesses      int
+	Threads       int
+	NumCUs        int
+}
+
+func (p BarrierParams) defaults() BarrierParams {
+	if p.TBsPerCU == 0 {
+		p.TBsPerCU = DefaultTBsPerCU
+	}
+	if p.Iters == 0 {
+		p.Iters = DefaultIters
+	}
+	if p.Accesses == 0 {
+		p.Accesses = DefaultAccesses
+	}
+	if p.Threads == 0 {
+		p.Threads = DefaultThreads
+	}
+	if p.NumCUs == 0 {
+		p.NumCUs = 15
+	}
+	return p
+}
+
+// TreeBarrier builds TB_LG or TBEX_LG.
+func TreeBarrier(p BarrierParams) workload.Workload {
+	p = p.defaults()
+	name := "TB_LG"
+	if p.LocalExchange {
+		name = "TBEX_LG"
+	}
+	numTBs := p.TBsPerCU * p.NumCUs
+	regionWords := p.Accesses * p.Threads
+
+	lay := newLayout()
+	gcount := lay.line()
+	gsense := lay.line()
+	lcounts := make([]mem.Addr, p.NumCUs)
+	lsenses := make([]mem.Addr, p.NumCUs)
+	for i := range lcounts {
+		lcounts[i] = lay.line()
+		lsenses[i] = lay.line()
+	}
+	// Double-buffered per-block regions: iteration it reads buffer
+	// it%2 and writes buffer 1-it%2, so cross-block reads are race-free
+	// (separated from the writes by the previous iteration's barrier).
+	bufs := [2][]mem.Addr{}
+	for b := 0; b < 2; b++ {
+		bufs[b] = make([]mem.Addr, numTBs)
+		for i := range bufs[b] {
+			bufs[b][i] = lay.words(regionWords)
+		}
+	}
+	// Read-only coefficients used by every compute phase: genuinely
+	// read-only program data that DD+RO's selective invalidation (and
+	// GH's local scopes) can keep cached across barriers.
+	coef := lay.words(regionWords)
+	coefAt := func(i int) uint32 { return uint32(i%7 + 1) }
+
+	// twoLevelBarrier joins the two-level phase-counting barrier; phase
+	// is the number of barriers this block has completed.
+	twoLevelBarrier := func(c *workload.Ctx, phase uint32) {
+		lcount, lsense := lcounts[c.CU], lsenses[c.CU]
+		arrived := c.AtomicAdd(lcount, 1, coherence.ScopeLocal) + 1
+		if arrived == uint32(p.TBsPerCU) {
+			c.AtomicStore(lcount, 0, coherence.ScopeLocal)
+			// Representative joins the global barrier.
+			g := c.AtomicAdd(gcount, 1, coherence.ScopeGlobal) + 1
+			if g == uint32(p.NumCUs) {
+				c.AtomicStore(gcount, 0, coherence.ScopeGlobal)
+				c.AtomicAdd(gsense, 1, coherence.ScopeGlobal)
+			} else {
+				s := newSpinWait(true)
+				for c.AtomicLoad(gsense, coherence.ScopeGlobal) <= phase {
+					s.wait(c)
+				}
+			}
+			c.AtomicAdd(lsense, 1, coherence.ScopeLocal)
+		} else {
+			s := newSpinWait(true)
+			for c.AtomicLoad(lsense, coherence.ScopeLocal) <= phase {
+				s.wait(c)
+			}
+		}
+	}
+
+	kernel := func(c *workload.Ctx) {
+		for it := 0; it < p.Iters; it++ {
+			src, dst := bufs[it%2], bufs[1-it%2]
+			remote := (c.TB + 1) % numTBs // lives on the next CU
+			sibling := (c.TB/c.NumCUs+1)%p.TBsPerCU*c.NumCUs + c.CU
+			for j := 0; j < p.Accesses; j++ {
+				off := mem.Addr(4 * j * c.Threads)
+				own := c.LoadStride(src[c.TB] + off)
+				part := c.LoadStride(src[remote] + off)
+				cf := c.LoadStride(coef + off)
+				for i := range own {
+					own[i] += part[i] * cf[i]
+				}
+				if p.LocalExchange {
+					sib := c.LoadStride(src[sibling] + off)
+					for i := range own {
+						own[i] += sib[i]
+					}
+				}
+				c.StoreStride(dst[c.TB]+off, own)
+			}
+			twoLevelBarrier(c, uint32(it))
+		}
+	}
+
+	refInit := func(tb, i int) uint32 { return uint32(tb*1000 + i) }
+
+	return workload.Workload{
+		Name:     name,
+		Input:    fmt.Sprintf("%d TBs/CU, %d iters/TB/kernel, %d Ld&St/thr/iter", p.TBsPerCU, p.Iters, p.Accesses),
+		Category: workload.LocalSync,
+		Host: func(h workload.Host) {
+			for tb := 0; tb < numTBs; tb++ {
+				for i := 0; i < regionWords; i++ {
+					h.Write(bufs[0][tb]+mem.Addr(4*i), refInit(tb, i))
+				}
+			}
+			for i := 0; i < regionWords; i++ {
+				h.Write(coef+mem.Addr(4*i), coefAt(i))
+			}
+			h.SetReadOnly(coef, coef+mem.Addr(4*regionWords))
+			h.Launch(kernel, numTBs, p.Threads)
+		},
+		Verify: func(h workload.Host) error {
+			cur := make([][]uint32, numTBs)
+			for tb := range cur {
+				cur[tb] = make([]uint32, regionWords)
+				for i := range cur[tb] {
+					cur[tb][i] = refInit(tb, i)
+				}
+			}
+			for it := 0; it < p.Iters; it++ {
+				next := make([][]uint32, numTBs)
+				for tb := range next {
+					remote := (tb + 1) % numTBs
+					cu := tb % p.NumCUs
+					sibling := (tb/p.NumCUs+1)%p.TBsPerCU*p.NumCUs + cu
+					next[tb] = make([]uint32, regionWords)
+					for i := range next[tb] {
+						v := cur[tb][i] + cur[remote][i]*coefAt(i)
+						if p.LocalExchange {
+							v += cur[sibling][i]
+						}
+						next[tb][i] = v
+					}
+				}
+				cur = next
+			}
+			final := bufs[p.Iters%2]
+			for tb := 0; tb < numTBs; tb++ {
+				for i := 0; i < regionWords; i++ {
+					if got := h.Read(final[tb] + mem.Addr(4*i)); got != cur[tb][i] {
+						return fmt.Errorf("%s block %d word %d = %d, want %d", name, tb, i, got, cur[tb][i])
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func init() {
+	workload.Register(TreeBarrier(BarrierParams{LocalExchange: false}))
+	workload.Register(TreeBarrier(BarrierParams{LocalExchange: true}))
+}

@@ -1,0 +1,35 @@
+package syncbench
+
+import (
+	"testing"
+	"time"
+
+	"denovogpu/internal/machine"
+	"denovogpu/internal/workload"
+)
+
+// TestFullSizeMutexSpeed runs one paper-size benchmark under the two
+// extreme configs and logs wall time and simulated cycles, guarding
+// against pathological slowdowns.
+func TestFullSizeMutexSpeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size run")
+	}
+	for _, cfg := range []machine.Config{machine.GD(), machine.DD()} {
+		w, err := workload.Get("SPM_G")
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		m := machine.New(cfg)
+		w.Host(m)
+		if err := m.Err(); err != nil {
+			t.Fatalf("%s: %v", cfg.Name(), err)
+		}
+		if err := w.Verify(m); err != nil {
+			t.Fatalf("%s: %v", cfg.Name(), err)
+		}
+		t.Logf("%s: %d cycles, %d flits, %.2fs wall, %d events",
+			cfg.Name(), m.Stats().Cycles, m.Stats().TotalFlits(), time.Since(start).Seconds(), 0)
+	}
+}

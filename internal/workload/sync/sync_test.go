@@ -1,0 +1,88 @@
+package syncbench
+
+import (
+	"testing"
+
+	"denovogpu/internal/machine"
+	"denovogpu/internal/workload"
+)
+
+// runScaled runs a scaled-down workload under every paper configuration
+// and verifies functional correctness.
+func runScaled(t *testing.T, w workload.Workload) {
+	t.Helper()
+	for _, cfg := range machine.AllConfigs() {
+		cfg := cfg
+		t.Run(cfg.Name(), func(t *testing.T) {
+			m := machine.New(cfg)
+			w.Host(m)
+			if err := m.Err(); err != nil {
+				t.Fatalf("%s under %s: %v", w.Name, cfg.Name(), err)
+			}
+			if err := w.Verify(m); err != nil {
+				t.Fatalf("%s under %s: %v", w.Name, cfg.Name(), err)
+			}
+		})
+	}
+}
+
+func TestMutexesScaledAllConfigs(t *testing.T) {
+	for _, kind := range []MutexKind{FAMutex, SleepMutex, SpinMutex, SpinMutexBackoff} {
+		for _, local := range []bool{false, true} {
+			w := Mutex(MutexParams{Kind: kind, Local: local, Iters: 5, Accesses: 4})
+			t.Run(w.Name, func(t *testing.T) { runScaled(t, w) })
+		}
+	}
+}
+
+func TestSemaphoreScaledAllConfigs(t *testing.T) {
+	for _, backoff := range []bool{false, true} {
+		w := Semaphore(SemParams{Backoff: backoff, Iters: 6, LoadsPer: 4})
+		t.Run(w.Name, func(t *testing.T) { runScaled(t, w) })
+	}
+}
+
+func TestTreeBarrierScaledAllConfigs(t *testing.T) {
+	for _, lex := range []bool{false, true} {
+		w := TreeBarrier(BarrierParams{LocalExchange: lex, Iters: 4, Accesses: 3})
+		t.Run(w.Name, func(t *testing.T) { runScaled(t, w) })
+	}
+}
+
+func TestUTSScaledAllConfigs(t *testing.T) {
+	w := UTS(UTSParams{RootChildren: 48})
+	runScaled(t, w)
+}
+
+func TestUTSTreeSizeNearTable4(t *testing.T) {
+	total := utsCountNodes(768, 1_000_000)
+	t.Logf("UTS default tree: %d nodes", total)
+	if total < 8_000 || total > 32_000 {
+		t.Fatalf("default UTS tree has %d nodes; Table 4 calls for ~16K", total)
+	}
+}
+
+func TestUTSTreeDeterministic(t *testing.T) {
+	if utsCountNodes(100, 1_000_000) != utsCountNodes(100, 1_000_000) {
+		t.Fatal("tree generation not deterministic")
+	}
+}
+
+func TestRegistryHasAllTable4SyncBenchmarks(t *testing.T) {
+	want := []string{
+		"FAM_G", "SLM_G", "SPM_G", "SPMBO_G",
+		"FAM_L", "SLM_L", "SPM_L", "SPMBO_L",
+		"SS_L", "SSBO_L", "TB_LG", "TBEX_LG", "UTS",
+	}
+	for _, name := range want {
+		if _, err := workload.Get(name); err != nil {
+			t.Errorf("missing benchmark: %v", err)
+		}
+	}
+	if got := len(workload.ByCategory(workload.GlobalSync)); got != 4 {
+		t.Errorf("global-sync benchmarks = %d, want 4", got)
+	}
+	if got := len(workload.ByCategory(workload.LocalSync)); got != 9 {
+		t.Errorf("local-sync benchmarks = %d, want 9", got)
+	}
+}

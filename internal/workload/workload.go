@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"denovogpu/internal/mem"
+)
+
+// Host is what a workload's driver (the CPU side) sees: kernel launch
+// plus functional coherent memory access between kernels. The machine
+// package implements it.
+type Host interface {
+	// Launch runs a kernel over numTBs thread blocks of threadsPerTB
+	// threads, returning after the kernel (and its boundary release)
+	// completes in simulated time.
+	Launch(k Kernel, numTBs, threadsPerTB int)
+	// Read performs an untimed coherent read (between kernels).
+	Read(a mem.Addr) uint32
+	// Write performs an untimed coherent write (between kernels).
+	Write(a mem.Addr, v uint32)
+	// SetReadOnly declares [lo, hi) read-only for DeNovo's DD+RO
+	// selective invalidation. The declaration is hardware-agnostic
+	// program information: configurations without the optimization
+	// ignore it.
+	SetReadOnly(lo, hi mem.Addr)
+	// ClearReadOnly revokes all read-only declarations; required before
+	// the host writes a previously declared range.
+	ClearReadOnly()
+	// NumCUs returns the number of GPU compute units.
+	NumCUs() int
+}
+
+// Category groups benchmarks the way the paper's evaluation does.
+type Category int
+
+const (
+	// NoSync: traditional GPU applications with no intra-kernel
+	// synchronization (Figure 2).
+	NoSync Category = iota
+	// GlobalSync: microbenchmarks with only globally scoped
+	// fine-grained synchronization (Figure 3).
+	GlobalSync
+	// LocalSync: microbenchmarks with mostly locally scoped or hybrid
+	// synchronization (Figure 4).
+	LocalSync
+)
+
+func (c Category) String() string {
+	switch c {
+	case NoSync:
+		return "no-sync"
+	case GlobalSync:
+		return "global-sync"
+	case LocalSync:
+		return "local-sync"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Workload is one benchmark: a host driver that allocates memory,
+// launches kernels, and a verifier that checks the final memory state
+// against the algorithm's specification (the simulator is functional,
+// so every run computes real results).
+type Workload struct {
+	// Name is the paper's benchmark name (Table 4), e.g. "FAM_G".
+	Name string
+	// Input describes the input size, as in Table 4.
+	Input string
+	// Category places the benchmark in Figure 2, 3, or 4.
+	Category Category
+	// Host drives the benchmark.
+	Host func(h Host)
+	// Verify checks the final state; nil error means correct.
+	Verify func(h Host) error
+}
+
+// Arena is a bump allocator for carving a workload's address space.
+// Allocations are line aligned and never share a cache line with each
+// other, so unrelated data structures never exhibit false sharing.
+type Arena struct{ next mem.Addr }
+
+// NewArena starts allocating at a fixed base.
+func NewArena() *Arena { return &Arena{next: 0x10_0000} }
+
+// Words reserves n words and returns the address of the first.
+func (a *Arena) Words(n int) mem.Addr {
+	addr := a.next
+	bytes := mem.Addr((n*mem.WordBytes + mem.LineBytes - 1) / mem.LineBytes * mem.LineBytes)
+	a.next += bytes
+	return addr
+}
+
+// Line reserves a single line (for locks, counters, flags).
+func (a *Arena) Line() mem.Addr { return a.Words(mem.WordsPerLine) }
+
+// WriteSlice seeds memory at base with vals (host-side, untimed).
+func WriteSlice(h Host, base mem.Addr, vals []uint32) {
+	for i, v := range vals {
+		h.Write(base+mem.Addr(4*i), v)
+	}
+}
+
+// ReadSlice reads n words at base (host-side, untimed).
+func ReadSlice(h Host, base mem.Addr, n int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = h.Read(base + mem.Addr(4*i))
+	}
+	return out
+}
+
+var registry = make(map[string]Workload)
+
+// Register adds a workload to the global registry; it panics on
+// duplicate names (a build-time bug).
+func Register(w Workload) {
+	if _, dup := registry[w.Name]; dup {
+		panic(fmt.Sprintf("workload: duplicate %q", w.Name))
+	}
+	registry[w.Name] = w
+}
+
+// Get returns a registered workload.
+func Get(name string) (Workload, error) {
+	w, ok := registry[name]
+	if !ok {
+		return Workload{}, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, Names())
+	}
+	return w, nil
+}
+
+// Names returns all registered workload names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByCategory returns the workloads of one category in registration
+// name order.
+func ByCategory(c Category) []Workload {
+	var out []Workload
+	for _, n := range Names() {
+		if registry[n].Category == c {
+			out = append(out, registry[n])
+		}
+	}
+	return out
+}
