@@ -62,8 +62,10 @@ var MESI = machine.MESI
 // ConfigByName resolves a configuration name ("GD", "GH", "DD",
 // "DD+RO", "DH", or the extension "MESI"; case-sensitive).
 func ConfigByName(name string) (Config, error) {
-	for _, c := range append(machine.AllConfigs(), machine.MESI()) {
-		if c.Name() == name {
+	// Each candidate is built fresh (no append onto a shared slice), so
+	// every call hands the caller an independent Config value to mutate.
+	for _, mk := range []func() Config{machine.GD, machine.GH, machine.DD, machine.DDRO, machine.DH, machine.MESI} {
+		if c := mk(); c.Name() == name {
 			return c, nil
 		}
 	}

@@ -93,3 +93,59 @@ func TestRunVerificationFailureSurfaces(t *testing.T) {
 type errBoom struct{}
 
 func (errBoom) Error() string { return "boom" }
+
+// TestConfigByNameIndependentCopies guards the contract that resolved
+// configs are free to mutate: two lookups must not share state, and
+// mutations must not leak into AllConfigs.
+func TestConfigByNameIndependentCopies(t *testing.T) {
+	a, err := denovogpu.ConfigByName("DD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.NumCUs = 2
+	a.SyncBackoff = true
+	b, err := denovogpu.ConfigByName("DD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumCUs == 2 || b.SyncBackoff {
+		t.Fatalf("mutating one resolved config leaked into the next lookup: %+v", b)
+	}
+	if got := denovogpu.AllConfigs()[2]; got.NumCUs == 2 || got.SyncBackoff {
+		t.Fatalf("mutating a resolved config leaked into AllConfigs: %+v", got)
+	}
+}
+
+// TestRunDeterminism pins the simulator's determinism contract: the
+// same (configuration, workload) pair run twice must produce
+// bit-identical measurements. One representative benchmark per paper
+// category (Figures 2, 3, 4).
+func TestRunDeterminism(t *testing.T) {
+	benches := []string{"LAVA", "FAM_G", "UTS"}
+	if testing.Short() {
+		benches = []string{"LAVA", "UTS"}
+	}
+	for _, bench := range benches {
+		bench := bench
+		t.Run(bench, func(t *testing.T) {
+			t.Parallel()
+			a, err := denovogpu.RunByName(denovogpu.DD(), bench)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := denovogpu.RunByName(denovogpu.DD(), bench)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Cycles != b.Cycles {
+				t.Errorf("Cycles differ across identical runs: %d vs %d", a.Cycles, b.Cycles)
+			}
+			if a.EnergyPJ != b.EnergyPJ {
+				t.Errorf("EnergyPJ differs across identical runs: %v vs %v", a.EnergyPJ, b.EnergyPJ)
+			}
+			if a.Flits != b.Flits {
+				t.Errorf("Flits differ across identical runs: %v vs %v", a.Flits, b.Flits)
+			}
+		})
+	}
+}

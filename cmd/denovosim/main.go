@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"denovogpu"
@@ -19,34 +20,40 @@ import (
 	"denovogpu/internal/workload"
 )
 
-func main() {
-	bench := flag.String("bench", "", "benchmark name from Table 4 (see -list)")
-	config := flag.String("config", "DD", "configuration: GD, GH, DD, DD+RO, DH")
-	counters := flag.Bool("counters", false, "also print diagnostic counters")
-	list := flag.Bool("list", false, "list benchmarks and exit")
-	sbEntries := flag.Int("sbentries", 0, "override store-buffer entries (0 = paper default 256)")
-	cus := flag.Int("cus", 0, "override GPU CU count (0 = paper default 15)")
-	backoff := flag.Bool("syncbackoff", false, "enable the DeNovoSync read-backoff extension")
-	direct := flag.Bool("directtransfer", false, "enable direct cache-to-cache transfers")
-	lazy := flag.Bool("lazywrites", false, "delay DeNovo data-write registration to global releases")
-	traceN := flag.Uint64("trace", 0, "print the first N protocol messages to stderr")
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("denovosim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bench := fs.String("bench", "", "benchmark name from Table 4 (see -list)")
+	config := fs.String("config", "DD", "configuration: GD, GH, DD, DD+RO, DH")
+	counters := fs.Bool("counters", false, "also print diagnostic counters")
+	list := fs.Bool("list", false, "list benchmarks and exit")
+	sbEntries := fs.Int("sbentries", 0, "override store-buffer entries (0 = paper default 256)")
+	cus := fs.Int("cus", 0, "override GPU CU count (0 = paper default 15)")
+	backoff := fs.Bool("syncbackoff", false, "enable the DeNovoSync read-backoff extension")
+	direct := fs.Bool("directtransfer", false, "enable direct cache-to-cache transfers")
+	lazy := fs.Bool("lazywrites", false, "delay DeNovo data-write registration to global releases")
+	traceN := fs.Uint64("trace", 0, "print the first N protocol messages to stderr")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, name := range denovogpu.Workloads() {
 			w, _ := denovogpu.WorkloadByName(name)
-			fmt.Printf("%-10s %-12s %s\n", w.Name, w.Category, w.Input)
+			fmt.Fprintf(stdout, "%-10s %-12s %s\n", w.Name, w.Category, w.Input)
 		}
-		return
+		return 0
 	}
 	if *bench == "" {
-		fmt.Fprintln(os.Stderr, "denovosim: -bench is required (try -list)")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "denovosim: -bench is required (try -list)")
+		return 2
 	}
 	cfg, err := denovogpu.ConfigByName(*config)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 	if *sbEntries > 0 {
 		cfg.SBEntries = *sbEntries
@@ -60,39 +67,40 @@ func main() {
 
 	w, err := denovogpu.WorkloadByName(*bench)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
-	rep, err := runTraced(cfg, w, *traceN)
+	rep, err := runTraced(cfg, w, *traceN, stderr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 
-	fmt.Printf("benchmark   %s\nconfig      %s\n", rep.Workload, rep.Config)
-	fmt.Printf("exec time   %d cycles (%.3f ms @ 700 MHz)\n", rep.Cycles, float64(rep.Cycles)/700e3)
-	fmt.Printf("energy      %.2f uJ total\n", rep.TotalEnergyPJ()/1e6)
+	fmt.Fprintf(stdout, "benchmark   %s\nconfig      %s\n", rep.Workload, rep.Config)
+	fmt.Fprintf(stdout, "exec time   %d cycles (%.3f ms @ 700 MHz)\n", rep.Cycles, float64(rep.Cycles)/700e3)
+	fmt.Fprintf(stdout, "energy      %.2f uJ total\n", rep.TotalEnergyPJ()/1e6)
 	for c := stats.Component(0); c < stats.NumComponents; c++ {
-		fmt.Printf("  %-10s %12.2f uJ\n", c, rep.EnergyPJ[c]/1e6)
+		fmt.Fprintf(stdout, "  %-10s %12.2f uJ\n", c, rep.EnergyPJ[c]/1e6)
 	}
-	fmt.Printf("traffic     %d flit crossings\n", rep.TotalFlits())
+	fmt.Fprintf(stdout, "traffic     %d flit crossings\n", rep.TotalFlits())
 	for c := stats.TrafficClass(0); c < stats.NumTrafficClasses; c++ {
-		fmt.Printf("  %-10s %12d\n", c, rep.Flits[c])
+		fmt.Fprintf(stdout, "  %-10s %12d\n", c, rep.Flits[c])
 	}
 	if *counters {
-		fmt.Println("counters")
+		fmt.Fprintln(stdout, "counters")
 		for _, n := range rep.Stats.Names() {
-			fmt.Printf("  %-32s %12d\n", n, rep.Stats.Get(n))
+			fmt.Fprintf(stdout, "  %-32s %12d\n", n, rep.Stats.Get(n))
 		}
 	}
+	return 0
 }
 
 // runTraced runs the workload, optionally tracing the first n protocol
-// messages to stderr.
-func runTraced(cfg denovogpu.Config, w workload.Workload, n uint64) (denovogpu.Report, error) {
+// messages to the trace writer.
+func runTraced(cfg denovogpu.Config, w workload.Workload, n uint64, tw io.Writer) (denovogpu.Report, error) {
 	m := machine.New(cfg)
 	if n > 0 {
-		m.Mesh().SetTap(trace.New(os.Stderr, m.Engine(), n))
+		m.Mesh().SetTap(trace.New(tw, m.Engine(), n))
 	}
 	w.Host(m)
 	if err := m.Err(); err != nil {

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestList(t *testing.T) {
+	code, out, _ := runCmd(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, bench := range []string{"LAVA", "FAM_G", "UTS"} {
+		if !strings.Contains(out, bench) {
+			t.Fatalf("-list output missing %s:\n%s", bench, out)
+		}
+	}
+}
+
+func TestRunBenchmark(t *testing.T) {
+	code, out, errb := runCmd(t, "-bench", "LAVA", "-config", "DD", "-counters")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, want := range []string{"benchmark   LAVA", "config      DD", "exec time", "energy", "traffic", "counters"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceGoesToStderr(t *testing.T) {
+	code, _, errb := runCmd(t, "-bench", "LAVA", "-config", "DD", "-trace", "3")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if errb == "" {
+		t.Fatal("-trace produced no protocol messages on stderr")
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // expected on stderr
+	}{
+		{"no bench", nil, "-bench is required"},
+		{"bad flag", []string{"-nope"}, "flag provided but not defined"},
+		{"unknown bench", []string{"-bench", "NOPE"}, "NOPE"},
+		{"unknown config", []string{"-bench", "LAVA", "-config", "ZZ"}, "unknown configuration"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			code, _, errb := runCmd(t, c.args...)
+			if code != 2 {
+				t.Fatalf("exit %d, want 2 (stderr: %s)", code, errb)
+			}
+			if !strings.Contains(errb, c.want) {
+				t.Fatalf("stderr missing %q:\n%s", c.want, errb)
+			}
+		})
+	}
+}

@@ -1,0 +1,201 @@
+// Command litmus drives the memory-consistency litmus engine: it runs
+// the catalog of classic shapes under every configuration, fuzzes
+// random programs differentially against the executable oracle, and
+// replays saved counterexample cases.
+//
+// Usage:
+//
+//	litmus -catalog                  # catalog under all configs + MESI
+//	litmus -fuzz 500 -seed 42        # differential fuzzing
+//	litmus -replay case.json         # re-run a shrunk counterexample
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"denovogpu/internal/litmus"
+	"denovogpu/internal/machine"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("litmus", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		catalog = fs.Bool("catalog", false, "run the litmus catalog under every configuration")
+		fuzz    = fs.Int("fuzz", 0, "differentially fuzz N seeded random programs")
+		seed    = fs.Uint64("seed", 20260805, "base seed for -fuzz and schedule generation (splittable: program i is the same for any N)")
+		nsched  = fs.Int("schedules", 5, "schedules per (program, configuration)")
+		replay  = fs.String("replay", "", "replay a saved counterexample case (JSON file)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch {
+	case *catalog:
+		return runCatalog(stdout, stderr, *nsched, *seed)
+	case *fuzz > 0:
+		return runFuzz(stdout, stderr, *fuzz, *seed, *nsched)
+	case *replay != "":
+		return runReplay(stdout, stderr, *replay)
+	}
+	fmt.Fprintln(stderr, "litmus: one of -catalog, -fuzz N, or -replay FILE is required")
+	fs.Usage()
+	return 2
+}
+
+// runCatalog executes every catalog shape under every configuration and
+// reports, per configuration, whether the shape's weak outcome was
+// observed — so the output doubles as a behavioral comparison of the
+// five protocols (plus MESI). Any outcome outside the oracle's
+// permitted set fails the run.
+func runCatalog(stdout, stderr io.Writer, nsched int, seed uint64) int {
+	cfgs := litmus.Configs()
+	fmt.Fprintf(stdout, "%-22s %-6s %-6s", "shape", "DRF?", "HRF?")
+	for _, cfg := range cfgs {
+		fmt.Fprintf(stdout, " %-6s", cfg.Name())
+	}
+	fmt.Fprintln(stdout)
+
+	bad := 0
+	for _, e := range Catalog() {
+		fmt.Fprintf(stdout, "%-22s %-6s %-6s", e.Program.Name, permits(e.AllowedDRF), permits(e.AllowedHRF))
+		scheds := litmus.Schedules(e.Program, nsched, seed)
+		for _, cfg := range cfgs {
+			v, err := litmus.Check([]machine.Config{cfg}, e.Program, scheds)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			if v != nil {
+				fmt.Fprintf(stdout, " %-6s", "FAIL")
+				fmt.Fprintln(stderr, v.Error())
+				bad++
+				continue
+			}
+			weak := "strong"
+			for _, s := range scheds {
+				o, err := litmus.Run(cfg, e.Program, s)
+				if err != nil {
+					fmt.Fprintln(stderr, err)
+					return 1
+				}
+				if e.Weak(o) {
+					weak = "weak"
+					break
+				}
+			}
+			fmt.Fprintf(stdout, " %-6s", weak)
+		}
+		fmt.Fprintln(stdout)
+	}
+	fmt.Fprintf(stdout, "\n%d shapes x %d configs x %d schedules", len(Catalog()), len(cfgs), nsched)
+	if bad > 0 {
+		fmt.Fprintf(stdout, ": %d ORACLE VIOLATIONS\n", bad)
+		return 1
+	}
+	fmt.Fprintln(stdout, ": all outcomes permitted by the oracle")
+	return 0
+}
+
+func permits(allowed bool) string {
+	if allowed {
+		return "allows"
+	}
+	return "forbids"
+}
+
+// Catalog is an indirection point so tests can exercise the CLI with a
+// smaller catalog.
+var Catalog = litmus.Catalog
+
+func runFuzz(stdout, stderr io.Writer, n int, seed uint64, nsched int) int {
+	cfgs := litmus.Configs()
+	gp := litmus.DefaultGenParams()
+	for i := 0; i < n; i++ {
+		p := litmus.Generate(seed, uint64(i), gp)
+		v, err := litmus.Check(cfgs, p, litmus.Schedules(p, nsched, seed^uint64(i)))
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if v != nil {
+			fmt.Fprintln(stderr, v.Error())
+			sp, ss := litmus.Shrink(v.Config, v.Program, v.Schedule)
+			c := &litmus.Case{Config: v.Config.Name(), Program: sp, Schedule: ss, Observed: &v.Observed}
+			js, jerr := c.MarshalIndent()
+			if jerr != nil {
+				fmt.Fprintln(stderr, jerr)
+				return 1
+			}
+			fmt.Fprintf(stderr, "shrunk to %d ops; replay with: litmus -replay case.json\n", sp.NumOps())
+			fmt.Fprintln(stdout, string(js))
+			return 1
+		}
+		if (i+1)%50 == 0 {
+			fmt.Fprintf(stderr, "litmus: %d/%d programs conform\n", i+1, n)
+		}
+	}
+	fmt.Fprintf(stdout, "fuzzed %d programs (seed %d) under %d configurations: no oracle violations\n", n, seed, len(cfgs))
+	return 0
+}
+
+func runReplay(stdout, stderr io.Writer, path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	c, err := litmus.ParseCase(data)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	var cfg machine.Config
+	found := false
+	for _, cand := range litmus.Configs() {
+		if cand.Name() == c.Config {
+			cfg, found = cand, true
+			break
+		}
+	}
+	if !found {
+		fmt.Fprintf(stderr, "litmus: case names unknown configuration %q\n", c.Config)
+		return 1
+	}
+	cfg.FaultDisableAcquireInval = c.Fault
+
+	obs, err := litmus.Run(cfg, c.Program, c.Schedule)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s\nconfig   %s (fault=%v, model %v)\nobserved %s\n", c.Program, c.Config, c.Fault, cfg.Model, obs.Key())
+	if c.Observed != nil && obs.Key() != c.Observed.Key() {
+		fmt.Fprintf(stdout, "note: case recorded %s (timing-dependent behaviors can differ across protocol changes)\n", c.Observed.Key())
+	}
+	allowed, err := litmus.Oracle(c.Program, cfg.Model, 0)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if _, ok := allowed[obs.Key()]; !ok {
+		keys := make([]string, 0, len(allowed))
+		for k := range allowed {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(stdout, "VIOLATION: outcome not permitted by the %v oracle; %d permitted outcomes:\n", cfg.Model, len(keys))
+		for _, k := range keys {
+			fmt.Fprintf(stdout, "  %s\n", k)
+		}
+		return 1
+	}
+	fmt.Fprintf(stdout, "outcome permitted by the %v oracle (violation no longer reproduces)\n", cfg.Model)
+	return 0
+}

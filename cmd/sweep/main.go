@@ -12,74 +12,94 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"denovogpu/internal/figures"
 )
 
-func main() {
+// Figure sweeps are minutes-long; tests stub these out.
+var (
+	sweepFig2 = figures.Fig2
+	sweepFig3 = figures.Fig3
+	sweepFig4 = figures.Fig4
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		all    = flag.Bool("all", false, "regenerate every figure and table")
-		fig2   = flag.Bool("fig2", false, "Figure 2: no-synchronization applications (G* vs D*)")
-		fig3   = flag.Bool("fig3", false, "Figure 3: globally scoped synchronization (G* vs D*)")
-		fig4   = flag.Bool("fig4", false, "Figure 4: locally scoped / hybrid synchronization (all five configs)")
-		table1 = flag.Bool("table1", false, "Table 1: protocol classification")
-		table2 = flag.Bool("table2", false, "Table 2: feature comparison")
-		table3 = flag.Bool("table3", false, "Table 3: parameters and measured latencies")
-		table4 = flag.Bool("table4", false, "Table 4: benchmark inventory")
-		table5 = flag.Bool("table5", false, "Table 5: related-work comparison")
+		all    = fs.Bool("all", false, "regenerate every figure and table")
+		fig2   = fs.Bool("fig2", false, "Figure 2: no-synchronization applications (G* vs D*)")
+		fig3   = fs.Bool("fig3", false, "Figure 3: globally scoped synchronization (G* vs D*)")
+		fig4   = fs.Bool("fig4", false, "Figure 4: locally scoped / hybrid synchronization (all five configs)")
+		table1 = fs.Bool("table1", false, "Table 1: protocol classification")
+		table2 = fs.Bool("table2", false, "Table 2: feature comparison")
+		table3 = fs.Bool("table3", false, "Table 3: parameters and measured latencies")
+		table4 = fs.Bool("table4", false, "Table 4: benchmark inventory")
+		table5 = fs.Bool("table5", false, "Table 5: related-work comparison")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if !(*all || *fig2 || *fig3 || *fig4 || *table1 || *table2 || *table3 || *table4 || *table5) {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 
 	if *all || *table1 {
-		fmt.Println("## Table 1 — protocol classification\n\n" + figures.Table1())
+		fmt.Fprintln(stdout, "## Table 1 — protocol classification\n\n"+figures.Table1())
 	}
 	if *all || *table2 {
-		fmt.Println("## Table 2 — feature comparison\n\n" + figures.Table2())
+		fmt.Fprintln(stdout, "## Table 2 — feature comparison\n\n"+figures.Table2())
 	}
 	if *all || *table3 {
-		fmt.Println("## Table 3 — parameters and measured latencies\n\n" + figures.Table3())
+		fmt.Fprintln(stdout, "## Table 3 — parameters and measured latencies\n\n"+figures.Table3())
 	}
 	if *all || *table4 {
-		fmt.Println("## Table 4 — benchmarks\n\n" + figures.Table4())
+		fmt.Fprintln(stdout, "## Table 4 — benchmarks\n\n"+figures.Table4())
 	}
 	if *all || *table5 {
-		fmt.Println("## Table 5 — related work\n\n" + figures.Table5())
+		fmt.Fprintln(stdout, "## Table 5 — related work\n\n"+figures.Table5())
 	}
 
+	failed := false
 	emit := func(title string, m *figures.Matrix, baseline string, label map[string]string) {
 		if err := m.FirstErr(); err != nil {
-			fmt.Fprintf(os.Stderr, "sweep: %s: %v\n", title, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "sweep: %s: %v\n", title, err)
+			failed = true
+			return
 		}
 		for _, panel := range []struct {
 			sub string
 			mt  figures.Metric
 		}{{"a", figures.Exec}, {"b", figures.Energy}, {"c", figures.Traffic}} {
-			fmt.Printf("## %s%s — %s (normalized to %s)\n\n", title, panel.sub, panel.mt, baseline)
-			fmt.Println(m.FormatNormalizedTable(panel.mt, baseline, label))
+			fmt.Fprintf(stdout, "## %s%s — %s (normalized to %s)\n\n", title, panel.sub, panel.mt, baseline)
+			fmt.Fprintln(stdout, m.FormatNormalizedTable(panel.mt, baseline, label))
 		}
-		fmt.Printf("### %s energy breakdown (components, %% of %s total)\n\n", title, baseline)
-		fmt.Println(m.FormatBreakdown(figures.Energy, baseline))
-		fmt.Printf("### %s traffic breakdown (classes, %% of %s total)\n\n", title, baseline)
-		fmt.Println(m.FormatBreakdown(figures.Traffic, baseline))
+		fmt.Fprintf(stdout, "### %s energy breakdown (components, %% of %s total)\n\n", title, baseline)
+		fmt.Fprintln(stdout, m.FormatBreakdown(figures.Energy, baseline))
+		fmt.Fprintf(stdout, "### %s traffic breakdown (classes, %% of %s total)\n\n", title, baseline)
+		fmt.Fprintln(stdout, m.FormatBreakdown(figures.Traffic, baseline))
 	}
 
 	gstar := map[string]string{"GD": "G*", "DD": "D*"}
 	if *all || *fig2 {
-		fmt.Println("Running Figure 2 sweep (10 apps x G*/D*)...")
-		emit("Figure 2", figures.Fig2(), "DD", gstar)
+		fmt.Fprintln(stdout, "Running Figure 2 sweep (10 apps x G*/D*)...")
+		emit("Figure 2", sweepFig2(), "DD", gstar)
 	}
 	if *all || *fig3 {
-		fmt.Println("Running Figure 3 sweep (4 global-sync benchmarks x G*/D*)...")
-		emit("Figure 3", figures.Fig3(), "GD", gstar)
+		fmt.Fprintln(stdout, "Running Figure 3 sweep (4 global-sync benchmarks x G*/D*)...")
+		emit("Figure 3", sweepFig3(), "GD", gstar)
 	}
 	if *all || *fig4 {
-		fmt.Println("Running Figure 4 sweep (9 local-sync benchmarks x 5 configs)...")
-		emit("Figure 4", figures.Fig4(), "GD", nil)
+		fmt.Fprintln(stdout, "Running Figure 4 sweep (9 local-sync benchmarks x 5 configs)...")
+		emit("Figure 4", sweepFig4(), "GD", nil)
 	}
+	if failed {
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"denovogpu"
+	"denovogpu/internal/figures"
+)
+
+func runCmd(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// stubMatrix builds a tiny synthetic sweep result so figure modes can be
+// smoke-tested without the minutes-long simulations behind them.
+func stubMatrix(err error) *figures.Matrix {
+	m := &figures.Matrix{
+		Benches: []string{"STUB"},
+		Configs: []string{"GD", "DD"},
+		Runs:    map[string]map[string]*figures.Run{"STUB": {}},
+	}
+	for i, c := range m.Configs {
+		rep := denovogpu.Report{Config: c, Workload: "STUB", Cycles: uint64(100 + 10*i)}
+		rep.EnergyPJ[0] = 1000
+		rep.Flits[0] = 50
+		m.Runs["STUB"][c] = &figures.Run{Bench: "STUB", Config: c, Report: rep, Err: err}
+	}
+	return m
+}
+
+func TestTables(t *testing.T) {
+	code, out, errb := runCmd(t, "-table1", "-table2", "-table3", "-table4", "-table5")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, want := range []string{"Table 1", "Table 2", "Table 3", "Table 4", "Table 5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+func TestFigureStubbed(t *testing.T) {
+	orig := sweepFig3
+	sweepFig3 = func() *figures.Matrix { return stubMatrix(nil) }
+	defer func() { sweepFig3 = orig }()
+
+	code, out, errb := runCmd(t, "-fig3")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, want := range []string{"Figure 3a", "Figure 3b", "Figure 3c", "STUB", "energy breakdown", "traffic breakdown"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureSweepErrorFails(t *testing.T) {
+	orig := sweepFig3
+	sweepFig3 = func() *figures.Matrix { return stubMatrix(errors.New("synthetic sweep failure")) }
+	defer func() { sweepFig3 = orig }()
+
+	code, _, errb := runCmd(t, "-fig3")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb, "synthetic sweep failure") {
+		t.Fatalf("stderr missing the sweep error:\n%s", errb)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	if code, _, _ := runCmd(t); code != 2 {
+		t.Fatalf("no flags: exit %d, want 2", code)
+	}
+	code, _, errb := runCmd(t, "-nope")
+	if code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb, "flag provided but not defined") {
+		t.Fatalf("stderr missing flag error:\n%s", errb)
+	}
+}

@@ -142,6 +142,22 @@ func (op AtomicOp) Apply(cur, operand, operand2 uint32) (next, ret uint32) {
 	}
 }
 
+// WritesBack reports whether applying the operation performed a memory
+// write: a synchronization load never writes (treating its read value
+// as a store would let it clobber a concurrent writer's update), and a
+// conditional RMW (CAS, min, max) writes only when it changed the
+// value.
+func (op AtomicOp) WritesBack(cur, next uint32) bool {
+	switch op {
+	case AtomicLoad:
+		return false
+	case AtomicStore, AtomicExch, AtomicAdd:
+		return true
+	default:
+		return next != cur
+	}
+}
+
 // MsgKind enumerates the protocol messages.
 type MsgKind int
 

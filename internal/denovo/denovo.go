@@ -121,7 +121,11 @@ type Controller struct {
 
 	regs        map[mem.Word]*regTxn
 	deferredFwd map[mem.Word]*coherence.Msg
-	pendingOwn  map[mem.Word]uint32 // owned words awaiting a cache frame
+	// deferredReads holds forwarded reads that arrived while our own
+	// registration was still in flight: the registry has already made
+	// this node the owner, but the word's value has not arrived yet.
+	deferredReads map[mem.Word][]*coherence.Msg
+	pendingOwn    map[mem.Word]uint32 // owned words awaiting a cache frame
 
 	reads   map[uint64]*readTxn
 	lineTxn map[mem.Line]uint64
@@ -138,6 +142,10 @@ type Controller struct {
 	backoffDelay map[mem.Word]sim.Time
 	// lastSupplier predicts owners for Options.DirectTransfer.
 	lastSupplier map[mem.Line]noc.NodeID
+
+	// faultNoAcqInval makes global acquires no-ops (test-only fault
+	// injection; see DisableAcquireInvalidation).
+	faultNoAcqInval bool
 }
 
 // relWaiter is a release waiting for the store-buffer entries that
@@ -154,20 +162,21 @@ type relWaiter struct {
 func New(node noc.NodeID, eng *sim.Engine, mesh *noc.Mesh, st *stats.Stats, meter *energy.Meter, l1Bytes, l1Ways, sbEntries int, opts Options) *Controller {
 	c := &Controller{
 		node: node, eng: eng, mesh: mesh, st: st, meter: meter, opts: opts,
-		cache:        cache.New(l1Bytes, l1Ways),
-		sb:           cache.NewStoreBuffer(sbEntries),
-		lazy:         make(map[mem.Word]bool),
-		victim:       cache.NewVictimBuffer(),
-		vstate:       make(map[mem.Word]*victimWord),
-		regs:         make(map[mem.Word]*regTxn),
-		deferredFwd:  make(map[mem.Word]*coherence.Msg),
-		pendingOwn:   make(map[mem.Word]uint32),
-		reads:        make(map[uint64]*readTxn),
-		lineTxn:      make(map[mem.Line]uint64),
-		pins:         make(map[mem.Line]int),
-		lostAt:       make(map[mem.Word]sim.Time),
-		backoffDelay: make(map[mem.Word]sim.Time),
-		lastSupplier: make(map[mem.Line]noc.NodeID),
+		cache:         cache.New(l1Bytes, l1Ways),
+		sb:            cache.NewStoreBuffer(sbEntries),
+		lazy:          make(map[mem.Word]bool),
+		victim:        cache.NewVictimBuffer(),
+		vstate:        make(map[mem.Word]*victimWord),
+		regs:          make(map[mem.Word]*regTxn),
+		deferredFwd:   make(map[mem.Word]*coherence.Msg),
+		deferredReads: make(map[mem.Word][]*coherence.Msg),
+		pendingOwn:    make(map[mem.Word]uint32),
+		reads:         make(map[uint64]*readTxn),
+		lineTxn:       make(map[mem.Line]uint64),
+		pins:          make(map[mem.Line]int),
+		lostAt:        make(map[mem.Word]sim.Time),
+		backoffDelay:  make(map[mem.Word]sim.Time),
+		lastSupplier:  make(map[mem.Line]noc.NodeID),
 	}
 	mesh.Attach(node, noc.PortL1, c)
 	return c
@@ -499,6 +508,13 @@ func (c *Controller) localAtomic(op coherence.AtomicOp, w mem.Word, operand, ope
 			c.eng.Schedule(coherence.L1HitCycles, func() { cb(ret) })
 			return
 		}
+		if !op.WritesBack(cur, next) {
+			// A pure synchronization read must not become a lazy write:
+			// registering the read value at the next release would clobber
+			// a concurrent writer's update.
+			c.eng.Schedule(coherence.L1HitCycles, func() { cb(ret) })
+			return
+		}
 		if c.sb.Full() {
 			if _, ok := c.sb.Lookup(w); !ok {
 				c.stallForSpace(func() { c.localAtomic(op, w, operand, operand2, cb) })
@@ -542,7 +558,7 @@ func (c *Controller) localAtomic(op coherence.AtomicOp, w mem.Word, operand, ope
 // reuse across synchronization points — and, with the read-only
 // optimization, Valid words in the read-only region.
 func (c *Controller) Acquire(scope coherence.Scope) {
-	if scope == coherence.ScopeLocal {
+	if scope == coherence.ScopeLocal || c.faultNoAcqInval {
 		return
 	}
 	ro := c.opts.ReadOnly
@@ -559,6 +575,12 @@ func (c *Controller) Acquire(scope coherence.Scope) {
 	c.st.Inc("l1.flash_invalidations", 1)
 	c.st.Inc("l1.invalidated_words", uint64(n))
 }
+
+// DisableAcquireInvalidation is test-only fault injection: it makes
+// globally scoped acquires skip the selective self-invalidation, so
+// stale Valid words survive synchronization. The litmus conformance
+// harness uses it to verify that it detects consistency violations.
+func (c *Controller) DisableAcquireInvalidation() { c.faultNoAcqInval = true }
 
 // Release implements coherence.L1: a global release completes when
 // every buffered write has obtained ownership — no data moves, unlike
@@ -734,9 +756,15 @@ func (c *Controller) fill(msg *coherence.Msg) {
 }
 
 // readFwd serves a data read forwarded by the registry for words this
-// L1 owns; the response goes directly to the requester (3-hop).
+// L1 owns; the response goes directly to the requester (3-hop). A
+// forwarded read can outrun the ownership data itself: the registry
+// makes this node the owner as soon as it processes the registration
+// request, so a read forwarded right after can arrive here before the
+// RegAck/RegXfer carrying the value. Such words are deferred and served
+// when ownership arrives.
 func (c *Controller) readFwd(msg *coherence.Msg) {
 	var data [mem.WordsPerLine]uint32
+	var now mem.WordMask
 	for i := 0; i < mem.WordsPerLine; i++ {
 		if !msg.Mask.Has(i) {
 			continue
@@ -751,15 +779,25 @@ func (c *Controller) readFwd(msg *coherence.Msg) {
 			data[i] = v
 		} else if v, ok := c.victim.Get(w); ok {
 			data[i] = v
+		} else if c.regs[w] != nil {
+			m := *msg
+			m.Mask = mem.Bit(i)
+			c.deferredReads[w] = append(c.deferredReads[w], &m)
+			c.st.Inc("l1.reads_deferred", 1)
+			continue
 		} else {
 			panic(fmt.Sprintf("denovo: node %d forwarded read for %v it does not own", c.node, w))
 		}
+		now |= mem.Bit(i)
+	}
+	if now == 0 {
+		return
 	}
 	c.st.Inc("l1.remote_reads_served", 1)
 	c.meter.L1Access(1)
 	c.mesh.Send(&coherence.Msg{
 		Kind: coherence.ReadResp, Src: c.node, Dst: msg.Requester, Port: noc.PortL1,
-		Line: msg.Line, Mask: msg.Mask, Data: data, ID: msg.ID,
+		Line: msg.Line, Mask: now, Data: data, ID: msg.ID,
 	})
 }
 
@@ -830,8 +868,11 @@ func (c *Controller) ownershipArrived(l mem.Line, mask mem.WordMask, data [mem.W
 			c.eng.Schedule(2, func() { c.retryInstall(w) })
 		}
 		c.meter.L1Access(1)
-		// Now the distributed queue: pass ownership onward if a remote
-		// request was queued behind our own accesses.
+		// Reads forwarded while the registration was in flight are served
+		// first (the registry ordered them before any later ownership
+		// transfer), then the distributed queue passes ownership onward if
+		// a remote request was queued behind our own accesses.
+		c.serveDeferredReads(w)
 		c.serviceDeferred(w)
 	}
 }
@@ -853,6 +894,19 @@ func (c *Controller) retryInstall(w mem.Word) {
 	e.State[w.Index()] = cache.Registered
 	c.cache.Touch(e)
 	c.serviceDeferred(w)
+}
+
+// serveDeferredReads replays forwarded reads that were waiting for this
+// word's ownership data to arrive.
+func (c *Controller) serveDeferredReads(w mem.Word) {
+	msgs := c.deferredReads[w]
+	if len(msgs) == 0 {
+		return
+	}
+	delete(c.deferredReads, w)
+	for _, m := range msgs {
+		c.readFwd(m)
+	}
 }
 
 // regFwd handles the registry telling us to pass ownership of words to

@@ -41,6 +41,7 @@ type pendingLocalAtomic struct {
 	op       coherence.AtomicOp
 	operand  uint32
 	operand2 uint32
+	scope    coherence.Scope
 	cb       func(uint32)
 }
 
@@ -82,6 +83,10 @@ type Controller struct {
 	// writethrough is in flight must not resurrect the pre-write value:
 	// reads and fill merges consult this map after the store buffer.
 	wtPending map[mem.Word]*wtWord
+
+	// faultNoAcqInval makes global acquires no-ops (test-only fault
+	// injection; see DisableAcquireInvalidation).
+	faultNoAcqInval bool
 }
 
 type wtWord struct {
@@ -261,23 +266,26 @@ func (c *Controller) evictDirty(e *cache.Entry) {
 func (c *Controller) Atomic(op coherence.AtomicOp, w mem.Word, operand, operand2 uint32, scope coherence.Scope, cb func(uint32)) {
 	if scope == coherence.ScopeLocal {
 		c.st.Inc("l1.atomics_local", 1)
-		c.localAtomicQ[w] = append(c.localAtomicQ[w], pendingLocalAtomic{op, operand, operand2, cb})
-		c.pumpLocalAtomics(w)
-		return
+	} else {
+		c.st.Inc("l1.atomics_remote", 1)
 	}
-	c.st.Inc("l1.atomics_remote", 1)
-	c.nextID++
-	id := c.nextID
-	c.atomics[id] = cb
-	c.mesh.Send(&coherence.Msg{
-		Kind: coherence.AtomicReq, Src: c.node, Dst: l2.HomeNode(w.LineOf()), Port: noc.PortL2,
-		Line: w.LineOf(), WordIdx: w.Index(), Op: op, Operand: operand, Operand2: operand2, ID: id,
-	})
+	// All synchronization to one word funnels through a single per-word
+	// pipeline at this L1, whatever its scope: same-CU synchronizations
+	// are properly scoped with respect to each other even when one is
+	// local and one global (both scopes include both threads under
+	// HRF-indirect), so they must serialize — a global atomic overlapping
+	// a local RMW's read-to-write window would lose an update.
+	c.localAtomicQ[w] = append(c.localAtomicQ[w], pendingLocalAtomic{op, operand, operand2, scope, cb})
+	c.pumpLocalAtomics(w)
 }
 
-// pumpLocalAtomics serializes same-word local atomics: each one reads
-// the current value (store buffer, then cache, then a line fetch),
-// applies the RMW, and buffers the result as a dirty word.
+// pumpLocalAtomics serializes same-word synchronization. A local-scope
+// atomic reads the current value (store buffer, then cache, then a line
+// fetch), applies the RMW, and — if the operation actually wrote —
+// buffers the result as a dirty word. A global-scope atomic executes at
+// the L2: local copies of the word are flushed ahead of it (the mesh
+// keeps per-pair FIFO order) and invalidated so the L2 serializes every
+// access.
 func (c *Controller) pumpLocalAtomics(w mem.Word) {
 	if c.localAtomicIn[w] || len(c.localAtomicQ[w]) == 0 {
 		return
@@ -286,9 +294,46 @@ func (c *Controller) pumpLocalAtomics(w mem.Word) {
 	p := c.localAtomicQ[w][0]
 	c.localAtomicQ[w] = c.localAtomicQ[w][1:]
 
+	if p.scope != coherence.ScopeLocal {
+		if v, ok := c.sb.Remove(w); ok {
+			var data [mem.WordsPerLine]uint32
+			data[w.Index()] = v
+			c.sendWT(w.LineOf(), mem.Bit(w.Index()), data)
+		}
+		if e := c.cache.Peek(w.LineOf()); e != nil && e.State[w.Index()] != cache.Invalid {
+			if e.State[w.Index()] == cache.Dirty {
+				c.sendWT(w.LineOf(), mem.Bit(w.Index()), e.Data)
+			}
+			e.State[w.Index()] = cache.Invalid
+		}
+		c.nextID++
+		id := c.nextID
+		c.atomics[id] = func(v uint32) {
+			p.cb(v)
+			c.localAtomicIn[w] = false
+			c.pumpLocalAtomics(w)
+		}
+		c.mesh.Send(&coherence.Msg{
+			Kind: coherence.AtomicReq, Src: c.node, Dst: l2.HomeNode(w.LineOf()), Port: noc.PortL2,
+			Line: w.LineOf(), WordIdx: w.Index(), Op: p.op, Operand: p.operand, Operand2: p.operand2, ID: id,
+		})
+		return
+	}
+
 	finish := func(cur uint32) {
 		next, ret := p.op.Apply(cur, p.operand, p.operand2)
 		c.meter.L1Access(1)
+		if !p.op.WritesBack(cur, next) {
+			// A pure synchronization read must not dirty the word: marking
+			// the read value dirty would flush it at the next global
+			// release and clobber a concurrent writer's update.
+			c.eng.Schedule(coherence.L1HitCycles, func() {
+				p.cb(ret)
+				c.localAtomicIn[w] = false
+				c.pumpLocalAtomics(w)
+			})
+			return
+		}
 		if c.partialBlocks {
 			var data [mem.WordsPerLine]uint32
 			data[w.Index()] = next
@@ -338,7 +383,7 @@ func (c *Controller) pumpLocalAtomics(w mem.Word) {
 // the whole L1 so no stale data can be read; a local acquire (HRF) does
 // nothing.
 func (c *Controller) Acquire(scope coherence.Scope) {
-	if scope == coherence.ScopeLocal {
+	if scope == coherence.ScopeLocal || c.faultNoAcqInval {
 		return
 	}
 	n := c.cache.Invalidate(func(e *cache.Entry, i int) bool {
@@ -353,6 +398,12 @@ func (c *Controller) Acquire(scope coherence.Scope) {
 	c.st.Inc("l1.flash_invalidations", 1)
 	c.st.Inc("l1.invalidated_words", uint64(n))
 }
+
+// DisableAcquireInvalidation is test-only fault injection: it makes
+// globally scoped acquires skip the flash invalidation, so stale cached
+// data survives synchronization. The litmus conformance harness uses it
+// to verify that it detects consistency violations.
+func (c *Controller) DisableAcquireInvalidation() { c.faultNoAcqInval = true }
 
 // Release implements coherence.L1: a global release drains the store
 // buffer as per-line coalesced writethroughs and completes when every

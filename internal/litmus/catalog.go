@@ -1,0 +1,209 @@
+package litmus
+
+import "denovogpu/internal/coherence"
+
+// Entry is one catalog litmus test: a program, a predicate picking out
+// the shape's "weak" (relaxed) outcome, and whether each consistency
+// model permits that outcome. The conformance suite checks the
+// annotations against the oracle (so the catalog documents the models
+// and cross-checks the oracle at the same time) and then runs the
+// program differentially under every configuration, verifying that no
+// run strays outside its model's permitted set.
+type Entry struct {
+	Program *Program
+	// Weak reports whether an outcome is the shape's relaxed outcome.
+	Weak func(Outcome) bool
+	// AllowedDRF / AllowedHRF state whether DRF-SC / HRF-Indirect
+	// permit the weak outcome.
+	AllowedDRF bool
+	AllowedHRF bool
+	// Doc explains the shape in one line.
+	Doc string
+}
+
+// Terse op constructors for catalog programs.
+func ld(v int) Op                    { return Op{Kind: OpLoad, Var: v} }
+func st(v int, val uint32) Op        { return Op{Kind: OpStore, Var: v, Val: val} }
+func aq(v int, s coherence.Scope) Op { return Op{Kind: OpSyncLoad, Var: v, Scope: s} }
+func rl(v int, val uint32, s coherence.Scope) Op {
+	return Op{Kind: OpSyncStore, Var: v, Val: val, Scope: s}
+}
+
+const (
+	gl = coherence.ScopeGlobal
+	lo = coherence.ScopeLocal
+)
+
+// Catalog returns the classic litmus shapes, including the scoped
+// variants that separate HRF-Indirect from DRF-SC. Variable 0 is the
+// data variable d, variable 1 the sync flag f unless noted.
+func Catalog() []Entry {
+	return []Entry{
+		{
+			Program: &Program{
+				Name: "MP",
+				Vars: []VarClass{Data, Sync},
+				Threads: []Thread{
+					{CU: 0, Ops: []Op{st(0, 1), rl(1, 1, gl)}},
+					{CU: 1, Ops: []Op{aq(1, gl), ld(0)}},
+				},
+			},
+			Weak:       func(o Outcome) bool { return o.Loads[1][0] == 1 && o.Loads[1][1] == 0 },
+			AllowedDRF: false, AllowedHRF: false,
+			Doc: "message passing with global release/acquire: observing the flag implies observing the data",
+		},
+		{
+			Program: &Program{
+				Name: "MP+preload",
+				Vars: []VarClass{Data, Sync},
+				Threads: []Thread{
+					{CU: 0, Ops: []Op{st(0, 1), rl(1, 1, gl)}},
+					{CU: 1, Ops: []Op{ld(0), aq(1, gl), ld(0)}},
+				},
+			},
+			Weak:       func(o Outcome) bool { return o.Loads[1][1] == 1 && o.Loads[1][2] == 0 },
+			AllowedDRF: false, AllowedHRF: false,
+			Doc: "MP with the reader pre-caching stale data: the acquire must invalidate it (kills broken acquire invalidation)",
+		},
+		{
+			Program: &Program{
+				Name: "MP+scoped-remote",
+				Vars: []VarClass{Data, Sync},
+				Threads: []Thread{
+					{CU: 0, Ops: []Op{st(0, 1), rl(1, 1, lo)}},
+					{CU: 1, Ops: []Op{aq(1, lo), ld(0)}},
+				},
+			},
+			Weak:       func(o Outcome) bool { return o.Loads[1][0] == 1 && o.Loads[1][1] == 0 },
+			AllowedDRF: false, AllowedHRF: true,
+			Doc: "MP through a locally scoped flag across CUs: an HRF scope mismatch (stale data allowed); DRF upgrades the scope and forbids it",
+		},
+		{
+			Program: &Program{
+				Name: "MP+local-samecu",
+				Vars: []VarClass{Data, Sync},
+				Threads: []Thread{
+					{CU: 0, Ops: []Op{st(0, 1), rl(1, 1, lo)}},
+					{CU: 0, Ops: []Op{aq(1, lo), ld(0)}},
+				},
+			},
+			Weak:       func(o Outcome) bool { return o.Loads[1][0] == 1 && o.Loads[1][1] == 0 },
+			AllowedDRF: false, AllowedHRF: false,
+			Doc: "MP through a locally scoped flag within one CU: local scope suffices, both models forbid the stale read",
+		},
+		{
+			Program: &Program{
+				Name: "SB+sync",
+				Vars: []VarClass{Sync, Sync},
+				Threads: []Thread{
+					{CU: 0, Ops: []Op{rl(0, 1, gl), aq(1, gl)}},
+					{CU: 1, Ops: []Op{rl(1, 1, gl), aq(0, gl)}},
+				},
+			},
+			Weak:       func(o Outcome) bool { return o.Loads[0][0] == 0 && o.Loads[1][0] == 0 },
+			AllowedDRF: false, AllowedHRF: false,
+			Doc: "store buffering with synchronization accesses: sync accesses are SC, both reads returning 0 is forbidden",
+		},
+		{
+			Program: &Program{
+				Name: "SB+data",
+				Vars: []VarClass{Data, Data},
+				Threads: []Thread{
+					{CU: 0, Ops: []Op{st(0, 1), ld(1)}},
+					{CU: 1, Ops: []Op{st(1, 1), ld(0)}},
+				},
+			},
+			Weak:       func(o Outcome) bool { return o.Loads[0][0] == 0 && o.Loads[1][0] == 0 },
+			AllowedDRF: true, AllowedHRF: true,
+			Doc: "store buffering with racy plain accesses: buffered writes may pass loads, both models permit 0/0",
+		},
+		{
+			Program: &Program{
+				Name: "LB",
+				Vars: []VarClass{Data, Data},
+				Threads: []Thread{
+					{CU: 0, Ops: []Op{ld(0), st(1, 1)}},
+					{CU: 1, Ops: []Op{ld(1), st(0, 1)}},
+				},
+			},
+			Weak:       func(o Outcome) bool { return o.Loads[0][0] == 1 && o.Loads[1][0] == 1 },
+			AllowedDRF: false, AllowedHRF: false,
+			Doc: "load buffering: loads complete before later ops issue, so both loads observing the other thread's later store is forbidden",
+		},
+		{
+			Program: &Program{
+				Name: "CoRR",
+				Vars: []VarClass{Data},
+				Threads: []Thread{
+					{CU: 0, Ops: []Op{st(0, 1)}},
+					{CU: 1, Ops: []Op{ld(0), ld(0)}},
+				},
+			},
+			Weak:       func(o Outcome) bool { return o.Loads[1][0] == 1 && o.Loads[1][1] == 0 },
+			AllowedDRF: false, AllowedHRF: false,
+			Doc: "coherence of read-read: per-location values never go backwards, even for racy reads",
+		},
+		{
+			Program: &Program{
+				Name: "CoWW",
+				Vars: []VarClass{Data},
+				Threads: []Thread{
+					{CU: 0, Ops: []Op{st(0, 1), st(0, 2)}},
+				},
+			},
+			Weak:       func(o Outcome) bool { return o.Final[0] != 2 },
+			AllowedDRF: false, AllowedHRF: false,
+			Doc: "coherence of write-write: program order of same-location stores decides the final value",
+		},
+		{
+			Program: &Program{
+				Name: "IRIW+sync",
+				Vars: []VarClass{Sync, Sync},
+				Threads: []Thread{
+					{CU: 0, Ops: []Op{rl(0, 1, gl)}},
+					{CU: 1, Ops: []Op{rl(1, 1, gl)}},
+					{CU: 2, Ops: []Op{aq(0, gl), aq(1, gl)}},
+					{CU: 3, Ops: []Op{aq(1, gl), aq(0, gl)}},
+				},
+			},
+			Weak: func(o Outcome) bool {
+				return o.Loads[2][0] == 1 && o.Loads[2][1] == 0 && o.Loads[3][0] == 1 && o.Loads[3][1] == 0
+			},
+			AllowedDRF: false, AllowedHRF: false,
+			Doc: "independent reads of independent writes, all sync: the two readers must agree on the write order",
+		},
+		{
+			Program: &Program{
+				Name: "IRIW+scoped",
+				Vars: []VarClass{Sync, Sync},
+				Threads: []Thread{
+					{CU: 0, Ops: []Op{rl(0, 1, lo)}},
+					{CU: 1, Ops: []Op{rl(1, 1, lo)}},
+					{CU: 0, Ops: []Op{aq(0, lo), aq(1, gl)}},
+					{CU: 1, Ops: []Op{aq(1, lo), aq(0, gl)}},
+				},
+			},
+			Weak: func(o Outcome) bool {
+				return o.Loads[2][0] == 1 && o.Loads[2][1] == 0 && o.Loads[3][0] == 1 && o.Loads[3][1] == 0
+			},
+			AllowedDRF: false, AllowedHRF: true,
+			Doc: "IRIW where each reader shares a CU (and local scope) with one writer: HRF lets the readers disagree, DRF does not",
+		},
+		{
+			Program: &Program{
+				Name: "ISA2+transitive",
+				Vars: []VarClass{Data, Sync, Sync},
+				Threads: []Thread{
+					{CU: 0, Ops: []Op{st(0, 77), rl(1, 1, lo)}},
+					{CU: 0, Ops: []Op{aq(1, lo), rl(2, 1, gl)}},
+					{CU: 1, Ops: []Op{aq(2, gl), ld(0)}},
+				},
+			},
+			Weak: func(o Outcome) bool {
+				return o.Loads[1][0] == 1 && o.Loads[2][0] == 1 && o.Loads[2][1] == 0
+			},
+			AllowedDRF: false, AllowedHRF: false,
+			Doc: "HRF-Indirect transitivity: local release to a sibling, global release onward — the remote reader must see the data (HRF-direct would allow the stale read; the paper's HRF-Indirect forbids it)",
+		},
+	}
+}

@@ -1,0 +1,156 @@
+package litmus
+
+import (
+	"fmt"
+
+	"denovogpu/internal/coherence"
+)
+
+// splitMix is a tiny deterministic, splittable PRNG (SplitMix64). The
+// generator derives one independent stream per program index from a
+// base seed, so fuzzing is reproducible and trivially parallelizable:
+// program i is the same regardless of how many programs came before it.
+type splitMix struct{ state uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{state: seed} }
+
+func (s *splitMix) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitMix) intn(n int) int { return int(s.next() % uint64(n)) }
+
+// split derives an independent stream for index i.
+func (s *splitMix) split(i uint64) *splitMix {
+	d := newSplitMix(s.state ^ (i+1)*0x9e3779b97f4a7c15)
+	d.next()
+	return d
+}
+
+// GenParams bounds the random program generator.
+type GenParams struct {
+	MaxThreads   int // 2..MaxThreads threads
+	MaxOps       int // 1..MaxOps ops per thread
+	MaxTotalOps  int // whole-program cap (the oracle enumerates interleavings)
+	MaxVars      int // 2..MaxVars variables
+	NumCUs       int // CU placement range
+	ThreadsPerCU int // resident limit per CU (Config.MaxResidentTBs)
+}
+
+// DefaultGenParams matches the paper machine and keeps programs well
+// inside the oracle's exploration budget: classic litmus shapes are
+// 4-8 operations, and the oracle's state space is exponential in the
+// total op count.
+func DefaultGenParams() GenParams {
+	return GenParams{MaxThreads: 4, MaxOps: 4, MaxTotalOps: 8, MaxVars: 3, NumCUs: 15, ThreadsPerCU: 2}
+}
+
+// Generate builds litmus program i of the stream rooted at seed. The
+// same (seed, i) always yields the same program. Generated programs mix
+// data and sync variables, global and local scopes, and co-located vs
+// remote threads — the axes along which the five configurations differ.
+func Generate(seed uint64, i uint64, gp GenParams) *Program {
+	rng := newSplitMix(seed).split(i)
+
+	nVars := 2 + rng.intn(gp.MaxVars-1)
+	p := &Program{Name: fmt.Sprintf("fuzz-%d-%d", seed, i), Vars: make([]VarClass, nVars)}
+	// At least one sync variable and one data variable: the interesting
+	// programs synchronize around data.
+	p.Vars[0] = Data
+	p.Vars[1] = Sync
+	for v := 2; v < nVars; v++ {
+		p.Vars[v] = VarClass(rng.intn(2))
+	}
+
+	nThreads := 2 + rng.intn(gp.MaxThreads-1)
+	// Placement: half the time cluster threads on few CUs (local-scope
+	// territory), otherwise spread them.
+	cluster := rng.intn(2) == 0
+	perCU := make(map[int]int)
+	for t := 0; t < nThreads; t++ {
+		var cu int
+		for tries := 0; ; tries++ {
+			if cluster {
+				cu = rng.intn(2) // CUs 0 and 1
+			} else {
+				cu = rng.intn(gp.NumCUs)
+			}
+			if perCU[cu] < gp.ThreadsPerCU || tries > 8 {
+				break
+			}
+		}
+		perCU[cu]++
+		p.Threads = append(p.Threads, Thread{CU: cu})
+	}
+
+	val := uint32(0)
+	dataVars := varsOf(p, Data)
+	syncVars := varsOf(p, Sync)
+	// Distribute the whole-program op budget so every thread gets at
+	// least one op regardless of how greedy earlier threads were.
+	budget := gp.MaxTotalOps
+	if budget < nThreads {
+		budget = nThreads
+	}
+	for ti := range p.Threads {
+		left := budget - p.NumOps() - (nThreads - ti - 1)
+		if left < 1 {
+			left = 1
+		}
+		nOps := 1 + rng.intn(gp.MaxOps)
+		if nOps > left {
+			nOps = left
+		}
+		for len(p.Threads[ti].Ops) < nOps {
+			var op Op
+			switch rng.intn(6) {
+			case 0:
+				op = Op{Kind: OpLoad, Var: dataVars[rng.intn(len(dataVars))]}
+			case 1:
+				val++
+				op = Op{Kind: OpStore, Var: dataVars[rng.intn(len(dataVars))], Val: val}
+			case 2:
+				op = Op{Kind: OpSyncLoad, Var: syncVars[rng.intn(len(syncVars))], Scope: randScope(rng)}
+			case 3:
+				val++
+				op = Op{Kind: OpSyncStore, Var: syncVars[rng.intn(len(syncVars))], Val: val, Scope: randScope(rng)}
+			case 4:
+				op = Op{Kind: OpSyncAdd, Var: syncVars[rng.intn(len(syncVars))], Val: 1, Scope: randScope(rng)}
+			default:
+				// Message-passing idiom, the bread and butter of litmus
+				// testing: store data then release a flag (when the thread
+				// has room for both ops).
+				if len(p.Threads[ti].Ops)+2 <= nOps {
+					val++
+					p.Threads[ti].Ops = append(p.Threads[ti].Ops,
+						Op{Kind: OpStore, Var: dataVars[rng.intn(len(dataVars))], Val: val})
+				}
+				val++
+				op = Op{Kind: OpSyncStore, Var: syncVars[rng.intn(len(syncVars))], Val: val, Scope: randScope(rng)}
+			}
+			p.Threads[ti].Ops = append(p.Threads[ti].Ops, op)
+		}
+	}
+	return p
+}
+
+func randScope(rng *splitMix) coherence.Scope {
+	if rng.intn(3) == 0 {
+		return coherence.ScopeLocal
+	}
+	return coherence.ScopeGlobal
+}
+
+func varsOf(p *Program, c VarClass) []int {
+	var out []int
+	for v, cl := range p.Vars {
+		if cl == c {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,13 +1,21 @@
-package machine
+package litmus
 
 import (
 	"math/rand"
 	"testing"
 
 	"denovogpu/internal/coherence"
+	"denovogpu/internal/machine"
 	"denovogpu/internal/mem"
 	"denovogpu/internal/workload"
 )
+
+// The tests in this file are the workload-scale complement of the
+// litmus fuzzer: random but data-race-free programs whose exact result
+// is computable sequentially, so every configuration must match the
+// reference bit for bit. Where the fuzzer explores small racy programs
+// against the consistency oracle, these explore large well-synchronized
+// ones against a functional oracle.
 
 // TestRandomRaceFreePrograms generates random data-race-free programs
 // and checks that every configuration produces exactly the sequential
@@ -111,10 +119,10 @@ func TestRandomRaceFreePrograms(t *testing.T) {
 			}
 		}
 
-		for _, cfg := range AllConfigs() {
+		for _, cfg := range Configs() {
 			cfg := cfg
 			t.Run(cfg.Name(), func(t *testing.T) {
-				m := New(cfg)
+				m := machine.New(cfg)
 				for i := 0; i < ownWords; i++ {
 					m.Write(roBase+mem.Addr(4*i), roVal(i))
 				}
@@ -165,10 +173,10 @@ func TestRandomProgramsWithLocalScopes(t *testing.T) {
 			c.AtomicStore(lock, 0, coherence.ScopeLocal)
 		}
 	}
-	for _, cfg := range AllConfigs() {
+	for _, cfg := range Configs() {
 		cfg := cfg
 		t.Run(cfg.Name(), func(t *testing.T) {
-			m := New(cfg)
+			m := machine.New(cfg)
 			m.Launch(kernel, 45, threads)
 			if err := m.Err(); err != nil {
 				t.Fatal(err)

@@ -1,0 +1,104 @@
+package litmus
+
+import "denovogpu/internal/machine"
+
+// Shrink reduces a violating (program, schedule) pair to a locally
+// minimal counterexample: it greedily tries to delete operations,
+// delete whole threads, drop unread variables, and zero schedule
+// delays, keeping a candidate only if the reduced program still
+// violates the oracle under the same configuration. The result is the
+// smallest case the greedy loop converges to — every remaining
+// operation is necessary (removing any single one makes the violation
+// disappear), which is what makes shrunk counterexamples readable bug
+// reports.
+//
+// stillViolates re-runs the machine, so shrinking a flaky (schedule-
+// sensitive) violation can converge on a superset of the true minimum;
+// the schedule that exposed the violation is preserved (minus delays
+// proven unnecessary), keeping reproduction deterministic.
+func Shrink(cfg machine.Config, p *Program, sched Schedule) (*Program, Schedule) {
+	cur, cs := p.Clone(), sched.Clone()
+	for {
+		reduced := false
+
+		// Try deleting each op (iterating backwards keeps indices valid
+		// across deletions within a thread).
+		for ti := len(cur.Threads) - 1; ti >= 0; ti-- {
+			for oi := len(cur.Threads[ti].Ops) - 1; oi >= 0; oi-- {
+				cand, cands := cur.Clone(), cs.Clone()
+				cand.Threads[ti].Ops = append(cand.Threads[ti].Ops[:oi:oi], cand.Threads[ti].Ops[oi+1:]...)
+				cands[ti] = append(cands[ti][:oi:oi], cands[ti][oi+1:]...)
+				if cand, cands = dropEmpty(cand, cands); stillViolates(cfg, cand, cands) {
+					cur, cs = cand, cands
+					reduced = true
+				}
+			}
+		}
+
+		// Try deleting each whole thread.
+		for ti := len(cur.Threads) - 1; ti >= 0 && len(cur.Threads) > 1; ti-- {
+			cand, cands := cur.Clone(), cs.Clone()
+			cand.Threads = append(cand.Threads[:ti:ti], cand.Threads[ti+1:]...)
+			cands = append(cands[:ti:ti], cands[ti+1:]...)
+			if stillViolates(cfg, cand, cands) {
+				cur, cs = cand, cands
+				reduced = true
+			}
+		}
+
+		// Try zeroing each nonzero delay.
+		for ti := range cs {
+			for oi := range cs[ti] {
+				if cs[ti][oi] == 0 {
+					continue
+				}
+				cands := cs.Clone()
+				cands[ti][oi] = 0
+				if stillViolates(cfg, cur, cands) {
+					cs = cands
+					reduced = true
+				}
+			}
+		}
+
+		if !reduced {
+			return cur, cs
+		}
+	}
+}
+
+// dropEmpty removes threads left with no ops (and their schedules).
+func dropEmpty(p *Program, s Schedule) (*Program, Schedule) {
+	var ts []Thread
+	var ss Schedule
+	for i, t := range p.Threads {
+		if len(t.Ops) == 0 {
+			continue
+		}
+		ts = append(ts, t)
+		ss = append(ss, s[i])
+	}
+	if len(ts) == 0 {
+		return p, s // keep at least the original; caller's check will fail it
+	}
+	p.Threads = ts
+	return p, ss
+}
+
+// stillViolates reports whether the candidate still produces an outcome
+// outside its model's oracle under cfg with the given schedule.
+func stillViolates(cfg machine.Config, p *Program, sched Schedule) bool {
+	if p.Validate() != nil || len(p.Threads) == 0 {
+		return false
+	}
+	allowed, err := Oracle(p, cfg.Model, 0)
+	if err != nil {
+		return false
+	}
+	obs, err := Run(cfg, p, sched)
+	if err != nil {
+		return false
+	}
+	_, ok := allowed[obs.Key()]
+	return !ok
+}

@@ -1,22 +1,28 @@
-package machine
+package litmus
 
 import (
-	"fmt"
 	"testing"
 
 	"denovogpu/internal/coherence"
+	"denovogpu/internal/machine"
 	"denovogpu/internal/mem"
 	"denovogpu/internal/workload"
-
-	syncbench "denovogpu/internal/workload/sync"
 )
+
+// These stress shapes complement the oracle-checked catalog: they use
+// spin loops and op counts far beyond what outcome enumeration can
+// handle, so they assert a functional postcondition instead of
+// consulting the oracle. (The bounded equivalents of these shapes —
+// MP, ISA2 — are in the catalog.)
 
 // TestHRFIndirectTransitivity checks the defining property of
 // HRF-Indirect (the HRF variant the paper uses): synchronization
 // composes transitively across scopes. Block A writes data and
 // local-releases to sibling B (same CU); B global-releases to C
 // (another CU); C must observe A's write even though A and C never
-// synchronized directly.
+// synchronized directly. The catalog's ISA2 entry checks the same
+// property at oracle scale; this version runs it with spin loops on a
+// full 45-block grid.
 func TestHRFIndirectTransitivity(t *testing.T) {
 	var (
 		data  = mem.Addr(0x1000)
@@ -43,10 +49,10 @@ func TestHRFIndirectTransitivity(t *testing.T) {
 			c.Store(out, c.Load(data))
 		}
 	}
-	for _, cfg := range AllConfigs() {
+	for _, cfg := range Configs() {
 		cfg := cfg
 		t.Run(cfg.Name(), func(t *testing.T) {
-			m := New(cfg)
+			m := machine.New(cfg)
 			m.Launch(kernel, 45, 32)
 			if err := m.Err(); err != nil {
 				t.Fatal(err)
@@ -87,10 +93,10 @@ func TestReleaseOrdersAllPriorWrites(t *testing.T) {
 		c.Store(sink+mem.Addr(4*c.TB), sum)
 	}
 	want := uint32(words * (words + 1) / 2)
-	for _, cfg := range AllConfigs() {
+	for _, cfg := range Configs() {
 		cfg := cfg
 		t.Run(cfg.Name(), func(t *testing.T) {
-			m := New(cfg)
+			m := machine.New(cfg)
 			m.Launch(kernel, 8, 32)
 			if err := m.Err(); err != nil {
 				t.Fatal(err)
@@ -130,10 +136,10 @@ func TestAcquireCascade(t *testing.T) {
 		c.Store(vals+mem.Addr(64*i), prev+uint32(i+1))
 		c.AtomicStore(flags+mem.Addr(64*i), 1, coherence.ScopeGlobal)
 	}
-	for _, cfg := range AllConfigs() {
+	for _, cfg := range Configs() {
 		cfg := cfg
 		t.Run(cfg.Name(), func(t *testing.T) {
-			m := New(cfg)
+			m := machine.New(cfg)
 			m.Launch(kernel, n, 32)
 			if err := m.Err(); err != nil {
 				t.Fatal(err)
@@ -141,81 +147,6 @@ func TestAcquireCascade(t *testing.T) {
 			want := uint32(n * (n + 1) / 2)
 			if got := m.Read(vals + mem.Addr(64*(n-1))); got != want {
 				t.Fatalf("chain sum %d, want %d", got, want)
-			}
-		})
-	}
-}
-
-// TestDirectTransferConfigEndToEnd runs a whole benchmark with the
-// direct cache-to-cache optimization enabled and verifies functional
-// correctness plus that the predictor actually fired.
-func TestDirectTransferConfigEndToEnd(t *testing.T) {
-	cfg := DD()
-	cfg.DirectTransfer = true
-	m := New(cfg)
-	w := syncbench.TreeBarrier(syncbench.BarrierParams{Iters: 10, Accesses: 4})
-	w.Host(m)
-	if err := m.Err(); err != nil {
-		t.Fatal(err)
-	}
-	if err := w.Verify(m); err != nil {
-		t.Fatal(err)
-	}
-	if m.Stats().Get("l1.direct_reads_served") == 0 {
-		t.Fatal("direct transfers never served on a remote-exchange benchmark")
-	}
-}
-
-// TestSyncBackoffConfigEndToEnd runs a contended benchmark with
-// DeNovoSync backoff and verifies correctness plus reduced transfers.
-func TestSyncBackoffConfigEndToEnd(t *testing.T) {
-	run := func(backoff bool) (uint64, error) {
-		cfg := DD()
-		cfg.SyncBackoff = backoff
-		m := New(cfg)
-		w := syncbench.Mutex(syncbench.MutexParams{Kind: syncbench.FAMutex, Iters: 25})
-		w.Host(m)
-		if err := m.Err(); err != nil {
-			return 0, err
-		}
-		if err := w.Verify(m); err != nil {
-			return 0, err
-		}
-		return m.Stats().Get("l1.ownership_transfers"), nil
-	}
-	base, err := run(false)
-	if err != nil {
-		t.Fatal(err)
-	}
-	bo, err := run(true)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if bo >= base {
-		t.Fatalf("backoff should cut ownership transfers: %d -> %d", base, bo)
-	}
-}
-
-// TestSmallL1BarrierCorrectness is a regression test for a same-node
-// FIFO bug: under heavy L1 pressure, a DeNovo eviction's WriteBack to a
-// co-located bank was overtaken by the immediately following
-// re-registration (shorter message, empty route), so the registry
-// accepted the writeback after re-granting ownership and stranded the
-// fresh value. An 8 KB L1 reproduces the eviction/re-register cadence.
-func TestSmallL1BarrierCorrectness(t *testing.T) {
-	for _, kb := range []int{4, 8} {
-		kb := kb
-		t.Run(fmt.Sprintf("l1=%dKB", kb), func(t *testing.T) {
-			w := syncbench.TreeBarrier(syncbench.BarrierParams{Iters: 30, Accesses: 10})
-			cfg := DD()
-			cfg.L1Bytes = kb * 1024
-			m := New(cfg)
-			w.Host(m)
-			if err := m.Err(); err != nil {
-				t.Fatal(err)
-			}
-			if err := w.Verify(m); err != nil {
-				t.Fatal(err)
 			}
 		})
 	}

@@ -1,0 +1,88 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+
+	syncbench "denovogpu/internal/workload/sync"
+)
+
+// Machine-specific end-to-end tests for optional protocol extensions.
+// The consistency-facing litmus and random-program tests live in
+// internal/litmus, which runs them under every configuration against
+// the litmus oracle and sequential references.
+
+// TestDirectTransferConfigEndToEnd runs a whole benchmark with the
+// direct cache-to-cache optimization enabled and verifies functional
+// correctness plus that the predictor actually fired.
+func TestDirectTransferConfigEndToEnd(t *testing.T) {
+	cfg := DD()
+	cfg.DirectTransfer = true
+	m := New(cfg)
+	w := syncbench.TreeBarrier(syncbench.BarrierParams{Iters: 10, Accesses: 4})
+	w.Host(m)
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Get("l1.direct_reads_served") == 0 {
+		t.Fatal("direct transfers never served on a remote-exchange benchmark")
+	}
+}
+
+// TestSyncBackoffConfigEndToEnd runs a contended benchmark with
+// DeNovoSync backoff and verifies correctness plus reduced transfers.
+func TestSyncBackoffConfigEndToEnd(t *testing.T) {
+	run := func(backoff bool) (uint64, error) {
+		cfg := DD()
+		cfg.SyncBackoff = backoff
+		m := New(cfg)
+		w := syncbench.Mutex(syncbench.MutexParams{Kind: syncbench.FAMutex, Iters: 25})
+		w.Host(m)
+		if err := m.Err(); err != nil {
+			return 0, err
+		}
+		if err := w.Verify(m); err != nil {
+			return 0, err
+		}
+		return m.Stats().Get("l1.ownership_transfers"), nil
+	}
+	base, err := run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bo, err := run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bo >= base {
+		t.Fatalf("backoff should cut ownership transfers: %d -> %d", base, bo)
+	}
+}
+
+// TestSmallL1BarrierCorrectness is a regression test for a same-node
+// FIFO bug: under heavy L1 pressure, a DeNovo eviction's WriteBack to a
+// co-located bank was overtaken by the immediately following
+// re-registration (shorter message, empty route), so the registry
+// accepted the writeback after re-granting ownership and stranded the
+// fresh value. An 8 KB L1 reproduces the eviction/re-register cadence.
+func TestSmallL1BarrierCorrectness(t *testing.T) {
+	for _, kb := range []int{4, 8} {
+		kb := kb
+		t.Run(fmt.Sprintf("l1=%dKB", kb), func(t *testing.T) {
+			w := syncbench.TreeBarrier(syncbench.BarrierParams{Iters: 30, Accesses: 10})
+			cfg := DD()
+			cfg.L1Bytes = kb * 1024
+			m := New(cfg)
+			w.Host(m)
+			if err := m.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Verify(m); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

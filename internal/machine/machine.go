@@ -64,6 +64,13 @@ type Config struct {
 	// DirectTransfer enables direct cache-to-cache transfers (the
 	// paper's future-work optimization).
 	DirectTransfer bool
+	// FaultDisableAcquireInval is a test-only fault-injection knob: it
+	// makes globally scoped acquires skip their self-invalidation in the
+	// GPU and DeNovo protocols, deliberately breaking the consistency
+	// contract. The litmus conformance harness (internal/litmus) uses it
+	// to prove it can detect and shrink real consistency bugs. Never set
+	// it outside tests.
+	FaultDisableAcquireInval bool
 
 	NumCUs         int
 	MaxResidentTBs int
@@ -222,6 +229,11 @@ func New(cfg Config) *Machine {
 		default:
 			panic(fmt.Sprintf("machine: unknown protocol %d", cfg.Protocol))
 		}
+		if cfg.FaultDisableAcquireInval {
+			if f, ok := l1.(interface{ DisableAcquireInvalidation() }); ok {
+				f.DisableAcquireInvalidation()
+			}
+		}
 		m.l1s = append(m.l1s, l1)
 		m.cus = append(m.cus, gpu.New(node, m.eng, l1, cfg.Model, m.st, m.meter, cfg.MaxResidentTBs))
 	}
@@ -275,7 +287,7 @@ func (m *Machine) Launch(k workload.Kernel, numTBs, threadsPerTB int) {
 	// rotation: real GPU block schedulers give no cross-kernel
 	// CU affinity, so block i of kernel n+1 must not be assumed to land
 	// on the CU that ran block i of kernel n.
-	rot := int(m.st.Get("kernels_launched")) * 7
+	rot := m.launchRot()
 	assign := make([][]int, m.cfg.NumCUs)
 	for tb := 0; tb < numTBs; tb++ {
 		cu := (tb + rot) % m.cfg.NumCUs
@@ -317,6 +329,26 @@ func (m *Machine) Launch(k workload.Kernel, numTBs, threadsPerTB int) {
 	}
 	m.st.Cycles = uint64(m.eng.Now())
 	m.st.Inc("kernels_launched", 1)
+}
+
+// launchRot is the per-launch placement rotation: real GPU block
+// schedulers give no cross-kernel CU affinity, so each launch rotates
+// the round-robin start.
+func (m *Machine) launchRot() int {
+	return int(m.st.Get("kernels_launched")) * 7
+}
+
+// PlaceTB returns the thread-block index that the *next* Launch on this
+// machine will run on the given CU, for the slot-th block assigned to
+// that CU (slot 0, 1, ... up to Config.MaxResidentTBs-1 run
+// concurrently). It exposes the launcher's round-robin placement so
+// correctness harnesses (internal/litmus) can pin litmus threads to
+// chosen CUs; the grid must span at least NumCUs*(slot+1) blocks for
+// the returned index to be dispatched.
+func (m *Machine) PlaceTB(cu, slot int) int {
+	n := m.cfg.NumCUs
+	base := ((cu-m.launchRot())%n + n) % n
+	return base + slot*n
 }
 
 // CheckInvariants validates the protocol's global single-owner
