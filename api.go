@@ -110,6 +110,12 @@ type Report struct {
 	Workload string
 	// Cycles is execution time in GPU cycles (700 MHz in Table 3).
 	Cycles uint64
+	// Events is the number of discrete-event callbacks the simulation
+	// engine fired to produce this run — a determinism diagnostic (two
+	// runs of the same workload and configuration must match exactly)
+	// and the denominator of the simulator's own events/sec throughput
+	// metric (cmd/bench).
+	Events uint64
 	// EnergyPJ is dynamic energy split as in the paper's figures:
 	// GPU core+, scratchpad, L1 D$, L2 $, network.
 	EnergyPJ [stats.NumComponents]float64
@@ -173,6 +179,7 @@ func Run(cfg Config, w Workload) (Report, error) {
 		Config:   cfg.Name(),
 		Workload: w.Name,
 		Cycles:   st.Cycles,
+		Events:   m.Engine().Fired(),
 		EnergyPJ: st.EnergyPJ,
 		Flits:    st.Flits,
 		Stats:    st,

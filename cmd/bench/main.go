@@ -1,0 +1,291 @@
+// Command bench measures simulator performance over a fixed workload ×
+// configuration matrix and maintains BENCH_sim.json, the repository's
+// committed performance trajectory.
+//
+// Each (workload, config) pair runs sequentially in-process; per run it
+// records simulated cycles, fired engine events, wall-clock time,
+// events/sec, and heap allocations, plus the process peak RSS for the
+// whole matrix. The output file holds two sections: "baseline" (pinned
+// once with -record-baseline, before an optimization lands) and
+// "current" (refreshed on every run), so the speedup a PR claims is
+// reproducible from the same file it is recorded in.
+//
+// Usage:
+//
+//	go run ./cmd/bench                    # full matrix, refresh "current" in BENCH_sim.json
+//	go run ./cmd/bench -quick             # fast subset (CI smoke)
+//	go run ./cmd/bench -record-baseline   # pin the baseline section to this run
+//	go run ./cmd/bench -quick -check      # exit 1 on >10% events/sec regression vs committed "current"
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"denovogpu"
+)
+
+// pair is one cell of the benchmark matrix.
+type pair struct {
+	Workload string `json:"workload"`
+	Config   string `json:"config"`
+}
+
+// fullMatrix covers representatives of all three paper categories
+// (Figs 2/3/4) plus UTS, each under all five configurations.
+func fullMatrix() []pair {
+	workloads := []string{
+		// Fig 2 (no fine-grained sync) representatives.
+		"BP", "ST", "LAVA", "SGEMM",
+		// Fig 3 (globally scoped sync) representatives.
+		"FAM_G", "SPM_G",
+		// Fig 4 (locally scoped / hybrid sync) representatives + UTS.
+		"TB_LG", "SPM_L", "SS_L", "UTS",
+	}
+	return cross(workloads)
+}
+
+// quickMatrix is the CI smoke subset: cheap workloads only, still
+// spanning all three categories and all five configurations.
+func quickMatrix() []pair {
+	return cross([]string{"BP", "LAVA", "UTS", "SPM_L"})
+}
+
+func cross(workloads []string) []pair {
+	var m []pair
+	for _, w := range workloads {
+		for _, c := range []string{"GD", "GH", "DD", "DD+RO", "DH"} {
+			m = append(m, pair{w, c})
+		}
+	}
+	return m
+}
+
+// result is the measurement of one matrix cell.
+type result struct {
+	Workload     string  `json:"workload"`
+	Config       string  `json:"config"`
+	Cycles       uint64  `json:"cycles"`
+	Events       uint64  `json:"events"`
+	WallMS       float64 `json:"wall_ms"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Allocs       uint64  `json:"allocs"`
+	AllocMB      float64 `json:"alloc_mb"`
+}
+
+// section is one recorded sweep of the matrix.
+type section struct {
+	Label        string   `json:"label"`
+	Matrix       string   `json:"matrix"`
+	GoVersion    string   `json:"go_version"`
+	GOMAXPROCS   int      `json:"gomaxprocs"`
+	RecordedAt   string   `json:"recorded_at"`
+	Results      []result `json:"results"`
+	TotalWallMS  float64  `json:"total_wall_ms"`
+	TotalEvents  uint64   `json:"total_events"`
+	EventsPerSec float64  `json:"events_per_sec"`
+	TotalAllocs  uint64   `json:"total_allocs"`
+	PeakRSSMB    float64  `json:"peak_rss_mb"`
+}
+
+// benchFile is the on-disk BENCH_sim.json layout.
+type benchFile struct {
+	Schema string `json:"schema"`
+	// Baseline is pinned with -record-baseline and carried forward by
+	// later runs; Current is refreshed on every non-check run.
+	Baseline *section `json:"baseline,omitempty"`
+	Current  *section `json:"current,omitempty"`
+	// SpeedupEventsPerSec is Current's aggregate events/sec over the
+	// matrix cells shared with Baseline, divided by Baseline's.
+	SpeedupEventsPerSec float64 `json:"speedup_events_per_sec,omitempty"`
+}
+
+func main() {
+	var (
+		quick     = flag.Bool("quick", false, "run the fast CI subset instead of the full matrix")
+		out       = flag.String("o", "BENCH_sim.json", "output file (also the committed file -check compares against)")
+		record    = flag.Bool("record-baseline", false, "pin the baseline section to this run's measurements")
+		check     = flag.Bool("check", false, "compare against the committed current section and exit 1 on regression; does not rewrite the file")
+		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional events/sec regression for -check")
+		label     = flag.String("label", "", "label stored with this run (default: matrix name)")
+	)
+	flag.Parse()
+
+	matrix, matrixName := fullMatrix(), "full"
+	if *quick {
+		matrix, matrixName = quickMatrix(), "quick"
+	}
+
+	cur, err := sweep(matrix, matrixName, *label)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+
+	prev, prevErr := load(*out)
+
+	if *check {
+		if prevErr != nil {
+			fmt.Fprintf(os.Stderr, "bench: -check needs a committed %s: %v\n", *out, prevErr)
+			os.Exit(1)
+		}
+		ref := prev.Current
+		if ref == nil {
+			ref = prev.Baseline
+		}
+		if ref == nil {
+			fmt.Fprintf(os.Stderr, "bench: %s has no section to check against\n", *out)
+			os.Exit(1)
+		}
+		ratio, cells := compare(cur, ref)
+		fmt.Printf("check: %d shared cells, measured/committed events/sec = %.3f (tolerance %.0f%%)\n",
+			cells, ratio, *tolerance*100)
+		if cells == 0 {
+			fmt.Fprintln(os.Stderr, "bench: no matrix cells shared with the committed section")
+			os.Exit(1)
+		}
+		if ratio < 1.0-*tolerance {
+			fmt.Fprintf(os.Stderr, "bench: events/sec regression: %.1f%% below committed %s section\n",
+				(1.0-ratio)*100, ref.Label)
+			os.Exit(1)
+		}
+		return
+	}
+
+	f := &benchFile{Schema: "denovogpu-bench/v1"}
+	if prevErr == nil {
+		f.Baseline = prev.Baseline
+	}
+	if *record {
+		f.Baseline = cur
+	}
+	f.Current = cur
+	if f.Baseline != nil && f.Baseline != f.Current {
+		f.SpeedupEventsPerSec, _ = compare(cur, f.Baseline)
+	}
+	if err := save(*out, f); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	if f.SpeedupEventsPerSec != 0 {
+		fmt.Printf("speedup vs baseline (%s): %.2fx events/sec\n", f.Baseline.Label, f.SpeedupEventsPerSec)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// sweep runs every matrix cell sequentially and aggregates.
+func sweep(matrix []pair, matrixName, label string) (*section, error) {
+	if label == "" {
+		label = matrixName + " matrix"
+	}
+	s := &section{
+		Label:      label,
+		Matrix:     matrixName,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		RecordedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, p := range matrix {
+		r, err := measure(p)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("%-8s %-6s %8.0f ms  %12.0f events/s  %10d allocs\n",
+			r.Workload, r.Config, r.WallMS, r.EventsPerSec, r.Allocs)
+		s.Results = append(s.Results, r)
+		s.TotalWallMS += r.WallMS
+		s.TotalEvents += r.Events
+		s.TotalAllocs += r.Allocs
+	}
+	if s.TotalWallMS > 0 {
+		s.EventsPerSec = float64(s.TotalEvents) / (s.TotalWallMS / 1e3)
+	}
+	s.PeakRSSMB = peakRSSMB()
+	return s, nil
+}
+
+// measure runs one cell and records wall clock and allocation deltas.
+func measure(p pair) (result, error) {
+	cfg, err := denovogpu.ConfigByName(p.Config)
+	if err != nil {
+		return result{}, err
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	rep, err := denovogpu.RunByName(cfg, p.Workload)
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return result{}, fmt.Errorf("%s under %s: %w", p.Workload, p.Config, err)
+	}
+	r := result{
+		Workload: p.Workload,
+		Config:   p.Config,
+		Cycles:   rep.Cycles,
+		Events:   rep.Events,
+		WallMS:   float64(wall.Nanoseconds()) / 1e6,
+		Allocs:   after.Mallocs - before.Mallocs,
+		AllocMB:  float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
+	}
+	if wall > 0 {
+		r.EventsPerSec = float64(rep.Events) / wall.Seconds()
+	}
+	return r, nil
+}
+
+// compare returns cur's aggregate events/sec over the cells shared
+// with ref, divided by ref's aggregate over the same cells, plus the
+// shared-cell count. Aggregating sums before dividing weights each
+// cell by its runtime, so a big slow workload cannot be hidden behind
+// many fast ones.
+func compare(cur, ref *section) (ratio float64, cells int) {
+	refByKey := make(map[pair]result, len(ref.Results))
+	for _, r := range ref.Results {
+		refByKey[pair{r.Workload, r.Config}] = r
+	}
+	var curEvents, refEvents uint64
+	var curMS, refMS float64
+	for _, r := range cur.Results {
+		rr, ok := refByKey[pair{r.Workload, r.Config}]
+		if !ok {
+			continue
+		}
+		cells++
+		curEvents += r.Events
+		curMS += r.WallMS
+		refEvents += rr.Events
+		refMS += rr.WallMS
+	}
+	if cells == 0 || curMS == 0 || refMS == 0 || refEvents == 0 {
+		return 0, cells
+	}
+	curRate := float64(curEvents) / curMS
+	refRate := float64(refEvents) / refMS
+	return curRate / refRate, cells
+}
+
+func load(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+func save(path string, f *benchFile) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -10,126 +10,197 @@ type SBEntry struct {
 	Val  uint32
 }
 
+// nilSlot terminates the intrusive slot list.
+const nilSlot = int32(-1)
+
+// sbSlot is one pooled buffer slot, linked in insertion order.
+type sbSlot struct {
+	word       mem.Word
+	val        uint32
+	prev, next int32
+}
+
 // StoreBuffer is the 256-entry coalescing store buffer that sits next
 // to each L1 (paper Table 3). Writes to a word already buffered
 // coalesce into the existing slot; when the buffer is full the oldest
 // slot is evicted to make room — that forced, one-at-a-time draining is
 // exactly the effect the paper blames for LavaMD's and TB_LG's
 // writethrough traffic under GPU coherence.
+//
+// Slots live in a fixed pool threaded by an intrusive doubly-linked
+// list in insertion order, with a free list for recycling, so every
+// operation — including Remove, which protocols call once per
+// completed registration — is O(1) (plus the line walk on overflow)
+// and iteration is O(live entries). An earlier slice-based FIFO left
+// dead entries behind on Remove, making iteration O(total insert
+// history); on registration-heavy workloads that was the simulator's
+// single largest cost.
 type StoreBuffer struct {
-	cap   int
-	slots map[mem.Word]uint32
-	fifo  []mem.Word // insertion order of live words
+	cap        int
+	index      map[mem.Word]int32 // word -> pool slot of its live entry
+	pool       []sbSlot
+	free       []int32 // recycled pool slots
+	head, tail int32   // live entries, insertion order
 }
 
 // NewStoreBuffer returns a buffer with the given capacity in word slots.
 func NewStoreBuffer(capacity int) *StoreBuffer {
-	return &StoreBuffer{cap: capacity, slots: make(map[mem.Word]uint32, capacity)}
+	return &StoreBuffer{
+		cap:   capacity,
+		index: make(map[mem.Word]int32, capacity),
+		pool:  make([]sbSlot, 0, capacity),
+		head:  nilSlot,
+		tail:  nilSlot,
+	}
 }
 
 // Cap returns the capacity.
 func (b *StoreBuffer) Cap() int { return b.cap }
 
 // Len returns the number of live slots.
-func (b *StoreBuffer) Len() int { return len(b.slots) }
+func (b *StoreBuffer) Len() int { return len(b.index) }
 
 // Full reports whether the buffer has no free slots.
-func (b *StoreBuffer) Full() bool { return len(b.slots) >= b.cap }
+func (b *StoreBuffer) Full() bool { return len(b.index) >= b.cap }
 
 // Lookup returns the buffered value for w, for store-to-load forwarding.
 func (b *StoreBuffer) Lookup(w mem.Word) (uint32, bool) {
-	v, ok := b.slots[w]
-	return v, ok
+	i, ok := b.index[w]
+	if !ok {
+		return 0, false
+	}
+	return b.pool[i].val, true
+}
+
+func (b *StoreBuffer) alloc() int32 {
+	if n := len(b.free); n > 0 {
+		i := b.free[n-1]
+		b.free = b.free[:n-1]
+		return i
+	}
+	b.pool = append(b.pool, sbSlot{})
+	return int32(len(b.pool) - 1)
+}
+
+func (b *StoreBuffer) linkTail(i int32) {
+	b.pool[i].prev, b.pool[i].next = b.tail, nilSlot
+	if b.tail != nilSlot {
+		b.pool[b.tail].next = i
+	} else {
+		b.head = i
+	}
+	b.tail = i
+}
+
+func (b *StoreBuffer) unlink(i int32) {
+	s := &b.pool[i]
+	if s.prev != nilSlot {
+		b.pool[s.prev].next = s.next
+	} else {
+		b.head = s.next
+	}
+	if s.next != nilSlot {
+		b.pool[s.next].prev = s.prev
+	} else {
+		b.tail = s.prev
+	}
+	b.free = append(b.free, i)
 }
 
 // Insert buffers a write of v to w. If w is already buffered the write
-// coalesces (coalesced=true) and nothing is evicted. If the buffer is
-// full, the oldest slot's entire line group is evicted and returned for
-// the caller to drain as one coalesced writethrough — the hardware
-// drains at line granularity, so streaming writes keep their
-// coalescing; what overflow destroys is the ability of *future* writes
-// to the evicted words to coalesce (the paper's LavaMD effect).
+// coalesces (coalesced=true) into the existing slot, keeping its
+// original position, and nothing is evicted. If the buffer is full, the
+// oldest slot's entire line group is evicted and returned for the
+// caller to drain as one coalesced writethrough — the hardware drains
+// at line granularity, so streaming writes keep their coalescing; what
+// overflow destroys is the ability of *future* writes to the evicted
+// words to coalesce (the paper's LavaMD effect).
 func (b *StoreBuffer) Insert(w mem.Word, v uint32) (coalesced bool, evicted *LineGroup) {
-	if _, ok := b.slots[w]; ok {
-		b.slots[w] = v
+	if i, ok := b.index[w]; ok {
+		b.pool[i].val = v
 		return true, nil
 	}
 	if b.Full() {
 		evicted = b.popOldestLine()
 	}
-	b.slots[w] = v
-	b.fifo = append(b.fifo, w)
+	i := b.alloc()
+	b.pool[i] = sbSlot{word: w, val: v}
+	b.linkTail(i)
+	b.index[w] = i
 	return false, evicted
 }
 
 // popOldestLine removes the oldest slot and every other buffered slot
 // of its line, returning them as one group.
 func (b *StoreBuffer) popOldestLine() *LineGroup {
-	for len(b.fifo) > 0 {
-		w := b.fifo[0]
-		if _, ok := b.slots[w]; !ok {
-			b.fifo = b.fifo[1:] // dead fifo head
-			continue
-		}
-		g := &LineGroup{Line: w.LineOf()}
-		for i := 0; i < mem.WordsPerLine; i++ {
-			word := g.Line.Word(i)
-			if v, ok := b.slots[word]; ok {
-				g.Mask |= mem.Bit(i)
-				g.Data[i] = v
-				delete(b.slots, word)
-			}
-		}
-		return g
+	if b.head == nilSlot {
+		panic("cache: popOldestLine on empty store buffer")
 	}
-	panic("cache: popOldestLine on empty store buffer")
+	g := &LineGroup{Line: b.pool[b.head].word.LineOf()}
+	for i := 0; i < mem.WordsPerLine; i++ {
+		word := g.Line.Word(i)
+		if si, ok := b.index[word]; ok {
+			g.Mask |= mem.Bit(i)
+			g.Data[i] = b.pool[si].val
+			delete(b.index, word)
+			b.unlink(si)
+		}
+	}
+	return g
 }
 
 // Remove deletes the slot for w (e.g. when its registration completes)
 // and returns its value.
 func (b *StoreBuffer) Remove(w mem.Word) (uint32, bool) {
-	v, ok := b.slots[w]
-	if ok {
-		delete(b.slots, w)
+	i, ok := b.index[w]
+	if !ok {
+		return 0, false
 	}
-	return v, ok
+	v := b.pool[i].val
+	delete(b.index, w)
+	b.unlink(i)
+	return v, true
 }
 
 // PeekOldest returns the oldest live slot without removing it.
 func (b *StoreBuffer) PeekOldest() (SBEntry, bool) {
-	for len(b.fifo) > 0 {
-		w := b.fifo[0]
-		if v, ok := b.slots[w]; ok {
-			return SBEntry{Word: w, Val: v}, true
-		}
-		b.fifo = b.fifo[1:] // drop dead fifo heads lazily
+	if b.head == nilSlot {
+		return SBEntry{}, false
 	}
-	return SBEntry{}, false
+	s := &b.pool[b.head]
+	return SBEntry{Word: s.word, Val: s.val}, true
+}
+
+// AppendEntries appends all live slots in insertion order to dst and
+// returns the extended slice; hot callers pass a recycled scratch
+// buffer to keep the per-release path allocation-free.
+func (b *StoreBuffer) AppendEntries(dst []SBEntry) []SBEntry {
+	for i := b.head; i != nilSlot; i = b.pool[i].next {
+		dst = append(dst, SBEntry{Word: b.pool[i].word, Val: b.pool[i].val})
+	}
+	return dst
 }
 
 // Entries returns all live slots in insertion order without removing
 // them.
 func (b *StoreBuffer) Entries() []SBEntry {
-	out := make([]SBEntry, 0, len(b.slots))
-	for _, w := range b.fifo {
-		if v, ok := b.slots[w]; ok {
-			out = append(out, SBEntry{Word: w, Val: v})
-		}
-	}
-	return out
+	return b.AppendEntries(make([]SBEntry, 0, len(b.index)))
+}
+
+// AppendDrain empties the buffer, appending all slots in insertion
+// order to dst (the allocation-free variant of DrainAll).
+func (b *StoreBuffer) AppendDrain(dst []SBEntry) []SBEntry {
+	dst = b.AppendEntries(dst)
+	clear(b.index)
+	b.pool = b.pool[:0]
+	b.free = b.free[:0]
+	b.head, b.tail = nilSlot, nilSlot
+	return dst
 }
 
 // DrainAll empties the buffer, returning all slots in insertion order.
 func (b *StoreBuffer) DrainAll() []SBEntry {
-	out := make([]SBEntry, 0, len(b.slots))
-	for _, w := range b.fifo {
-		if v, ok := b.slots[w]; ok {
-			out = append(out, SBEntry{Word: w, Val: v})
-			delete(b.slots, w)
-		}
-	}
-	b.fifo = b.fifo[:0]
-	return out
+	return b.AppendDrain(make([]SBEntry, 0, len(b.index)))
 }
 
 // LineGroup is a set of buffered words of one line, for coalesced
@@ -140,25 +211,38 @@ type LineGroup struct {
 	Data [mem.WordsPerLine]uint32
 }
 
+// AppendGroupByLine coalesces drained entries into per-line groups,
+// preserving the order of first occurrence, appending to dst. The line
+// lookup is a linear scan over the groups built so far: a drain covers
+// at most a few tens of lines, where the scan beats a freshly
+// allocated map.
+func AppendGroupByLine(dst []LineGroup, entries []SBEntry) []LineGroup {
+	base := len(dst)
+	for _, e := range entries {
+		l := e.Word.LineOf()
+		gi := -1
+		for i := base; i < len(dst); i++ {
+			if dst[i].Line == l {
+				gi = i
+				break
+			}
+		}
+		if gi < 0 {
+			gi = len(dst)
+			dst = append(dst, LineGroup{Line: l})
+		}
+		dst[gi].Mask |= mem.Bit(e.Word.Index())
+		dst[gi].Data[e.Word.Index()] = e.Val
+	}
+	return dst
+}
+
 // GroupByLine coalesces drained entries into per-line groups, preserving
 // the order of first occurrence. A release drains the whole buffer and
 // sends one writethrough per line — the coalescing benefit the buffer
 // exists for.
 func GroupByLine(entries []SBEntry) []LineGroup {
-	index := make(map[mem.Line]int)
-	var groups []LineGroup
-	for _, e := range entries {
-		l := e.Word.LineOf()
-		i, ok := index[l]
-		if !ok {
-			i = len(groups)
-			index[l] = i
-			groups = append(groups, LineGroup{Line: l})
-		}
-		groups[i].Mask |= mem.Bit(e.Word.Index())
-		groups[i].Data[e.Word.Index()] = e.Val
-	}
-	return groups
+	return AppendGroupByLine(nil, entries)
 }
 
 // VictimBuffer holds words whose ownership is in flight away from this

@@ -146,6 +146,18 @@ type Controller struct {
 	// faultNoAcqInval makes global acquires no-ops (test-only fault
 	// injection; see DisableAcquireInvalidation).
 	faultNoAcqInval bool
+
+	// Release-path scratch, reused across calls so the per-release walk
+	// over the store buffer allocates nothing.
+	sbScratch []cache.SBEntry
+	regBatch  []lineMask
+}
+
+// lineMask accumulates one line's per-word mask while batching lazy
+// registrations at a release.
+type lineMask struct {
+	line mem.Line
+	mask mem.WordMask
 }
 
 // relWaiter is a release waiting for the store-buffer entries that
@@ -592,27 +604,38 @@ func (c *Controller) Release(scope coherence.Scope, cb func()) {
 		return
 	}
 	if len(c.lazy) > 0 {
-		// Batch delayed registrations by line.
-		var lines []mem.Line
-		masks := make(map[mem.Line]mem.WordMask)
-		for _, e := range c.sb.Entries() {
+		// Batch delayed registrations by line. The line lookup is a
+		// linear scan over the batch built so far — a release covers few
+		// distinct lines, and the scan keeps this path allocation-free.
+		c.regBatch = c.regBatch[:0]
+		c.sbScratch = c.sb.AppendEntries(c.sbScratch[:0])
+		for _, e := range c.sbScratch {
 			if !c.lazy[e.Word] {
 				continue
 			}
 			delete(c.lazy, e.Word)
 			l := e.Word.LineOf()
-			if masks[l] == 0 {
-				lines = append(lines, l)
+			gi := -1
+			for i := range c.regBatch {
+				if c.regBatch[i].line == l {
+					gi = i
+					break
+				}
 			}
-			masks[l] |= mem.Bit(e.Word.Index())
+			if gi < 0 {
+				gi = len(c.regBatch)
+				c.regBatch = append(c.regBatch, lineMask{line: l})
+			}
+			c.regBatch[gi].mask |= mem.Bit(e.Word.Index())
 			c.regs[e.Word] = &regTxn{dataWrite: true}
 			c.pin(l)
 		}
-		for _, l := range lines {
-			c.sendRegReq(l, masks[l], false, false)
+		for _, lm := range c.regBatch {
+			c.sendRegReq(lm.line, lm.mask, false, false)
 		}
 	}
-	entries := c.sb.Entries()
+	entries := c.sb.AppendEntries(c.sbScratch[:0])
+	c.sbScratch = entries
 	if len(entries) == 0 {
 		c.eng.Schedule(coherence.L1HitCycles, cb)
 		return

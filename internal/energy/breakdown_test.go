@@ -1,0 +1,64 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"denovogpu/internal/stats"
+)
+
+// Property: for any sequence of meter events, every component of the
+// breakdown equals the hand-computed constants-times-counts sum, and
+// the components sum back to the total — i.e. the per-event constants
+// fully account for the five-way split the figures stack.
+func TestBreakdownSumsFromConstants(t *testing.T) {
+	f := func(ops []uint8) bool {
+		s := stats.New()
+		m := NewMeter(s)
+		var want [stats.NumComponents]float64
+		for _, op := range ops {
+			n := int(op%7) + 1
+			switch op % 9 {
+			case 0:
+				m.L1Access(n)
+				want[stats.CompL1D] += L1AccessPJ * float64(n)
+			case 1:
+				m.L1Tag(n)
+				want[stats.CompL1D] += L1TagPJ * float64(n)
+			case 2:
+				m.L2Access(n)
+				want[stats.CompL2] += L2AccessPJ * float64(n)
+			case 3:
+				m.DRAMAccess(n)
+				want[stats.CompL2] += DRAMAccessPJ * float64(n)
+			case 4:
+				m.Scratch(n)
+				want[stats.CompScratch] += ScratchAccessPJ * float64(n)
+			case 5:
+				m.FlitHops(uint64(n))
+				want[stats.CompNoC] += FlitHopPJ * float64(n)
+			case 6:
+				m.Instr(n)
+				want[stats.CompGPUCore] += CoreInstrPJ * float64(n)
+			case 7:
+				m.ActiveCycles(uint64(n))
+				want[stats.CompGPUCore] += CoreActiveCyclePJ * float64(n)
+			case 8:
+				m.StoreBuffer(n)
+				want[stats.CompL1D] += StoreBufferPJ * float64(n)
+			}
+		}
+		var total float64
+		for c := stats.Component(0); c < stats.NumComponents; c++ {
+			if math.Abs(s.EnergyPJ[c]-want[c]) > 1e-9 {
+				return false
+			}
+			total += s.EnergyPJ[c]
+		}
+		return math.Abs(s.TotalEnergyPJ()-total) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package figures
+
+import (
+	"math"
+	"testing"
+
+	"denovogpu"
+)
+
+// synthetic builds a Matrix from hand-picked cycle counts, so the
+// normalization algebra can be checked without running simulations.
+func synthetic(cycles map[string]map[string]uint64) *Matrix {
+	m := &Matrix{Runs: make(map[string]map[string]*Run)}
+	seenCfg := map[string]bool{}
+	for b, row := range cycles {
+		m.Benches = append(m.Benches, b)
+		m.Runs[b] = make(map[string]*Run)
+		for c, cyc := range row {
+			if !seenCfg[c] {
+				seenCfg[c] = true
+				m.Configs = append(m.Configs, c)
+			}
+			m.Runs[b][c] = &Run{
+				Bench:  b,
+				Config: c,
+				Report: denovogpu.Report{Config: c, Workload: b, Cycles: cyc},
+			}
+		}
+	}
+	return m
+}
+
+// Normalization must round-trip: multiplying a normalized value by the
+// baseline's absolute value recovers the original measurement, the
+// baseline column is identically 100, and averaging preserves a
+// constant column.
+func TestNormalizeRoundTrip(t *testing.T) {
+	cycles := map[string]map[string]uint64{
+		"W1": {"GD": 1000, "DD": 750},
+		"W2": {"GD": 400, "DD": 500},
+		"W3": {"GD": 123457, "DD": 123457},
+	}
+	m := synthetic(cycles)
+	norm := m.Normalized(Exec, "GD")
+	for b, row := range cycles {
+		if got := norm[b]["GD"]; got != 100 {
+			t.Errorf("%s baseline normalized to %v, want 100", b, got)
+		}
+		for c, want := range row {
+			back := norm[b][c] * float64(row["GD"]) / 100
+			if math.Abs(back-float64(want)) > 1e-9 {
+				t.Errorf("%s/%s: denormalized %v, want %d", b, c, back, want)
+			}
+		}
+	}
+	avg := Average(norm, m.Configs)
+	if avg["GD"] != 100 {
+		t.Errorf("average of a constant-100 column = %v", avg["GD"])
+	}
+	// Hand-check DD: (75 + 125 + 100) / 3.
+	if want := (75.0 + 125.0 + 100.0) / 3; math.Abs(avg["DD"]-want) > 1e-9 {
+		t.Errorf("DD average = %v, want %v", avg["DD"], want)
+	}
+}
+
+// A failed or missing run must drop out of normalization and averages
+// instead of poisoning them.
+func TestNormalizeSkipsFailedRuns(t *testing.T) {
+	m := synthetic(map[string]map[string]uint64{
+		"OK":  {"GD": 100, "DD": 50},
+		"BAD": {"GD": 100, "DD": 50},
+	})
+	m.Runs["BAD"]["GD"].Err = errFake
+	norm := m.Normalized(Exec, "GD")
+	if _, ok := norm["BAD"]; ok {
+		t.Error("bench with failed baseline must be skipped entirely")
+	}
+	avg := Average(norm, m.Configs)
+	if avg["DD"] != 50 {
+		t.Errorf("average polluted by failed run: %v", avg["DD"])
+	}
+}
+
+var errFake = errString("synthetic failure")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

@@ -78,6 +78,11 @@ type Controller struct {
 	relWaiters    []func()
 	epoch         uint64
 
+	// Release-path scratch, reused across calls so draining the store
+	// buffer and regrouping it by line allocates nothing.
+	sbScratch    []cache.SBEntry
+	groupScratch []cache.LineGroup
+
 	// wtPending holds the latest value and in-flight count of every
 	// word with an outstanding writethrough. A fill arriving while a
 	// writethrough is in flight must not resurrect the pre-write value:
@@ -414,12 +419,12 @@ func (c *Controller) Release(scope coherence.Scope, cb func()) {
 		c.eng.Schedule(coherence.L1HitCycles, cb)
 		return
 	}
-	entries := c.sb.DrainAll()
-	if len(entries) > 0 {
+	c.sbScratch = c.sb.AppendDrain(c.sbScratch[:0])
+	if entries := c.sbScratch; len(entries) > 0 {
 		c.meter.StoreBuffer(len(entries))
-		groups := cache.GroupByLine(entries)
+		c.groupScratch = cache.AppendGroupByLine(c.groupScratch[:0], entries)
 		c.st.Inc("sb.release_drains", 1)
-		for _, g := range groups {
+		for _, g := range c.groupScratch {
 			c.sendWT(g.Line, g.Mask, g.Data)
 		}
 	}

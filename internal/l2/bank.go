@@ -170,8 +170,9 @@ func (b *Bank) read(msg *coherence.Msg) {
 		}
 	}
 	// Forward only demanded words; respond with every word we hold
-	// (line-granularity transfer of the useful words).
-	fwd := make(map[noc.NodeID]mem.WordMask)
+	// (line-granularity transfer of the useful words). Owners are mesh
+	// nodes, so a fixed per-node mask array replaces a per-request map.
+	var fwd [noc.Nodes]mem.WordMask
 	for i := 0; i < mem.WordsPerLine; i++ {
 		if msg.Mask.Has(i) && bl.owner[i] != MemoryOwner {
 			fwd[bl.owner[i]] |= mem.Bit(i)
@@ -185,8 +186,8 @@ func (b *Bank) read(msg *coherence.Msg) {
 	}
 	// Deterministic iteration: owners in node order.
 	for owner := noc.NodeID(0); owner < noc.Nodes; owner++ {
-		m, ok := fwd[owner]
-		if !ok {
+		m := fwd[owner]
+		if m == 0 {
 			continue
 		}
 		b.st.Inc("l2.read_forwards", 1)
@@ -220,7 +221,7 @@ func (b *Bank) writeThrough(msg *coherence.Msg) {
 func (b *Bank) register(msg *coherence.Msg) {
 	bl := b.line(msg.Line)
 	var grant mem.WordMask
-	fwd := make(map[noc.NodeID]mem.WordMask)
+	var fwd [noc.Nodes]mem.WordMask
 	for i := 0; i < mem.WordsPerLine; i++ {
 		if !msg.Mask.Has(i) {
 			continue
@@ -241,8 +242,8 @@ func (b *Bank) register(msg *coherence.Msg) {
 		})
 	}
 	for owner := noc.NodeID(0); owner < noc.Nodes; owner++ {
-		m, ok := fwd[owner]
-		if !ok {
+		m := fwd[owner]
+		if m == 0 {
 			continue
 		}
 		b.st.Inc("l2.reg_forwards", 1)

@@ -1,6 +1,7 @@
 package litmus
 
 import (
+	"flag"
 	"testing"
 
 	"denovogpu/internal/consistency"
@@ -14,6 +15,11 @@ const (
 	fuzzSeed   = 20260805
 	fuzzBudget = 220
 )
+
+// -fuzzbudget overrides the budget explicitly (CI smoke jobs use a
+// small value to keep the fuzzer exercised without paying for the full
+// tier-1 budget). It wins over the -short default.
+var fuzzBudgetFlag = flag.Int("fuzzbudget", 0, "override the differential fuzzing budget (0 = default)")
 
 // TestCatalogOracleAnnotations cross-checks the catalog's allowed/
 // forbidden annotations against the executable oracle: the oracle must
@@ -79,6 +85,9 @@ func TestFuzzConformance(t *testing.T) {
 	budget := fuzzBudget
 	if testing.Short() {
 		budget = 40
+	}
+	if *fuzzBudgetFlag > 0 {
+		budget = *fuzzBudgetFlag
 	}
 	gp := DefaultGenParams()
 	for i := 0; i < budget; i++ {

@@ -1,0 +1,76 @@
+// Determinism-under-optimization tests: the hot-path work (value-typed
+// event queue, scratch-buffer forwarding, store-buffer slot pool) is
+// only admissible if two runs of the same (workload, config) produce
+// identical Reports — including the fired-event count, which exposes
+// ordering changes that happen to cancel out in the end state — and if
+// the result is independent of GOMAXPROCS, since the figure sweeps run
+// many machines in parallel.
+package machine_test
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"denovogpu"
+)
+
+// determinismPairs exercises both coherence protocols, both
+// consistency models, and the heaviest concurrency patterns (UTS work
+// stealing, local-scope sync) without slowing tier-1 down.
+var determinismPairs = []goldenPair{
+	{"UTS", "DD"},
+	{"UTS", "GH"},
+	{"SPM_L", "DH"},
+	{"LAVA", "GD"},
+}
+
+// snapshot renders the full Report in canonical form; byte equality
+// here is the definition of "identical Report".
+func snapshot(t *testing.T, p goldenPair) []byte {
+	t.Helper()
+	cfg, err := denovogpu.ConfigByName(p.config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := denovogpu.RunByName(cfg, p.workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return marshalGolden(toGolden(rep))
+}
+
+func TestDeterminismSameProcess(t *testing.T) {
+	for _, p := range determinismPairs {
+		p := p
+		t.Run(p.workload+"/"+p.config, func(t *testing.T) {
+			t.Parallel()
+			first := snapshot(t, p)
+			second := snapshot(t, p)
+			if !bytes.Equal(first, second) {
+				t.Errorf("two in-process runs diverged:\nfirst:\n%s\nsecond:\n%s", first, second)
+			}
+		})
+	}
+}
+
+func TestDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	// GOMAXPROCS is process-global, so this test cannot run in
+	// parallel with anything else.
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+
+	p := goldenPair{"UTS", "DD"}
+	var want []byte
+	for _, procs := range []int{1, 2, orig} {
+		runtime.GOMAXPROCS(procs)
+		got := snapshot(t, p)
+		if want == nil {
+			want = got
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("GOMAXPROCS=%d diverged from GOMAXPROCS=1:\ngot:\n%s\nwant:\n%s", procs, got, want)
+		}
+	}
+}

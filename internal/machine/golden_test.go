@@ -1,0 +1,163 @@
+// Golden-report regression harness.
+//
+// Every (workload, config) pair in a fast subset of the paper's matrix
+// has its full Report — cycles, fired events, energy by component,
+// flit crossings by class, and every diagnostic counter — pinned as a
+// JSON file under testdata/golden/. The simulation is bit-for-bit
+// deterministic, so the comparison is byte-identical: any change to
+// protocol behaviour, timing, event ordering, or accounting shows up
+// as a golden diff. Performance work on the hot paths (the event
+// engine, the L2 banks, the NoC, the store buffers) must leave every
+// golden byte untouched.
+//
+// Regenerate after an intentional model change with:
+//
+//	go test ./internal/machine -run TestGoldenReports -update
+//
+// and review the diff like any other code change.
+package machine_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"denovogpu"
+	"denovogpu/internal/stats"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/golden files with current simulation output")
+
+// goldenReport is the serialized form of a Report. Maps are used for
+// the named dimensions because encoding/json emits map keys in sorted
+// order, making the output canonical.
+type goldenReport struct {
+	Config   string             `json:"config"`
+	Workload string             `json:"workload"`
+	Cycles   uint64             `json:"cycles"`
+	Events   uint64             `json:"events"`
+	EnergyPJ map[string]float64 `json:"energy_pj"`
+	Flits    map[string]uint64  `json:"flits"`
+	Counters map[string]uint64  `json:"counters"`
+}
+
+func toGolden(r denovogpu.Report) goldenReport {
+	g := goldenReport{
+		Config:   r.Config,
+		Workload: r.Workload,
+		Cycles:   r.Cycles,
+		Events:   r.Events,
+		EnergyPJ: make(map[string]float64),
+		Flits:    make(map[string]uint64),
+		Counters: make(map[string]uint64),
+	}
+	for c := stats.Component(0); c < stats.NumComponents; c++ {
+		g.EnergyPJ[c.String()] = r.EnergyPJ[c]
+	}
+	for c := stats.TrafficClass(0); c < stats.NumTrafficClasses; c++ {
+		g.Flits[c.String()] = r.Flits[c]
+	}
+	for _, n := range r.Stats.Names() {
+		g.Counters[n] = r.Stats.Get(n)
+	}
+	return g
+}
+
+// goldenPair is one pinned (workload, config) combination.
+type goldenPair struct {
+	workload string
+	config   string
+}
+
+// goldenPairs is the pinned fast subset: every paper category is
+// represented (no-sync applications, globally scoped sync, locally
+// scoped/hybrid sync including UTS), and the cheap workloads run under
+// all five configurations. The globally scoped microbenchmarks are
+// orders of magnitude slower under the DeNovo configs, so SPMBO_G is
+// pinned under the two GPU-coherence configs only.
+func goldenPairs() []goldenPair {
+	var pairs []goldenPair
+	allCfg := []string{"GD", "GH", "DD", "DD+RO", "DH"}
+	for _, w := range []string{"LAVA", "ST", "NN", "BP", "UTS", "SPM_L"} {
+		for _, c := range allCfg {
+			pairs = append(pairs, goldenPair{w, c})
+		}
+	}
+	for _, c := range []string{"GD", "GH"} {
+		pairs = append(pairs, goldenPair{"SPMBO_G", c})
+	}
+	return pairs
+}
+
+func goldenFile(p goldenPair) string {
+	cfg := strings.ReplaceAll(p.config, "+", "-")
+	return filepath.Join("testdata", "golden", fmt.Sprintf("%s_%s.json", p.workload, cfg))
+}
+
+func marshalGolden(g goldenReport) []byte {
+	out, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	return append(out, '\n')
+}
+
+func TestGoldenReports(t *testing.T) {
+	for _, p := range goldenPairs() {
+		p := p
+		t.Run(p.workload+"/"+p.config, func(t *testing.T) {
+			t.Parallel()
+			cfg, err := denovogpu.ConfigByName(p.config)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := denovogpu.RunByName(cfg, p.workload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := marshalGolden(toGolden(rep))
+			path := goldenFile(p)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("report for %s under %s deviates from golden %s;\nrerun with -update and review the diff if the change is intentional.\ngot:\n%s\nwant:\n%s",
+					p.workload, p.config, path, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenNoStrays fails when testdata/golden contains files no
+// current (workload, config) pair produces — stale goldens silently
+// stop guarding anything.
+func TestGoldenNoStrays(t *testing.T) {
+	expected := make(map[string]bool)
+	for _, p := range goldenPairs() {
+		expected[filepath.Base(goldenFile(p))] = true
+	}
+	entries, err := os.ReadDir(filepath.Join("testdata", "golden"))
+	if err != nil {
+		t.Skipf("no golden directory yet: %v", err)
+	}
+	for _, e := range entries {
+		if !expected[e.Name()] {
+			t.Errorf("stray golden file %s (not produced by any pinned pair)", e.Name())
+		}
+	}
+}

@@ -136,51 +136,12 @@ func Hops(a, b NodeID) int {
 	return dx + dy
 }
 
-// route returns the sequence of (node, direction) link traversals from
-// a to b under XY routing.
-func route(a, b NodeID) [](struct {
-	node NodeID
-	dir  int
-}) {
-	var links [](struct {
-		node NodeID
-		dir  int
-	})
-	cx, cy := xy(a)
-	bx, by := xy(b)
-	for cx != bx {
-		dir := 0 // east
-		next := cx + 1
-		if bx < cx {
-			dir, next = 1, cx-1
-		}
-		links = append(links, struct {
-			node NodeID
-			dir  int
-		}{NodeID(cy*Width + cx), dir})
-		cx = next
-	}
-	for cy != by {
-		dir := 3 // south (increasing y)
-		next := cy + 1
-		if by < cy {
-			dir, next = 2, cy-1
-		}
-		links = append(links, struct {
-			node NodeID
-			dir  int
-		}{NodeID(cy*Width + cx), dir})
-		cy = next
-	}
-	return links
-}
-
 // Send routes p through the mesh and delivers it to the destination
 // handler. Statistics (flit crossings by class) and NoC energy are
 // recorded per link traversed. Send panics if no handler is attached at
 // the destination: that is a wiring bug, not a runtime condition.
 func (m *Mesh) Send(p Packet) {
-	dst := p.NocDst()
+	src, dst := p.NocSrc(), p.NocDst()
 	h := m.handlers[dst][p.NocPort()]
 	if h == nil {
 		panic(fmt.Sprintf("noc: no handler attached at node %d port %d", dst, p.NocPort()))
@@ -190,22 +151,39 @@ func (m *Mesh) Send(p Packet) {
 		m.tap.Packet(p)
 	}
 	flits := Flits(p.PayloadBytes())
-	path := route(p.NocSrc(), dst)
 
-	crossings := uint64(flits) * uint64(len(path))
+	crossings := uint64(flits) * uint64(Hops(src, dst))
 	if crossings > 0 {
 		m.st.AddFlits(p.NocClass(), crossings)
 		m.meter.FlitHops(crossings)
 	}
 
+	// Walk the XY route in place (X dimension fully resolved, then Y),
+	// claiming each link as the head flit reaches it; this is the
+	// materialized path an earlier version allocated per Send.
 	t := m.eng.Now() + InjectCycles
-	for _, l := range path {
-		free := m.linkFree[l.node][l.dir]
+	cx, cy := xy(src)
+	bx, by := xy(dst)
+	for cx != bx || cy != by {
+		var dir, nx, ny int
+		switch {
+		case cx < bx:
+			dir, nx, ny = 0, cx+1, cy // east
+		case cx > bx:
+			dir, nx, ny = 1, cx-1, cy // west
+		case cy < by:
+			dir, nx, ny = 3, cx, cy+1 // south (increasing y)
+		default:
+			dir, nx, ny = 2, cx, cy-1 // north
+		}
+		node := NodeID(cy*Width + cx)
+		free := m.linkFree[node][dir]
 		if free > t {
 			t = free
 		}
-		m.linkFree[l.node][l.dir] = t + sim.Time(flits)
+		m.linkFree[node][dir] = t + sim.Time(flits)
 		t += HopCycles
+		cx, cy = nx, ny
 	}
 	t += sim.Time(flits-1) + EjectCycles
 	if last := m.pairLast[p.NocSrc()][dst]; t < last {

@@ -1,0 +1,151 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"denovogpu/internal/energy"
+	"denovogpu/internal/sim"
+	"denovogpu/internal/stats"
+)
+
+// Corner-to-corner is the mesh's maximum-hop path (6 hops on a 4x4).
+// Both diagonals, both directions, must achieve exactly the unloaded
+// latency on an idle mesh.
+func TestCornerToCornerLatency(t *testing.T) {
+	corners := []struct{ a, b NodeID }{
+		{0, 15}, {15, 0}, {3, 12}, {12, 3},
+	}
+	for _, c := range corners {
+		eng, mesh, _ := newTestMesh()
+		col := &collector{eng: eng}
+		mesh.Attach(c.b, PortL2, col)
+		p := testPacket{src: c.a, dst: c.b, port: PortL2, class: stats.TrafficRead, bytes: 64}
+		eng.Schedule(0, func() { mesh.Send(p) })
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if Hops(c.a, c.b) != 6 {
+			t.Fatalf("Hops(%d,%d) = %d, want the 6-hop maximum", c.a, c.b, Hops(c.a, c.b))
+		}
+		want := MinLatency(c.a, c.b, 64)
+		if len(col.at) != 1 || col.at[0] != want {
+			t.Errorf("%d->%d arrived at %v, want [%d]", c.a, c.b, col.at, want)
+		}
+	}
+}
+
+// XY routing resolves the X dimension first. Node 0 to node 5 must
+// leave eastward (sharing node 0's east link with 0->1 traffic), not
+// southward (it must not contend with 0->4 traffic).
+func TestXYDimensionOrder(t *testing.T) {
+	runPair := func(otherDst NodeID) (diag, other sim.Time) {
+		eng, mesh, _ := newTestMesh()
+		cd := &collector{eng: eng}
+		co := &collector{eng: eng}
+		mesh.Attach(5, PortL1, cd)
+		mesh.Attach(otherDst, PortL1, co)
+		eng.Schedule(0, func() {
+			mesh.Send(testPacket{src: 0, dst: 5, port: PortL1, bytes: 64})
+			mesh.Send(testPacket{src: 0, dst: otherDst, port: PortL1, bytes: 64})
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return cd.at[0], co.at[0]
+	}
+
+	// Sharing node 0's east link: the 0->1 message queues behind the
+	// 5-flit diagonal message.
+	if _, east := runPair(1); east == MinLatency(0, 1, 64) {
+		t.Error("0->5 did not use node 0's east link first (not XY order)")
+	}
+	// Node 0's south link is untouched by the diagonal: 0->4 must be
+	// unloaded.
+	if _, south := runPair(4); south != MinLatency(0, 4, 64) {
+		t.Error("0->5 contended with node 0's south link (YX order?)")
+	}
+}
+
+// A link carries one flit per cycle: back-to-back same-link messages
+// are spaced by exactly the flit count, pinning the busy-until model.
+func TestLinkBusyUntilExactSpacing(t *testing.T) {
+	eng, mesh, _ := newTestMesh()
+	col := &collector{eng: eng}
+	mesh.Attach(1, PortL2, col)
+	flits := Flits(64) // 5
+	eng.Schedule(0, func() {
+		for i := 0; i < 3; i++ {
+			mesh.Send(testPacket{src: 0, dst: 1, port: PortL2, class: stats.TrafficRead, bytes: 64})
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(col.at) != 3 {
+		t.Fatalf("delivered %d, want 3", len(col.at))
+	}
+	base := MinLatency(0, 1, 64)
+	for i, at := range col.at {
+		want := base + sim.Time(i*flits)
+		if at != want {
+			t.Errorf("message %d arrived at %d, want %d (exact serialization)", i, at, want)
+		}
+	}
+}
+
+// Per-class accounting invariants over a random batch: every class's
+// crossings equal the sum of flits x hops of that class's packets, the
+// classes are fully separable, and NoC energy is exactly the flit-hop
+// constant times total crossings.
+func TestFlitAccountingInvariants(t *testing.T) {
+	f := func(msgs []struct{ A, B, SZ, CL uint8 }) bool {
+		if len(msgs) > 48 {
+			msgs = msgs[:48]
+		}
+		eng, mesh, st := newTestMesh()
+		cols := make([]*collector, Nodes)
+		for i := range cols {
+			cols[i] = &collector{eng: eng}
+			mesh.Attach(NodeID(i), PortL1, cols[i])
+		}
+		var want [NumClassesForTest]uint64
+		eng.Schedule(0, func() {
+			for _, m := range msgs {
+				p := testPacket{
+					src:   NodeID(m.A % Nodes),
+					dst:   NodeID(m.B % Nodes),
+					port:  PortL1,
+					class: stats.TrafficClass(m.CL % uint8(stats.NumTrafficClasses)),
+					bytes: int(m.SZ % 65),
+				}
+				want[p.class] += uint64(Flits(p.bytes)) * uint64(Hops(p.src, p.dst))
+				mesh.Send(p)
+			}
+		})
+		if err := eng.Run(); err != nil {
+			return false
+		}
+		var total uint64
+		for c := stats.TrafficClass(0); c < stats.NumTrafficClasses; c++ {
+			if st.Flits[c] != want[c] {
+				return false
+			}
+			total += st.Flits[c]
+		}
+		if st.TotalFlits() != total {
+			return false
+		}
+		// Crossings are the sole NoC energy source.
+		const eps = 1e-6
+		diff := st.EnergyPJ[stats.CompNoC] - energy.FlitHopPJ*float64(total)
+		return diff < eps && diff > -eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// NumClassesForTest mirrors stats.NumTrafficClasses for the fixed-size
+// accumulator above.
+const NumClassesForTest = int(stats.NumTrafficClasses)

@@ -6,10 +6,19 @@
 // the same cycle fire in the order they were scheduled. This total order,
 // combined with the single-threaded event loop, makes every simulation
 // bit-for-bit reproducible.
+//
+// The queue is a calendar/heap hybrid tuned for the simulator's traffic:
+// almost every event is scheduled a few to a few hundred cycles out
+// (pipeline latencies, NoC hops, DRAM), so events inside a ring of
+// per-cycle buckets covering the next ringSize cycles are stored by
+// value in recycled slices — no allocation on the steady-state path and
+// O(1) insert/remove. The rare far-future event goes to a small binary
+// heap and migrates into the ring when the time window slides. See
+// DESIGN.md "Simulation model notes" for why this preserves the exact
+// (time, sequence) firing order of the original single-heap design.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -22,31 +31,36 @@ type Time uint64
 // Forever is a time later than any reachable simulation time.
 const Forever Time = math.MaxUint64
 
-// Event is a scheduled callback.
+// The bucket ring covers cycles [now, now+ringSize). 1024 cycles spans
+// every fixed latency in the model (the largest, DRAM, is ~200), so in
+// practice the far heap only sees deliberately distant events such as
+// test timeouts.
+const (
+	ringSize = 1024
+	ringMask = ringSize - 1
+)
+
+// event is a scheduled callback, stored by value.
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+
+// bucket holds the events of one cycle in insertion order. head indexes
+// the next event to fire; once drained the slice resets to length zero,
+// keeping its capacity as a free list for later cycles that map to the
+// same slot.
+type bucket struct {
+	ev   []event
+	head int
 }
 
 // Engine is the discrete-event simulation kernel.
@@ -55,10 +69,21 @@ func (q *eventQueue) Pop() any {
 type Engine struct {
 	now    Time
 	seq    uint64
-	queue  eventQueue
 	fired  uint64
 	limit  Time // horizon: exceeding it means a hang; Run returns an error
 	halted bool
+
+	// ring[t&ringMask] holds the events for cycle t, for t in
+	// [now, now+ringSize) only — one cycle per slot, never mixed.
+	ring      []bucket
+	ringCount int
+	// cursor is the first cycle that may hold ring events; cycles in
+	// [now, cursor) are known empty, so the bucket scan never revisits
+	// them.
+	cursor Time
+	// far is a binary min-heap on (at, seq) of events at or beyond
+	// now+ringSize. advanceTo drains it into the ring as now moves.
+	far []event
 }
 
 // NewEngine returns an engine at time 0 with the given horizon. A zero
@@ -67,7 +92,7 @@ func NewEngine(horizon Time) *Engine {
 	if horizon == 0 {
 		horizon = Forever
 	}
-	return &Engine{limit: horizon}
+	return &Engine{limit: horizon, ring: make([]bucket, ringSize)}
 }
 
 // Now returns the current simulation time.
@@ -91,26 +116,97 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %d in the past (now %d)", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+	ev := event{at: t, seq: e.seq, fn: fn}
+	if t-e.now < ringSize {
+		b := &e.ring[t&ringMask]
+		b.ev = append(b.ev, ev)
+		e.ringCount++
+		if t < e.cursor {
+			e.cursor = t
+		}
+	} else {
+		e.pushFar(ev)
+	}
 }
 
 // Pending reports whether any events remain.
-func (e *Engine) Pending() bool { return len(e.queue) > 0 }
+func (e *Engine) Pending() bool { return e.ringCount > 0 || len(e.far) > 0 }
 
 // Halt stops the event loop after the current event returns. Remaining
 // events stay queued; Run returns nil.
 func (e *Engine) Halt() { e.halted = true }
 
+// nextTime returns the time of the earliest pending event without
+// advancing the clock, so Run can enforce the horizon before firing.
+// Ring events are always earlier than far events (the far heap only
+// holds times at or beyond now+ringSize), so the ring is scanned first;
+// cursor makes the scan amortized O(1) because it never moves backwards
+// past an emptied cycle.
+func (e *Engine) nextTime() (Time, bool) {
+	if e.ringCount > 0 {
+		for {
+			b := &e.ring[e.cursor&ringMask]
+			if b.head < len(b.ev) {
+				return e.cursor, true
+			}
+			e.cursor++
+		}
+	}
+	if len(e.far) > 0 {
+		return e.far[0].at, true
+	}
+	return 0, false
+}
+
+// advanceTo moves the clock to t (the next event time) and slides the
+// ring window: any far event now within [t, t+ringSize) migrates into
+// its bucket. Migration happens before any event at time t runs, so a
+// far event for cycle T always enters T's bucket before any direct
+// append for T can occur (direct appends for T are only possible once
+// now is within ringSize of T) — heap order delivers migrants in (at,
+// seq) order, so per-bucket insertion order remains global seq order
+// and the original FIFO semantics are preserved exactly.
+func (e *Engine) advanceTo(t Time) {
+	e.now = t
+	if e.cursor < t {
+		e.cursor = t
+	}
+	for len(e.far) > 0 && e.far[0].at-t < ringSize {
+		ev := e.popFar()
+		b := &e.ring[ev.at&ringMask]
+		b.ev = append(b.ev, ev)
+		e.ringCount++
+		if ev.at < e.cursor {
+			e.cursor = ev.at
+		}
+	}
+}
+
+// fireNext fires the earliest event of cycle t, which the caller found
+// via nextTime.
+func (e *Engine) fireNext(t Time) {
+	e.advanceTo(t)
+	b := &e.ring[t&ringMask]
+	ev := b.ev[b.head]
+	b.ev[b.head] = event{} // release the closure for GC
+	b.head++
+	if b.head == len(b.ev) {
+		b.ev = b.ev[:0]
+		b.head = 0
+	}
+	e.ringCount--
+	e.fired++
+	ev.fn()
+}
+
 // Step fires the single next event and returns true, or returns false if
 // the queue is empty.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	t, ok := e.nextTime()
+	if !ok {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*event)
-	e.now = ev.at
-	e.fired++
-	ev.fn()
+	e.fireNext(t)
 	return true
 }
 
@@ -119,11 +215,15 @@ func (e *Engine) Step() bool {
 // such as a deadlocked synchronization benchmark).
 func (e *Engine) Run() error {
 	e.halted = false
-	for len(e.queue) > 0 && !e.halted {
-		if e.queue[0].at > e.limit {
+	for !e.halted {
+		t, ok := e.nextTime()
+		if !ok {
+			return nil
+		}
+		if t > e.limit {
 			return fmt.Errorf("sim: horizon %d cycles exceeded at %d events; simulation is likely deadlocked", e.limit, e.fired)
 		}
-		e.Step()
+		e.fireNext(t)
 	}
 	return nil
 }
@@ -131,10 +231,55 @@ func (e *Engine) Run() error {
 // RunUntil fires events up to and including time t, leaving later events
 // queued.
 func (e *Engine) RunUntil(t Time) {
-	for len(e.queue) > 0 && e.queue[0].at <= t {
-		e.Step()
+	for {
+		next, ok := e.nextTime()
+		if !ok || next > t {
+			break
+		}
+		e.fireNext(next)
 	}
 	if e.now < t {
 		e.now = t
 	}
+}
+
+// pushFar inserts into the far heap (binary sift-up; events by value,
+// no interface boxing).
+func (e *Engine) pushFar(ev event) {
+	e.far = append(e.far, ev)
+	i := len(e.far) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventLess(&e.far[i], &e.far[p]) {
+			break
+		}
+		e.far[i], e.far[p] = e.far[p], e.far[i]
+		i = p
+	}
+}
+
+// popFar removes the heap minimum (binary sift-down).
+func (e *Engine) popFar() event {
+	min := e.far[0]
+	n := len(e.far) - 1
+	e.far[0] = e.far[n]
+	e.far[n] = event{}
+	e.far = e.far[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && eventLess(&e.far[l], &e.far[s]) {
+			s = l
+		}
+		if r < n && eventLess(&e.far[r], &e.far[s]) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		e.far[i], e.far[s] = e.far[s], e.far[i]
+		i = s
+	}
+	return min
 }

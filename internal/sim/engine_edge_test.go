@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// The horizon is inclusive: an event at exactly the limit is still a
+// legal simulation instant; only events strictly beyond it indicate a
+// hang.
+func TestAtExactHorizonFires(t *testing.T) {
+	e := NewEngine(100)
+	fired := false
+	e.At(100, func() { fired = true })
+	if err := e.Run(); err != nil {
+		t.Fatalf("event at the horizon must fire, got %v", err)
+	}
+	if !fired || e.Now() != 100 || e.Fired() != 1 {
+		t.Fatalf("fired=%v now=%d count=%d", fired, e.Now(), e.Fired())
+	}
+}
+
+func TestBeyondHorizonErrors(t *testing.T) {
+	e := NewEngine(100)
+	fired := false
+	e.At(101, func() { fired = true })
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "horizon") {
+		t.Fatalf("want horizon error, got %v", err)
+	}
+	if fired {
+		t.Fatal("event beyond the horizon must not fire")
+	}
+	// The engine must not advance past the horizon, and the offending
+	// event stays queued so the state can be inspected post-mortem.
+	if e.Now() > 100 {
+		t.Fatalf("now advanced to %d, beyond the horizon", e.Now())
+	}
+	if !e.Pending() {
+		t.Fatal("offending event should remain queued")
+	}
+	// A second Run reports the same hang rather than silently firing.
+	if err2 := e.Run(); err2 == nil {
+		t.Fatal("rerun after horizon error must error again")
+	}
+}
+
+func TestHorizonChecksNextEventNotNow(t *testing.T) {
+	// An event at the horizon that schedules beyond it: the first fires,
+	// then Run errors without firing the second.
+	e := NewEngine(50)
+	var order []int
+	e.At(50, func() {
+		order = append(order, 1)
+		e.Schedule(1, func() { order = append(order, 2) })
+	})
+	if err := e.Run(); err == nil {
+		t.Fatal("want horizon error for the follow-up event")
+	}
+	if len(order) != 1 || order[0] != 1 {
+		t.Fatalf("order = %v, want [1]", order)
+	}
+}
+
+func TestZeroHorizonMeansNoLimit(t *testing.T) {
+	e := NewEngine(0)
+	fired := false
+	e.At(1<<40, func() { fired = true })
+	if err := e.Run(); err != nil || !fired {
+		t.Fatalf("no-limit engine errored: %v (fired=%v)", err, fired)
+	}
+}
+
+// Halt stops the loop after the current event; the queue is preserved
+// and a later Run resumes exactly where it left off.
+func TestHaltPreservesQueueAndRunResumes(t *testing.T) {
+	e := NewEngine(0)
+	var order []int
+	e.At(1, func() {
+		order = append(order, 1)
+		e.Halt()
+	})
+	e.At(2, func() { order = append(order, 2) })
+	e.At(3, func() { order = append(order, 3) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 1 || e.Now() != 1 || !e.Pending() {
+		t.Fatalf("after halt: order=%v now=%d pending=%v", order, e.Now(), e.Pending())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("resume order = %v", order)
+	}
+}
+
+// Scheduling from a halting event is legal: the new event waits for the
+// next Run. The machine's kernel-launch loop depends on this (the CPU
+// host halts the engine between kernels and resumes it).
+func TestScheduleAfterHaltFiresOnResume(t *testing.T) {
+	e := NewEngine(0)
+	var order []int
+	e.At(5, func() {
+		e.Halt()
+		e.Schedule(0, func() { order = append(order, 2) })
+		order = append(order, 1)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 1 {
+		t.Fatalf("halting event's follow-up fired early: %v", order)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[1] != 2 {
+		t.Fatalf("resume order = %v", order)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("zero-delay follow-up moved time to %d", e.Now())
+	}
+}
+
+// Run clears a stale halt request: Halt called outside the loop (with
+// no event in flight) does not wedge the next Run.
+func TestHaltBeforeRunDoesNotWedge(t *testing.T) {
+	e := NewEngine(0)
+	fired := false
+	e.Halt()
+	e.At(1, func() { fired = true })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("stale halt suppressed the whole run")
+	}
+}
+
+// Step is the raw single-event primitive: it ignores the horizon (Run
+// is the guard) and reports emptiness.
+func TestStepSemantics(t *testing.T) {
+	e := NewEngine(10)
+	fired := false
+	e.At(99, func() { fired = true })
+	if !e.Step() {
+		t.Fatal("Step with a queued event must fire it")
+	}
+	if !fired || e.Now() != 99 {
+		t.Fatalf("fired=%v now=%d", fired, e.Now())
+	}
+	if e.Step() {
+		t.Fatal("Step on an empty queue must return false")
+	}
+}
+
+// RunUntil is inclusive and advances time to t even when idle.
+func TestRunUntilInclusiveAndAdvances(t *testing.T) {
+	e := NewEngine(0)
+	var order []int
+	e.At(3, func() { order = append(order, 3) })
+	e.At(5, func() { order = append(order, 5) })
+	e.At(6, func() { order = append(order, 6) })
+	e.RunUntil(5)
+	if len(order) != 2 || order[1] != 5 {
+		t.Fatalf("RunUntil(5) fired %v", order)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("now = %d, want 5", e.Now())
+	}
+	e.RunUntil(10)
+	if len(order) != 3 {
+		t.Fatalf("remaining event not fired: %v", order)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("idle RunUntil must advance time: now = %d", e.Now())
+	}
+	// RunUntil into the past is a no-op on time.
+	e.RunUntil(4)
+	if e.Now() != 10 {
+		t.Fatalf("RunUntil backwards moved time to %d", e.Now())
+	}
+}
+
+// Zero-delay self-rescheduling within one cycle keeps strict FIFO with
+// other same-cycle events, even across many generations.
+func TestZeroDelayGenerations(t *testing.T) {
+	e := NewEngine(0)
+	var order []string
+	var gen func(n int)
+	gen = func(n int) {
+		order = append(order, "g")
+		if n > 0 {
+			e.Schedule(0, func() { gen(n - 1) })
+		}
+	}
+	e.At(1, func() { gen(2) })
+	e.At(1, func() { order = append(order, "x") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "g,x,g,g"
+	if got := strings.Join(order, ","); got != want {
+		t.Fatalf("order %s, want %s", got, want)
+	}
+}
