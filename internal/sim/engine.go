@@ -238,8 +238,14 @@ func (e *Engine) RunUntil(t Time) {
 		}
 		e.fireNext(next)
 	}
+	// Idle-advance through advanceTo so the ring cursor tracks the new
+	// now and far events whose time entered [t, t+ringSize) migrate into
+	// their buckets — a bare `e.now = t` would leave the cursor behind
+	// (later At() calls could then fire at the wrong cycle) and would let
+	// a direct append for cycle T land before T's unmigrated far event,
+	// inverting same-cycle FIFO order.
 	if e.now < t {
-		e.now = t
+		e.advanceTo(t)
 	}
 }
 

@@ -184,6 +184,47 @@ func TestRunUntilInclusiveAndAdvances(t *testing.T) {
 	}
 }
 
+// An idle RunUntil must leave the queue invariants intact: an At() after
+// the advance lands in a ring bucket the cursor has already passed, so a
+// stale cursor would rediscover it at the wrong cycle (bucket index
+// t&ringMask) and move the clock backwards.
+func TestRunUntilIdleThenAt(t *testing.T) {
+	e := NewEngine(0)
+	e.RunUntil(1500)
+	var at Time
+	e.At(2000, func() { at = e.Now() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 2000 {
+		t.Fatalf("event scheduled for 2000 fired at %d", at)
+	}
+	if e.Now() != 2000 {
+		t.Fatalf("now = %d, want 2000", e.Now())
+	}
+}
+
+// An idle RunUntil that slides the window over a far event's cycle must
+// migrate it into the ring before any later direct append for the same
+// cycle, preserving same-cycle FIFO (seq) order.
+func TestRunUntilIdleMigratesFarEvents(t *testing.T) {
+	e := NewEngine(0)
+	var order []string
+	e.At(2000, func() { order = append(order, "far") }) // beyond ringSize: far heap
+	e.RunUntil(1500)                                    // idle advance: 2000 is now in-window
+	e.At(2000, func() { order = append(order, "direct") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "far,direct"
+	if got := strings.Join(order, ","); got != want {
+		t.Fatalf("same-cycle order %s, want %s", got, want)
+	}
+	if e.Now() != 2000 {
+		t.Fatalf("now = %d, want 2000", e.Now())
+	}
+}
+
 // Zero-delay self-rescheduling within one cycle keeps strict FIFO with
 // other same-cycle events, even across many generations.
 func TestZeroDelayGenerations(t *testing.T) {
