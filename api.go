@@ -28,6 +28,7 @@ import (
 	"denovogpu/internal/consistency"
 	"denovogpu/internal/machine"
 	"denovogpu/internal/mem"
+	"denovogpu/internal/obs"
 	"denovogpu/internal/stats"
 	"denovogpu/internal/workload"
 
@@ -124,6 +125,9 @@ type Report struct {
 	Flits [stats.NumTrafficClasses]uint64
 	// Stats exposes every diagnostic counter.
 	Stats *stats.Stats
+	// Timeline holds the epoch-sampled time-series metrics when the run
+	// was observed with a sampler (RunObserved); nil otherwise.
+	Timeline *obs.Series
 }
 
 // TotalEnergyPJ is the summed dynamic energy.
@@ -161,10 +165,55 @@ const (
 	LocalSync  = workload.LocalSync
 )
 
+// Recorder is the observability event recorder (see internal/obs):
+// create one with NewRecorder and pass it to RunObserved, then export
+// the captured events with WriteChromeTrace.
+type Recorder = obs.Recorder
+
+// Sampler is the observability epoch sampler capturing time-series
+// metrics; create one with NewSampler and pass it to RunObserved.
+type Sampler = obs.Sampler
+
+// NewSampler returns an epoch sampler reading its gauges every `every`
+// cycles (0 selects the default interval).
+func NewSampler(every uint64) *Sampler { return obs.NewSampler(every) }
+
+// NewRecorder returns an event recorder reading timestamps from clock,
+// holding at most capacity events (<= 0 selects the default, 1M).
+func NewRecorder(clock func() uint64, capacity int) *Recorder {
+	return obs.NewRecorder(clock, capacity)
+}
+
 // Run simulates one built-in or custom workload under a configuration,
 // verifies its result, and returns the measurements.
 func Run(cfg Config, w Workload) (Report, error) {
+	return RunObserved(cfg, w, nil, nil)
+}
+
+// RunObserved is Run with observability attached: a non-nil recorder
+// captures the typed event trace (export with Recorder.WriteChromeTrace)
+// and a non-nil sampler captures time-series metrics into
+// Report.Timeline. Observability never perturbs the simulation: cycle
+// and event counts are bit-identical to an unobserved run.
+//
+// The recorder needs the machine's clock, which does not exist until the
+// machine is built, so rec is created by a callback receiving the clock.
+// Pass obs.NewRecorder composed with the capacity of your choice:
+//
+//	var rec *denovogpu.Recorder
+//	rep, err := denovogpu.RunObserved(cfg, w, func(clock func() uint64) *denovogpu.Recorder {
+//		rec = denovogpu.NewRecorder(clock, 0)
+//		return rec
+//	}, nil)
+func RunObserved(cfg Config, w Workload, mkRec func(clock func() uint64) *Recorder, sampler *Sampler) (Report, error) {
 	m := machine.New(cfg)
+	var rec *Recorder
+	if mkRec != nil {
+		rec = mkRec(func() uint64 { return uint64(m.Engine().Now()) })
+	}
+	if rec != nil || sampler != nil {
+		m.SetObservability(rec, sampler)
+	}
 	w.Host(m)
 	if err := m.Err(); err != nil {
 		return Report{}, fmt.Errorf("denovogpu: %s under %s: %w", w.Name, cfg.Name(), err)
@@ -175,7 +224,7 @@ func Run(cfg Config, w Workload) (Report, error) {
 		}
 	}
 	st := m.Stats()
-	return Report{
+	rep := Report{
 		Config:   cfg.Name(),
 		Workload: w.Name,
 		Cycles:   st.Cycles,
@@ -183,7 +232,11 @@ func Run(cfg Config, w Workload) (Report, error) {
 		EnergyPJ: st.EnergyPJ,
 		Flits:    st.Flits,
 		Stats:    st,
-	}, nil
+	}
+	if sampler != nil {
+		rep.Timeline = sampler.Series()
+	}
+	return rep, nil
 }
 
 // RunByName runs a built-in benchmark by Table 4 name.

@@ -4,19 +4,32 @@
 // Usage:
 //
 //	denovosim -bench SPM_G -config DD [-counters]
+//	denovosim -bench SPM_G -config DD -trace out.json -metrics out.csv
 //	denovosim -list
+//
+// Observability: -trace writes the typed protocol event trace as Chrome
+// trace_event JSON (open in chrome://tracing or https://ui.perfetto.dev),
+// -metrics writes epoch-sampled time-series metrics (CSV, or JSON when
+// the path ends in .json), -sample-every sets the sampling interval.
+// Profiling: -pprof serves net/http/pprof, -runtime-trace captures a Go
+// runtime execution trace of the simulator itself.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	rtrace "runtime/trace"
+	"strings"
 
 	"denovogpu"
 	"denovogpu/internal/machine"
+	"denovogpu/internal/obs"
 	"denovogpu/internal/stats"
-	"denovogpu/internal/trace"
+	msgtrace "denovogpu/internal/trace"
 	"denovogpu/internal/workload"
 )
 
@@ -34,7 +47,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	backoff := fs.Bool("syncbackoff", false, "enable the DeNovoSync read-backoff extension")
 	direct := fs.Bool("directtransfer", false, "enable direct cache-to-cache transfers")
 	lazy := fs.Bool("lazywrites", false, "delay DeNovo data-write registration to global releases")
-	traceN := fs.Uint64("trace", 0, "print the first N protocol messages to stderr")
+	msgTraceN := fs.Uint64("msgtrace", 0, "print the first N protocol messages to stderr")
+	tracePath := fs.String("trace", "", "write the event trace as Chrome trace_event JSON to this file")
+	traceCap := fs.Int("trace-cap", 0, "event-trace ring capacity in events (0 = default 1M; oldest dropped beyond it)")
+	metricsPath := fs.String("metrics", "", "write epoch-sampled metrics to this file (CSV, or JSON if it ends in .json)")
+	sampleEvery := fs.Uint64("sample-every", obs.DefaultSampleEvery, "metrics sampling interval in cycles")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	runtimeTrace := fs.String("runtime-trace", "", "write a Go runtime execution trace of the simulator to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -70,7 +89,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	rep, err := runTraced(cfg, w, *traceN, stderr)
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(stderr, "denovosim: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(stderr, "denovosim: pprof at http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	if *runtimeTrace != "" {
+		f, err := os.Create(*runtimeTrace)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := rtrace.Start(f); err != nil {
+			fmt.Fprintln(stderr, err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			rtrace.Stop()
+			f.Close()
+		}()
+	}
+
+	o := obsOpts{
+		tracePath:   *tracePath,
+		traceCap:    *traceCap,
+		metricsPath: *metricsPath,
+		sampleEvery: *sampleEvery,
+	}
+	rep, err := runTraced(cfg, w, *msgTraceN, stderr, o)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
@@ -95,12 +146,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// runTraced runs the workload, optionally tracing the first n protocol
-// messages to the trace writer.
-func runTraced(cfg denovogpu.Config, w workload.Workload, n uint64, tw io.Writer) (denovogpu.Report, error) {
+// obsOpts carries the observability output options into runTraced.
+type obsOpts struct {
+	tracePath   string
+	traceCap    int
+	metricsPath string
+	sampleEvery uint64
+}
+
+// runTraced runs the workload with the requested observability attached:
+// an optional first-N-messages dump to tw, an optional event trace, and
+// optional epoch-sampled metrics.
+func runTraced(cfg denovogpu.Config, w workload.Workload, msgN uint64, tw io.Writer, o obsOpts) (denovogpu.Report, error) {
 	m := machine.New(cfg)
-	if n > 0 {
-		m.Mesh().SetTap(trace.New(tw, m.Engine(), n))
+	if msgN > 0 {
+		m.Mesh().SetTap(msgtrace.New(tw, m.Engine(), msgN))
+	}
+	var rec *obs.Recorder
+	var sampler *obs.Sampler
+	if o.tracePath != "" {
+		rec = m.NewRecorder(o.traceCap)
+	}
+	if o.metricsPath != "" {
+		sampler = obs.NewSampler(o.sampleEvery)
+	}
+	if rec != nil || sampler != nil {
+		m.SetObservability(rec, sampler)
 	}
 	w.Host(m)
 	if err := m.Err(); err != nil {
@@ -111,9 +182,42 @@ func runTraced(cfg denovogpu.Config, w workload.Workload, n uint64, tw io.Writer
 			return denovogpu.Report{}, fmt.Errorf("verification failed: %w", err)
 		}
 	}
+	if rec != nil {
+		if err := writeTo(o.tracePath, rec.WriteChromeTrace); err != nil {
+			return denovogpu.Report{}, err
+		}
+	}
+	if sampler != nil {
+		write := sampler.Series().WriteCSV
+		if strings.HasSuffix(o.metricsPath, ".json") {
+			write = sampler.Series().WriteJSON
+		}
+		if err := writeTo(o.metricsPath, write); err != nil {
+			return denovogpu.Report{}, err
+		}
+	}
 	st := m.Stats()
-	return denovogpu.Report{
+	rep := denovogpu.Report{
 		Config: cfg.Name(), Workload: w.Name,
-		Cycles: st.Cycles, EnergyPJ: st.EnergyPJ, Flits: st.Flits, Stats: st,
-	}, nil
+		Cycles: st.Cycles, Events: m.Engine().Fired(),
+		EnergyPJ: st.EnergyPJ, Flits: st.Flits, Stats: st,
+	}
+	if sampler != nil {
+		rep.Timeline = sampler.Series()
+	}
+	return rep, nil
+}
+
+// writeTo creates path, streams write into it, and reports the first
+// error from either.
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -27,7 +27,28 @@ var (
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
-func run(args []string, stdout, stderr io.Writer) int {
+// errWriter remembers the first write error so that emit failures —
+// e.g. a closed pipe under `sweep -all | head` — surface in the exit
+// code instead of being silently dropped by fmt.Fprintln. After the
+// first failure it stops writing entirely.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	if err != nil {
+		e.err = err
+	}
+	return n, err
+}
+
+func run(args []string, rawStdout, stderr io.Writer) int {
+	stdout := &errWriter{w: rawStdout}
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -97,6 +118,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *all || *fig4 {
 		fmt.Fprintln(stdout, "Running Figure 4 sweep (9 local-sync benchmarks x 5 configs)...")
 		emit("Figure 4", sweepFig4(), "GD", nil)
+	}
+	if stdout.err != nil {
+		fmt.Fprintf(stderr, "sweep: writing output: %v\n", stdout.err)
+		failed = true
 	}
 	if failed {
 		return 1

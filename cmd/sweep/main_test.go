@@ -75,6 +75,37 @@ func TestFigureSweepErrorFails(t *testing.T) {
 	}
 }
 
+// brokenPipe fails every write after the first n bytes, modeling the
+// EPIPE a downstream `| head` produces once it exits.
+type brokenPipe struct {
+	n       int
+	written int
+}
+
+func (b *brokenPipe) Write(p []byte) (int, error) {
+	if b.written+len(p) > b.n {
+		allowed := b.n - b.written
+		if allowed < 0 {
+			allowed = 0
+		}
+		b.written += allowed
+		return allowed, errors.New("broken pipe")
+	}
+	b.written += len(p)
+	return len(p), nil
+}
+
+func TestStdoutWriteErrorFails(t *testing.T) {
+	var errb strings.Builder
+	code := run([]string{"-table1", "-table2"}, &brokenPipe{n: 16}, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 on stdout write failure", code)
+	}
+	if !strings.Contains(errb.String(), "broken pipe") {
+		t.Fatalf("stderr missing the write error:\n%s", errb.String())
+	}
+}
+
 func TestErrorPaths(t *testing.T) {
 	if code, _, _ := runCmd(t); code != 2 {
 		t.Fatalf("no flags: exit %d, want 2", code)

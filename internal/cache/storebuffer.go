@@ -2,6 +2,7 @@ package cache
 
 import (
 	"denovogpu/internal/mem"
+	"denovogpu/internal/obs"
 )
 
 // SBEntry is one store-buffer slot: a pending word write.
@@ -41,6 +42,11 @@ type StoreBuffer struct {
 	pool       []sbSlot
 	free       []int32 // recycled pool slots
 	head, tail int32   // live entries, insertion order
+
+	// rec, when non-nil, receives SBInsert/SBCoalesce/SBDrain/SBEvict
+	// events on the given track (the owning CU's node id).
+	rec   *obs.Recorder
+	track int32
 }
 
 // NewStoreBuffer returns a buffer with the given capacity in word slots.
@@ -52,6 +58,13 @@ func NewStoreBuffer(capacity int) *StoreBuffer {
 		head:  nilSlot,
 		tail:  nilSlot,
 	}
+}
+
+// SetRecorder installs an obs recorder (nil to disable) emitting this
+// buffer's events on the given track.
+func (b *StoreBuffer) SetRecorder(rec *obs.Recorder, track int32) {
+	b.rec = rec
+	b.track = track
 }
 
 // Cap returns the capacity.
@@ -118,6 +131,9 @@ func (b *StoreBuffer) unlink(i int32) {
 func (b *StoreBuffer) Insert(w mem.Word, v uint32) (coalesced bool, evicted *LineGroup) {
 	if i, ok := b.index[w]; ok {
 		b.pool[i].val = v
+		if b.rec != nil {
+			b.rec.Emit(obs.SBCoalesce, b.track, uint64(w))
+		}
 		return true, nil
 	}
 	if b.Full() {
@@ -127,6 +143,9 @@ func (b *StoreBuffer) Insert(w mem.Word, v uint32) (coalesced bool, evicted *Lin
 	b.pool[i] = sbSlot{word: w, val: v}
 	b.linkTail(i)
 	b.index[w] = i
+	if b.rec != nil {
+		b.rec.Emit(obs.SBInsert, b.track, uint64(w))
+	}
 	return false, evicted
 }
 
@@ -137,6 +156,7 @@ func (b *StoreBuffer) popOldestLine() *LineGroup {
 		panic("cache: popOldestLine on empty store buffer")
 	}
 	g := &LineGroup{Line: b.pool[b.head].word.LineOf()}
+	words := uint64(0)
 	for i := 0; i < mem.WordsPerLine; i++ {
 		word := g.Line.Word(i)
 		if si, ok := b.index[word]; ok {
@@ -144,7 +164,11 @@ func (b *StoreBuffer) popOldestLine() *LineGroup {
 			g.Data[i] = b.pool[si].val
 			delete(b.index, word)
 			b.unlink(si)
+			words++
 		}
+	}
+	if b.rec != nil {
+		b.rec.Emit(obs.SBEvict, b.track, words)
 	}
 	return g
 }
@@ -159,6 +183,9 @@ func (b *StoreBuffer) Remove(w mem.Word) (uint32, bool) {
 	v := b.pool[i].val
 	delete(b.index, w)
 	b.unlink(i)
+	if b.rec != nil {
+		b.rec.Emit(obs.SBDrain, b.track, 1)
+	}
 	return v, true
 }
 
@@ -191,6 +218,9 @@ func (b *StoreBuffer) Entries() []SBEntry {
 // order to dst (the allocation-free variant of DrainAll).
 func (b *StoreBuffer) AppendDrain(dst []SBEntry) []SBEntry {
 	dst = b.AppendEntries(dst)
+	if b.rec != nil && len(b.index) > 0 {
+		b.rec.Emit(obs.SBDrain, b.track, uint64(len(b.index)))
+	}
 	clear(b.index)
 	b.pool = b.pool[:0]
 	b.free = b.free[:0]

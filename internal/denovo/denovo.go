@@ -30,6 +30,7 @@ import (
 	"denovogpu/internal/l2"
 	"denovogpu/internal/mem"
 	"denovogpu/internal/noc"
+	"denovogpu/internal/obs"
 	"denovogpu/internal/sim"
 	"denovogpu/internal/stats"
 )
@@ -151,6 +152,9 @@ type Controller struct {
 	// over the store buffer allocates nothing.
 	sbScratch []cache.SBEntry
 	regBatch  []lineMask
+
+	// rec, when non-nil, receives L1/sync events on track c.node.
+	rec *obs.Recorder
 }
 
 // lineMask accumulates one line's per-word mask while batching lazy
@@ -195,6 +199,21 @@ func New(node noc.NodeID, eng *sim.Engine, mesh *noc.Mesh, st *stats.Stats, mete
 }
 
 var _ coherence.L1 = (*Controller)(nil)
+
+// SetRecorder installs an obs recorder (nil to disable) for this L1 and
+// its store buffer; events land on track c.node in the CU domain.
+func (c *Controller) SetRecorder(rec *obs.Recorder) {
+	c.rec = rec
+	c.sb.SetRecorder(rec, int32(c.node))
+}
+
+// MSHROccupancy returns the number of outstanding miss/registration
+// transactions (the obs sampler's l1.mshr gauge).
+func (c *Controller) MSHROccupancy() int { return len(c.reads) + len(c.regs) }
+
+// OutstandingRegistrations returns the number of in-flight registration
+// transactions (the obs sampler's l1.out_regs gauge).
+func (c *Controller) OutstandingRegistrations() int { return len(c.regs) }
 
 // pin management: lines with outstanding transactions must not be
 // evicted.
@@ -243,6 +262,9 @@ func (c *Controller) evict(e *cache.Entry) {
 		return
 	}
 	c.st.Inc("l1.writebacks", 1)
+	if c.rec != nil {
+		c.rec.Emit(obs.L1Writeback, int32(c.node), uint64(e.Line))
+	}
 	for i := 0; i < mem.WordsPerLine; i++ {
 		if reg.Has(i) {
 			w := e.Line.Word(i)
@@ -282,10 +304,16 @@ func (c *Controller) ReadLine(l mem.Line, need mem.WordMask, cb func([mem.WordsP
 	}
 	if missing == 0 {
 		c.st.Inc("l1.read_hits", 1)
+		if c.rec != nil {
+			c.rec.Emit(obs.L1ReadHit, int32(c.node), uint64(l))
+		}
 		c.eng.Schedule(coherence.L1HitCycles, func() { cb(vals) })
 		return
 	}
 	c.st.Inc("l1.read_misses", 1)
+	if c.rec != nil {
+		c.rec.Emit(obs.L1ReadMiss, int32(c.node), uint64(l))
+	}
 	c.meter.L1Tag(1)
 	var txn *readTxn
 	if id, ok := c.lineTxn[l]; ok {
@@ -359,11 +387,17 @@ func (c *Controller) WriteLine(l mem.Line, mask mem.WordMask, data [mem.WordsPer
 			if entry != nil && entry.State[i] == cache.Registered {
 				entry.Data[i] = data[i]
 				c.st.Inc("l1.write_hits", 1)
+				if c.rec != nil {
+					c.rec.Emit(obs.L1WriteHit, int32(c.node), uint64(w))
+				}
 				continue
 			}
 			if _, ok := c.pendingOwn[w]; ok {
 				c.pendingOwn[w] = data[i]
 				c.st.Inc("l1.write_hits", 1)
+				if c.rec != nil {
+					c.rec.Emit(obs.L1WriteHit, int32(c.node), uint64(w))
+				}
 				continue
 			}
 			if _, ok := c.sb.Lookup(w); ok {
@@ -458,6 +492,9 @@ func (c *Controller) Atomic(op coherence.AtomicOp, w mem.Word, operand, operand2
 		next, ret := op.Apply(e.Data[w.Index()], operand, operand2)
 		e.Data[w.Index()] = next
 		c.st.Inc("l1.sync_hits", 1)
+		if c.rec != nil {
+			c.rec.Emit(obs.L1SyncHit, int32(c.node), uint64(w))
+		}
 		c.meter.L1Access(1)
 		c.eng.Schedule(coherence.L1HitCycles, func() { cb(ret) })
 		c.serviceDeferred(w)
@@ -467,6 +504,9 @@ func (c *Controller) Atomic(op coherence.AtomicOp, w mem.Word, operand, operand2
 		next, ret := op.Apply(v, operand, operand2)
 		c.pendingOwn[w] = next
 		c.st.Inc("l1.sync_hits", 1)
+		if c.rec != nil {
+			c.rec.Emit(obs.L1SyncHit, int32(c.node), uint64(w))
+		}
 		c.eng.Schedule(coherence.L1HitCycles, func() { cb(ret) })
 		return
 	}
@@ -476,6 +516,9 @@ func (c *Controller) Atomic(op coherence.AtomicOp, w mem.Word, operand, operand2
 		c.regs[w] = txn
 		c.pin(l)
 		c.st.Inc("l1.sync_misses", 1)
+		if c.rec != nil {
+			c.rec.Emit(obs.L1SyncMiss, int32(c.node), uint64(w))
+		}
 		send := func() { c.sendRegReq(l, mem.Bit(w.Index()), true, true) }
 		if c.opts.SyncBackoff && op == coherence.AtomicLoad {
 			if lost, ok := c.lostAt[w]; ok && c.eng.Now()-lost < syncBackoffWindow {
@@ -586,6 +629,9 @@ func (c *Controller) Acquire(scope coherence.Scope) {
 	c.meter.L1Tag(1)
 	c.st.Inc("l1.flash_invalidations", 1)
 	c.st.Inc("l1.invalidated_words", uint64(n))
+	if c.rec != nil {
+		c.rec.Emit(obs.SyncAcquire, int32(c.node), uint64(n))
+	}
 }
 
 // DisableAcquireInvalidation is test-only fault injection: it makes
@@ -602,6 +648,9 @@ func (c *Controller) Release(scope coherence.Scope, cb func()) {
 	if scope == coherence.ScopeLocal {
 		c.eng.Schedule(coherence.L1HitCycles, cb)
 		return
+	}
+	if c.rec != nil {
+		c.rec.Emit(obs.SyncRelease, int32(c.node), uint64(c.sb.Len()))
 	}
 	if len(c.lazy) > 0 {
 		// Batch delayed registrations by line. The line lookup is a

@@ -18,6 +18,7 @@ import (
 	"denovogpu/internal/energy"
 	"denovogpu/internal/mem"
 	"denovogpu/internal/noc"
+	"denovogpu/internal/obs"
 	"denovogpu/internal/sim"
 	"denovogpu/internal/stats"
 	"denovogpu/internal/workload"
@@ -123,6 +124,11 @@ type CU struct {
 	onAllDone   func() // fires when the CU's queue drains and resident = 0
 
 	kernelTBsLeft int
+
+	// rec, when non-nil, receives StallMem/StallSync spans on track Node:
+	// one span per vector memory instruction / synchronization access,
+	// from issue to completion.
+	rec *obs.Recorder
 }
 
 // New returns a CU at the given node using the given L1.
@@ -132,6 +138,9 @@ func New(node noc.NodeID, eng *sim.Engine, l1 coherence.L1, model consistency.Mo
 
 // L1 exposes the CU's L1 controller.
 func (cu *CU) L1() coherence.L1 { return cu.l1 }
+
+// SetRecorder installs an obs recorder (nil to disable).
+func (cu *CU) SetRecorder(rec *obs.Recorder) { cu.rec = rec }
 
 // StartKernel enqueues the CU's share of a kernel's thread blocks and
 // begins executing them (up to maxResident concurrently). onAllDone
@@ -295,9 +304,13 @@ func (cu *CU) vec(tb *tbState, rq *request) {
 	}
 	loadVals := make([]uint32, len(rq.loads))
 	remaining := len(accesses)
+	start := uint64(cu.eng.Now())
 	finish := func() {
 		remaining--
 		if remaining == 0 {
+			if cu.rec != nil {
+				cu.rec.EmitSpan(obs.StallMem, int32(cu.Node), uint64(len(accesses)), start)
+			}
 			cu.resume(tb, &response{loadVals: loadVals})
 		}
 	}
@@ -344,10 +357,14 @@ func (cu *CU) atomic(tb *tbState, rq *request) {
 	scope := cu.model.Effective(rq.scope)
 	cu.meter.Instr(1)
 	cu.st.Inc("cu.sync_instrs", 1)
+	start := uint64(cu.eng.Now())
 	perform := func() {
 		cu.l1.Atomic(rq.op, rq.addr.WordOf(), rq.operand, rq.operand2, scope, func(old uint32) {
 			if rq.order.Acquires() {
 				cu.l1.Acquire(scope)
+			}
+			if cu.rec != nil {
+				cu.rec.EmitSpan(obs.StallSync, int32(cu.Node), uint64(rq.addr.WordOf()), start)
 			}
 			cu.resume(tb, &response{atomicOld: old})
 		})

@@ -22,6 +22,7 @@ import (
 	"denovogpu/internal/l2"
 	"denovogpu/internal/mem"
 	"denovogpu/internal/noc"
+	"denovogpu/internal/obs"
 	"denovogpu/internal/sim"
 	"denovogpu/internal/stats"
 )
@@ -92,6 +93,9 @@ type Controller struct {
 	// faultNoAcqInval makes global acquires no-ops (test-only fault
 	// injection; see DisableAcquireInvalidation).
 	faultNoAcqInval bool
+
+	// rec, when non-nil, receives L1/sync events on track c.node.
+	rec *obs.Recorder
 }
 
 type wtWord struct {
@@ -119,6 +123,24 @@ func New(node noc.NodeID, eng *sim.Engine, mesh *noc.Mesh, st *stats.Stats, mete
 }
 
 var _ coherence.L1 = (*Controller)(nil)
+
+// SetRecorder installs an obs recorder (nil to disable) for this L1 and
+// its store buffer; events land on track c.node in the CU domain.
+func (c *Controller) SetRecorder(rec *obs.Recorder) {
+	c.rec = rec
+	c.sb.SetRecorder(rec, int32(c.node))
+}
+
+// MSHROccupancy returns the number of outstanding transactions: read
+// misses, remote atomics, and unacked writethroughs (the obs sampler's
+// l1.mshr gauge).
+func (c *Controller) MSHROccupancy() int {
+	return len(c.reads) + len(c.atomics) + c.outstandingWT
+}
+
+// OutstandingRegistrations is zero for GPU coherence (no registry), kept
+// so the obs sampler wires both protocols uniformly.
+func (c *Controller) OutstandingRegistrations() int { return 0 }
 
 // ReadLine implements coherence.L1.
 func (c *Controller) ReadLine(l mem.Line, need mem.WordMask, cb func([mem.WordsPerLine]uint32)) {
@@ -152,10 +174,16 @@ func (c *Controller) ReadLine(l mem.Line, need mem.WordMask, cb func([mem.WordsP
 	}
 	if missing == 0 {
 		c.st.Inc("l1.read_hits", 1)
+		if c.rec != nil {
+			c.rec.Emit(obs.L1ReadHit, int32(c.node), uint64(l))
+		}
 		c.eng.Schedule(coherence.L1HitCycles, func() { cb(vals) })
 		return
 	}
 	c.st.Inc("l1.read_misses", 1)
+	if c.rec != nil {
+		c.rec.Emit(obs.L1ReadMiss, int32(c.node), uint64(l))
+	}
 	c.meter.L1Tag(1)
 	var txn *readTxn
 	if id, ok := c.lineTxn[l]; ok {
@@ -261,6 +289,9 @@ func (c *Controller) evictDirty(e *cache.Entry) {
 		return
 	}
 	c.st.Inc("l1.dirty_evictions", 1)
+	if c.rec != nil {
+		c.rec.Emit(obs.L1Writeback, int32(c.node), uint64(e.Line))
+	}
 	c.sendWT(e.Line, dirty, e.Data)
 }
 
@@ -271,8 +302,14 @@ func (c *Controller) evictDirty(e *cache.Entry) {
 func (c *Controller) Atomic(op coherence.AtomicOp, w mem.Word, operand, operand2 uint32, scope coherence.Scope, cb func(uint32)) {
 	if scope == coherence.ScopeLocal {
 		c.st.Inc("l1.atomics_local", 1)
+		if c.rec != nil {
+			c.rec.Emit(obs.L1SyncHit, int32(c.node), uint64(w))
+		}
 	} else {
 		c.st.Inc("l1.atomics_remote", 1)
+		if c.rec != nil {
+			c.rec.Emit(obs.L1SyncMiss, int32(c.node), uint64(w))
+		}
 	}
 	// All synchronization to one word funnels through a single per-word
 	// pipeline at this L1, whatever its scope: same-CU synchronizations
@@ -402,6 +439,9 @@ func (c *Controller) Acquire(scope coherence.Scope) {
 	c.meter.L1Tag(1)
 	c.st.Inc("l1.flash_invalidations", 1)
 	c.st.Inc("l1.invalidated_words", uint64(n))
+	if c.rec != nil {
+		c.rec.Emit(obs.SyncAcquire, int32(c.node), uint64(n))
+	}
 }
 
 // DisableAcquireInvalidation is test-only fault injection: it makes
@@ -418,6 +458,9 @@ func (c *Controller) Release(scope coherence.Scope, cb func()) {
 	if scope == coherence.ScopeLocal {
 		c.eng.Schedule(coherence.L1HitCycles, cb)
 		return
+	}
+	if c.rec != nil {
+		c.rec.Emit(obs.SyncRelease, int32(c.node), uint64(c.sb.Len()))
 	}
 	c.sbScratch = c.sb.AppendDrain(c.sbScratch[:0])
 	if entries := c.sbScratch; len(entries) > 0 {

@@ -28,6 +28,7 @@ import (
 	"denovogpu/internal/energy"
 	"denovogpu/internal/mem"
 	"denovogpu/internal/noc"
+	"denovogpu/internal/obs"
 	"denovogpu/internal/sim"
 	"denovogpu/internal/stats"
 )
@@ -57,6 +58,9 @@ type Bank struct {
 
 	busy     sim.Time // bank pipeline occupancy
 	dramBusy sim.Time // memory port occupancy
+
+	// rec, when non-nil, receives L2* events on track b.Node.
+	rec *obs.Recorder
 }
 
 // New returns a bank for the given node.
@@ -71,6 +75,13 @@ func New(node noc.NodeID, eng *sim.Engine, mesh *noc.Mesh, backing *mem.Backing,
 		lines:    make(map[mem.Line]*bankLine),
 		fetching: make(map[mem.Line][]func()),
 	}
+}
+
+// SetRecorder installs an obs recorder (nil to disable) and names this
+// bank's track.
+func (b *Bank) SetRecorder(rec *obs.Recorder) {
+	b.rec = rec
+	rec.NameTrack(obs.DomainL2, int32(b.Node), fmt.Sprintf("bank-%02d", int(b.Node)))
 }
 
 // HomeNode returns the node whose bank homes the given line.
@@ -162,6 +173,9 @@ func (b *Bank) process(msg *coherence.Msg) {
 // are registered to an L1 (DeNovo's remote L1 hit path; never taken by
 // the GPU protocol, whose registry is always empty).
 func (b *Bank) read(msg *coherence.Msg) {
+	if b.rec != nil {
+		b.rec.Emit(obs.L2Read, int32(b.Node), uint64(msg.Line))
+	}
 	bl := b.line(msg.Line)
 	var have mem.WordMask
 	for i := 0; i < mem.WordsPerLine; i++ {
@@ -191,6 +205,9 @@ func (b *Bank) read(msg *coherence.Msg) {
 			continue
 		}
 		b.st.Inc("l2.read_forwards", 1)
+		if b.rec != nil {
+			b.rec.Emit(obs.L2ReadForward, int32(b.Node), uint64(msg.Line))
+		}
 		b.mesh.Send(&coherence.Msg{
 			Kind: coherence.ReadFwd, Src: b.Node, Dst: owner, Port: noc.PortL1,
 			Line: msg.Line, Mask: m, Requester: msg.Src, ID: msg.ID,
@@ -199,6 +216,9 @@ func (b *Bank) read(msg *coherence.Msg) {
 }
 
 func (b *Bank) writeThrough(msg *coherence.Msg) {
+	if b.rec != nil {
+		b.rec.Emit(obs.L2WriteThrough, int32(b.Node), uint64(msg.Line))
+	}
 	bl := b.line(msg.Line)
 	for i := 0; i < mem.WordsPerLine; i++ {
 		if msg.Mask.Has(i) {
@@ -219,6 +239,9 @@ func (b *Bank) writeThrough(msg *coherence.Msg) {
 // which will pass data directly to the requester — under contention
 // this chains into the distributed queue.
 func (b *Bank) register(msg *coherence.Msg) {
+	if b.rec != nil {
+		b.rec.Emit(obs.L2Registration, int32(b.Node), uint64(msg.Line))
+	}
 	bl := b.line(msg.Line)
 	var grant mem.WordMask
 	var fwd [noc.Nodes]mem.WordMask
@@ -247,6 +270,9 @@ func (b *Bank) register(msg *coherence.Msg) {
 			continue
 		}
 		b.st.Inc("l2.reg_forwards", 1)
+		if b.rec != nil {
+			b.rec.Emit(obs.L2RegForward, int32(b.Node), uint64(msg.Line))
+		}
 		b.mesh.Send(&coherence.Msg{
 			Kind: coherence.RegFwd, Src: b.Node, Dst: owner, Port: noc.PortL1,
 			Line: msg.Line, Mask: m, Requester: msg.Src, Sync: msg.Sync, NeedsData: msg.NeedsData, ID: msg.ID,
@@ -258,6 +284,9 @@ func (b *Bank) register(msg *coherence.Msg) {
 // them; words whose ownership has already moved on are rejected, and
 // the WBAccepted mask tells the evictor which is which.
 func (b *Bank) writeBack(msg *coherence.Msg) {
+	if b.rec != nil {
+		b.rec.Emit(obs.L2WriteBack, int32(b.Node), uint64(msg.Line))
+	}
 	bl := b.line(msg.Line)
 	var accepted mem.WordMask
 	for i := 0; i < mem.WordsPerLine; i++ {
@@ -279,6 +308,9 @@ func (b *Bank) writeBack(msg *coherence.Msg) {
 }
 
 func (b *Bank) atomic(msg *coherence.Msg) {
+	if b.rec != nil {
+		b.rec.Emit(obs.L2Atomic, int32(b.Node), uint64(msg.Line))
+	}
 	bl := b.line(msg.Line)
 	i := msg.WordIdx
 	if bl.owner[i] != MemoryOwner {

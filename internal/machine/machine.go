@@ -17,6 +17,7 @@ import (
 	"denovogpu/internal/mem"
 	"denovogpu/internal/mesi"
 	"denovogpu/internal/noc"
+	"denovogpu/internal/obs"
 	"denovogpu/internal/sim"
 	"denovogpu/internal/stats"
 	"denovogpu/internal/workload"
@@ -261,6 +262,107 @@ func (m *Machine) Engine() *sim.Engine { return m.eng }
 
 // Stats returns the accumulated measurements.
 func (m *Machine) Stats() *stats.Stats { return m.st }
+
+// NewRecorder returns an obs recorder clocked by this machine's engine,
+// ready to pass to SetObservability. capacity <= 0 selects
+// obs.DefaultCapacity.
+func (m *Machine) NewRecorder(capacity int) *obs.Recorder {
+	return obs.NewRecorder(func() uint64 { return uint64(m.eng.Now()) }, capacity)
+}
+
+// SetObservability wires an event recorder and/or an epoch sampler into
+// every layer of the machine. Either argument may be nil. The recorder
+// reaches the mesh (NoC flit hops), the L2 banks, every L1 controller
+// that supports it (DeNovo and GPU coherence; MESI has no hooks), the
+// store buffers, and the CUs (warp-stall spans). The sampler is driven
+// by the engine's advance hook — it adds no events to the queue, so
+// cycle counts and fired-event totals stay bit-identical to an
+// unobserved run — and captures MSHR occupancy, store-buffer depth,
+// outstanding registrations, and cumulative per-link NoC busy
+// flit-cycles.
+func (m *Machine) SetObservability(rec *obs.Recorder, sampler *obs.Sampler) {
+	if rec != nil {
+		m.mesh.SetRecorder(rec)
+		for n := noc.NodeID(0); n < noc.Nodes; n++ {
+			if m.banks[n] != nil {
+				m.banks[n].SetRecorder(rec)
+			}
+		}
+		for _, l1 := range m.l1s {
+			if s, ok := l1.(interface{ SetRecorder(*obs.Recorder) }); ok {
+				s.SetRecorder(rec)
+			}
+		}
+		for _, cu := range m.cus {
+			cu.SetRecorder(rec)
+			rec.NameTrack(obs.DomainCU, int32(cu.Node), fmt.Sprintf("cu-%02d", int(cu.Node)))
+		}
+	}
+	if sampler == nil {
+		return
+	}
+	type mshrProbe interface{ MSHROccupancy() int }
+	type regProbe interface{ OutstandingRegistrations() int }
+	type sbProbe interface{ StoreBufferLen() int }
+	sampler.AddGauge("l1.mshr.sum", func() uint64 {
+		var sum uint64
+		for _, l1 := range m.l1s {
+			if p, ok := l1.(mshrProbe); ok {
+				sum += uint64(p.MSHROccupancy())
+			}
+		}
+		return sum
+	})
+	sampler.AddGauge("l1.mshr.max", func() uint64 {
+		var max uint64
+		for _, l1 := range m.l1s {
+			if p, ok := l1.(mshrProbe); ok {
+				if v := uint64(p.MSHROccupancy()); v > max {
+					max = v
+				}
+			}
+		}
+		return max
+	})
+	sampler.AddGauge("sb.depth.sum", func() uint64 {
+		var sum uint64
+		for _, l1 := range m.l1s {
+			if p, ok := l1.(sbProbe); ok {
+				sum += uint64(p.StoreBufferLen())
+			}
+		}
+		return sum
+	})
+	sampler.AddGauge("sb.depth.max", func() uint64 {
+		var max uint64
+		for _, l1 := range m.l1s {
+			if p, ok := l1.(sbProbe); ok {
+				if v := uint64(p.StoreBufferLen()); v > max {
+					max = v
+				}
+			}
+		}
+		return max
+	})
+	sampler.AddGauge("l1.out_regs.sum", func() uint64 {
+		var sum uint64
+		for _, l1 := range m.l1s {
+			if p, ok := l1.(regProbe); ok {
+				sum += uint64(p.OutstandingRegistrations())
+			}
+		}
+		return sum
+	})
+	for n := noc.NodeID(0); n < noc.Nodes; n++ {
+		for dir := 0; dir < 4; dir++ {
+			n, dir := n, dir
+			sampler.AddGauge("noc.busy."+noc.LinkName(n, dir), func() uint64 {
+				return m.mesh.LinkBusy(n, dir)
+			})
+		}
+	}
+	m.eng.SetAdvanceHook(func(leaving sim.Time) { sampler.Tick(uint64(leaving)) })
+}
 
 // Err returns the first simulation error (hang/horizon), if any.
 func (m *Machine) Err() error { return m.err }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"denovogpu/internal/energy"
+	"denovogpu/internal/obs"
 	"denovogpu/internal/sim"
 	"denovogpu/internal/stats"
 )
@@ -102,6 +103,27 @@ type Mesh struct {
 	// protocols' writeback races must never see.
 	pairLast [Nodes][Nodes]sim.Time
 	sent     uint64
+
+	// rec, when non-nil, receives one NoCFlitHop span per link claim
+	// (track = LinkIndex, duration = the flit serialization window).
+	rec *obs.Recorder
+	// linkBusy[from][dir] counts cumulative flit-cycles each link has
+	// been claimed for; the obs sampler differentiates it into per-link
+	// utilization. Plain counter adds, so keeping it unconditionally is
+	// free by the observability cost contract.
+	linkBusy [Nodes][4]uint64
+}
+
+// Link direction indices within linkFree/linkBusy.
+var dirNames = [4]string{"east", "west", "north", "south"}
+
+// LinkIndex flattens a (node, direction) pair into the obs track id used
+// for NoCFlitHop events and link utilization columns.
+func LinkIndex(n NodeID, dir int) int { return int(n)*4 + dir }
+
+// LinkName returns a stable human-readable label for a link ("n03.east").
+func LinkName(n NodeID, dir int) string {
+	return fmt.Sprintf("n%02d.%s", int(n), dirNames[dir])
 }
 
 // New returns a mesh wired to the engine and measurement sinks.
@@ -116,6 +138,21 @@ func (m *Mesh) Attach(n NodeID, p Port, h Handler) {
 
 // SetTap installs a packet observer (nil to remove).
 func (m *Mesh) SetTap(t Tap) { m.tap = t }
+
+// SetRecorder installs an obs recorder (nil to disable) and names every
+// link track so Perfetto shows one lane per mesh link.
+func (m *Mesh) SetRecorder(rec *obs.Recorder) {
+	m.rec = rec
+	for n := NodeID(0); n < Nodes; n++ {
+		for dir := 0; dir < 4; dir++ {
+			rec.NameTrack(obs.DomainNoC, int32(LinkIndex(n, dir)), LinkName(n, dir))
+		}
+	}
+}
+
+// LinkBusy returns the cumulative flit-cycles link (n, dir) has been
+// claimed for (monotone; sample and differentiate for utilization).
+func (m *Mesh) LinkBusy(n NodeID, dir int) uint64 { return m.linkBusy[n][dir] }
 
 // Sent returns the number of packets sent, a determinism diagnostic.
 func (m *Mesh) Sent() uint64 { return m.sent }
@@ -182,6 +219,10 @@ func (m *Mesh) Send(p Packet) {
 			t = free
 		}
 		m.linkFree[node][dir] = t + sim.Time(flits)
+		m.linkBusy[node][dir] += uint64(flits)
+		if m.rec != nil {
+			m.rec.EmitAt(obs.NoCFlitHop, int32(LinkIndex(node, dir)), uint64(flits), uint64(t), uint64(flits))
+		}
 		t += HopCycles
 		cx, cy = nx, ny
 	}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Sampler captures time-series metrics: every Every cycles it reads all
+// registered gauges and appends one row to a columnar Series. The
+// simulation engine drives it through its advance hook (see
+// machine.SetObservability), so sampling adds no events to the queue
+// and leaves cycle counts, event counts and all reported measurements
+// bit-identical to an unsampled run.
+type Sampler struct {
+	every  uint64
+	next   uint64
+	gauges []gauge
+	series Series
+}
+
+type gauge struct {
+	name string
+	fn   func() uint64
+}
+
+// DefaultSampleEvery is the sampling interval used when NewSampler is
+// given a non-positive one.
+const DefaultSampleEvery = 1000
+
+// NewSampler returns a sampler reading its gauges every `every` cycles.
+func NewSampler(every uint64) *Sampler {
+	if every == 0 {
+		every = DefaultSampleEvery
+	}
+	s := &Sampler{every: every}
+	s.series.Cols = []string{"cycle"}
+	s.series.Data = [][]uint64{nil}
+	return s
+}
+
+// Every returns the sampling interval in cycles.
+func (s *Sampler) Every() uint64 { return s.every }
+
+// AddGauge registers a named gauge. All gauges must be registered
+// before the first Sample; the column order is registration order.
+func (s *Sampler) AddGauge(name string, fn func() uint64) {
+	if len(s.series.Data[0]) > 0 {
+		panic("obs: AddGauge after sampling started")
+	}
+	s.gauges = append(s.gauges, gauge{name, fn})
+	s.series.Cols = append(s.series.Cols, name)
+	s.series.Data = append(s.series.Data, nil)
+}
+
+// Tick is the engine-advance hook: it samples whenever the clock moves
+// at or past the next sampling point. now is the cycle being left (the
+// cycle whose state the row describes).
+func (s *Sampler) Tick(now uint64) {
+	if now < s.next {
+		return
+	}
+	s.Sample(now)
+	s.next = (now/s.every + 1) * s.every
+}
+
+// Sample appends one row labelled with the given cycle.
+func (s *Sampler) Sample(cycle uint64) {
+	s.series.Data[0] = append(s.series.Data[0], cycle)
+	for i, g := range s.gauges {
+		s.series.Data[i+1] = append(s.series.Data[i+1], g.fn())
+	}
+}
+
+// Series returns the captured time series (live; rows keep appending
+// while the simulation runs).
+func (s *Sampler) Series() *Series { return &s.series }
+
+// Series is a columnar time series: Cols[0] is always "cycle", and
+// Data[i] holds column i's samples, all columns the same length.
+type Series struct {
+	Cols []string   `json:"cols"`
+	Data [][]uint64 `json:"data"`
+}
+
+// Rows returns the number of samples captured.
+func (s *Series) Rows() int {
+	if s == nil || len(s.Data) == 0 {
+		return 0
+	}
+	return len(s.Data[0])
+}
+
+// WriteCSV writes the series as one header line plus one line per
+// sample.
+func (s *Series) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i, c := range s.Cols {
+		if i > 0 {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString(c); err != nil {
+			return err
+		}
+	}
+	if err := bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	for row := 0; row < s.Rows(); row++ {
+		for col := range s.Cols {
+			if col > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatUint(s.Data[col][row], 10)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSON writes the series as a single JSON object ({"cols": [...],
+// "data": [[...], ...]}).
+func (s *Series) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(s)
+}
+
+// ValidateCSV checks that data looks like a series dump: a header line
+// starting with "cycle" and rows with as many fields as the header.
+// Used by the CI observability smoke step.
+func ValidateCSV(data []byte) error {
+	lines := splitLines(data)
+	if len(lines) == 0 {
+		return fmt.Errorf("obs: metrics CSV is empty")
+	}
+	header := splitFields(lines[0])
+	if len(header) == 0 || header[0] != "cycle" {
+		return fmt.Errorf("obs: metrics CSV header must start with \"cycle\", got %q", lines[0])
+	}
+	if len(lines) < 2 {
+		return fmt.Errorf("obs: metrics CSV has no sample rows")
+	}
+	for i, line := range lines[1:] {
+		fields := splitFields(line)
+		if len(fields) != len(header) {
+			return fmt.Errorf("obs: metrics CSV row %d has %d fields, header has %d", i+1, len(fields), len(header))
+		}
+		for _, f := range fields {
+			if _, err := strconv.ParseUint(f, 10, 64); err != nil {
+				return fmt.Errorf("obs: metrics CSV row %d has non-numeric field %q", i+1, f)
+			}
+		}
+	}
+	return nil
+}
+
+func splitLines(data []byte) []string {
+	var lines []string
+	start := 0
+	for i, b := range data {
+		if b == '\n' {
+			if i > start {
+				lines = append(lines, string(data[start:i]))
+			}
+			start = i + 1
+		}
+	}
+	if start < len(data) {
+		lines = append(lines, string(data[start:]))
+	}
+	return lines
+}
+
+func splitFields(line string) []string {
+	var fields []string
+	start := 0
+	for i := 0; i < len(line); i++ {
+		if line[i] == ',' {
+			fields = append(fields, line[start:i])
+			start = i + 1
+		}
+	}
+	return append(fields, line[start:])
+}

@@ -84,6 +84,9 @@ type Engine struct {
 	// far is a binary min-heap on (at, seq) of events at or beyond
 	// now+ringSize. advanceTo drains it into the ring as now moves.
 	far []event
+
+	// hook, when set, observes every clock advance (see SetAdvanceHook).
+	hook func(leaving Time)
 }
 
 // NewEngine returns an engine at time 0 with the given horizon. A zero
@@ -129,6 +132,16 @@ func (e *Engine) At(t Time, fn func()) {
 	}
 }
 
+// SetAdvanceHook installs an observer called whenever the clock moves,
+// with the cycle being left — at that instant every event of that cycle
+// has fired, so the hook sees the cycle's final state. The hook must
+// not schedule events or otherwise touch the engine: it is an
+// observation point (the obs epoch sampler), not a component, and runs
+// outside the (time, seq) event order that determinism rests on.
+// Scheduling from the hook would also keep the queue non-empty, so Run
+// would never return. A nil hook (the default) disables the callback.
+func (e *Engine) SetAdvanceHook(fn func(leaving Time)) { e.hook = fn }
+
 // Pending reports whether any events remain.
 func (e *Engine) Pending() bool { return e.ringCount > 0 || len(e.far) > 0 }
 
@@ -167,6 +180,9 @@ func (e *Engine) nextTime() (Time, bool) {
 // seq) order, so per-bucket insertion order remains global seq order
 // and the original FIFO semantics are preserved exactly.
 func (e *Engine) advanceTo(t Time) {
+	if e.hook != nil && t != e.now {
+		e.hook(e.now)
+	}
 	e.now = t
 	if e.cursor < t {
 		e.cursor = t

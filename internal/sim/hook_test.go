@@ -1,0 +1,63 @@
+package sim
+
+import "testing"
+
+// TestAdvanceHook checks the hook fires once per clock movement with the
+// cycle being left, after all of that cycle's events have run, and that
+// installing it perturbs neither the event schedule nor the final state.
+func TestAdvanceHook(t *testing.T) {
+	e := NewEngine(0)
+	var fired []Time
+	var leftAt []Time
+	e.SetAdvanceHook(func(leaving Time) { leftAt = append(leftAt, leaving) })
+	e.At(0, func() { fired = append(fired, e.Now()) })
+	e.At(0, func() { fired = append(fired, e.Now()) })
+	e.At(5, func() { fired = append(fired, e.Now()) })
+	e.At(5, func() {
+		fired = append(fired, e.Now())
+		e.Schedule(7, func() { fired = append(fired, e.Now()) })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	wantFired := []Time{0, 0, 5, 5, 12}
+	if len(fired) != len(wantFired) {
+		t.Fatalf("fired %v, want %v", fired, wantFired)
+	}
+	for i := range wantFired {
+		if fired[i] != wantFired[i] {
+			t.Fatalf("fired %v, want %v", fired, wantFired)
+		}
+	}
+	// The clock moved 0→5 and 5→12: one callback each, with the cycle
+	// being left (by then fully executed).
+	wantLeft := []Time{0, 5}
+	if len(leftAt) != len(wantLeft) {
+		t.Fatalf("hook saw %v, want %v", leftAt, wantLeft)
+	}
+	for i := range wantLeft {
+		if leftAt[i] != wantLeft[i] {
+			t.Fatalf("hook saw %v, want %v", leftAt, wantLeft)
+		}
+	}
+	if e.Fired() != 5 || e.Now() != 12 {
+		t.Fatalf("fired=%d now=%d, want 5/12", e.Fired(), e.Now())
+	}
+}
+
+// TestAdvanceHookRunUntil checks the idle-advance path in RunUntil also
+// reports the departure from the last event cycle.
+func TestAdvanceHookRunUntil(t *testing.T) {
+	e := NewEngine(0)
+	var leftAt []Time
+	e.SetAdvanceHook(func(leaving Time) { leftAt = append(leftAt, leaving) })
+	e.At(3, func() {})
+	e.RunUntil(10)
+	wantLeft := []Time{0, 3}
+	if len(leftAt) != len(wantLeft) || leftAt[0] != wantLeft[0] || leftAt[1] != wantLeft[1] {
+		t.Fatalf("hook saw %v, want %v", leftAt, wantLeft)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("now = %d, want 10", e.Now())
+	}
+}
