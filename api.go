@@ -22,13 +22,17 @@
 package denovogpu
 
 import (
+	"errors"
 	"fmt"
+	"sync"
+	"time"
 
 	"denovogpu/internal/coherence"
 	"denovogpu/internal/consistency"
 	"denovogpu/internal/machine"
 	"denovogpu/internal/mem"
 	"denovogpu/internal/obs"
+	"denovogpu/internal/runner"
 	"denovogpu/internal/stats"
 	"denovogpu/internal/workload"
 
@@ -205,6 +209,11 @@ func Run(cfg Config, w Workload) (Report, error) {
 //		rec = denovogpu.NewRecorder(clock, 0)
 //		return rec
 //	}, nil)
+//
+// Observers are single-stream and bound to one machine: never attach
+// the same Recorder or Sampler to two simulations that may run
+// concurrently. RunMatrix enforces this and fails with
+// ErrSharedObserver.
 func RunObserved(cfg Config, w Workload, mkRec func(clock func() uint64) *Recorder, sampler *Sampler) (Report, error) {
 	m := machine.New(cfg)
 	var rec *Recorder
@@ -237,6 +246,142 @@ func RunObserved(cfg Config, w Workload, mkRec func(clock func() uint64) *Record
 		rep.Timeline = sampler.Series()
 	}
 	return rep, nil
+}
+
+// MatrixCell is one (configuration, workload) pair of a run matrix.
+type MatrixCell struct {
+	Config   Config
+	Workload Workload
+	// MkRec and Sampler optionally attach per-cell observability, with
+	// RunObserved semantics. Observers are single-stream and bound to
+	// one machine: every cell must get its OWN instances. RunMatrix
+	// enforces this — a Sampler attached to two cells fails the whole
+	// matrix with ErrSharedObserver before anything runs, and an MkRec
+	// that returns the same Recorder for a second cell fails that cell
+	// with ErrSharedObserver (the cell executes unobserved, so the
+	// shared recorder is never mutated concurrently).
+	MkRec   func(clock func() uint64) *Recorder
+	Sampler *Sampler
+}
+
+// MatrixResult is the outcome of one matrix cell, in cell order.
+type MatrixResult struct {
+	Report Report
+	Err    error
+	// Wall is this cell's wall-clock simulation time. Under a parallel
+	// run, cells time-share cores, so per-cell walls overlap and do not
+	// sum to the matrix wall.
+	Wall time.Duration
+}
+
+// MatrixOptions configure RunMatrix.
+type MatrixOptions struct {
+	// Workers bounds the number of cells simulating concurrently; <= 0
+	// selects runtime.GOMAXPROCS(0). Workers == 1 reproduces the serial
+	// loop exactly, including execution order.
+	Workers int
+	// KeepGoing runs every cell even after failures. Otherwise the
+	// first failure stops dispatch: in-flight cells finish, unstarted
+	// cells get ErrCellSkipped.
+	KeepGoing bool
+	// Progress, if non-nil, streams per-cell completion (index + error)
+	// in completion order; calls are serialized by the pool.
+	Progress func(i int, err error)
+}
+
+// ErrSharedObserver is the typed error returned when one Recorder or
+// Sampler instance is attached to more than one cell of a matrix run.
+// Observers are single-stream: sharing one across concurrently
+// executing simulations would interleave unrelated machines' events.
+var ErrSharedObserver = errors.New("denovogpu: Recorder/Sampler shared across matrix cells")
+
+// ErrCellSkipped marks a cell that never ran because an earlier cell
+// failed (and MatrixOptions.KeepGoing was off).
+var ErrCellSkipped = runner.ErrSkipped
+
+// Matrix builds the config-major cell list for configs × workloads:
+// every workload under configs[0], then under configs[1], and so on —
+// the order bench, sweep and the figures pipeline report in.
+func Matrix(configs []Config, workloads []Workload) []MatrixCell {
+	cells := make([]MatrixCell, 0, len(configs)*len(workloads))
+	for _, cfg := range configs {
+		for _, w := range workloads {
+			cells = append(cells, MatrixCell{Config: cfg, Workload: w})
+		}
+	}
+	return cells
+}
+
+// RunMatrix simulates every cell on a bounded worker pool and returns
+// the per-cell results in cell order (deterministic regardless of
+// completion order; the paper-figure convention is config-major — see
+// Matrix). Each cell builds its own machine, so cells share no mutable
+// state and per-cell Reports are bit-identical at any worker count.
+// The returned error is the first cell error by index, or nil.
+func RunMatrix(cells []MatrixCell, opts MatrixOptions) ([]MatrixResult, error) {
+	// Shared samplers are detectable before anything runs.
+	samplers := make(map[*Sampler]int)
+	for i, c := range cells {
+		if c.Sampler == nil {
+			continue
+		}
+		if j, dup := samplers[c.Sampler]; dup {
+			return nil, fmt.Errorf("%w: cells %d and %d share a Sampler", ErrSharedObserver, j, i)
+		}
+		samplers[c.Sampler] = i
+	}
+
+	results := make([]MatrixResult, len(cells))
+	var recMu sync.Mutex
+	recSeen := make(map[*Recorder]int)
+	errs, err := runner.Run(len(cells), runner.Options{
+		Workers:   opts.Workers,
+		KeepGoing: opts.KeepGoing,
+		OnDone:    opts.Progress,
+	}, func(i int) error {
+		cell := cells[i]
+		mkRec := cell.MkRec
+		sharedWith := -1
+		if mkRec != nil {
+			inner := mkRec
+			mkRec = func(clock func() uint64) *Recorder {
+				rec := inner(clock)
+				if rec == nil {
+					return nil
+				}
+				recMu.Lock()
+				j, dup := recSeen[rec]
+				if !dup {
+					recSeen[rec] = i
+				}
+				recMu.Unlock()
+				if dup {
+					// Run this cell unobserved rather than racing two
+					// machines into one recorder; the cell still fails
+					// below so the misuse is loud.
+					sharedWith = j
+					return nil
+				}
+				return rec
+			}
+		}
+		t0 := time.Now()
+		rep, err := RunObserved(cell.Config, cell.Workload, mkRec, cell.Sampler)
+		wall := time.Since(t0)
+		if err == nil && sharedWith >= 0 {
+			err = fmt.Errorf("%w: cells %d and %d share a Recorder", ErrSharedObserver, sharedWith, i)
+		}
+		results[i] = MatrixResult{Report: rep, Err: err, Wall: wall}
+		return err
+	})
+	// Skips happen at the pool level (the cell fn never ran); fold them
+	// into the per-cell results.
+	for i, e := range errs {
+		if errors.Is(e, runner.ErrSkipped) {
+			results[i].Err = ErrCellSkipped
+		}
+	}
+	return results, err
 }
 
 // RunByName runs a built-in benchmark by Table 4 name.

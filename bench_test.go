@@ -49,7 +49,7 @@ func reportAverages(b *testing.B, m *figures.Matrix, baseline string) {
 // ~5% lower traffic, with a large LAVA traffic gap.
 func BenchmarkFig2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		m := figures.Fig2()
+		m := figures.Fig2(0)
 		if err := m.FirstErr(); err != nil {
 			b.Fatal(err)
 		}
@@ -64,7 +64,7 @@ func BenchmarkFig2(b *testing.B) {
 // Paper: D* at 72% execution time, 49% energy, 19% traffic on average.
 func BenchmarkFig3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		m := figures.Fig3()
+		m := figures.Fig3(0)
 		if err := m.FirstErr(); err != nil {
 			b.Fatal(err)
 		}
@@ -78,7 +78,7 @@ func BenchmarkFig3(b *testing.B) {
 // DD+RO ≈ GH; DH best overall.
 func BenchmarkFig4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		m := figures.Fig4()
+		m := figures.Fig4(0)
 		if err := m.FirstErr(); err != nil {
 			b.Fatal(err)
 		}

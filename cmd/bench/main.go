@@ -2,28 +2,33 @@
 // configuration matrix and maintains BENCH_sim.json, the repository's
 // committed performance trajectory.
 //
-// Each (workload, config) pair runs sequentially in-process; per run it
-// records simulated cycles, fired engine events, wall-clock time,
-// events/sec, and heap allocations, plus the process peak RSS for the
-// whole matrix. The output file holds two sections: "baseline" (pinned
-// once with -record-baseline, before an optimization lands) and
-// "current" (refreshed on every run), so the speedup a PR claims is
-// reproducible from the same file it is recorded in.
+// The matrix runs on api.RunMatrix's bounded worker pool (-j N cells in
+// parallel, default GOMAXPROCS; -j 1 reproduces the old serial sweep).
+// Per cell it records simulated cycles, fired engine events, wall-clock
+// time and events/sec; heap allocations are recorded per cell at -j 1
+// (runtime.MemStats is process-global, so per-cell deltas only make
+// sense serially) and as a whole-matrix total at any -j. Peak RSS is
+// recorded for the whole matrix. The output file holds two sections:
+// "baseline" (pinned once with -record-baseline, before an optimization
+// lands) and "current" (refreshed on every run), so the speedup a PR
+// claims is reproducible from the same file it is recorded in.
 //
 // Usage:
 //
 //	go run ./cmd/bench                    # full matrix, refresh "current" in BENCH_sim.json
 //	go run ./cmd/bench -quick             # fast subset (CI smoke)
+//	go run ./cmd/bench -j 1               # serial: exact per-cell allocation deltas
 //	go run ./cmd/bench -record-baseline   # pin the baseline section to this run
 //	go run ./cmd/bench -quick -check      # exit 1 on event-count or >10% allocation regression vs committed "current"
 //
 // -check gates only on machine-independent metrics: per-cell fired event
 // counts must match the committed section exactly (the simulator is
-// deterministic, so any drift is a behavior change that needs the file
-// regenerated) and aggregate heap allocations may not grow beyond the
-// tolerance. Wall-clock events/sec is printed for information but never
-// compared across machines — the committed numbers come from whatever
-// host recorded them, and CI hardware differs.
+// deterministic at any -j, so any drift is a behavior change that needs
+// the file regenerated) and aggregate heap allocations may not grow
+// beyond the tolerance. Wall-clock numbers — including the per-cell
+// wall-time delta table -check prints — are informational only, never
+// gated: the committed numbers come from whatever host recorded them,
+// and CI hardware differs.
 package main
 
 import (
@@ -81,8 +86,11 @@ type result struct {
 	Events       uint64  `json:"events"`
 	WallMS       float64 `json:"wall_ms"`
 	EventsPerSec float64 `json:"events_per_sec"`
-	Allocs       uint64  `json:"allocs"`
-	AllocMB      float64 `json:"alloc_mb"`
+	// Allocs/AllocMB are exact per-cell heap deltas when the sweep ran
+	// at -j 1, and zero otherwise (runtime.MemStats is process-global;
+	// see section.TotalAllocs for the any-j total).
+	Allocs  uint64  `json:"allocs"`
+	AllocMB float64 `json:"alloc_mb"`
 }
 
 // section is one recorded sweep of the matrix.
@@ -91,6 +99,7 @@ type section struct {
 	Matrix       string   `json:"matrix"`
 	GoVersion    string   `json:"go_version"`
 	GOMAXPROCS   int      `json:"gomaxprocs"`
+	Workers      int      `json:"workers,omitempty"`
 	RecordedAt   string   `json:"recorded_at"`
 	Results      []result `json:"results"`
 	TotalWallMS  float64  `json:"total_wall_ms"`
@@ -120,6 +129,7 @@ func main() {
 		check     = flag.Bool("check", false, "compare against the committed current section and exit 1 on regression; does not rewrite the file")
 		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional allocation growth for -check")
 		label     = flag.String("label", "", "label stored with this run (default: matrix name)")
+		jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "matrix cells simulated in parallel (1 = serial, with exact per-cell alloc deltas)")
 	)
 	flag.Parse()
 
@@ -128,7 +138,7 @@ func main() {
 		matrix, matrixName = quickMatrix(), "quick"
 	}
 
-	cur, err := sweep(matrix, matrixName, *label)
+	cur, err := sweep(matrix, matrixName, *label, *jobs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
@@ -177,66 +187,102 @@ func main() {
 	fmt.Printf("wrote %s\n", *out)
 }
 
-// sweep runs every matrix cell sequentially and aggregates.
-func sweep(matrix []pair, matrixName, label string) (*section, error) {
+// sweep runs the matrix on a pool of `jobs` workers and aggregates.
+// Per-cell heap allocation deltas are only measured at jobs == 1:
+// runtime.MemStats is process-global, so under a parallel run the
+// per-cell numbers would attribute other cells' allocations. The
+// whole-matrix totals are exact at any worker count.
+func sweep(matrix []pair, matrixName, label string, jobs int) (*section, error) {
 	if label == "" {
 		label = matrixName + " matrix"
+	}
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
 	}
 	s := &section{
 		Label:      label,
 		Matrix:     matrixName,
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    jobs,
 		RecordedAt: time.Now().UTC().Format(time.RFC3339),
 	}
-	for _, p := range matrix {
-		r, err := measure(p)
+
+	cells := make([]denovogpu.MatrixCell, len(matrix))
+	for i, p := range matrix {
+		cfg, err := denovogpu.ConfigByName(p.Config)
 		if err != nil {
 			return nil, err
+		}
+		w, err := denovogpu.WorkloadByName(p.Workload)
+		if err != nil {
+			return nil, err
+		}
+		cells[i] = denovogpu.MatrixCell{Config: cfg, Workload: w}
+	}
+
+	serial := jobs == 1
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	// At -j 1 the single worker runs cells in index order and the
+	// Progress callback fires between cells, so cumulative Mallocs
+	// deltas attribute allocations to the right cell.
+	perCell := make([]uint64, len(matrix))
+	perCellMB := make([]float64, len(matrix))
+	lastMallocs, lastBytes := before.Mallocs, before.TotalAlloc
+	t0 := time.Now()
+	results, err := denovogpu.RunMatrix(cells, denovogpu.MatrixOptions{
+		Workers: jobs,
+		Progress: func(i int, cellErr error) {
+			if serial && cellErr == nil {
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				perCell[i] = ms.Mallocs - lastMallocs
+				perCellMB[i] = float64(ms.TotalAlloc-lastBytes) / (1 << 20)
+				lastMallocs, lastBytes = ms.Mallocs, ms.TotalAlloc
+			}
+			if cellErr == nil {
+				fmt.Printf("%-8s %-6s done\n", matrix[i].Workload, matrix[i].Config)
+			}
+		},
+	})
+	matrixWall := time.Since(t0)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		for i, res := range results {
+			if res.Err != nil {
+				return nil, fmt.Errorf("%s under %s: %w", matrix[i].Workload, matrix[i].Config, res.Err)
+			}
+		}
+		return nil, err
+	}
+
+	for i, res := range results {
+		r := result{
+			Workload: matrix[i].Workload,
+			Config:   matrix[i].Config,
+			Cycles:   res.Report.Cycles,
+			Events:   res.Report.Events,
+			WallMS:   float64(res.Wall.Nanoseconds()) / 1e6,
+			Allocs:   perCell[i],
+			AllocMB:  perCellMB[i],
+		}
+		if res.Wall > 0 {
+			r.EventsPerSec = float64(r.Events) / res.Wall.Seconds()
 		}
 		fmt.Printf("%-8s %-6s %8.0f ms  %12.0f events/s  %10d allocs\n",
 			r.Workload, r.Config, r.WallMS, r.EventsPerSec, r.Allocs)
 		s.Results = append(s.Results, r)
-		s.TotalWallMS += r.WallMS
 		s.TotalEvents += r.Events
-		s.TotalAllocs += r.Allocs
 	}
+	s.TotalWallMS = float64(matrixWall.Nanoseconds()) / 1e6
+	s.TotalAllocs = after.Mallocs - before.Mallocs
 	if s.TotalWallMS > 0 {
 		s.EventsPerSec = float64(s.TotalEvents) / (s.TotalWallMS / 1e3)
 	}
 	s.PeakRSSMB = peakRSSMB()
 	return s, nil
-}
-
-// measure runs one cell and records wall clock and allocation deltas.
-func measure(p pair) (result, error) {
-	cfg, err := denovogpu.ConfigByName(p.Config)
-	if err != nil {
-		return result{}, err
-	}
-	runtime.GC()
-	var before, after runtime.MemStats
-	runtime.ReadMemStats(&before)
-	t0 := time.Now()
-	rep, err := denovogpu.RunByName(cfg, p.Workload)
-	wall := time.Since(t0)
-	runtime.ReadMemStats(&after)
-	if err != nil {
-		return result{}, fmt.Errorf("%s under %s: %w", p.Workload, p.Config, err)
-	}
-	r := result{
-		Workload: p.Workload,
-		Config:   p.Config,
-		Cycles:   rep.Cycles,
-		Events:   rep.Events,
-		WallMS:   float64(wall.Nanoseconds()) / 1e6,
-		Allocs:   after.Mallocs - before.Mallocs,
-		AllocMB:  float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
-	}
-	if wall > 0 {
-		r.EventsPerSec = float64(rep.Events) / wall.Seconds()
-	}
-	return r, nil
 }
 
 // checkAgainst gates a measured sweep on machine-independent metrics
@@ -255,14 +301,25 @@ func checkAgainst(cur, ref *section, tolerance float64) error {
 	}
 	var cells int
 	var curAllocs, refAllocs uint64
+	perCellAllocs := true
+	fmt.Printf("check: per-cell wall time vs committed %q (informational; hosts differ)\n", ref.Label)
+	fmt.Printf("  %-8s %-6s %10s %10s %8s\n", "workload", "config", "cur ms", "ref ms", "delta")
 	for _, r := range cur.Results {
 		rr, ok := refByKey[pair{r.Workload, r.Config}]
 		if !ok {
 			continue
 		}
 		cells++
+		if r.Allocs == 0 {
+			perCellAllocs = false
+		}
 		curAllocs += r.Allocs
 		refAllocs += rr.Allocs
+		delta := "—"
+		if rr.WallMS > 0 {
+			delta = fmt.Sprintf("%+.0f%%", 100*(r.WallMS-rr.WallMS)/rr.WallMS)
+		}
+		fmt.Printf("  %-8s %-6s %10.0f %10.0f %8s\n", r.Workload, r.Config, r.WallMS, rr.WallMS, delta)
 		if r.Events != rr.Events {
 			return fmt.Errorf("%s under %s fired %d events, committed %s section has %d: simulated behavior changed, regenerate the file if intended",
 				r.Workload, r.Config, r.Events, ref.Label, rr.Events)
@@ -271,10 +328,24 @@ func checkAgainst(cur, ref *section, tolerance float64) error {
 	if cells == 0 {
 		return fmt.Errorf("no matrix cells shared with the committed section")
 	}
+	allocScope := "per-cell"
+	if !perCellAllocs {
+		// A parallel sweep has no per-cell alloc deltas; fall back to
+		// the whole-matrix total, which is only comparable against the
+		// shared-cell sum when every measured cell is shared.
+		if cells != len(cur.Results) {
+			speed, _ := compare(cur, ref)
+			fmt.Printf("check: %d shared cells, event counts identical; alloc gate skipped (parallel sweep with unshared cells), events/sec ratio %.3f (informational)\n",
+				cells, speed)
+			return nil
+		}
+		curAllocs = cur.TotalAllocs
+		allocScope = "whole-matrix"
+	}
 	allocRatio := float64(curAllocs) / float64(refAllocs)
 	speed, _ := compare(cur, ref)
-	fmt.Printf("check: %d shared cells, event counts identical, measured/committed allocs = %.3f (tolerance %.0f%%), events/sec ratio %.3f (informational)\n",
-		cells, allocRatio, tolerance*100, speed)
+	fmt.Printf("check: %d shared cells, event counts identical, measured/committed allocs (%s) = %.3f (tolerance %.0f%%), events/sec ratio %.3f (informational)\n",
+		cells, allocScope, allocRatio, tolerance*100, speed)
 	if refAllocs > 0 && allocRatio > 1.0+tolerance {
 		return fmt.Errorf("allocation regression: %.1f%% above committed %s section",
 			(allocRatio-1.0)*100, ref.Label)

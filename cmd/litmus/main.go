@@ -11,14 +11,17 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"sync/atomic"
 
 	"denovogpu/internal/litmus"
 	"denovogpu/internal/machine"
+	"denovogpu/internal/runner"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -31,6 +34,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fuzz    = fs.Int("fuzz", 0, "differentially fuzz N seeded random programs")
 		seed    = fs.Uint64("seed", 20260805, "base seed for -fuzz and schedule generation (splittable: program i is the same for any N)")
 		nsched  = fs.Int("schedules", 5, "schedules per (program, configuration)")
+		jobs    = fs.Int("j", 0, "fuzz shards checked in parallel (0 = GOMAXPROCS, 1 = serial; any value reports the same lowest-index violation)")
 		replay  = fs.String("replay", "", "replay a saved counterexample case (JSON file)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -40,7 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case *catalog:
 		return runCatalog(stdout, stderr, *nsched, *seed)
 	case *fuzz > 0:
-		return runFuzz(stdout, stderr, *fuzz, *seed, *nsched)
+		return runFuzz(stdout, stderr, *fuzz, *seed, *nsched, *jobs)
 	case *replay != "":
 		return runReplay(stdout, stderr, *replay)
 	}
@@ -114,17 +118,46 @@ func permits(allowed bool) string {
 // smaller catalog.
 var Catalog = litmus.Catalog
 
-func runFuzz(stdout, stderr io.Writer, n int, seed uint64, nsched int) int {
+// runFuzz shards the n seeded programs over a bounded worker pool.
+// Program generation is splittable (program i is the same for any n and
+// any worker count), each shard runs its own simulations, and failures
+// are resolved to the lowest program index: the pool dispatches indices
+// in order, so when any shard fails, every lower index has already been
+// dispatched and completes — scanning the per-index outcomes therefore
+// reports exactly the violation a serial loop would have found first.
+func runFuzz(stdout, stderr io.Writer, n int, seed uint64, nsched, jobs int) int {
 	cfgs := litmus.Configs()
 	gp := litmus.DefaultGenParams()
-	for i := 0; i < n; i++ {
+	type outcome struct {
+		v   *litmus.Violation
+		err error
+	}
+	outcomes := make([]outcome, n)
+	var checked atomic.Int64
+	failed := errors.New("shard failed")
+	runner.Run(n, runner.Options{
+		Workers: jobs,
+		OnDone: func(i int, err error) {
+			if c := checked.Add(1); c%50 == 0 && err == nil {
+				fmt.Fprintf(stderr, "litmus: %d/%d programs conform\n", c, n)
+			}
+		},
+	}, func(i int) error {
 		p := litmus.Generate(seed, uint64(i), gp)
 		v, err := litmus.Check(cfgs, p, litmus.Schedules(p, nsched, seed^uint64(i)))
-		if err != nil {
-			fmt.Fprintln(stderr, err)
+		outcomes[i] = outcome{v, err}
+		if err != nil || v != nil {
+			return failed
+		}
+		return nil
+	})
+	for _, o := range outcomes {
+		if o.err != nil {
+			fmt.Fprintln(stderr, o.err)
 			return 1
 		}
-		if v != nil {
+		if o.v != nil {
+			v := o.v
 			fmt.Fprintln(stderr, v.Error())
 			sp, ss := litmus.Shrink(v.Config, v.Program, v.Schedule)
 			c := &litmus.Case{Config: v.Config.Name(), Program: sp, Schedule: ss, Observed: &v.Observed}
@@ -136,9 +169,6 @@ func runFuzz(stdout, stderr io.Writer, n int, seed uint64, nsched int) int {
 			fmt.Fprintf(stderr, "shrunk to %d ops; replay with: litmus -replay case.json\n", sp.NumOps())
 			fmt.Fprintln(stdout, string(js))
 			return 1
-		}
-		if (i+1)%50 == 0 {
-			fmt.Fprintf(stderr, "litmus: %d/%d programs conform\n", i+1, n)
 		}
 	}
 	fmt.Fprintf(stdout, "fuzzed %d programs (seed %d) under %d configurations: no oracle violations\n", n, seed, len(cfgs))

@@ -53,6 +53,7 @@ func run(args []string, rawStdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		all    = fs.Bool("all", false, "regenerate every figure and table")
+		jobs   = fs.Int("j", 0, "matrix cells simulated in parallel (0 = GOMAXPROCS, 1 = serial)")
 		fig2   = fs.Bool("fig2", false, "Figure 2: no-synchronization applications (G* vs D*)")
 		fig3   = fs.Bool("fig3", false, "Figure 3: globally scoped synchronization (G* vs D*)")
 		fig4   = fs.Bool("fig4", false, "Figure 4: locally scoped / hybrid synchronization (all five configs)")
@@ -109,15 +110,15 @@ func run(args []string, rawStdout, stderr io.Writer) int {
 	gstar := map[string]string{"GD": "G*", "DD": "D*"}
 	if *all || *fig2 {
 		fmt.Fprintln(stdout, "Running Figure 2 sweep (10 apps x G*/D*)...")
-		emit("Figure 2", sweepFig2(), "DD", gstar)
+		emit("Figure 2", sweepFig2(*jobs), "DD", gstar)
 	}
 	if *all || *fig3 {
 		fmt.Fprintln(stdout, "Running Figure 3 sweep (4 global-sync benchmarks x G*/D*)...")
-		emit("Figure 3", sweepFig3(), "GD", gstar)
+		emit("Figure 3", sweepFig3(*jobs), "GD", gstar)
 	}
 	if *all || *fig4 {
 		fmt.Fprintln(stdout, "Running Figure 4 sweep (9 local-sync benchmarks x 5 configs)...")
-		emit("Figure 4", sweepFig4(), "GD", nil)
+		emit("Figure 4", sweepFig4(*jobs), "GD", nil)
 	}
 	if stdout.err != nil {
 		fmt.Fprintf(stderr, "sweep: writing output: %v\n", stdout.err)

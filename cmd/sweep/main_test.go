@@ -47,7 +47,7 @@ func TestTables(t *testing.T) {
 
 func TestFigureStubbed(t *testing.T) {
 	orig := sweepFig3
-	sweepFig3 = func() *figures.Matrix { return stubMatrix(nil) }
+	sweepFig3 = func(int) *figures.Matrix { return stubMatrix(nil) }
 	defer func() { sweepFig3 = orig }()
 
 	code, out, errb := runCmd(t, "-fig3")
@@ -63,7 +63,7 @@ func TestFigureStubbed(t *testing.T) {
 
 func TestFigureSweepErrorFails(t *testing.T) {
 	orig := sweepFig3
-	sweepFig3 = func() *figures.Matrix { return stubMatrix(errors.New("synthetic sweep failure")) }
+	sweepFig3 = func(int) *figures.Matrix { return stubMatrix(errors.New("synthetic sweep failure")) }
 	defer func() { sweepFig3 = orig }()
 
 	code, _, errb := runCmd(t, "-fig3")

@@ -58,9 +58,11 @@ type L1 interface {
 	// (functional host access between kernels); ok is false if the word
 	// is not present in the L1 or its store buffer.
 	PeekWord(w mem.Word) (uint32, bool)
-	// HostInvalidate functionally drops any clean cached copy of a word
-	// (host writes between kernels must not leave stale Valid copies
-	// that a read-only-region declaration could preserve past the next
-	// acquire).
-	HostInvalidate(w mem.Word)
+	// HostInvalidateLine functionally drops any clean cached copy of
+	// the words of l selected by mask (host writes between kernels must
+	// not leave stale Valid copies that a read-only-region declaration
+	// could preserve past the next acquire). Line granularity lets the
+	// host amortize one cache lookup per line per L1 when seeding large
+	// inputs, instead of one per word.
+	HostInvalidateLine(l mem.Line, mask mem.WordMask)
 }

@@ -33,6 +33,39 @@ import (
 	"denovogpu/internal/obs"
 	"denovogpu/internal/sim"
 	"denovogpu/internal/stats"
+	"denovogpu/internal/wordmap"
+)
+
+// Interned counter keys: hot-path counting indexes an array
+// instead of hashing the name per event (see stats.Intern).
+var (
+	kL1DirectReads           = stats.Intern("l1.direct_reads")
+	kL1DirectReadsNacked     = stats.Intern("l1.direct_reads_nacked")
+	kL1DirectReadsServed     = stats.Intern("l1.direct_reads_served")
+	kL1FillsDroppedStale     = stats.Intern("l1.fills_dropped_stale")
+	kL1FillsLate             = stats.Intern("l1.fills_late")
+	kL1FlashInvalidations    = stats.Intern("l1.flash_invalidations")
+	kL1FwdDeferred           = stats.Intern("l1.fwd_deferred")
+	kL1InvalidatedWords      = stats.Intern("l1.invalidated_words")
+	kL1OwnershipTransfers    = stats.Intern("l1.ownership_transfers")
+	kL1OwnershipWords        = stats.Intern("l1.ownership_words")
+	kL1ReadHits              = stats.Intern("l1.read_hits")
+	kL1ReadMisses            = stats.Intern("l1.read_misses")
+	kL1ReadsDeferred         = stats.Intern("l1.reads_deferred")
+	kL1RegRequests           = stats.Intern("l1.reg_requests")
+	kL1RemoteReadsServed     = stats.Intern("l1.remote_reads_served")
+	kL1SyncBackoffs          = stats.Intern("l1.sync_backoffs")
+	kL1SyncCoalesced         = stats.Intern("l1.sync_coalesced")
+	kL1SyncHits              = stats.Intern("l1.sync_hits")
+	kL1SyncLocal             = stats.Intern("l1.sync_local")
+	kL1SyncMisses            = stats.Intern("l1.sync_misses")
+	kL1SyncServicedOnArrival = stats.Intern("l1.sync_serviced_on_arrival")
+	kL1WriteHits             = stats.Intern("l1.write_hits")
+	kL1Writebacks            = stats.Intern("l1.writebacks")
+	kSbCoalescedWrites       = stats.Intern("sb.coalesced_writes")
+	kSbKickedRegs            = stats.Intern("sb.kicked_regs")
+	kSbReleaseDrains         = stats.Intern("sb.release_drains")
+	kSbWriteStalls           = stats.Intern("sb.write_stalls")
 )
 
 type syncOp struct {
@@ -118,18 +151,22 @@ type Controller struct {
 	sb     *cache.StoreBuffer // data writes awaiting registration (or delayed, when lazy)
 	lazy   map[mem.Word]bool  // sb slots whose registration is delayed
 	victim *cache.VictimBuffer
-	vstate map[mem.Word]*victimWord
+	vstate wordmap.Map[*victimWord]
 
-	regs        map[mem.Word]*regTxn
-	deferredFwd map[mem.Word]*coherence.Msg
+	// The per-word/per-line transaction tables below are open-addressed
+	// (wordmap) rather than builtin maps: they sit on the protocol's
+	// hottest paths, and the dense tables reuse their backing storage
+	// across the insert/delete churn of transaction lifecycles.
+	regs        wordmap.Map[*regTxn]
+	deferredFwd wordmap.Map[*coherence.Msg]
 	// deferredReads holds forwarded reads that arrived while our own
 	// registration was still in flight: the registry has already made
 	// this node the owner, but the word's value has not arrived yet.
-	deferredReads map[mem.Word][]*coherence.Msg
-	pendingOwn    map[mem.Word]uint32 // owned words awaiting a cache frame
+	deferredReads wordmap.Map[[]*coherence.Msg]
+	pendingOwn    wordmap.Map[uint32] // owned words awaiting a cache frame
 
-	reads   map[uint64]*readTxn
-	lineTxn map[mem.Line]uint64
+	reads   wordmap.Map[*readTxn]
+	lineTxn wordmap.Map[uint64]
 
 	pins map[mem.Line]int
 
@@ -178,21 +215,14 @@ type relWaiter struct {
 func New(node noc.NodeID, eng *sim.Engine, mesh *noc.Mesh, st *stats.Stats, meter *energy.Meter, l1Bytes, l1Ways, sbEntries int, opts Options) *Controller {
 	c := &Controller{
 		node: node, eng: eng, mesh: mesh, st: st, meter: meter, opts: opts,
-		cache:         cache.New(l1Bytes, l1Ways),
-		sb:            cache.NewStoreBuffer(sbEntries),
-		lazy:          make(map[mem.Word]bool),
-		victim:        cache.NewVictimBuffer(),
-		vstate:        make(map[mem.Word]*victimWord),
-		regs:          make(map[mem.Word]*regTxn),
-		deferredFwd:   make(map[mem.Word]*coherence.Msg),
-		deferredReads: make(map[mem.Word][]*coherence.Msg),
-		pendingOwn:    make(map[mem.Word]uint32),
-		reads:         make(map[uint64]*readTxn),
-		lineTxn:       make(map[mem.Line]uint64),
-		pins:          make(map[mem.Line]int),
-		lostAt:        make(map[mem.Word]sim.Time),
-		backoffDelay:  make(map[mem.Word]sim.Time),
-		lastSupplier:  make(map[mem.Line]noc.NodeID),
+		cache:        cache.New(l1Bytes, l1Ways),
+		sb:           cache.NewStoreBuffer(sbEntries),
+		lazy:         make(map[mem.Word]bool),
+		victim:       cache.NewVictimBuffer(),
+		pins:         make(map[mem.Line]int),
+		lostAt:       make(map[mem.Word]sim.Time),
+		backoffDelay: make(map[mem.Word]sim.Time),
+		lastSupplier: make(map[mem.Line]noc.NodeID),
 	}
 	mesh.Attach(node, noc.PortL1, c)
 	return c
@@ -209,11 +239,11 @@ func (c *Controller) SetRecorder(rec *obs.Recorder) {
 
 // MSHROccupancy returns the number of outstanding miss/registration
 // transactions (the obs sampler's l1.mshr gauge).
-func (c *Controller) MSHROccupancy() int { return len(c.reads) + len(c.regs) }
+func (c *Controller) MSHROccupancy() int { return c.reads.Len() + c.regs.Len() }
 
 // OutstandingRegistrations returns the number of in-flight registration
 // transactions (the obs sampler's l1.out_regs gauge).
-func (c *Controller) OutstandingRegistrations() int { return len(c.regs) }
+func (c *Controller) OutstandingRegistrations() int { return c.regs.Len() }
 
 // pin management: lines with outstanding transactions must not be
 // evicted.
@@ -261,7 +291,7 @@ func (c *Controller) evict(e *cache.Entry) {
 	if reg == 0 {
 		return
 	}
-	c.st.Inc("l1.writebacks", 1)
+	c.st.IncKey(kL1Writebacks, 1)
 	if c.rec != nil {
 		c.rec.Emit(obs.L1Writeback, int32(c.node), uint64(e.Line))
 	}
@@ -269,7 +299,7 @@ func (c *Controller) evict(e *cache.Entry) {
 		if reg.Has(i) {
 			w := e.Line.Word(i)
 			c.victim.Put(w, e.Data[i])
-			c.vstate[w] = &victimWord{}
+			c.vstate.Put(uint64(w), &victimWord{})
 		}
 	}
 	c.mesh.Send(&coherence.Msg{
@@ -292,7 +322,7 @@ func (c *Controller) ReadLine(l mem.Line, need mem.WordMask, cb func([mem.WordsP
 			vals[i] = v
 			continue
 		}
-		if v, ok := c.pendingOwn[l.Word(i)]; ok {
+		if v, ok := c.pendingOwn.Get(uint64(l.Word(i))); ok {
 			vals[i] = v
 			continue
 		}
@@ -303,24 +333,24 @@ func (c *Controller) ReadLine(l mem.Line, need mem.WordMask, cb func([mem.WordsP
 		missing |= mem.Bit(i)
 	}
 	if missing == 0 {
-		c.st.Inc("l1.read_hits", 1)
+		c.st.IncKey(kL1ReadHits, 1)
 		if c.rec != nil {
 			c.rec.Emit(obs.L1ReadHit, int32(c.node), uint64(l))
 		}
 		c.eng.Schedule(coherence.L1HitCycles, func() { cb(vals) })
 		return
 	}
-	c.st.Inc("l1.read_misses", 1)
+	c.st.IncKey(kL1ReadMisses, 1)
 	if c.rec != nil {
 		c.rec.Emit(obs.L1ReadMiss, int32(c.node), uint64(l))
 	}
 	c.meter.L1Tag(1)
 	var txn *readTxn
-	if id, ok := c.lineTxn[l]; ok {
+	if id, ok := c.lineTxn.Get(uint64(l)); ok {
 		// Join only current-epoch transactions that have not already
 		// received any of our demanded words (an already-arrived word
 		// would never be re-sent, and it may not have been installed).
-		if t := c.reads[id]; t != nil && t.epoch == c.epoch && missing&t.arrived == 0 {
+		if t, _ := c.reads.Get(id); t != nil && t.epoch == c.epoch && missing&t.arrived == 0 {
 			txn = t
 			if extra := missing &^ t.requested; extra != 0 {
 				// A joining reader demands words the original request did
@@ -338,14 +368,14 @@ func (c *Controller) ReadLine(l mem.Line, need mem.WordMask, cb func([mem.WordsP
 	if txn == nil {
 		c.nextID++
 		txn = &readTxn{line: l, epoch: c.epoch, requested: missing}
-		c.reads[c.nextID] = txn
-		c.lineTxn[l] = c.nextID
+		c.reads.Put(c.nextID, txn)
+		c.lineTxn.Put(uint64(l), c.nextID)
 		c.pin(l)
 		if pred, ok := c.lastSupplier[l]; c.opts.DirectTransfer && ok && pred != c.node {
 			// Direct cache-to-cache transfer: try the L1 that last
 			// supplied this line (2 hops) before the registry (3 hops).
 			txn.direct = true
-			c.st.Inc("l1.direct_reads", 1)
+			c.st.IncKey(kL1DirectReads, 1)
 			c.mesh.Send(&coherence.Msg{
 				Kind: coherence.DirectReadReq, Src: c.node, Dst: pred, Port: noc.PortL1,
 				Line: l, Mask: missing, ID: c.nextID,
@@ -368,79 +398,81 @@ func (c *Controller) ReadLine(l mem.Line, need mem.WordMask, cb func([mem.WordsP
 // notes for TB_LG.
 func (c *Controller) WriteLine(l mem.Line, mask mem.WordMask, data [mem.WordsPerLine]uint32, cb func()) {
 	c.meter.L1Access(1)
-	i := 0
+	c.writeRun(l, mask, data, 0, cb)
+}
+
+// writeRun is WriteLine's work loop starting at word index `from`. The
+// common (no-stall) case runs to completion without creating any
+// closure; only a full store buffer defers, capturing the resume point
+// in a single closure.
+func (c *Controller) writeRun(l mem.Line, mask mem.WordMask, data [mem.WordsPerLine]uint32, from int, cb func()) {
+	entry := c.cache.Peek(l)
 	var newReg mem.WordMask
-	var step func()
-	flush := func() {
-		if newReg != 0 {
-			c.sendRegReq(l, newReg, false, false)
-			newReg = 0
+	for i := from; i < mem.WordsPerLine; i++ {
+		if !mask.Has(i) {
+			continue
 		}
-	}
-	step = func() {
-		entry := c.cache.Peek(l)
-		for ; i < mem.WordsPerLine; i++ {
-			if !mask.Has(i) {
-				continue
+		w := l.Word(i)
+		if entry != nil && entry.State[i] == cache.Registered {
+			entry.Data[i] = data[i]
+			c.st.IncKey(kL1WriteHits, 1)
+			if c.rec != nil {
+				c.rec.Emit(obs.L1WriteHit, int32(c.node), uint64(w))
 			}
-			w := l.Word(i)
-			if entry != nil && entry.State[i] == cache.Registered {
-				entry.Data[i] = data[i]
-				c.st.Inc("l1.write_hits", 1)
-				if c.rec != nil {
-					c.rec.Emit(obs.L1WriteHit, int32(c.node), uint64(w))
-				}
-				continue
+			continue
+		}
+		if p, ok := c.pendingOwn.Ptr(uint64(w)); ok {
+			*p = data[i]
+			c.st.IncKey(kL1WriteHits, 1)
+			if c.rec != nil {
+				c.rec.Emit(obs.L1WriteHit, int32(c.node), uint64(w))
 			}
-			if _, ok := c.pendingOwn[w]; ok {
-				c.pendingOwn[w] = data[i]
-				c.st.Inc("l1.write_hits", 1)
-				if c.rec != nil {
-					c.rec.Emit(obs.L1WriteHit, int32(c.node), uint64(w))
-				}
-				continue
-			}
-			if _, ok := c.sb.Lookup(w); ok {
-				c.sb.Insert(w, data[i])
-				c.st.Inc("sb.coalesced_writes", 1)
-				continue
-			}
-			if txn := c.regs[w]; txn != nil {
-				// A sync registration for this word is already in
-				// flight; ride it rather than double-registering.
-				if !c.sb.Full() {
-					c.meter.StoreBuffer(1)
-					c.sb.Insert(w, data[i])
-					txn.dataWrite = true
-					continue
-				}
-			}
-			if c.sb.Full() {
-				flush()
-				c.stallForSpace(step)
-				return
-			}
-			c.meter.StoreBuffer(1)
+			continue
+		}
+		if _, ok := c.sb.Lookup(w); ok {
 			c.sb.Insert(w, data[i])
-			if c.opts.LazyWrites {
-				c.lazy[w] = true
-			} else {
-				c.regs[w] = &regTxn{dataWrite: true}
-				c.pin(l)
-				newReg |= mem.Bit(i)
+			c.st.IncKey(kSbCoalescedWrites, 1)
+			continue
+		}
+		if txn, _ := c.regs.Get(uint64(w)); txn != nil {
+			// A sync registration for this word is already in
+			// flight; ride it rather than double-registering.
+			if !c.sb.Full() {
+				c.meter.StoreBuffer(1)
+				c.sb.Insert(w, data[i])
+				txn.dataWrite = true
+				continue
 			}
 		}
-		flush()
-		c.eng.Schedule(coherence.L1HitCycles, cb)
+		if c.sb.Full() {
+			if newReg != 0 {
+				c.sendRegReq(l, newReg, false, false)
+			}
+			resumeAt := i
+			c.stallForSpace(func() { c.writeRun(l, mask, data, resumeAt, cb) })
+			return
+		}
+		c.meter.StoreBuffer(1)
+		c.sb.Insert(w, data[i])
+		if c.opts.LazyWrites {
+			c.lazy[w] = true
+		} else {
+			c.regs.Put(uint64(w), &regTxn{dataWrite: true})
+			c.pin(l)
+			newReg |= mem.Bit(i)
+		}
 	}
-	step()
+	if newReg != 0 {
+		c.sendRegReq(l, newReg, false, false)
+	}
+	c.eng.Schedule(coherence.L1HitCycles, cb)
 }
 
 // stallForSpace queues fn until a store-buffer slot frees; in lazy mode
 // it kicks off registration of the oldest delayed slot so space will
 // eventually appear.
 func (c *Controller) stallForSpace(fn func()) {
-	c.st.Inc("sb.write_stalls", 1)
+	c.st.IncKey(kSbWriteStalls, 1)
 	c.kickOldestLazy()
 	c.spaceWaiters = append(c.spaceWaiters, fn)
 }
@@ -453,16 +485,16 @@ func (c *Controller) kickOldestLazy() {
 		return
 	}
 	if oldest, ok := c.sb.PeekOldest(); ok && c.lazy[oldest.Word] {
-		c.st.Inc("sb.kicked_regs", 1)
+		c.st.IncKey(kSbKickedRegs, 1)
 		delete(c.lazy, oldest.Word)
-		c.regs[oldest.Word] = &regTxn{dataWrite: true}
+		c.regs.Put(uint64(oldest.Word), &regTxn{dataWrite: true})
 		c.pin(oldest.Word.LineOf())
 		c.sendRegReq(oldest.Word.LineOf(), mem.Bit(oldest.Word.Index()), false, false)
 	}
 }
 
 func (c *Controller) sendRegReq(l mem.Line, mask mem.WordMask, sync, needsData bool) {
-	c.st.Inc("l1.reg_requests", 1)
+	c.st.IncKey(kL1RegRequests, 1)
 	c.mesh.Send(&coherence.Msg{
 		Kind: coherence.RegReq, Src: c.node, Dst: l2.HomeNode(l), Port: noc.PortL2,
 		Line: l, Mask: mask, Sync: sync, NeedsData: needsData,
@@ -487,11 +519,11 @@ func (c *Controller) Atomic(op coherence.AtomicOp, w mem.Word, operand, operand2
 		return
 	}
 	l := w.LineOf()
-	if e := c.cache.Lookup(l); e != nil && e.State[w.Index()] == cache.Registered && c.regs[w] == nil {
+	if e := c.cache.Lookup(l); e != nil && e.State[w.Index()] == cache.Registered && !c.regs.Has(uint64(w)) {
 		// Synchronization hit: the variable is owned here.
 		next, ret := op.Apply(e.Data[w.Index()], operand, operand2)
 		e.Data[w.Index()] = next
-		c.st.Inc("l1.sync_hits", 1)
+		c.st.IncKey(kL1SyncHits, 1)
 		if c.rec != nil {
 			c.rec.Emit(obs.L1SyncHit, int32(c.node), uint64(w))
 		}
@@ -500,26 +532,25 @@ func (c *Controller) Atomic(op coherence.AtomicOp, w mem.Word, operand, operand2
 		c.serviceDeferred(w)
 		return
 	}
-	if v, ok := c.pendingOwn[w]; ok && c.regs[w] == nil {
-		next, ret := op.Apply(v, operand, operand2)
-		c.pendingOwn[w] = next
-		c.st.Inc("l1.sync_hits", 1)
+	if p, ok := c.pendingOwn.Ptr(uint64(w)); ok && !c.regs.Has(uint64(w)) {
+		next, ret := op.Apply(*p, operand, operand2)
+		*p = next
+		c.st.IncKey(kL1SyncHits, 1)
 		if c.rec != nil {
 			c.rec.Emit(obs.L1SyncHit, int32(c.node), uint64(w))
 		}
 		c.eng.Schedule(coherence.L1HitCycles, func() { cb(ret) })
 		return
 	}
-	txn := c.regs[w]
+	txn, _ := c.regs.Get(uint64(w))
 	if txn == nil {
 		txn = &regTxn{}
-		c.regs[w] = txn
+		c.regs.Put(uint64(w), txn)
 		c.pin(l)
-		c.st.Inc("l1.sync_misses", 1)
+		c.st.IncKey(kL1SyncMisses, 1)
 		if c.rec != nil {
 			c.rec.Emit(obs.L1SyncMiss, int32(c.node), uint64(w))
 		}
-		send := func() { c.sendRegReq(l, mem.Bit(w.Index()), true, true) }
 		if c.opts.SyncBackoff && op == coherence.AtomicLoad {
 			if lost, ok := c.lostAt[w]; ok && c.eng.Now()-lost < syncBackoffWindow {
 				// DeNovoSync: a reader that just lost this word backs
@@ -532,19 +563,19 @@ func (c *Controller) Atomic(op coherence.AtomicOp, w mem.Word, operand, operand2
 					d = min(d*2, syncBackoffMax)
 				}
 				c.backoffDelay[w] = d
-				c.st.Inc("l1.sync_backoffs", 1)
-				c.eng.Schedule(d, send)
+				c.st.IncKey(kL1SyncBackoffs, 1)
+				c.eng.Schedule(d, func() { c.sendRegReq(l, mem.Bit(w.Index()), true, true) })
 			} else {
 				delete(c.backoffDelay, w)
-				send()
+				c.sendRegReq(l, mem.Bit(w.Index()), true, true)
 			}
 		} else {
-			send()
+			c.sendRegReq(l, mem.Bit(w.Index()), true, true)
 		}
 	} else {
 		// Same-CU coalescing in the MSHR: another thread block on this
 		// CU already has a registration in flight for this word.
-		c.st.Inc("l1.sync_coalesced", 1)
+		c.st.IncKey(kL1SyncCoalesced, 1)
 	}
 	txn.syncWaiters = append(txn.syncWaiters, syncOp{op, operand, operand2, cb})
 }
@@ -556,7 +587,7 @@ func (c *Controller) localAtomic(op coherence.AtomicOp, w mem.Word, operand, ope
 	l := w.LineOf()
 	finish := func(cur uint32) {
 		next, ret := op.Apply(cur, operand, operand2)
-		c.st.Inc("l1.sync_local", 1)
+		c.st.IncKey(kL1SyncLocal, 1)
 		c.meter.L1Access(1)
 		if e := c.cache.Peek(l); e != nil && e.State[w.Index()] == cache.Registered {
 			e.Data[w.Index()] = next
@@ -580,7 +611,7 @@ func (c *Controller) localAtomic(op coherence.AtomicOp, w mem.Word, operand, ope
 		// Mark delayed only if no registration is already in flight for
 		// this slot (a global release may have kicked it); re-marking
 		// would double-register and corrupt the transaction state.
-		if c.regs[w] == nil {
+		if !c.regs.Has(uint64(w)) {
 			c.lazy[w] = true
 		}
 		if e := c.cache.Peek(l); e != nil && e.State[w.Index()] == cache.Valid {
@@ -592,7 +623,7 @@ func (c *Controller) localAtomic(op coherence.AtomicOp, w mem.Word, operand, ope
 		finish(v)
 		return
 	}
-	if v, ok := c.pendingOwn[w]; ok {
+	if v, ok := c.pendingOwn.Get(uint64(w)); ok {
 		finish(v)
 		return
 	}
@@ -627,8 +658,8 @@ func (c *Controller) Acquire(scope coherence.Scope) {
 	// Flash/selective invalidation is a bulk clear of state bits, not a
 	// per-frame tag walk; charge a single tag-array access.
 	c.meter.L1Tag(1)
-	c.st.Inc("l1.flash_invalidations", 1)
-	c.st.Inc("l1.invalidated_words", uint64(n))
+	c.st.IncKey(kL1FlashInvalidations, 1)
+	c.st.IncKey(kL1InvalidatedWords, uint64(n))
 	if c.rec != nil {
 		c.rec.Emit(obs.SyncAcquire, int32(c.node), uint64(n))
 	}
@@ -676,7 +707,7 @@ func (c *Controller) Release(scope coherence.Scope, cb func()) {
 				c.regBatch = append(c.regBatch, lineMask{line: l})
 			}
 			c.regBatch[gi].mask |= mem.Bit(e.Word.Index())
-			c.regs[e.Word] = &regTxn{dataWrite: true}
+			c.regs.Put(uint64(e.Word), &regTxn{dataWrite: true})
 			c.pin(l)
 		}
 		for _, lm := range c.regBatch {
@@ -689,7 +720,7 @@ func (c *Controller) Release(scope coherence.Scope, cb func()) {
 		c.eng.Schedule(coherence.L1HitCycles, cb)
 		return
 	}
-	c.st.Inc("sb.release_drains", 1)
+	c.st.IncKey(kSbReleaseDrains, 1)
 	w := &relWaiter{pending: make(map[mem.Word]struct{}, len(entries)), cb: cb}
 	for _, e := range entries {
 		w.pending[e.Word] = struct{}{}
@@ -699,8 +730,8 @@ func (c *Controller) Release(scope coherence.Scope, cb func()) {
 
 // Drained implements coherence.L1.
 func (c *Controller) Drained() bool {
-	return c.sb.Len() == 0 && len(c.regs) == 0 && len(c.reads) == 0 &&
-		len(c.pendingOwn) == 0 && c.victim.Len() == 0
+	return c.sb.Len() == 0 && c.regs.Len() == 0 && c.reads.Len() == 0 &&
+		c.pendingOwn.Len() == 0 && c.victim.Len() == 0
 }
 
 // sbFreed services stalled writers after store-buffer slots free.
@@ -773,12 +804,12 @@ func (c *Controller) fill(msg *coherence.Msg) {
 			c.lastSupplier[msg.Line] = msg.Src
 		}
 	}
-	txn := c.reads[msg.ID]
+	txn, _ := c.reads.Get(msg.ID)
 	if txn == nil {
 		// The transaction completed from an earlier response that
 		// already covered these words (e.g. a supplementary request
 		// raced a generous line response). Nothing to do.
-		c.st.Inc("l1.fills_late", 1)
+		c.st.IncKey(kL1FillsLate, 1)
 		return
 	}
 	newWords := msg.Mask &^ txn.arrived
@@ -796,7 +827,7 @@ func (c *Controller) fill(msg *coherence.Msg) {
 			c.meter.L1Access(1)
 		}
 	} else if txn.epoch != c.epoch {
-		c.st.Inc("l1.fills_dropped_stale", 1)
+		c.st.IncKey(kL1FillsDroppedStale, 1)
 	}
 	// Complete waiters whose demanded words have all arrived.
 	remaining := txn.waiters[:0]
@@ -819,9 +850,9 @@ func (c *Controller) fill(msg *coherence.Msg) {
 		if len(txn.waiters) != 0 {
 			panic("denovo: read transaction complete with unsatisfied waiters")
 		}
-		delete(c.reads, msg.ID)
-		if c.lineTxn[txn.line] == msg.ID {
-			delete(c.lineTxn, txn.line)
+		c.reads.Delete(msg.ID)
+		if id, _ := c.lineTxn.Get(uint64(txn.line)); id == msg.ID {
+			c.lineTxn.Delete(uint64(txn.line))
 		}
 		c.unpin(txn.line)
 	}
@@ -847,15 +878,16 @@ func (c *Controller) readFwd(msg *coherence.Msg) {
 		// over from an earlier eviction of the same word.
 		if e := c.cache.Peek(msg.Line); e != nil && e.State[i] == cache.Registered {
 			data[i] = e.Data[i]
-		} else if v, ok := c.pendingOwn[w]; ok {
+		} else if v, ok := c.pendingOwn.Get(uint64(w)); ok {
 			data[i] = v
 		} else if v, ok := c.victim.Get(w); ok {
 			data[i] = v
-		} else if c.regs[w] != nil {
+		} else if c.regs.Has(uint64(w)) {
 			m := *msg
 			m.Mask = mem.Bit(i)
-			c.deferredReads[w] = append(c.deferredReads[w], &m)
-			c.st.Inc("l1.reads_deferred", 1)
+			q := c.deferredReads.Upsert(uint64(w))
+			*q = append(*q, &m)
+			c.st.IncKey(kL1ReadsDeferred, 1)
 			continue
 		} else {
 			panic(fmt.Sprintf("denovo: node %d forwarded read for %v it does not own", c.node, w))
@@ -865,7 +897,7 @@ func (c *Controller) readFwd(msg *coherence.Msg) {
 	if now == 0 {
 		return
 	}
-	c.st.Inc("l1.remote_reads_served", 1)
+	c.st.IncKey(kL1RemoteReadsServed, 1)
 	c.meter.L1Access(1)
 	c.mesh.Send(&coherence.Msg{
 		Kind: coherence.ReadResp, Src: c.node, Dst: msg.Requester, Port: noc.PortL1,
@@ -896,11 +928,11 @@ func (c *Controller) ownershipArrived(l mem.Line, mask mem.WordMask, data [mem.W
 		} else if carriesData {
 			val = data[i]
 		}
-		txn := c.regs[w]
+		txn, _ := c.regs.Get(uint64(w))
 		if txn == nil {
 			panic(fmt.Sprintf("denovo: node %d ownership for %v without transaction", c.node, w))
 		}
-		c.st.Inc("l1.ownership_words", 1)
+		c.st.IncKey(kL1OwnershipWords, 1)
 		waiters := txn.syncWaiters
 		if c.opts.NoMSHRCoalescing && len(waiters) > 1 {
 			// Ablation: service only the first waiter now; the rest
@@ -926,9 +958,9 @@ func (c *Controller) ownershipArrived(l mem.Line, mask mem.WordMask, data [mem.W
 			cb := op.cb
 			c.eng.Schedule(delay, func() { cb(ret) })
 			delay++
-			c.st.Inc("l1.sync_serviced_on_arrival", 1)
+			c.st.IncKey(kL1SyncServicedOnArrival, 1)
 		}
-		delete(c.regs, w)
+		c.regs.Delete(uint64(w))
 		c.unpin(l)
 		// Install.
 		if e != nil {
@@ -936,7 +968,7 @@ func (c *Controller) ownershipArrived(l mem.Line, mask mem.WordMask, data [mem.W
 			e.State[i] = cache.Registered
 			c.cache.Touch(e)
 		} else {
-			c.pendingOwn[w] = val
+			c.pendingOwn.Put(uint64(w), val)
 			c.eng.Schedule(2, func() { c.retryInstall(w) })
 		}
 		c.meter.L1Access(1)
@@ -952,7 +984,7 @@ func (c *Controller) ownershipArrived(l mem.Line, mask mem.WordMask, data [mem.W
 // retryInstall moves a frameless owned word into the cache once a frame
 // frees up.
 func (c *Controller) retryInstall(w mem.Word) {
-	val, ok := c.pendingOwn[w]
+	val, ok := c.pendingOwn.Get(uint64(w))
 	if !ok {
 		return // transferred away meanwhile
 	}
@@ -961,7 +993,7 @@ func (c *Controller) retryInstall(w mem.Word) {
 		c.eng.Schedule(2, func() { c.retryInstall(w) })
 		return
 	}
-	delete(c.pendingOwn, w)
+	c.pendingOwn.Delete(uint64(w))
 	e.Data[w.Index()] = val
 	e.State[w.Index()] = cache.Registered
 	c.cache.Touch(e)
@@ -971,11 +1003,11 @@ func (c *Controller) retryInstall(w mem.Word) {
 // serveDeferredReads replays forwarded reads that were waiting for this
 // word's ownership data to arrive.
 func (c *Controller) serveDeferredReads(w mem.Word) {
-	msgs := c.deferredReads[w]
+	msgs, _ := c.deferredReads.Get(uint64(w))
 	if len(msgs) == 0 {
 		return
 	}
-	delete(c.deferredReads, w)
+	c.deferredReads.Delete(uint64(w))
 	for _, m := range msgs {
 		c.readFwd(m)
 	}
@@ -993,7 +1025,7 @@ func (c *Controller) regFwd(msg *coherence.Msg) {
 			continue
 		}
 		w := msg.Line.Word(i)
-		if vs := c.vstate[w]; vs != nil && !vs.servicedFwd {
+		if vs, _ := c.vstate.Get(uint64(w)); vs != nil && !vs.servicedFwd {
 			// This forward targets the ownership we already evicted
 			// (the registry had not yet processed our writeback when it
 			// forwarded); serve it from the victim copy even if we have
@@ -1002,17 +1034,17 @@ func (c *Controller) regFwd(msg *coherence.Msg) {
 			now |= mem.Bit(i)
 			continue
 		}
-		if c.regs[w] != nil {
+		if c.regs.Has(uint64(w)) {
 			// Our own registration (and coalesced same-CU accesses) are
 			// still in flight; the remote request waits its turn in the
 			// distributed queue.
-			if c.deferredFwd[w] != nil {
+			if c.deferredFwd.Has(uint64(w)) {
 				panic(fmt.Sprintf("denovo: node %d second deferred forward for %v", c.node, w))
 			}
 			m := *msg
 			m.Mask = mem.Bit(i)
-			c.deferredFwd[w] = &m
-			c.st.Inc("l1.fwd_deferred", 1)
+			c.deferredFwd.Put(uint64(w), &m)
+			c.st.IncKey(kL1FwdDeferred, 1)
 			continue
 		}
 		now |= mem.Bit(i)
@@ -1042,22 +1074,22 @@ func (c *Controller) transferMask(l mem.Line, mask mem.WordMask, to noc.NodeID, 
 		if e != nil && e.State[i] == cache.Registered {
 			data[i] = e.Data[i]
 			e.State[i] = cache.Invalid
-		} else if v, ok := c.pendingOwn[w]; ok {
+		} else if v, ok := c.pendingOwn.Get(uint64(w)); ok {
 			data[i] = v
-			delete(c.pendingOwn, w)
+			c.pendingOwn.Delete(uint64(w))
 		} else if v, ok := c.victim.Get(w); ok {
 			data[i] = v
-			vs := c.vstate[w]
+			vs, _ := c.vstate.Get(uint64(w))
 			if vs != nil && vs.rejectedKnown {
 				c.victim.Drop(w)
-				delete(c.vstate, w)
+				c.vstate.Delete(uint64(w))
 			} else if vs != nil {
 				vs.servicedFwd = true
 			}
 		} else {
 			panic(fmt.Sprintf("denovo: node %d cannot transfer %v it does not own", c.node, w))
 		}
-		c.st.Inc("l1.ownership_transfers", 1)
+		c.st.IncKey(kL1OwnershipTransfers, 1)
 		if c.opts.SyncBackoff {
 			c.lostAt[w] = c.eng.Now()
 		}
@@ -1075,11 +1107,11 @@ func (c *Controller) transferMask(l mem.Line, mask mem.WordMask, to noc.NodeID, 
 // serviceDeferred passes ownership to a queued remote requester once
 // local accesses have been serviced.
 func (c *Controller) serviceDeferred(w mem.Word) {
-	msg := c.deferredFwd[w]
-	if msg == nil || c.regs[w] != nil {
+	msg, _ := c.deferredFwd.Get(uint64(w))
+	if msg == nil || c.regs.Has(uint64(w)) {
 		return
 	}
-	delete(c.deferredFwd, w)
+	c.deferredFwd.Delete(uint64(w))
 	c.transfer(w, msg.Requester, msg.Sync, msg.ID)
 }
 
@@ -1099,7 +1131,7 @@ func (c *Controller) directRead(msg *coherence.Msg) {
 		}
 	}
 	if have == msg.Mask {
-		c.st.Inc("l1.direct_reads_served", 1)
+		c.st.IncKey(kL1DirectReadsServed, 1)
 		c.meter.L1Access(1)
 		c.mesh.Send(&coherence.Msg{
 			Kind: coherence.ReadResp, Src: c.node, Dst: msg.Src, Port: noc.PortL1,
@@ -1107,7 +1139,7 @@ func (c *Controller) directRead(msg *coherence.Msg) {
 		})
 		return
 	}
-	c.st.Inc("l1.direct_reads_nacked", 1)
+	c.st.IncKey(kL1DirectReadsNacked, 1)
 	c.mesh.Send(&coherence.Msg{
 		Kind: coherence.ReadNack, Src: c.node, Dst: msg.Src, Port: noc.PortL1,
 		Line: msg.Line, Mask: msg.Mask, ID: msg.ID,
@@ -1116,7 +1148,7 @@ func (c *Controller) directRead(msg *coherence.Msg) {
 
 // readNack falls a missed direct read back to the registry.
 func (c *Controller) readNack(msg *coherence.Msg) {
-	txn := c.reads[msg.ID]
+	txn, _ := c.reads.Get(msg.ID)
 	if txn == nil || !txn.direct {
 		return // transaction already satisfied some other way
 	}
@@ -1138,13 +1170,13 @@ func (c *Controller) writeBackAck(msg *coherence.Msg) {
 			continue
 		}
 		w := msg.Line.Word(i)
-		vs := c.vstate[w]
+		vs, _ := c.vstate.Get(uint64(w))
 		if vs == nil {
 			continue // already fully resolved
 		}
 		if msg.WBAccepted.Has(i) || vs.servicedFwd {
 			c.victim.Drop(w)
-			delete(c.vstate, w)
+			c.vstate.Delete(uint64(w))
 		} else {
 			vs.rejectedKnown = true
 		}
@@ -1155,7 +1187,7 @@ func (c *Controller) writeBackAck(msg *coherence.Msg) {
 
 // CacheWordState exposes a word's L1 state.
 func (c *Controller) CacheWordState(w mem.Word) cache.WordState {
-	if _, ok := c.pendingOwn[w]; ok {
+	if c.pendingOwn.Has(uint64(w)) {
 		return cache.Registered
 	}
 	if e := c.cache.Peek(w.LineOf()); e != nil {
@@ -1170,7 +1202,7 @@ func (c *Controller) PeekWord(w mem.Word) (uint32, bool) {
 	if v, ok := c.sb.Lookup(w); ok {
 		return v, true
 	}
-	if v, ok := c.pendingOwn[w]; ok {
+	if v, ok := c.pendingOwn.Get(uint64(w)); ok {
 		return v, true
 	}
 	if e := c.cache.Peek(w.LineOf()); e != nil && e.State[w.Index()] != cache.Invalid {
@@ -1187,15 +1219,15 @@ func (c *Controller) PeekWord(w mem.Word) (uint32, bool) {
 func (c *Controller) DebugDump() string {
 	out := ""
 	for _, e := range c.sb.Entries() {
-		out += fmt.Sprintf("word %v lazy=%v regs=%v\n", e.Word, c.lazy[e.Word], c.regs[e.Word] != nil)
+		out += fmt.Sprintf("word %v lazy=%v regs=%v\n", e.Word, c.lazy[e.Word], c.regs.Has(uint64(e.Word)))
 	}
 	out += fmt.Sprintf("spaceWaiters=%d relWaiters=%d\n", len(c.spaceWaiters), len(c.relWaiters))
-	for w, txn := range c.regs {
-		out += fmt.Sprintf("reg pending %v dataWrite=%v waiters=%d deferredHere=%v\n", w, txn.dataWrite, len(txn.syncWaiters), c.deferredFwd[w] != nil)
-	}
-	for w := range c.deferredFwd {
-		out += fmt.Sprintf("deferred fwd for %v (regs=%v)\n", w, c.regs[w] != nil)
-	}
+	c.regs.ForEach(func(k uint64, txn *regTxn) {
+		out += fmt.Sprintf("reg pending %v dataWrite=%v waiters=%d deferredHere=%v\n", mem.Word(k), txn.dataWrite, len(txn.syncWaiters), c.deferredFwd.Has(k))
+	})
+	c.deferredFwd.ForEach(func(k uint64, _ *coherence.Msg) {
+		out += fmt.Sprintf("deferred fwd for %v (regs=%v)\n", mem.Word(k), c.regs.Has(k))
+	})
 	return out
 }
 
@@ -1209,7 +1241,7 @@ func (c *Controller) OwnsWord(w mem.Word) bool {
 	if e := c.cache.Peek(w.LineOf()); e != nil && e.State[w.Index()] == cache.Registered {
 		return true
 	}
-	if _, ok := c.pendingOwn[w]; ok {
+	if c.pendingOwn.Has(uint64(w)) {
 		return true
 	}
 	if _, ok := c.victim.Get(w); ok {
@@ -1218,10 +1250,16 @@ func (c *Controller) OwnsWord(w mem.Word) bool {
 	return false
 }
 
-// HostInvalidate implements coherence.L1.
-func (c *Controller) HostInvalidate(w mem.Word) {
-	if e := c.cache.Peek(w.LineOf()); e != nil && e.State[w.Index()] == cache.Valid {
-		e.State[w.Index()] = cache.Invalid
+// HostInvalidateLine implements coherence.L1.
+func (c *Controller) HostInvalidateLine(l mem.Line, mask mem.WordMask) {
+	e := c.cache.Peek(l)
+	if e == nil {
+		return
+	}
+	for i := 0; i < mem.WordsPerLine; i++ {
+		if mask&mem.Bit(i) != 0 && e.State[i] == cache.Valid {
+			e.State[i] = cache.Invalid
+		}
 	}
 }
 

@@ -7,10 +7,8 @@ package figures
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"denovogpu"
 	"denovogpu/internal/stats"
@@ -54,42 +52,45 @@ func (m *Matrix) FirstErr() error {
 }
 
 // Sweep runs every benchmark under every configuration, in parallel
-// across (bench, config) pairs. Each simulation is single-threaded and
-// independent, so parallelism is safe and scales to the machine.
+// across (bench, config) pairs with GOMAXPROCS workers. Each simulation
+// is single-threaded and independent, so parallelism is safe and scales
+// to the machine.
 func Sweep(benches []string, configs []denovogpu.Config) *Matrix {
+	return SweepN(benches, configs, 0)
+}
+
+// SweepN is Sweep with an explicit worker bound (<= 0 selects
+// runtime.GOMAXPROCS(0), 1 runs serially). All cells are attempted even
+// if some fail; per-cell errors land in the Matrix for FirstErr.
+func SweepN(benches []string, configs []denovogpu.Config, workers int) *Matrix {
 	m := &Matrix{Runs: make(map[string]map[string]*Run)}
 	m.Benches = append(m.Benches, benches...)
 	for _, c := range configs {
 		m.Configs = append(m.Configs, c.Name())
 	}
-	type job struct {
-		bench string
-		cfg   denovogpu.Config
-	}
-	var jobs []job
+	var cells []denovogpu.MatrixCell
 	for _, b := range benches {
 		m.Runs[b] = make(map[string]*Run)
+		w, err := denovogpu.WorkloadByName(b)
+		if err != nil {
+			for _, c := range configs {
+				m.Runs[b][c.Name()] = &Run{Bench: b, Config: c.Name(), Err: err}
+			}
+			continue
+		}
 		for _, c := range configs {
-			jobs = append(jobs, job{b, c})
+			cells = append(cells, denovogpu.MatrixCell{Config: c, Workload: w})
 		}
 	}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.NumCPU())
-	for _, j := range jobs {
-		j := j
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			rep, err := denovogpu.RunByName(j.cfg, j.bench)
-			mu.Lock()
-			m.Runs[j.bench][j.cfg.Name()] = &Run{Bench: j.bench, Config: j.cfg.Name(), Report: rep, Err: err}
-			mu.Unlock()
-		}()
+	results, _ := denovogpu.RunMatrix(cells, denovogpu.MatrixOptions{Workers: workers, KeepGoing: true})
+	for i, cell := range cells {
+		m.Runs[cell.Workload.Name][cell.Config.Name()] = &Run{
+			Bench:  cell.Workload.Name,
+			Config: cell.Config.Name(),
+			Report: results[i].Report,
+			Err:    results[i].Err,
+		}
 	}
-	wg.Wait()
 	return m
 }
 
@@ -269,21 +270,22 @@ var fig4Benches = []string{"SPM_L", "SPMBO_L", "FAM_L", "SLM_L", "SS_L", "SSBO_L
 
 // Fig2 runs the no-synchronization applications under G* and D*
 // (HRF changes nothing without local sync, so GD and DD stand for G*
-// and D*). The paper normalizes to D*.
-func Fig2() *Matrix {
-	return Sweep(fig2Benches, []denovogpu.Config{denovogpu.GD(), denovogpu.DD()})
+// and D*). The paper normalizes to D*. workers bounds the cell pool
+// (<= 0 selects GOMAXPROCS).
+func Fig2(workers int) *Matrix {
+	return SweepN(fig2Benches, []denovogpu.Config{denovogpu.GD(), denovogpu.DD()}, workers)
 }
 
 // Fig3 runs the globally scoped synchronization microbenchmarks under
 // G* and D*, normalized to G*.
-func Fig3() *Matrix {
-	return Sweep(fig3Benches, []denovogpu.Config{denovogpu.GD(), denovogpu.DD()})
+func Fig3(workers int) *Matrix {
+	return SweepN(fig3Benches, []denovogpu.Config{denovogpu.GD(), denovogpu.DD()}, workers)
 }
 
 // Fig4 runs the locally scoped / hybrid synchronization benchmarks
 // under all five configurations, normalized to GD.
-func Fig4() *Matrix {
-	return Sweep(fig4Benches, denovogpu.AllConfigs())
+func Fig4(workers int) *Matrix {
+	return SweepN(fig4Benches, denovogpu.AllConfigs(), workers)
 }
 
 // Fig2Benches etc. expose the orderings for external reporting.

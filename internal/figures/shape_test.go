@@ -12,7 +12,7 @@ func TestFig3Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-size sweep")
 	}
-	m := Fig3()
+	m := Fig3(0)
 	if err := m.FirstErr(); err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func TestFig2Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-size sweep")
 	}
-	m := Fig2()
+	m := Fig2(0)
 	if err := m.FirstErr(); err != nil {
 		t.Fatal(err)
 	}

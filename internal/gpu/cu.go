@@ -21,7 +21,21 @@ import (
 	"denovogpu/internal/obs"
 	"denovogpu/internal/sim"
 	"denovogpu/internal/stats"
+	"denovogpu/internal/wordmap"
 	"denovogpu/internal/workload"
+)
+
+// Interned counter keys: hot-path counting indexes an array
+// instead of hashing the name per event (see stats.Intern).
+var (
+	kCuComputeCycles   = stats.Intern("cu.compute_cycles")
+	kCuLineAccesses    = stats.Intern("cu.line_accesses")
+	kCuMemInstrs       = stats.Intern("cu.mem_instrs")
+	kCuScratchAccesses = stats.Intern("cu.scratch_accesses")
+	kCuSyncInstrs      = stats.Intern("cu.sync_instrs")
+	kCuTbsFinished     = stats.Intern("cu.tbs_finished")
+	kCuTbsStarted      = stats.Intern("cu.tbs_started")
+	kCuWaitCycles      = stats.Intern("cu.wait_cycles")
 )
 
 // WarpSize is the SIMT width.
@@ -60,24 +74,36 @@ type response struct {
 	atomicOld uint32
 }
 
-// tbState is one resident thread block.
+// tbState is one resident thread block. reqBuf/respBuf are the
+// reusable request/response records exchanged over the channels: the
+// handshake is fully synchronous (the block never issues a new request
+// before receiving the response to its last one), so one buffer of
+// each per block suffices and the per-operation allocations disappear.
 type tbState struct {
 	index   int
 	threads int
 	req     chan *request
 	resp    chan *response
+	reqBuf  request
+	respBuf response
+}
+
+// send transfers a request to the CU through the reusable buffer.
+func (tb *tbState) send(rq request) {
+	tb.reqBuf = rq
+	tb.req <- &tb.reqBuf
 }
 
 // tbExec implements workload.Executor from inside the block's goroutine.
 type tbExec struct{ tb *tbState }
 
 func (e tbExec) Vec(loads []mem.Addr, stores []mem.Addr, storeVals []uint32) []uint32 {
-	e.tb.req <- &request{kind: reqVec, loads: loads, stores: stores, storeVals: storeVals}
+	e.tb.send(request{kind: reqVec, loads: loads, stores: stores, storeVals: storeVals})
 	return (<-e.tb.resp).loadVals
 }
 
 func (e tbExec) Atomic(op coherence.AtomicOp, a mem.Addr, o1, o2 uint32, order coherence.Order, scope coherence.Scope) uint32 {
-	e.tb.req <- &request{kind: reqAtomic, op: op, addr: a, operand: o1, operand2: o2, order: order, scope: scope}
+	e.tb.send(request{kind: reqAtomic, op: op, addr: a, operand: o1, operand2: o2, order: order, scope: scope})
 	return (<-e.tb.resp).atomicOld
 }
 
@@ -85,7 +111,7 @@ func (e tbExec) Compute(n int) {
 	if n <= 0 {
 		return
 	}
-	e.tb.req <- &request{kind: reqCompute, cycles: n}
+	e.tb.send(request{kind: reqCompute, cycles: n})
 	<-e.tb.resp
 }
 
@@ -93,7 +119,7 @@ func (e tbExec) Wait(n int) {
 	if n <= 0 {
 		return
 	}
-	e.tb.req <- &request{kind: reqWait, cycles: n}
+	e.tb.send(request{kind: reqWait, cycles: n})
 	<-e.tb.resp
 }
 
@@ -101,7 +127,7 @@ func (e tbExec) Scratch(n int) {
 	if n <= 0 {
 		return
 	}
-	e.tb.req <- &request{kind: reqScratch, cycles: n}
+	e.tb.send(request{kind: reqScratch, cycles: n})
 	<-e.tb.resp
 }
 
@@ -169,7 +195,7 @@ func (cu *CU) StartKernel(k workload.Kernel, tbIndices []int, threadsPerTB, numT
 				Ex: tbExec{tb: tb},
 			}
 			k(ctx)
-			tb.req <- &request{kind: reqDone}
+			tb.send(request{kind: reqDone})
 		}()
 	}
 	cu.eng.Schedule(0, cu.fillResident)
@@ -180,7 +206,7 @@ func (cu *CU) fillResident() {
 		tb := cu.queue[0]
 		cu.queue = cu.queue[1:]
 		cu.resident++
-		cu.st.Inc("cu.tbs_started", 1)
+		cu.st.IncKey(kCuTbsStarted, 1)
 		// The goroutine is already running its kernel body; receive its
 		// first request.
 		cu.receive(tb)
@@ -194,9 +220,13 @@ func (cu *CU) receive(tb *tbState) {
 	cu.handle(tb, <-tb.req)
 }
 
-// resume delivers a response to the block and receives its next request.
-func (cu *CU) resume(tb *tbState, r *response) {
-	tb.resp <- r
+// resume delivers a response to the block and receives its next
+// request. The response travels through the block's reusable buffer;
+// the block reads it before issuing anything further, so the buffer is
+// free again by the time the next resume runs.
+func (cu *CU) resume(tb *tbState, r response) {
+	tb.respBuf = r
+	tb.resp <- &tb.respBuf
 	cu.receive(tb)
 }
 
@@ -206,17 +236,17 @@ func (cu *CU) handle(tb *tbState, rq *request) {
 		cu.finishTB()
 	case reqCompute:
 		cu.meter.Instr(rq.cycles * cu.warps(tb))
-		cu.st.Inc("cu.compute_cycles", uint64(rq.cycles))
-		cu.eng.Schedule(sim.Time(rq.cycles), func() { cu.resume(tb, &response{}) })
+		cu.st.IncKey(kCuComputeCycles, uint64(rq.cycles))
+		cu.eng.Schedule(sim.Time(rq.cycles), func() { cu.resume(tb, response{}) })
 	case reqWait:
 		// Idle wait: the warp is descheduled; time passes without
 		// instruction energy.
-		cu.st.Inc("cu.wait_cycles", uint64(rq.cycles))
-		cu.eng.Schedule(sim.Time(rq.cycles), func() { cu.resume(tb, &response{}) })
+		cu.st.IncKey(kCuWaitCycles, uint64(rq.cycles))
+		cu.eng.Schedule(sim.Time(rq.cycles), func() { cu.resume(tb, response{}) })
 	case reqScratch:
 		cu.meter.Scratch(rq.cycles * tb.threads)
-		cu.st.Inc("cu.scratch_accesses", uint64(rq.cycles*tb.threads))
-		cu.eng.Schedule(sim.Time(rq.cycles), func() { cu.resume(tb, &response{}) })
+		cu.st.IncKey(kCuScratchAccesses, uint64(rq.cycles*tb.threads))
+		cu.eng.Schedule(sim.Time(rq.cycles), func() { cu.resume(tb, response{}) })
 	case reqVec:
 		cu.vec(tb, rq)
 	case reqAtomic:
@@ -229,7 +259,7 @@ func (cu *CU) warps(tb *tbState) int { return (tb.threads + WarpSize - 1) / Warp
 func (cu *CU) finishTB() {
 	cu.resident--
 	cu.kernelTBsLeft--
-	cu.st.Inc("cu.tbs_finished", 1)
+	cu.st.IncKey(kCuTbsFinished, 1)
 	if cu.resident == 0 && len(cu.queue) == 0 {
 		cu.meter.ActiveCycles(uint64(cu.eng.Now() - cu.activeStart))
 		if cu.kernelTBsLeft == 0 && cu.onAllDone != nil {
@@ -242,42 +272,73 @@ func (cu *CU) finishTB() {
 	cu.fillResident()
 }
 
+// laneRef records that a load lane receives word `word` of its line.
+type laneRef struct {
+	word int32
+	lane int32
+}
+
 // lineAccess is one coalesced L1 access.
 type lineAccess struct {
 	line  mem.Line
+	key   uint64       // warp<<48 ^ line: coalescing identity
 	need  mem.WordMask // loads
 	wmask mem.WordMask // stores
 	data  [mem.WordsPerLine]uint32
-	// lanes maps word index -> lane indices loading that word.
-	lanes map[int][]int
+	lanes []laneRef // load lanes and the word each receives
 }
 
+// scanThreshold is the access count beyond which coalesce switches
+// from a linear key scan to an indexed lookup. Well-coalesced warps
+// (the common case) stay under it and never touch a hash table.
+const scanThreshold = 16
+
 // coalesce groups a vector operation's lane addresses into per-warp
-// line accesses, exactly one access per distinct line per warp.
-func coalesce(rq *request) []*lineAccess {
-	byKey := make(map[uint64]*lineAccess)
-	var order []*lineAccess
-	get := func(warp int, l mem.Line) *lineAccess {
+// line accesses, exactly one access per distinct line per warp, in
+// first-touch order. The result is a dense value slice: no per-access
+// heap objects and no per-word lane maps (this function used to be
+// the simulator's largest allocation site).
+func coalesce(rq *request) []lineAccess {
+	var accesses []lineAccess
+	var idx wordmap.Map[int32]
+	indexed := false
+	get := func(warp int, l mem.Line) int {
 		key := uint64(warp)<<48 ^ uint64(l)
-		la, ok := byKey[key]
-		if !ok {
-			la = &lineAccess{line: l, lanes: make(map[int][]int)}
-			byKey[key] = la
-			order = append(order, la)
+		if indexed {
+			if i, ok := idx.Get(key); ok {
+				return int(i)
+			}
+		} else {
+			for i := range accesses {
+				if accesses[i].key == key {
+					return i
+				}
+			}
+			if len(accesses) >= scanThreshold {
+				for i := range accesses {
+					idx.Put(accesses[i].key, int32(i))
+				}
+				indexed = true
+			}
 		}
-		return la
+		i := len(accesses)
+		accesses = append(accesses, lineAccess{line: l, key: key})
+		if indexed {
+			idx.Put(key, int32(i))
+		}
+		return i
 	}
 	for lane, a := range rq.loads {
-		la := get(lane/WarpSize, a.LineOf())
+		la := &accesses[get(lane/WarpSize, a.LineOf())]
 		la.need |= mem.Bit(a.WordIndex())
-		la.lanes[a.WordIndex()] = append(la.lanes[a.WordIndex()], lane)
+		la.lanes = append(la.lanes, laneRef{word: int32(a.WordIndex()), lane: int32(lane)})
 	}
 	for lane, a := range rq.stores {
-		la := get(lane/WarpSize, a.LineOf())
+		la := &accesses[get(lane/WarpSize, a.LineOf())]
 		la.wmask |= mem.Bit(a.WordIndex())
 		la.data[a.WordIndex()] = rq.storeVals[lane]
 	}
-	return order
+	return accesses
 }
 
 // vec issues the coalesced accesses of one vector memory instruction,
@@ -296,10 +357,10 @@ func (cu *CU) vec(tb *tbState, rq *request) {
 		nWarps = 1
 	}
 	cu.meter.Instr(nWarps)
-	cu.st.Inc("cu.mem_instrs", 1)
-	cu.st.Inc("cu.line_accesses", uint64(len(accesses)))
+	cu.st.IncKey(kCuMemInstrs, 1)
+	cu.st.IncKey(kCuLineAccesses, uint64(len(accesses)))
 	if len(accesses) == 0 {
-		cu.eng.Schedule(1, func() { cu.resume(tb, &response{}) })
+		cu.eng.Schedule(1, func() { cu.resume(tb, response{}) })
 		return
 	}
 	loadVals := make([]uint32, len(rq.loads))
@@ -311,11 +372,11 @@ func (cu *CU) vec(tb *tbState, rq *request) {
 			if cu.rec != nil {
 				cu.rec.EmitSpan(obs.StallMem, int32(cu.Node), uint64(len(accesses)), start)
 			}
-			cu.resume(tb, &response{loadVals: loadVals})
+			cu.resume(tb, response{loadVals: loadVals})
 		}
 	}
-	for _, la := range accesses {
-		la := la
+	for i := range accesses {
+		la := &accesses[i]
 		at := cu.eng.Now()
 		if cu.nextIssue > at {
 			at = cu.nextIssue
@@ -343,10 +404,8 @@ func (cu *CU) vec(tb *tbState, rq *request) {
 }
 
 func (la *lineAccess) scatter(vals [mem.WordsPerLine]uint32, loadVals []uint32) {
-	for w, lanes := range la.lanes {
-		for _, lane := range lanes {
-			loadVals[lane] = vals[w]
-		}
+	for _, r := range la.lanes {
+		loadVals[r.lane] = vals[r.word]
 	}
 }
 
@@ -356,7 +415,7 @@ func (la *lineAccess) scatter(vals [mem.WordsPerLine]uint32, loadVals []uint32) 
 func (cu *CU) atomic(tb *tbState, rq *request) {
 	scope := cu.model.Effective(rq.scope)
 	cu.meter.Instr(1)
-	cu.st.Inc("cu.sync_instrs", 1)
+	cu.st.IncKey(kCuSyncInstrs, 1)
 	start := uint64(cu.eng.Now())
 	perform := func() {
 		cu.l1.Atomic(rq.op, rq.addr.WordOf(), rq.operand, rq.operand2, scope, func(old uint32) {
@@ -366,7 +425,7 @@ func (cu *CU) atomic(tb *tbState, rq *request) {
 			if cu.rec != nil {
 				cu.rec.EmitSpan(obs.StallSync, int32(cu.Node), uint64(rq.addr.WordOf()), start)
 			}
-			cu.resume(tb, &response{atomicOld: old})
+			cu.resume(tb, response{atomicOld: old})
 		})
 	}
 	if rq.order.Releases() {

@@ -41,7 +41,7 @@ func TestCoalesceBroadcast(t *testing.T) {
 	if len(groups) != 1 || groups[0].need != mem.Bit(0) {
 		t.Fatalf("broadcast should coalesce to one word: %+v", groups)
 	}
-	if len(groups[0].lanes[0]) != 32 {
+	if len(groups[0].lanes) != 32 {
 		t.Fatal("all lanes must receive the broadcast value")
 	}
 }
@@ -86,15 +86,13 @@ func TestCoalesceCoverageProperty(t *testing.T) {
 		groups := coalesce(rq)
 		lanesSeen := make(map[int]int)
 		for _, g := range groups {
-			for w, lanes := range g.lanes {
-				if !g.need.Has(w) {
+			for _, r := range g.lanes {
+				if !g.need.Has(int(r.word)) {
 					return false
 				}
-				for _, lane := range lanes {
-					lanesSeen[lane]++
-					if rq.loads[lane].LineOf() != g.line || rq.loads[lane].WordIndex() != w {
-						return false
-					}
+				lanesSeen[int(r.lane)]++
+				if rq.loads[r.lane].LineOf() != g.line || rq.loads[r.lane].WordIndex() != int(r.word) {
+					return false
 				}
 			}
 		}
@@ -159,9 +157,9 @@ func (f *fakeL1) Release(scope coherence.Scope, cb func()) {
 	f.releases[scope]++
 	f.eng.Schedule(1, cb)
 }
-func (f *fakeL1) Drained() bool                      { return true }
-func (f *fakeL1) PeekWord(w mem.Word) (uint32, bool) { v, ok := f.mem[w]; return v, ok }
-func (f *fakeL1) HostInvalidate(mem.Word)            {}
+func (f *fakeL1) Drained() bool                             { return true }
+func (f *fakeL1) PeekWord(w mem.Word) (uint32, bool)        { v, ok := f.mem[w]; return v, ok }
+func (f *fakeL1) HostInvalidateLine(mem.Line, mem.WordMask) {}
 
 func runCU(t *testing.T, model consistency.Model, k workload.Kernel, tbs, threads int) (*fakeL1, *stats.Stats) {
 	t.Helper()

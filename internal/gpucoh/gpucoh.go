@@ -25,6 +25,24 @@ import (
 	"denovogpu/internal/obs"
 	"denovogpu/internal/sim"
 	"denovogpu/internal/stats"
+	"denovogpu/internal/wordmap"
+)
+
+// Interned counter keys: hot-path counting indexes an array
+// instead of hashing the name per event (see stats.Intern).
+var (
+	kL1AtomicsLocal          = stats.Intern("l1.atomics_local")
+	kL1AtomicsRemote         = stats.Intern("l1.atomics_remote")
+	kL1DirtyEvictions        = stats.Intern("l1.dirty_evictions")
+	kL1FillsDroppedStale     = stats.Intern("l1.fills_dropped_stale")
+	kL1FlashInvalidations    = stats.Intern("l1.flash_invalidations")
+	kL1InvalidatedWords      = stats.Intern("l1.invalidated_words")
+	kL1ReadHits              = stats.Intern("l1.read_hits")
+	kL1ReadMisses            = stats.Intern("l1.read_misses")
+	kL1Writethroughs         = stats.Intern("l1.writethroughs")
+	kSbCoalescedWrites       = stats.Intern("sb.coalesced_writes")
+	kSbOverflowWritethroughs = stats.Intern("sb.overflow_writethroughs")
+	kSbReleaseDrains         = stats.Intern("sb.release_drains")
 )
 
 type readWaiter struct {
@@ -67,12 +85,15 @@ type Controller struct {
 	// Read transactions are keyed by request ID; lineTxn points at the
 	// joinable (current-epoch) transaction for a line, if any. A
 	// post-acquire miss must not join a pre-acquire fill, so joining
-	// checks the transaction's epoch.
-	reads         map[uint64]*readTxn
-	lineTxn       map[mem.Line]uint64
-	atomics       map[uint64]func(uint32)
-	localAtomicQ  map[mem.Word][]pendingLocalAtomic
-	localAtomicIn map[mem.Word]bool // head of queue being processed
+	// checks the transaction's epoch. These tables (and wtPending
+	// below) are open-addressed (wordmap) rather than builtin maps:
+	// they sit on the protocol's hottest paths and the dense tables
+	// reuse their storage across transaction churn.
+	reads         wordmap.Map[*readTxn]
+	lineTxn       wordmap.Map[uint64]
+	atomics       wordmap.Map[func(uint32)]
+	localAtomicQ  wordmap.Map[[]pendingLocalAtomic]
+	localAtomicIn wordmap.Map[bool] // head of queue being processed
 
 	nextID        uint64
 	outstandingWT int
@@ -87,8 +108,8 @@ type Controller struct {
 	// wtPending holds the latest value and in-flight count of every
 	// word with an outstanding writethrough. A fill arriving while a
 	// writethrough is in flight must not resurrect the pre-write value:
-	// reads and fill merges consult this map after the store buffer.
-	wtPending map[mem.Word]*wtWord
+	// reads and fill merges consult this table after the store buffer.
+	wtPending wordmap.Map[wtWord]
 
 	// faultNoAcqInval makes global acquires no-ops (test-only fault
 	// injection; see DisableAcquireInvalidation).
@@ -111,12 +132,6 @@ func New(node noc.NodeID, eng *sim.Engine, mesh *noc.Mesh, st *stats.Stats, mete
 		partialBlocks: partialBlocks,
 		cache:         cache.New(l1Bytes, l1Ways),
 		sb:            cache.NewStoreBuffer(sbEntries),
-		reads:         make(map[uint64]*readTxn),
-		lineTxn:       make(map[mem.Line]uint64),
-		atomics:       make(map[uint64]func(uint32)),
-		localAtomicQ:  make(map[mem.Word][]pendingLocalAtomic),
-		localAtomicIn: make(map[mem.Word]bool),
-		wtPending:     make(map[mem.Word]*wtWord),
 	}
 	mesh.Attach(node, noc.PortL1, c)
 	return c
@@ -135,7 +150,7 @@ func (c *Controller) SetRecorder(rec *obs.Recorder) {
 // misses, remote atomics, and unacked writethroughs (the obs sampler's
 // l1.mshr gauge).
 func (c *Controller) MSHROccupancy() int {
-	return len(c.reads) + len(c.atomics) + c.outstandingWT
+	return c.reads.Len() + c.atomics.Len() + c.outstandingWT
 }
 
 // OutstandingRegistrations is zero for GPU coherence (no registry), kept
@@ -162,7 +177,7 @@ func (c *Controller) ReadLine(l mem.Line, need mem.WordMask, cb func([mem.WordsP
 			vals[i] = v
 			continue
 		}
-		if p, ok := c.wtPending[l.Word(i)]; ok {
+		if p, ok := c.wtPending.Get(uint64(l.Word(i))); ok {
 			vals[i] = p.val
 			continue
 		}
@@ -173,29 +188,29 @@ func (c *Controller) ReadLine(l mem.Line, need mem.WordMask, cb func([mem.WordsP
 		missing |= mem.Bit(i)
 	}
 	if missing == 0 {
-		c.st.Inc("l1.read_hits", 1)
+		c.st.IncKey(kL1ReadHits, 1)
 		if c.rec != nil {
 			c.rec.Emit(obs.L1ReadHit, int32(c.node), uint64(l))
 		}
 		c.eng.Schedule(coherence.L1HitCycles, func() { cb(vals) })
 		return
 	}
-	c.st.Inc("l1.read_misses", 1)
+	c.st.IncKey(kL1ReadMisses, 1)
 	if c.rec != nil {
 		c.rec.Emit(obs.L1ReadMiss, int32(c.node), uint64(l))
 	}
 	c.meter.L1Tag(1)
 	var txn *readTxn
-	if id, ok := c.lineTxn[l]; ok {
-		if t := c.reads[id]; t != nil && t.epoch == c.epoch {
+	if id, ok := c.lineTxn.Get(uint64(l)); ok {
+		if t, _ := c.reads.Get(id); t != nil && t.epoch == c.epoch {
 			txn = t
 		}
 	}
 	if txn == nil {
 		txn = &readTxn{epoch: c.epoch}
 		c.nextID++
-		c.reads[c.nextID] = txn
-		c.lineTxn[l] = c.nextID
+		c.reads.Put(c.nextID, txn)
+		c.lineTxn.Put(uint64(l), c.nextID)
 		c.mesh.Send(&coherence.Msg{
 			Kind: coherence.ReadReq, Src: c.node, Dst: l2.HomeNode(l), Port: noc.PortL2,
 			Line: l, Mask: mem.AllWords, ID: c.nextID,
@@ -224,10 +239,10 @@ func (c *Controller) WriteLine(l mem.Line, mask mem.WordMask, data [mem.WordsPer
 		c.meter.StoreBuffer(1)
 		coalesced, evicted := c.sb.Insert(w, data[i])
 		if coalesced {
-			c.st.Inc("sb.coalesced_writes", 1)
+			c.st.IncKey(kSbCoalescedWrites, 1)
 		}
 		if evicted != nil {
-			c.st.Inc("sb.overflow_writethroughs", 1)
+			c.st.IncKey(kSbOverflowWritethroughs, 1)
 			c.sendWT(evicted.Line, evicted.Mask, evicted.Data)
 		}
 		if entry != nil {
@@ -240,17 +255,17 @@ func (c *Controller) WriteLine(l mem.Line, mask mem.WordMask, data [mem.WordsPer
 
 func (c *Controller) sendWT(l mem.Line, mask mem.WordMask, data [mem.WordsPerLine]uint32) {
 	c.outstandingWT++
-	c.st.Inc("l1.writethroughs", 1)
+	c.st.IncKey(kL1Writethroughs, 1)
 	for i := 0; i < mem.WordsPerLine; i++ {
 		if !mask.Has(i) {
 			continue
 		}
 		w := l.Word(i)
-		if p, ok := c.wtPending[w]; ok {
+		if p, ok := c.wtPending.Ptr(uint64(w)); ok {
 			p.val = data[i]
 			p.count++
 		} else {
-			c.wtPending[w] = &wtWord{val: data[i], count: 1}
+			c.wtPending.Put(uint64(w), wtWord{val: data[i], count: 1})
 		}
 	}
 	c.mesh.Send(&coherence.Msg{
@@ -288,7 +303,7 @@ func (c *Controller) evictDirty(e *cache.Entry) {
 	if dirty == 0 {
 		return
 	}
-	c.st.Inc("l1.dirty_evictions", 1)
+	c.st.IncKey(kL1DirtyEvictions, 1)
 	if c.rec != nil {
 		c.rec.Emit(obs.L1Writeback, int32(c.node), uint64(e.Line))
 	}
@@ -301,12 +316,12 @@ func (c *Controller) evictDirty(e *cache.Entry) {
 // Local-scope synchronizations execute at the L1.
 func (c *Controller) Atomic(op coherence.AtomicOp, w mem.Word, operand, operand2 uint32, scope coherence.Scope, cb func(uint32)) {
 	if scope == coherence.ScopeLocal {
-		c.st.Inc("l1.atomics_local", 1)
+		c.st.IncKey(kL1AtomicsLocal, 1)
 		if c.rec != nil {
 			c.rec.Emit(obs.L1SyncHit, int32(c.node), uint64(w))
 		}
 	} else {
-		c.st.Inc("l1.atomics_remote", 1)
+		c.st.IncKey(kL1AtomicsRemote, 1)
 		if c.rec != nil {
 			c.rec.Emit(obs.L1SyncMiss, int32(c.node), uint64(w))
 		}
@@ -317,7 +332,8 @@ func (c *Controller) Atomic(op coherence.AtomicOp, w mem.Word, operand, operand2
 	// local and one global (both scopes include both threads under
 	// HRF-indirect), so they must serialize — a global atomic overlapping
 	// a local RMW's read-to-write window would lose an update.
-	c.localAtomicQ[w] = append(c.localAtomicQ[w], pendingLocalAtomic{op, operand, operand2, scope, cb})
+	q := c.localAtomicQ.Upsert(uint64(w))
+	*q = append(*q, pendingLocalAtomic{op, operand, operand2, scope, cb})
 	c.pumpLocalAtomics(w)
 }
 
@@ -329,12 +345,13 @@ func (c *Controller) Atomic(op coherence.AtomicOp, w mem.Word, operand, operand2
 // keeps per-pair FIFO order) and invalidated so the L2 serializes every
 // access.
 func (c *Controller) pumpLocalAtomics(w mem.Word) {
-	if c.localAtomicIn[w] || len(c.localAtomicQ[w]) == 0 {
+	qp, qok := c.localAtomicQ.Ptr(uint64(w))
+	if c.localAtomicIn.Has(uint64(w)) || !qok || len(*qp) == 0 {
 		return
 	}
-	c.localAtomicIn[w] = true
-	p := c.localAtomicQ[w][0]
-	c.localAtomicQ[w] = c.localAtomicQ[w][1:]
+	c.localAtomicIn.Put(uint64(w), true)
+	p := (*qp)[0]
+	*qp = (*qp)[1:]
 
 	if p.scope != coherence.ScopeLocal {
 		if v, ok := c.sb.Remove(w); ok {
@@ -350,11 +367,11 @@ func (c *Controller) pumpLocalAtomics(w mem.Word) {
 		}
 		c.nextID++
 		id := c.nextID
-		c.atomics[id] = func(v uint32) {
+		c.atomics.Put(id, func(v uint32) {
 			p.cb(v)
-			c.localAtomicIn[w] = false
+			c.localAtomicIn.Delete(uint64(w))
 			c.pumpLocalAtomics(w)
-		}
+		})
 		c.mesh.Send(&coherence.Msg{
 			Kind: coherence.AtomicReq, Src: c.node, Dst: l2.HomeNode(w.LineOf()), Port: noc.PortL2,
 			Line: w.LineOf(), WordIdx: w.Index(), Op: p.op, Operand: p.operand, Operand2: p.operand2, ID: id,
@@ -371,7 +388,7 @@ func (c *Controller) pumpLocalAtomics(w mem.Word) {
 			// release and clobber a concurrent writer's update.
 			c.eng.Schedule(coherence.L1HitCycles, func() {
 				p.cb(ret)
-				c.localAtomicIn[w] = false
+				c.localAtomicIn.Delete(uint64(w))
 				c.pumpLocalAtomics(w)
 			})
 			return
@@ -384,7 +401,7 @@ func (c *Controller) pumpLocalAtomics(w mem.Word) {
 			c.meter.StoreBuffer(1)
 			_, evicted := c.sb.Insert(w, next)
 			if evicted != nil {
-				c.st.Inc("sb.overflow_writethroughs", 1)
+				c.st.IncKey(kSbOverflowWritethroughs, 1)
 				c.sendWT(evicted.Line, evicted.Mask, evicted.Data)
 			}
 			if e := c.cache.Peek(w.LineOf()); e != nil {
@@ -394,7 +411,7 @@ func (c *Controller) pumpLocalAtomics(w mem.Word) {
 		}
 		c.eng.Schedule(coherence.L1HitCycles, func() {
 			p.cb(ret)
-			c.localAtomicIn[w] = false
+			c.localAtomicIn.Delete(uint64(w))
 			c.pumpLocalAtomics(w)
 		})
 	}
@@ -407,7 +424,7 @@ func (c *Controller) pumpLocalAtomics(w mem.Word) {
 		finish(v)
 		return
 	}
-	if p, ok := c.wtPending[w]; ok {
+	if p, ok := c.wtPending.Get(uint64(w)); ok {
 		finish(p.val)
 		return
 	}
@@ -437,8 +454,8 @@ func (c *Controller) Acquire(scope coherence.Scope) {
 	// Flash/selective invalidation is a bulk clear of state bits, not a
 	// per-frame tag walk; charge a single tag-array access.
 	c.meter.L1Tag(1)
-	c.st.Inc("l1.flash_invalidations", 1)
-	c.st.Inc("l1.invalidated_words", uint64(n))
+	c.st.IncKey(kL1FlashInvalidations, 1)
+	c.st.IncKey(kL1InvalidatedWords, uint64(n))
 	if c.rec != nil {
 		c.rec.Emit(obs.SyncAcquire, int32(c.node), uint64(n))
 	}
@@ -466,7 +483,7 @@ func (c *Controller) Release(scope coherence.Scope, cb func()) {
 	if entries := c.sbScratch; len(entries) > 0 {
 		c.meter.StoreBuffer(len(entries))
 		c.groupScratch = cache.AppendGroupByLine(c.groupScratch[:0], entries)
-		c.st.Inc("sb.release_drains", 1)
+		c.st.IncKey(kSbReleaseDrains, 1)
 		for _, g := range c.groupScratch {
 			c.sendWT(g.Line, g.Mask, g.Data)
 		}
@@ -497,8 +514,8 @@ func (c *Controller) Release(scope coherence.Scope, cb func()) {
 
 // Drained implements coherence.L1.
 func (c *Controller) Drained() bool {
-	return c.sb.Len() == 0 && c.outstandingWT == 0 && len(c.reads) == 0 &&
-		len(c.atomics) == 0 && len(c.wtPending) == 0
+	return c.sb.Len() == 0 && c.outstandingWT == 0 && c.reads.Len() == 0 &&
+		c.atomics.Len() == 0 && c.wtPending.Len() == 0
 }
 
 // Deliver implements noc.Handler.
@@ -520,10 +537,10 @@ func (c *Controller) Deliver(p noc.Packet) {
 				continue
 			}
 			w := msg.Line.Word(i)
-			if p, ok := c.wtPending[w]; ok {
+			if p, ok := c.wtPending.Ptr(uint64(w)); ok {
 				p.count--
 				if p.count == 0 {
-					delete(c.wtPending, w)
+					c.wtPending.Delete(uint64(w))
 				}
 			}
 		}
@@ -535,11 +552,11 @@ func (c *Controller) Deliver(p noc.Packet) {
 			}
 		}
 	case coherence.AtomicResp:
-		cb, ok := c.atomics[msg.ID]
+		cb, ok := c.atomics.Get(msg.ID)
 		if !ok {
 			panic(fmt.Sprintf("gpucoh: atomic response with unknown id %d", msg.ID))
 		}
-		delete(c.atomics, msg.ID)
+		c.atomics.Delete(msg.ID)
 		cb(msg.Result)
 	default:
 		panic(fmt.Sprintf("gpucoh: unexpected message %v", msg.Kind))
@@ -547,13 +564,13 @@ func (c *Controller) Deliver(p noc.Packet) {
 }
 
 func (c *Controller) fill(msg *coherence.Msg) {
-	txn := c.reads[msg.ID]
+	txn, _ := c.reads.Get(msg.ID)
 	if txn == nil {
 		panic(fmt.Sprintf("gpucoh: fill for %v without transaction", msg.Line))
 	}
-	delete(c.reads, msg.ID)
-	if c.lineTxn[msg.Line] == msg.ID {
-		delete(c.lineTxn, msg.Line)
+	c.reads.Delete(msg.ID)
+	if id, _ := c.lineTxn.Get(uint64(msg.Line)); id == msg.ID {
+		c.lineTxn.Delete(uint64(msg.Line))
 	}
 	// Install only if no acquire invalidated the cache since the
 	// request: a post-acquire read must not be satisfied by a
@@ -575,7 +592,7 @@ func (c *Controller) fill(msg *coherence.Msg) {
 					// the fill.
 					if v, ok := c.sb.Lookup(msg.Line.Word(i)); ok {
 						e.Data[i] = v
-					} else if p, ok := c.wtPending[msg.Line.Word(i)]; ok {
+					} else if p, ok := c.wtPending.Get(uint64(msg.Line.Word(i))); ok {
 						e.Data[i] = p.val
 					} else {
 						e.Data[i] = msg.Data[i]
@@ -587,7 +604,7 @@ func (c *Controller) fill(msg *coherence.Msg) {
 			c.meter.L1Access(1)
 		}
 	} else {
-		c.st.Inc("l1.fills_dropped_stale", 1)
+		c.st.IncKey(kL1FillsDroppedStale, 1)
 	}
 	for _, w := range txn.waiters {
 		vals := w.vals
@@ -618,7 +635,7 @@ func (c *Controller) PeekWord(w mem.Word) (uint32, bool) {
 	if v, ok := c.sb.Lookup(w); ok {
 		return v, true
 	}
-	if p, ok := c.wtPending[w]; ok {
+	if p, ok := c.wtPending.Get(uint64(w)); ok {
 		return p.val, true
 	}
 	if e := c.cache.Peek(w.LineOf()); e != nil && e.State[w.Index()] != cache.Invalid {
@@ -630,9 +647,15 @@ func (c *Controller) PeekWord(w mem.Word) (uint32, bool) {
 // StoreBufferLen exposes store-buffer occupancy for tests.
 func (c *Controller) StoreBufferLen() int { return c.sb.Len() }
 
-// HostInvalidate implements coherence.L1.
-func (c *Controller) HostInvalidate(w mem.Word) {
-	if e := c.cache.Peek(w.LineOf()); e != nil && e.State[w.Index()] == cache.Valid {
-		e.State[w.Index()] = cache.Invalid
+// HostInvalidateLine implements coherence.L1.
+func (c *Controller) HostInvalidateLine(l mem.Line, mask mem.WordMask) {
+	e := c.cache.Peek(l)
+	if e == nil {
+		return
+	}
+	for i := 0; i < mem.WordsPerLine; i++ {
+		if mask&mem.Bit(i) != 0 && e.State[i] == cache.Valid {
+			e.State[i] = cache.Invalid
+		}
 	}
 }

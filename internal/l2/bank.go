@@ -33,6 +33,17 @@ import (
 	"denovogpu/internal/stats"
 )
 
+// Interned counter keys: hot-path counting indexes an array
+// instead of hashing the name per event (see stats.Intern).
+var (
+	kL2Atomics         = stats.Intern("l2.atomics")
+	kL2DramFetches     = stats.Intern("l2.dram_fetches")
+	kL2ReadForwards    = stats.Intern("l2.read_forwards")
+	kL2RegForwards     = stats.Intern("l2.reg_forwards")
+	kL2StaleWritebacks = stats.Intern("l2.stale_writebacks")
+	kL2Writethroughs   = stats.Intern("l2.writethroughs")
+)
+
 // MemoryOwner marks a word as owned by the bank (not registered).
 const MemoryOwner noc.NodeID = -1
 
@@ -123,7 +134,7 @@ func (b *Bank) withLine(l mem.Line, at sim.Time, fn func()) {
 		return
 	}
 	b.fetching[l] = []func(){fn}
-	b.st.Inc("l2.dram_fetches", 1)
+	b.st.IncKey(kL2DramFetches, 1)
 	b.meter.DRAMAccess(1)
 	start := at
 	if b.dramBusy > start {
@@ -204,7 +215,7 @@ func (b *Bank) read(msg *coherence.Msg) {
 		if m == 0 {
 			continue
 		}
-		b.st.Inc("l2.read_forwards", 1)
+		b.st.IncKey(kL2ReadForwards, 1)
 		if b.rec != nil {
 			b.rec.Emit(obs.L2ReadForward, int32(b.Node), uint64(msg.Line))
 		}
@@ -225,7 +236,7 @@ func (b *Bank) writeThrough(msg *coherence.Msg) {
 			bl.data[i] = msg.Data[i]
 		}
 	}
-	b.st.Inc("l2.writethroughs", 1)
+	b.st.IncKey(kL2Writethroughs, 1)
 	b.mesh.Send(&coherence.Msg{
 		Kind: coherence.WriteThroughAck, Src: b.Node, Dst: msg.Src, Port: noc.PortL1,
 		Line: msg.Line, Mask: msg.Mask, ID: msg.ID,
@@ -269,7 +280,7 @@ func (b *Bank) register(msg *coherence.Msg) {
 		if m == 0 {
 			continue
 		}
-		b.st.Inc("l2.reg_forwards", 1)
+		b.st.IncKey(kL2RegForwards, 1)
 		if b.rec != nil {
 			b.rec.Emit(obs.L2RegForward, int32(b.Node), uint64(msg.Line))
 		}
@@ -298,7 +309,7 @@ func (b *Bank) writeBack(msg *coherence.Msg) {
 			bl.data[i] = msg.Data[i]
 			accepted |= mem.Bit(i)
 		} else {
-			b.st.Inc("l2.stale_writebacks", 1)
+			b.st.IncKey(kL2StaleWritebacks, 1)
 		}
 	}
 	b.mesh.Send(&coherence.Msg{
@@ -318,7 +329,7 @@ func (b *Bank) atomic(msg *coherence.Msg) {
 	}
 	next, ret := msg.Op.Apply(bl.data[i], msg.Operand, msg.Operand2)
 	bl.data[i] = next
-	b.st.Inc("l2.atomics", 1)
+	b.st.IncKey(kL2Atomics, 1)
 	b.mesh.Send(&coherence.Msg{
 		Kind: coherence.AtomicResp, Src: b.Node, Dst: msg.Src, Port: noc.PortL1,
 		Line: msg.Line, WordIdx: i, Result: ret, ID: msg.ID,

@@ -107,20 +107,37 @@ func marshalGolden(g goldenReport) []byte {
 	return append(out, '\n')
 }
 
+// TestGoldenReports runs the whole pinned matrix through the parallel
+// orchestrator (api.RunMatrix at the default worker count) and compares
+// every cell byte-for-byte against its golden file. The goldens were
+// recorded from serial runs, so a pass here also proves the runner's
+// determinism contract: parallel execution leaves every report
+// byte-identical.
 func TestGoldenReports(t *testing.T) {
-	for _, p := range goldenPairs() {
-		p := p
+	pairs := goldenPairs()
+	cells := make([]denovogpu.MatrixCell, len(pairs))
+	for i, p := range pairs {
+		cfg, err := denovogpu.ConfigByName(p.config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := denovogpu.WorkloadByName(p.workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells[i] = denovogpu.MatrixCell{Config: cfg, Workload: w}
+	}
+	results, err := denovogpu.RunMatrix(cells, denovogpu.MatrixOptions{KeepGoing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pairs {
+		p, res := p, results[i]
 		t.Run(p.workload+"/"+p.config, func(t *testing.T) {
-			t.Parallel()
-			cfg, err := denovogpu.ConfigByName(p.config)
-			if err != nil {
-				t.Fatal(err)
+			if res.Err != nil {
+				t.Fatal(res.Err)
 			}
-			rep, err := denovogpu.RunByName(cfg, p.workload)
-			if err != nil {
-				t.Fatal(err)
-			}
-			got := marshalGolden(toGolden(rep))
+			got := marshalGolden(toGolden(res.Report))
 			path := goldenFile(p)
 			if *update {
 				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {

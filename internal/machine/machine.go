@@ -506,28 +506,63 @@ func (m *Machine) Read(a mem.Addr) uint32 {
 // Write implements workload.Host: a functional, coherent write; if an
 // L1 owns the word it is recalled first.
 func (m *Machine) Write(a mem.Addr, v uint32) {
-	w := a.WordOf()
-	if m.cfg.Protocol == ProtoMESI {
-		m.mesiWrite(w, v)
-		return
-	}
-	bank := m.banks[l2.HomeNode(w.LineOf())]
-	if owner := bank.PeekOwner(w); owner != l2.MemoryOwner {
-		dn, ok := m.l1s[owner].(*denovo.Controller)
-		if !ok {
-			panic("machine: non-DeNovo L1 owns a word")
+	vals := [1]uint32{v}
+	m.WriteWords(a, vals[:])
+}
+
+// WriteWords implements workload.BulkWriter: a functional, coherent
+// write of len(vals) contiguous words starting at base (word aligned).
+// Semantically identical to calling Write once per word, but the
+// stale-copy invalidation visits each L1 once per cache line instead
+// of once per word — host-side input seeding is a dominant cost for
+// short-running cells and this is its fast path.
+func (m *Machine) WriteWords(base mem.Addr, vals []uint32) {
+	w0 := base.WordOf()
+	for off := 0; off < len(vals); {
+		w := w0 + mem.Word(off)
+		l := w.LineOf()
+		first := w.Index()
+		n := mem.WordsPerLine - first
+		if rest := len(vals) - off; n > rest {
+			n = rest
 		}
-		if _, ok := dn.HostSteal(w); !ok {
-			panic(fmt.Sprintf("machine: cannot steal %v from node %d", w, owner))
+		var mask mem.WordMask
+		for i := 0; i < n; i++ {
+			mask |= mem.Bit(first + i)
 		}
-		bank.Recall(w, v)
-	} else {
-		bank.PokeData(w, v)
+		if m.cfg.Protocol == ProtoMESI {
+			m.mesiWriteRun(l, first, vals[off:off+n])
+		} else {
+			m.hostWriteRun(l, first, vals[off:off+n])
+		}
+		// Stale clean copies in any L1 must not survive (a
+		// read-only-region declaration could otherwise carry them past
+		// the next acquire).
+		for _, l1 := range m.l1s {
+			l1.HostInvalidateLine(l, mask)
+		}
+		off += n
 	}
-	// Stale clean copies in any L1 must not survive (a read-only-region
-	// declaration could otherwise carry them past the next acquire).
-	for _, l1 := range m.l1s {
-		l1.HostInvalidate(w)
+}
+
+// hostWriteRun updates the registry's copy of words [first, first+len)
+// of line l, recalling any word registered to an L1 first.
+func (m *Machine) hostWriteRun(l mem.Line, first int, vals []uint32) {
+	bank := m.banks[l2.HomeNode(l)]
+	for i, v := range vals {
+		w := l.Word(first + i)
+		if owner := bank.PeekOwner(w); owner != l2.MemoryOwner {
+			dn, ok := m.l1s[owner].(*denovo.Controller)
+			if !ok {
+				panic("machine: non-DeNovo L1 owns a word")
+			}
+			if _, ok := dn.HostSteal(w); !ok {
+				panic(fmt.Sprintf("machine: cannot steal %v from node %d", w, owner))
+			}
+			bank.Recall(w, v)
+		} else {
+			bank.PokeData(w, v)
+		}
 	}
 }
 
@@ -542,10 +577,10 @@ func (m *Machine) mesiRead(w mem.Word) uint32 {
 	return d.PeekData(w)
 }
 
-// mesiWrite is the MESI host write path: recall any modified copy, then
-// update the directory's data and shoot down shared copies.
-func (m *Machine) mesiWrite(w mem.Word, v uint32) {
-	l := w.LineOf()
+// mesiWriteRun is the MESI host write path for one line: recall any
+// modified copy, then update the directory's data for words
+// [first, first+len); the caller shoots down shared copies.
+func (m *Machine) mesiWriteRun(l mem.Line, first int, vals []uint32) {
 	d := m.dirs[mesi.HomeNode(l)]
 	if owner := d.PeekOwner(l); owner != -1 && int(owner) < len(m.l1s) {
 		mc := m.l1s[owner].(*mesi.Controller)
@@ -553,9 +588,8 @@ func (m *Machine) mesiWrite(w mem.Word, v uint32) {
 			d.Recall(l, data)
 		}
 	}
-	d.PokeWord(w, v)
-	for _, l1 := range m.l1s {
-		l1.HostInvalidate(w)
+	for i, v := range vals {
+		d.PokeWord(l.Word(first+i), v)
 	}
 }
 

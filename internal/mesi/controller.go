@@ -12,6 +12,20 @@ import (
 	"denovogpu/internal/stats"
 )
 
+// Interned counter keys: hot-path counting indexes an array
+// instead of hashing the name per event (see stats.Intern).
+var (
+	kL1InvalidatedLines = stats.Intern("l1.invalidated_lines")
+	kL1ReadHits         = stats.Intern("l1.read_hits")
+	kL1ReadMisses       = stats.Intern("l1.read_misses")
+	kL1SyncHits         = stats.Intern("l1.sync_hits")
+	kL1SyncMisses       = stats.Intern("l1.sync_misses")
+	kL1WriteHits        = stats.Intern("l1.write_hits")
+	kL1WriteMisses      = stats.Intern("l1.write_misses")
+	kL1Writebacks       = stats.Intern("l1.writebacks")
+	kMesiFwdsServed     = stats.Intern("mesi.fwds_served")
+)
+
 // Line states are stored uniformly across the entry's word states:
 // Invalid, Valid (= Shared), Registered (= Modified). Exclusive is
 // folded into Modified (silent E->M upgrade), a common simplification
@@ -101,12 +115,12 @@ func (c *Controller) lineState(l mem.Line) (st cache.WordState, e *cache.Entry) 
 func (c *Controller) ReadLine(l mem.Line, need mem.WordMask, cb func([mem.WordsPerLine]uint32)) {
 	c.meter.L1Access(1)
 	if st, e := c.lineState(l); st != cache.Invalid {
-		c.st.Inc("l1.read_hits", 1)
+		c.st.IncKey(kL1ReadHits, 1)
 		vals := e.Data
 		c.eng.Schedule(coherence.L1HitCycles, func() { cb(vals) })
 		return
 	}
-	c.st.Inc("l1.read_misses", 1)
+	c.st.IncKey(kL1ReadMisses, 1)
 	c.meter.L1Tag(1)
 	t := c.ensureTxn(l, false)
 	t.waiters = append(t.waiters, waiter{kind: waitRead, need: need, readCB: cb})
@@ -124,11 +138,11 @@ func (c *Controller) WriteLine(l mem.Line, mask mem.WordMask, data [mem.WordsPer
 				e.Data[i] = data[i]
 			}
 		}
-		c.st.Inc("l1.write_hits", 1)
+		c.st.IncKey(kL1WriteHits, 1)
 		c.eng.Schedule(coherence.L1HitCycles, cb)
 		return
 	}
-	c.st.Inc("l1.write_misses", 1)
+	c.st.IncKey(kL1WriteMisses, 1)
 	t := c.ensureTxn(l, true)
 	t.waiters = append(t.waiters, waiter{kind: waitWrite, mask: mask, data: data, writeCB: cb})
 }
@@ -142,11 +156,11 @@ func (c *Controller) Atomic(op coherence.AtomicOp, w mem.Word, operand, operand2
 	if st, e := c.lineState(l); st == cache.Registered {
 		next, ret := op.Apply(e.Data[w.Index()], operand, operand2)
 		e.Data[w.Index()] = next
-		c.st.Inc("l1.sync_hits", 1)
+		c.st.IncKey(kL1SyncHits, 1)
 		c.eng.Schedule(coherence.L1HitCycles, func() { cb(ret) })
 		return
 	}
-	c.st.Inc("l1.sync_misses", 1)
+	c.st.IncKey(kL1SyncMisses, 1)
 	t := c.ensureTxn(l, true)
 	t.waiters = append(t.waiters, waiter{kind: waitAtomic, op: op, word: w.Index(), operand: operand, operand2: operand2, atomicCB: cb})
 }
@@ -283,7 +297,7 @@ func (c *Controller) frame(l mem.Line) *cache.Entry {
 
 func (c *Controller) evict(e *cache.Entry) {
 	if e.State[0] == cache.Registered {
-		c.st.Inc("l1.writebacks", 1)
+		c.st.IncKey(kL1Writebacks, 1)
 		c.victim[e.Line] = &victimLine{data: e.Data}
 		pm := msg(PutM, c.node, HomeNode(e.Line), noc.PortL2, e.Line)
 		pm.Data = e.Data
@@ -381,7 +395,7 @@ func (c *Controller) invalidate(m *coherence.Msg) {
 		if !e.Pinned {
 			e.Tag = false
 		}
-		c.st.Inc("l1.invalidated_lines", 1)
+		c.st.IncKey(kL1InvalidatedLines, 1)
 	}
 	// Always ack, even for silently evicted (stale-sharer) lines.
 	c.send(msg(InvAck, c.node, m.Requester, noc.PortL1, m.Line))
@@ -430,7 +444,7 @@ func (c *Controller) serviceFwd(m *coherence.Msg) {
 		v.servedFwd = true
 	}
 	c.meter.L1Access(1)
-	c.st.Inc("mesi.fwds_served", 1)
+	c.st.IncKey(kMesiFwdsServed, 1)
 	if m.Kind == FwdGetS {
 		resp := msg(DataS, c.node, m.Requester, noc.PortL1, m.Line)
 		resp.Data = data
@@ -458,9 +472,10 @@ func (c *Controller) PeekWord(w mem.Word) (uint32, bool) {
 	return 0, false
 }
 
-// HostInvalidate implements coherence.L1.
-func (c *Controller) HostInvalidate(w mem.Word) {
-	if e := c.cache.Peek(w.LineOf()); e != nil && e.State[0] == cache.Valid {
+// HostInvalidateLine implements coherence.L1. MESI state is per line,
+// so any selected word invalidates the whole line.
+func (c *Controller) HostInvalidateLine(l mem.Line, _ mem.WordMask) {
+	if e := c.cache.Peek(l); e != nil && e.State[0] == cache.Valid {
 		for i := range e.State {
 			e.State[i] = cache.Invalid
 		}

@@ -29,6 +29,15 @@ import (
 	"denovogpu/internal/stats"
 )
 
+// Interned counter keys: hot-path counting indexes an array
+// instead of hashing the name per event (see stats.Intern).
+var (
+	kL2DramFetches     = stats.Intern("l2.dram_fetches")
+	kMesiDirFwdGetm    = stats.Intern("mesi.dir_fwd_getm")
+	kMesiDirFwdGets    = stats.Intern("mesi.dir_fwd_gets")
+	kMesiInvalidations = stats.Intern("mesi.invalidations")
+)
+
 // Message kinds, carried in coherence.Msg.Op? No — MESI gets its own
 // kind space on top of coherence.Msg via the Kind field values below.
 // They continue the coherence.MsgKind enumeration.
@@ -172,7 +181,7 @@ func (d *Directory) withLine(l mem.Line, at sim.Time, fn func()) {
 		return
 	}
 	d.fetching[l] = []func(){fn}
-	d.st.Inc("l2.dram_fetches", 1)
+	d.st.IncKey(kL2DramFetches, 1)
 	d.meter.DRAMAccess(1)
 	start := at
 	if d.dramBusy > start {
@@ -199,7 +208,7 @@ func (d *Directory) process(m *coherence.Msg) {
 	case GetS:
 		if s.mod {
 			// Owner forwards data to the reader and back to us.
-			d.st.Inc("mesi.dir_fwd_gets", 1)
+			d.st.IncKey(kMesiDirFwdGets, 1)
 			f := msg(FwdGetS, d.Node, s.owner, noc.PortL1, m.Line)
 			f.Requester = m.Src
 			d.send(f)
@@ -218,7 +227,7 @@ func (d *Directory) process(m *coherence.Msg) {
 	case GetM:
 		acks := 0
 		if s.mod {
-			d.st.Inc("mesi.dir_fwd_getm", 1)
+			d.st.IncKey(kMesiDirFwdGetm, 1)
 			f := msg(FwdGetM, d.Node, s.owner, noc.PortL1, m.Line)
 			f.Requester = m.Src
 			d.send(f)
@@ -234,7 +243,7 @@ func (d *Directory) process(m *coherence.Msg) {
 			inv := msg(Inv, d.Node, sh, noc.PortL1, m.Line)
 			inv.Requester = m.Src
 			d.send(inv)
-			d.st.Inc("mesi.invalidations", 1)
+			d.st.IncKey(kMesiInvalidations, 1)
 		}
 		s.sharers = make(map[noc.NodeID]bool)
 		s.mod = true

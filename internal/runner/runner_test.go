@@ -1,0 +1,151 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunAllJobsOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		var counts [37]atomic.Int32
+		errs, err := Run(len(counts), Options{Workers: workers}, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, c)
+			}
+			if errs[i] != nil {
+				t.Fatalf("workers=%d: job %d error %v", workers, i, errs[i])
+			}
+		}
+	}
+}
+
+func TestRunZeroJobs(t *testing.T) {
+	errs, err := Run(0, Options{}, func(int) error { t.Fatal("fn called"); return nil })
+	if err != nil || len(errs) != 0 {
+		t.Fatalf("got %v, %v", errs, err)
+	}
+}
+
+func TestRunSerialOrderAtOneWorker(t *testing.T) {
+	var order []int
+	_, err := Run(10, Options{Workers: 1}, func(i int) error {
+		order = append(order, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order %v not serial", order)
+		}
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int32
+	_, err := Run(64, Options{Workers: workers}, func(i int) error {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		inFlight.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+func TestRunStopsDispatchAfterFailure(t *testing.T) {
+	boom := errors.New("boom")
+	var started atomic.Int32
+	// Worker 1 serializes dispatch, so exactly jobs 0..3 start: job 3
+	// fails, 4.. are skipped.
+	errs, err := Run(20, Options{Workers: 1}, func(i int) error {
+		started.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := started.Load(); n != 4 {
+		t.Fatalf("%d jobs started, want 4", n)
+	}
+	for i, e := range errs {
+		switch {
+		case i < 3 && e != nil:
+			t.Fatalf("job %d: %v", i, e)
+		case i == 3 && !errors.Is(e, boom):
+			t.Fatalf("job 3: %v", e)
+		case i > 3 && !errors.Is(e, ErrSkipped):
+			t.Fatalf("job %d: %v, want ErrSkipped", i, e)
+		}
+	}
+}
+
+func TestRunKeepGoing(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	errs, err := Run(16, Options{Workers: 4, KeepGoing: true}, func(i int) error {
+		ran.Add(1)
+		if i%5 == 0 {
+			return fmt.Errorf("job %d: %w", i, boom)
+		}
+		return nil
+	})
+	if n := ran.Load(); n != 16 {
+		t.Fatalf("%d jobs ran, want 16", n)
+	}
+	if !errors.Is(err, boom) || !errors.Is(errs[0], boom) {
+		t.Fatalf("err = %v, errs[0] = %v", err, errs[0])
+	}
+	// Lowest-index failure wins deterministically under KeepGoing.
+	if err.Error() != errs[0].Error() {
+		t.Fatalf("err = %v, want the job-0 failure", err)
+	}
+}
+
+func TestRunOnDoneSerializedAndComplete(t *testing.T) {
+	var mu sync.Mutex
+	inCB := false
+	seen := map[int]bool{}
+	_, err := Run(50, Options{Workers: 8, OnDone: func(i int, err error) {
+		mu.Lock()
+		if inCB {
+			mu.Unlock()
+			t.Error("OnDone reentered")
+			return
+		}
+		inCB = true
+		seen[i] = true
+		inCB = false
+		mu.Unlock()
+	}}, func(i int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 50 {
+		t.Fatalf("OnDone saw %d jobs, want 50", len(seen))
+	}
+}

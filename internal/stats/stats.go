@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // TrafficClass labels network traffic the way the paper's Figures 2c,
@@ -81,9 +82,52 @@ func (c Component) String() string {
 	}
 }
 
+// Key is an interned counter name. Hot-path code interns its counter
+// names once (package-level vars) and counts through IncKey, so
+// per-event counting is an array index instead of a string hash.
+type Key int32
+
+// The intern registry is global and append-only: a name keeps its Key
+// for the life of the process, so Keys are shareable across the
+// independent Stats instances of concurrent simulation runs.
+var (
+	internMu    sync.RWMutex
+	internIdx   = map[string]Key{}
+	internNames []string
+)
+
+// Intern returns the stable Key for a counter name, registering it on
+// first use. Safe for concurrent use.
+func Intern(name string) Key {
+	internMu.RLock()
+	k, ok := internIdx[name]
+	internMu.RUnlock()
+	if ok {
+		return k
+	}
+	internMu.Lock()
+	defer internMu.Unlock()
+	if k, ok := internIdx[name]; ok {
+		return k
+	}
+	k = Key(len(internNames))
+	internIdx[name] = k
+	internNames = append(internNames, name)
+	return k
+}
+
+// lookup resolves a name without registering it.
+func lookup(name string) (Key, bool) {
+	internMu.RLock()
+	k, ok := internIdx[name]
+	internMu.RUnlock()
+	return k, ok
+}
+
 // Stats accumulates measurements for one simulation run.
 // The zero value of counters is usable but Stats should be created with
-// New so the named-counter map exists.
+// New. Stats is not safe for concurrent use; distinct instances are
+// independent (the shared intern registry is internally synchronized).
 type Stats struct {
 	// Cycles is total execution time (set by the machine at the end).
 	Cycles uint64
@@ -92,11 +136,15 @@ type Stats struct {
 	// EnergyPJ[c] is dynamic energy per component, in picojoules.
 	EnergyPJ [NumComponents]float64
 
-	named map[string]uint64
+	// counters is indexed by Key; touched marks keys this run has
+	// counted (including Inc of 0, which creates the counter — Names
+	// and golden reports rely on that).
+	counters []uint64
+	touched  []bool
 }
 
 // New returns an empty Stats.
-func New() *Stats { return &Stats{named: make(map[string]uint64)} }
+func New() *Stats { return &Stats{} }
 
 // AddFlits records n flit crossings of the given class.
 func (s *Stats) AddFlits(c TrafficClass, n uint64) { s.Flits[c] += n }
@@ -104,11 +152,35 @@ func (s *Stats) AddFlits(c TrafficClass, n uint64) { s.Flits[c] += n }
 // AddEnergy records pj picojoules against the given component.
 func (s *Stats) AddEnergy(c Component, pj float64) { s.EnergyPJ[c] += pj }
 
-// Inc adds n to a named diagnostic counter.
-func (s *Stats) Inc(name string, n uint64) { s.named[name] += n }
+// IncKey adds n to the counter for an interned key, creating it at
+// zero if this run has not counted it yet.
+func (s *Stats) IncKey(k Key, n uint64) {
+	if int(k) >= len(s.counters) {
+		s.growTo(int(k) + 1)
+	}
+	s.counters[k] += n
+	s.touched[k] = true
+}
 
-// Get returns a named diagnostic counter.
-func (s *Stats) Get(name string) uint64 { return s.named[name] }
+func (s *Stats) growTo(n int) {
+	c := make([]uint64, n)
+	copy(c, s.counters)
+	t := make([]bool, n)
+	copy(t, s.touched)
+	s.counters, s.touched = c, t
+}
+
+// Inc adds n to a named diagnostic counter.
+func (s *Stats) Inc(name string, n uint64) { s.IncKey(Intern(name), n) }
+
+// Get returns a named diagnostic counter (0 if never counted).
+func (s *Stats) Get(name string) uint64 {
+	k, ok := lookup(name)
+	if !ok || int(k) >= len(s.counters) {
+		return 0
+	}
+	return s.counters[k]
+}
 
 // TotalFlits returns all flit crossings.
 func (s *Stats) TotalFlits() uint64 {
@@ -128,12 +200,17 @@ func (s *Stats) TotalEnergyPJ() float64 {
 	return t
 }
 
-// Names returns the sorted names of all diagnostic counters.
+// Names returns the sorted names of all diagnostic counters this run
+// has counted (including counters incremented by zero).
 func (s *Stats) Names() []string {
-	names := make([]string, 0, len(s.named))
-	for n := range s.named {
-		names = append(names, n)
+	internMu.RLock()
+	names := make([]string, 0, len(s.counters))
+	for k, t := range s.touched {
+		if t {
+			names = append(names, internNames[k])
+		}
 	}
+	internMu.RUnlock()
 	sort.Strings(names)
 	return names
 }

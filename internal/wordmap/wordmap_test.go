@@ -1,0 +1,148 @@
+package wordmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDifferential drives a Map[int] and a builtin map[uint64]int with
+// the same randomized op stream and requires identical observable
+// state after every op. Keys are drawn from a small range so that
+// insert/overwrite/delete collisions are frequent, and include 0
+// (a valid word address).
+func TestDifferential(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 99} {
+		rng := rand.New(rand.NewSource(seed))
+		var m Map[int]
+		ref := map[uint64]int{}
+		keyOf := func() uint64 {
+			// Mix tiny keys, line-aligned keys, and huge keys.
+			switch rng.Intn(3) {
+			case 0:
+				return uint64(rng.Intn(64))
+			case 1:
+				return uint64(rng.Intn(64)) << 4
+			default:
+				return rng.Uint64()>>1 | 1<<62
+			}
+		}
+		keys := make([]uint64, 0, 256)
+		for i := 0; i < 20000; i++ {
+			k := keyOf()
+			if len(keys) > 0 && rng.Intn(2) == 0 {
+				k = keys[rng.Intn(len(keys))]
+			}
+			switch rng.Intn(4) {
+			case 0, 1: // put
+				v := rng.Int()
+				m.Put(k, v)
+				ref[k] = v
+				keys = append(keys, k)
+			case 2: // delete
+				got := m.Delete(k)
+				_, want := ref[k]
+				if got != want {
+					t.Fatalf("seed %d op %d: Delete(%#x) = %v, want %v", seed, i, k, got, want)
+				}
+				delete(ref, k)
+			case 3: // upsert +1
+				*m.Upsert(k)++
+				ref[k]++
+				keys = append(keys, k)
+			}
+			if m.Len() != len(ref) {
+				t.Fatalf("seed %d op %d: Len = %d, want %d", seed, i, m.Len(), len(ref))
+			}
+			// Spot-check a few keys every op, all keys occasionally.
+			if i%512 == 0 {
+				for rk, rv := range ref {
+					if got, ok := m.Get(rk); !ok || got != rv {
+						t.Fatalf("seed %d op %d: Get(%#x) = %d,%v want %d,true", seed, i, rk, got, ok, rv)
+					}
+				}
+				seen := map[uint64]int{}
+				m.ForEach(func(k uint64, v int) { seen[k] = v })
+				if len(seen) != len(ref) {
+					t.Fatalf("seed %d op %d: ForEach visited %d entries, want %d", seed, i, len(seen), len(ref))
+				}
+			} else {
+				if got, ok := m.Get(k); ok != func() bool { _, o := ref[k]; return o }() || (ok && got != ref[k]) {
+					t.Fatalf("seed %d op %d: Get(%#x) mismatch", seed, i, k)
+				}
+			}
+		}
+	}
+}
+
+func TestZeroKeyAndZeroValue(t *testing.T) {
+	var m Map[int]
+	if _, ok := m.Get(0); ok {
+		t.Fatal("empty map reported key 0 present")
+	}
+	m.Put(0, 0)
+	if v, ok := m.Get(0); !ok || v != 0 {
+		t.Fatalf("Get(0) = %d,%v want 0,true", v, ok)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+	if !m.Delete(0) {
+		t.Fatal("Delete(0) = false, want true")
+	}
+	if m.Len() != 0 || m.Has(0) {
+		t.Fatal("key 0 still present after delete")
+	}
+}
+
+// TestChurn exercises backward-shift deletion under a fill/drain cycle
+// that forces long probe chains (sequential line numbers collide after
+// masking).
+func TestChurn(t *testing.T) {
+	var m Map[uint64]
+	for round := 0; round < 50; round++ {
+		base := uint64(round * 1000)
+		for k := base; k < base+300; k++ {
+			m.Put(k, k*2)
+		}
+		for k := base; k < base+300; k += 2 {
+			if !m.Delete(k) {
+				t.Fatalf("round %d: Delete(%d) missing", round, k)
+			}
+		}
+		for k := base + 1; k < base+300; k += 2 {
+			if v, ok := m.Get(k); !ok || v != k*2 {
+				t.Fatalf("round %d: Get(%d) = %d,%v", round, k, v, ok)
+			}
+		}
+		for k := base + 1; k < base+300; k += 2 {
+			m.Delete(k)
+		}
+		if m.Len() != 0 {
+			t.Fatalf("round %d: Len = %d after drain", round, m.Len())
+		}
+	}
+}
+
+func BenchmarkPutGetDelete(b *testing.B) {
+	var m Map[uint64]
+	for i := 0; i < b.N; i++ {
+		k := uint64(i) & 1023
+		m.Put(k, uint64(i))
+		m.Get(k ^ 511)
+		if i&7 == 7 {
+			m.Delete(k)
+		}
+	}
+}
+
+func BenchmarkBuiltinPutGetDelete(b *testing.B) {
+	m := map[uint64]uint64{}
+	for i := 0; i < b.N; i++ {
+		k := uint64(i) & 1023
+		m[k] = uint64(i)
+		_ = m[k^511]
+		if i&7 == 7 {
+			delete(m, k)
+		}
+	}
+}

@@ -51,16 +51,26 @@ type Ctx struct {
 	NumCUs int
 
 	Ex Executor
+
+	// Scalar-access scratch, reused across Load/Store calls. Safe
+	// because Vec completes synchronously before returning, so the
+	// executor never retains these past the call.
+	ldScratch [1]mem.Addr
+	stScratch [1]mem.Addr
+	svScratch [1]uint32
 }
 
 // Load reads one word (a scalar, thread-0 access).
 func (c *Ctx) Load(a mem.Addr) uint32 {
-	return c.Ex.Vec([]mem.Addr{a}, nil, nil)[0]
+	c.ldScratch[0] = a
+	return c.Ex.Vec(c.ldScratch[:], nil, nil)[0]
 }
 
 // Store writes one word (a scalar, thread-0 access).
 func (c *Ctx) Store(a mem.Addr, v uint32) {
-	c.Ex.Vec(nil, []mem.Addr{a}, []uint32{v})
+	c.stScratch[0] = a
+	c.svScratch[0] = v
+	c.Ex.Vec(nil, c.stScratch[:], c.svScratch[:])
 }
 
 // LoadV reads one word per thread.

@@ -95,8 +95,19 @@ func (a *Arena) Words(n int) mem.Addr {
 // Line reserves a single line (for locks, counters, flags).
 func (a *Arena) Line() mem.Addr { return a.Words(mem.WordsPerLine) }
 
+// BulkWriter is an optional Host fast path: a coherent write of many
+// contiguous words in one call (machine.Machine implements it, with
+// per-line rather than per-word stale-copy invalidation).
+type BulkWriter interface {
+	WriteWords(base mem.Addr, vals []uint32)
+}
+
 // WriteSlice seeds memory at base with vals (host-side, untimed).
 func WriteSlice(h Host, base mem.Addr, vals []uint32) {
+	if bw, ok := h.(BulkWriter); ok {
+		bw.WriteWords(base, vals)
+		return
+	}
 	for i, v := range vals {
 		h.Write(base+mem.Addr(4*i), v)
 	}

@@ -1,0 +1,178 @@
+package denovogpu_test
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"denovogpu"
+)
+
+func mustWorkload(t *testing.T, name string) denovogpu.Workload {
+	t.Helper()
+	w, err := denovogpu.WorkloadByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestMatrixConfigMajorOrder(t *testing.T) {
+	cells := denovogpu.Matrix(
+		[]denovogpu.Config{denovogpu.GD(), denovogpu.DD()},
+		[]denovogpu.Workload{mustWorkload(t, "ST"), mustWorkload(t, "LAVA")},
+	)
+	var got []string
+	for _, c := range cells {
+		got = append(got, c.Config.Name()+"/"+c.Workload.Name)
+	}
+	want := []string{"GD/ST", "GD/LAVA", "DD/ST", "DD/LAVA"}
+	if len(got) != len(want) {
+		t.Fatalf("cells %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cell order %v, want config-major %v", got, want)
+		}
+	}
+}
+
+// TestRunMatrixDeterminismAcrossWorkerCounts pins the runner's core
+// contract: a matrix run at -j 1 and at -j 8 yields identical Reports
+// in identical positions.
+func TestRunMatrixDeterminismAcrossWorkerCounts(t *testing.T) {
+	cells := denovogpu.Matrix(
+		[]denovogpu.Config{denovogpu.GD(), denovogpu.DD(), denovogpu.DH()},
+		[]denovogpu.Workload{mustWorkload(t, "ST"), mustWorkload(t, "LAVA")},
+	)
+	serial, err := denovogpu.RunMatrix(cells, denovogpu.MatrixOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := denovogpu.RunMatrix(cells, denovogpu.MatrixOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cells {
+		a, b := serial[i].Report, parallel[i].Report
+		if a.Config != b.Config || a.Workload != b.Workload {
+			t.Fatalf("cell %d identity differs: %s/%s vs %s/%s", i, a.Config, a.Workload, b.Config, b.Workload)
+		}
+		if a.Cycles != b.Cycles || a.Events != b.Events {
+			t.Errorf("cell %d (%s/%s): cycles/events %d/%d at -j1 vs %d/%d at -j8",
+				i, a.Config, a.Workload, a.Cycles, a.Events, b.Cycles, b.Events)
+		}
+		if a.EnergyPJ != b.EnergyPJ {
+			t.Errorf("cell %d energy differs across worker counts", i)
+		}
+		if a.Flits != b.Flits {
+			t.Errorf("cell %d traffic differs across worker counts", i)
+		}
+	}
+}
+
+// TestRunMatrixCancellation: the first failing cell stops dispatch;
+// cells that never started are marked ErrCellSkipped and their hosts
+// never execute.
+func TestRunMatrixCancellation(t *testing.T) {
+	var ran atomic.Int32
+	boom := errors.New("boom")
+	bad := denovogpu.Workload{
+		Name: "bad",
+		Host: func(h denovogpu.Host) {
+			ran.Add(1)
+			h.Launch(func(*denovogpu.Ctx) {}, 1, 32)
+		},
+		Verify: func(denovogpu.Host) error { return boom },
+	}
+	good := denovogpu.Workload{
+		Name: "good",
+		Host: func(h denovogpu.Host) {
+			ran.Add(1)
+			h.Launch(func(*denovogpu.Ctx) {}, 1, 32)
+		},
+	}
+	cells := make([]denovogpu.MatrixCell, 0, 8)
+	cells = append(cells, denovogpu.MatrixCell{Config: denovogpu.GD(), Workload: bad})
+	for i := 0; i < 7; i++ {
+		cells = append(cells, denovogpu.MatrixCell{Config: denovogpu.GD(), Workload: good})
+	}
+	// One worker: cell 0 fails before any other cell is dispatched.
+	results, err := denovogpu.RunMatrix(cells, denovogpu.MatrixOptions{Workers: 1})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the cell-0 failure", err)
+	}
+	if n := ran.Load(); n != 1 {
+		t.Fatalf("%d cells executed, want 1", n)
+	}
+	if results[0].Err == nil {
+		t.Fatal("failing cell has no error")
+	}
+	for i := 1; i < len(results); i++ {
+		if !errors.Is(results[i].Err, denovogpu.ErrCellSkipped) {
+			t.Fatalf("cell %d: err = %v, want ErrCellSkipped", i, results[i].Err)
+		}
+	}
+}
+
+func TestRunMatrixSharedSamplerRejected(t *testing.T) {
+	shared := denovogpu.NewSampler(0)
+	st := mustWorkload(t, "ST")
+	cells := []denovogpu.MatrixCell{
+		{Config: denovogpu.GD(), Workload: st, Sampler: shared},
+		{Config: denovogpu.DD(), Workload: st, Sampler: shared},
+	}
+	var ran atomic.Int32
+	cells[0].Workload.Host = func(h denovogpu.Host) { ran.Add(1) }
+	_, err := denovogpu.RunMatrix(cells, denovogpu.MatrixOptions{})
+	if !errors.Is(err, denovogpu.ErrSharedObserver) {
+		t.Fatalf("err = %v, want ErrSharedObserver", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatal("shared sampler must be rejected before any cell runs")
+	}
+}
+
+func TestRunMatrixSharedRecorderRejected(t *testing.T) {
+	var shared *denovogpu.Recorder
+	mkShared := func(clock func() uint64) *denovogpu.Recorder {
+		if shared == nil {
+			shared = denovogpu.NewRecorder(clock, 0)
+		}
+		return shared
+	}
+	st := mustWorkload(t, "ST")
+	cells := []denovogpu.MatrixCell{
+		{Config: denovogpu.GD(), Workload: st, MkRec: mkShared},
+		{Config: denovogpu.DD(), Workload: st, MkRec: mkShared},
+	}
+	results, err := denovogpu.RunMatrix(cells, denovogpu.MatrixOptions{Workers: 1, KeepGoing: true})
+	if !errors.Is(err, denovogpu.ErrSharedObserver) {
+		t.Fatalf("err = %v, want ErrSharedObserver", err)
+	}
+	if results[0].Err != nil {
+		t.Fatalf("first cell owns the recorder and must succeed: %v", results[0].Err)
+	}
+	if !errors.Is(results[1].Err, denovogpu.ErrSharedObserver) {
+		t.Fatalf("second cell err = %v, want ErrSharedObserver", results[1].Err)
+	}
+}
+
+// TestRunMatrixPerCellObserversAccepted: distinct observers per cell
+// are the supported pattern and must work in parallel.
+func TestRunMatrixPerCellObserversAccepted(t *testing.T) {
+	st := mustWorkload(t, "ST")
+	cells := []denovogpu.MatrixCell{
+		{Config: denovogpu.GD(), Workload: st, Sampler: denovogpu.NewSampler(0)},
+		{Config: denovogpu.DD(), Workload: st, Sampler: denovogpu.NewSampler(0)},
+	}
+	results, err := denovogpu.RunMatrix(cells, denovogpu.MatrixOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Report.Timeline == nil {
+			t.Fatalf("cell %d: sampler attached but no timeline", i)
+		}
+	}
+}
