@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	denovosim -bench SPM_G -config DD [-counters]
+//	denovosim -bench SPM_G -config DD [-counters] [-invariants]
 //	denovosim -bench SPM_G -config DD -trace out.json -metrics out.csv
 //	denovosim -list
 //
@@ -47,6 +47,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	backoff := fs.Bool("syncbackoff", false, "enable the DeNovoSync read-backoff extension")
 	direct := fs.Bool("directtransfer", false, "enable direct cache-to-cache transfers")
 	lazy := fs.Bool("lazywrites", false, "delay DeNovo data-write registration to global releases")
+	invariants := fs.Bool("invariants", false, "arm the protocol invariant sanitizer (hot-path assertions + post-kernel checks; reports stay byte-identical)")
 	msgTraceN := fs.Uint64("msgtrace", 0, "print the first N protocol messages to stderr")
 	tracePath := fs.String("trace", "", "write the event trace as Chrome trace_event JSON to this file")
 	traceCap := fs.Int("trace-cap", 0, "event-trace ring capacity in events (0 = default 1M; oldest dropped beyond it)")
@@ -83,6 +84,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.SyncBackoff = *backoff
 	cfg.DirectTransfer = *direct
 	cfg.LazyWrites = cfg.LazyWrites || *lazy
+	cfg.Invariants = *invariants
 
 	w, err := denovogpu.WorkloadByName(*bench)
 	if err != nil {

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"denovogpu/internal/litmus"
+	"denovogpu/internal/machine"
+	"denovogpu/internal/mcheck"
+	"denovogpu/internal/runner"
+)
+
+// runCheck is the `litmus check` subcommand: bounded-exhaustive model
+// checking of the catalog (and optionally generated programs) under
+// every configuration, including the DH lazy-writes ablation. Programs
+// are sharded over a worker pool exactly like -fuzz: dispatch is
+// in-order and failures resolve to the lowest program index, so any -j
+// reports the same verdict as a serial run.
+func runCheck(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("litmus check", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		budget = fs.Int("budget", mcheck.DefaultBudget, "exploration node budget per (configuration, program)")
+		gen    = fs.Int("gen", 0, "also model-check N seeded generated programs after the catalog")
+		seed   = fs.Uint64("seed", 20260805, "base seed for -gen programs and counterexample replay schedules")
+		jobs   = fs.Int("j", 0, "programs checked in parallel (0 = GOMAXPROCS, 1 = serial; any value reports the same lowest-index violation)")
+		out    = fs.String("out", "", "directory for counterexample artifacts (case JSON + model trace)")
+		por    = fs.Bool("por", true, "use sleep-set partial-order reduction (disable only for debugging)")
+		fault  = fs.Bool("fault", false, "inject the acquire-invalidation fault into every configuration (pipeline self-test; violations expected)")
+		nsched = fs.Int("schedules", 5, "simulator schedules used to reproduce a counterexample")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "litmus check: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+
+	cfgs := mcheck.Configs()
+	if *fault {
+		for i := range cfgs {
+			cfgs[i].FaultDisableAcquireInval = true
+		}
+	}
+
+	type job struct {
+		name string
+		p    *litmus.Program
+	}
+	var progs []job
+	for _, e := range Catalog() {
+		progs = append(progs, job{e.Program.Name, e.Program})
+	}
+	gp := litmus.DefaultGenParams()
+	for i := 0; i < *gen; i++ {
+		p := litmus.Generate(*seed, uint64(i), gp)
+		progs = append(progs, job{p.Name, p})
+	}
+
+	// One shard per program; each shard sweeps the configurations
+	// serially so the first violation for a program is always the one
+	// the lowest-numbered configuration produces.
+	type result struct {
+		viol   *mcheck.Violation
+		states int
+		skips  []string
+		err    error
+	}
+	results := make([]result, len(progs))
+	failed := errors.New("shard failed")
+	runner.Run(len(progs), runner.Options{Workers: *jobs}, func(i int) error {
+		r := &results[i]
+		for _, cfg := range cfgs {
+			res, err := mcheck.Check(cfg, progs[i].p, mcheck.Options{
+				Budget:     *budget,
+				DisablePOR: !*por,
+			})
+			var be *mcheck.BudgetError
+			var sl *litmus.StateLimitError
+			if errors.As(err, &be) || errors.As(err, &sl) {
+				// Unverifiable at this budget, not a verdict. Recorded
+				// and reported deterministically, never a failure.
+				r.skips = append(r.skips, fmt.Sprintf("%s / %s: %v", cfg.Name(), progs[i].name, err))
+				continue
+			}
+			if err != nil {
+				r.err = err
+				return failed
+			}
+			r.states += res.States
+			if res.Violation != nil {
+				r.viol = res.Violation
+				return failed
+			}
+		}
+		return nil
+	})
+
+	checked, states := 0, 0
+	var skips []string
+	for i := range results {
+		r := &results[i]
+		if r.err != nil {
+			fmt.Fprintln(stderr, r.err)
+			return 1
+		}
+		if r.viol != nil {
+			return reportCheckViolation(stdout, stderr, r.viol, *out, *nsched, *seed)
+		}
+		checked++
+		states += r.states
+		skips = append(skips, r.skips...)
+	}
+	for _, s := range skips {
+		fmt.Fprintf(stderr, "litmus check: skipped %s\n", s)
+	}
+	fmt.Fprintf(stdout, "model-checked %d programs x %d configurations: %d states, no invariant or oracle violations", checked, len(cfgs), states)
+	if len(skips) > 0 {
+		fmt.Fprintf(stdout, " (%d cells skipped on budget)", len(skips))
+	}
+	fmt.Fprintln(stdout)
+	return 0
+}
+
+// reportCheckViolation prints the counterexample, attempts to
+// reproduce oracle-conformance violations in the cycle-level simulator
+// (shrinking on success), and writes replayable artifacts.
+func reportCheckViolation(stdout, stderr io.Writer, v *mcheck.Violation, outDir string, nsched int, seed uint64) int {
+	fmt.Fprintln(stdout, v.Error())
+	c := v.Case()
+
+	if v.Invariant == "oracle-conformance" {
+		// The model found a forbidden outcome; check whether sampled
+		// simulator schedules hit it too. A model-only interleaving is
+		// still a bug report — the model only adds interleavings the
+		// protocol must tolerate — but a simulator reproduction gives a
+		// shrunk, pinnable regression case.
+		lv, err := litmus.Check([]machine.Config{v.Config}, v.Program, litmus.Schedules(v.Program, nsched, seed))
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+		} else if lv != nil {
+			sp, ss := litmus.Shrink(lv.Config, lv.Program, lv.Schedule)
+			c = &litmus.Case{Config: v.Config.Name(), Fault: v.Config.FaultDisableAcquireInval,
+				Program: sp, Schedule: ss, Observed: &lv.Observed}
+			fmt.Fprintf(stdout, "reproduced in the simulator; shrunk to %d ops\n", sp.NumOps())
+		} else {
+			fmt.Fprintf(stdout, "not reproduced by %d sampled simulator schedules (model-level interleaving)\n", nsched)
+		}
+	}
+
+	js, err := c.MarshalIndent()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintln(stdout, string(js))
+
+	if outDir != "" {
+		if err := writeArtifacts(outDir, v, js); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "counterexample artifacts written to %s\n", outDir)
+	}
+	return 1
+}
+
+func writeArtifacts(dir string, v *mcheck.Violation, caseJSON []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	base := sanitizeName(v.Program.Name + "-" + v.Config.Name())
+	if err := os.WriteFile(filepath.Join(dir, base+".case.json"), caseJSON, 0o644); err != nil {
+		return err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s violated under %s: %s\nprogram %s\n", v.Invariant, v.Config.Name(), v.Detail, v.Program.Name)
+	for _, step := range v.Trace {
+		b.WriteString(step)
+		b.WriteByte('\n')
+	}
+	return os.WriteFile(filepath.Join(dir, base+".trace.txt"), []byte(b.String()), 0o644)
+}
+
+// sanitizeName maps a program/configuration name to a filename-safe
+// slug ("MP+preload-DD+RO" -> "MP-preload-DD-RO").
+func sanitizeName(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '-'
+		}
+	}, s)
+}

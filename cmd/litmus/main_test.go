@@ -98,12 +98,119 @@ func TestReplayMode(t *testing.T) {
 	}
 }
 
+// smallCatalog swaps in a two-shape catalog for the duration of a
+// test so `check` runs in milliseconds rather than minutes.
+func smallCatalog(t *testing.T, names ...string) {
+	t.Helper()
+	full := Catalog
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	var small []litmus.Entry
+	for _, e := range litmus.Catalog() {
+		if want[e.Program.Name] {
+			small = append(small, e)
+		}
+	}
+	if len(small) != len(names) {
+		t.Fatalf("catalog subset %v resolved to %d entries", names, len(small))
+	}
+	Catalog = func() []litmus.Entry { return small }
+	t.Cleanup(func() { Catalog = full })
+}
+
+func TestCheckModeClean(t *testing.T) {
+	smallCatalog(t, "MP", "CoWW")
+	code, out, errb := runCmd(t, "check")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s\n%s", code, errb, out)
+	}
+	if !strings.Contains(out, "no invariant or oracle violations") {
+		t.Fatalf("check verdict missing:\n%s", out)
+	}
+}
+
+// TestCheckModeFault drives the whole counterexample pipeline: fault
+// injection makes MP+preload's stale read reachable, the checker
+// reports it, the simulator reproduces and shrinks it, and artifacts
+// land in -out.
+func TestCheckModeFault(t *testing.T) {
+	smallCatalog(t, "MP+preload")
+	dir := t.TempDir()
+	code, out, errb := runCmd(t, "check", "-fault", "-out", dir)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)\n%s", code, errb, out)
+	}
+	for _, want := range []string{"oracle-conformance", "trace", `"Config"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("check output missing %q:\n%s", want, out)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var haveCase, haveTrace bool
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".case.json") {
+			haveCase = true
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := litmus.ParseCase(data); err != nil {
+				t.Fatalf("artifact case does not parse: %v", err)
+			}
+		}
+		if strings.HasSuffix(e.Name(), ".trace.txt") {
+			haveTrace = true
+		}
+	}
+	if !haveCase || !haveTrace {
+		t.Fatalf("artifacts missing (case=%v trace=%v): %v", haveCase, haveTrace, ents)
+	}
+}
+
+// TestCheckDeterminism is the -j guarantee: a parallel run reports the
+// exact same lowest-index violation (same program, same configuration,
+// same trace) as a serial one.
+func TestCheckDeterminism(t *testing.T) {
+	smallCatalog(t, "MP", "MP+preload", "CoRR")
+	code1, out1, _ := runCmd(t, "check", "-fault", "-j", "1")
+	code8, out8, _ := runCmd(t, "check", "-fault", "-j", "8")
+	if code1 != 1 || code8 != 1 {
+		t.Fatalf("exits %d/%d, want 1/1", code1, code8)
+	}
+	if out1 != out8 {
+		t.Fatalf("-j 1 and -j 8 reports differ:\n--- j=1 ---\n%s\n--- j=8 ---\n%s", out1, out8)
+	}
+}
+
+func TestCheckGenPrograms(t *testing.T) {
+	Catalog = func() []litmus.Entry { return nil }
+	t.Cleanup(func() { Catalog = litmus.Catalog })
+	code, out, errb := runCmd(t, "check", "-gen", "3", "-seed", "7", "-j", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s\n%s", code, errb, out)
+	}
+	if !strings.Contains(out, "model-checked 3 programs") {
+		t.Fatalf("generated programs not checked:\n%s", out)
+	}
+}
+
 func TestErrorPaths(t *testing.T) {
 	if code, _, _ := runCmd(t); code != 2 {
 		t.Fatalf("no mode: exit %d, want 2", code)
 	}
 	if code, _, _ := runCmd(t, "-nope"); code != 2 {
 		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+	if code, _, _ := runCmd(t, "check", "-nope"); code != 2 {
+		t.Fatalf("check bad flag: exit %d, want 2", code)
+	}
+	if code, _, _ := runCmd(t, "check", "stray"); code != 2 {
+		t.Fatalf("check stray arg: exit %d, want 2", code)
 	}
 	if code, _, errb := runCmd(t, "-replay", "/nonexistent/case.json"); code != 1 || !strings.Contains(errb, "no such file") {
 		t.Fatalf("missing file: exit %d, stderr: %s", code, errb)

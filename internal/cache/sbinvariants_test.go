@@ -1,0 +1,81 @@
+package cache
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"denovogpu/internal/mem"
+)
+
+// TestStoreBufferCheckInvariantsProperty drives a small buffer through
+// a random insert/coalesce/remove/overflow/drain workload, validating
+// the structural invariants after every operation.
+func TestStoreBufferCheckInvariantsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260806))
+	b := NewStoreBuffer(6)
+	words := make([]mem.Word, 24)
+	for i := range words {
+		words[i] = mem.Addr(i * 4).WordOf()
+	}
+	for step := 0; step < 2000; step++ {
+		w := words[rng.Intn(len(words))]
+		switch rng.Intn(10) {
+		case 0:
+			b.Remove(w)
+		case 1:
+			b.AppendDrain(nil)
+		case 2:
+			b.PeekOldest()
+		default:
+			b.Insert(w, uint32(step))
+		}
+		if err := b.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}
+
+// TestStoreBufferCheckInvariantsDetectsCorruption hand-breaks each
+// structural invariant and checks the detector names it.
+func TestStoreBufferCheckInvariantsDetectsCorruption(t *testing.T) {
+	w0 := mem.Addr(0x00).WordOf()
+	w1 := mem.Addr(0x40).WordOf()
+
+	fresh := func() *StoreBuffer {
+		b := NewStoreBuffer(4)
+		b.Insert(w0, 1)
+		b.Insert(w1, 2)
+		return b
+	}
+
+	b := fresh()
+	b.index[w0] = b.index[w1]
+	if err := b.CheckInvariants(); err == nil || !strings.Contains(err.Error(), "index points to") {
+		t.Fatalf("cross-linked index: got %v", err)
+	}
+
+	b = fresh()
+	delete(b.index, w1)
+	if err := b.CheckInvariants(); err == nil || !strings.Contains(err.Error(), "does not know") {
+		t.Fatalf("missing index entry: got %v", err)
+	}
+
+	b = fresh()
+	b.pool[b.index[w1]].prev = nilSlot
+	if err := b.CheckInvariants(); err == nil || !strings.Contains(err.Error(), "has prev") {
+		t.Fatalf("broken back-pointer: got %v", err)
+	}
+
+	b = fresh()
+	b.tail = b.head
+	if err := b.CheckInvariants(); err == nil || !strings.Contains(err.Error(), "tail") {
+		t.Fatalf("stale tail: got %v", err)
+	}
+
+	b = fresh()
+	b.free = append(b.free, b.index[w0])
+	if err := b.CheckInvariants(); err == nil || !strings.Contains(err.Error(), "pool leak") {
+		t.Fatalf("slot both live and free: got %v", err)
+	}
+}

@@ -1,6 +1,8 @@
 package cache
 
 import (
+	"fmt"
+
 	"denovogpu/internal/mem"
 	"denovogpu/internal/obs"
 )
@@ -231,6 +233,47 @@ func (b *StoreBuffer) AppendDrain(dst []SBEntry) []SBEntry {
 // DrainAll empties the buffer, returning all slots in insertion order.
 func (b *StoreBuffer) DrainAll() []SBEntry {
 	return b.AppendDrain(make([]SBEntry, 0, len(b.index)))
+}
+
+// CheckInvariants validates the buffer's internal structure (the
+// model checker's sb-fifo invariant, structurally): the intrusive
+// list and the word index must describe the same live slots — every
+// linked slot indexed back to itself, back-pointers symmetric, no
+// word appearing twice — and every pool slot must be either live or
+// on the free list. Protocol sanitizers (machine.Config.Invariants)
+// call it at quiesce points; it walks the whole buffer and is not for
+// hot paths.
+func (b *StoreBuffer) CheckInvariants() error {
+	live := 0
+	prev := nilSlot
+	for i := b.head; i != nilSlot; i = b.pool[i].next {
+		s := &b.pool[i]
+		if s.prev != prev {
+			return fmt.Errorf("cache: store buffer slot %d has prev %d, want %d", i, s.prev, prev)
+		}
+		j, ok := b.index[s.word]
+		if !ok {
+			return fmt.Errorf("cache: store buffer slot %d holds %v, which the index does not know", i, s.word)
+		}
+		if j != i {
+			return fmt.Errorf("cache: store buffer holds %v at slot %d but the index points to slot %d (duplicate word or stale index)", s.word, i, j)
+		}
+		live++
+		if live > len(b.index) {
+			return fmt.Errorf("cache: store buffer list is longer than its %d-entry index (cycle or leaked slot)", len(b.index))
+		}
+		prev = i
+	}
+	if b.tail != prev {
+		return fmt.Errorf("cache: store buffer tail is slot %d, but the list ends at slot %d", b.tail, prev)
+	}
+	if live != len(b.index) {
+		return fmt.Errorf("cache: store buffer list has %d slots but the index has %d entries", live, len(b.index))
+	}
+	if live+len(b.free) != len(b.pool) {
+		return fmt.Errorf("cache: store buffer pool leak: %d live + %d free != %d pooled", live, len(b.free), len(b.pool))
+	}
+	return nil
 }
 
 // LineGroup is a set of buffered words of one line, for coalesced

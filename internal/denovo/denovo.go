@@ -185,6 +185,11 @@ type Controller struct {
 	// injection; see DisableAcquireInvalidation).
 	faultNoAcqInval bool
 
+	// invariants arms the sanitizer's hot-path assertions (see
+	// EnableInvariantChecks). Off by default: the guarded checks cost a
+	// branch each on the release and space-stall paths.
+	invariants bool
+
 	// Release-path scratch, reused across calls so the per-release walk
 	// over the store buffer allocates nothing.
 	sbScratch []cache.SBEntry
@@ -487,6 +492,9 @@ func (c *Controller) kickOldestLazy() {
 	if oldest, ok := c.sb.PeekOldest(); ok && c.lazy[oldest.Word] {
 		c.st.IncKey(kSbKickedRegs, 1)
 		delete(c.lazy, oldest.Word)
+		if c.invariants && c.regs.Has(uint64(oldest.Word)) {
+			panic(fmt.Sprintf("denovo: lazy-reg-exclusive: node %d kicked delayed %v over its in-flight registration", c.node, oldest.Word))
+		}
 		c.regs.Put(uint64(oldest.Word), &regTxn{dataWrite: true})
 		c.pin(oldest.Word.LineOf())
 		c.sendRegReq(oldest.Word.LineOf(), mem.Bit(oldest.Word.Index()), false, false)
@@ -545,6 +553,16 @@ func (c *Controller) Atomic(op coherence.AtomicOp, w mem.Word, operand, operand2
 	txn, _ := c.regs.Get(uint64(w))
 	if txn == nil {
 		txn = &regTxn{}
+		if c.opts.LazyWrites && c.lazy[w] {
+			// A delayed (lazy) slot for this word sits in the store
+			// buffer; this registration absorbs it. Leaving the mark
+			// would let a release batch (or a space kick) re-register
+			// the word, overwriting this transaction — losing its sync
+			// waiters and sending a second request whose acknowledgment
+			// finds no transaction.
+			delete(c.lazy, w)
+			txn.dataWrite = true
+		}
 		c.regs.Put(uint64(w), txn)
 		c.pin(l)
 		c.st.IncKey(kL1SyncMisses, 1)
@@ -671,6 +689,15 @@ func (c *Controller) Acquire(scope coherence.Scope) {
 // harness uses it to verify that it detects consistency violations.
 func (c *Controller) DisableAcquireInvalidation() { c.faultNoAcqInval = true }
 
+// EnableInvariantChecks arms the protocol sanitizer
+// (machine.Config.Invariants): hot-path assertions panic the moment a
+// lazily delayed slot is re-registered over an in-flight transaction
+// (the lazy-reg-exclusive invariant; see CheckInvariants for the
+// quiesced-state suite). The assertions schedule no events and touch
+// no counters, so an armed run stays cycle- and report-identical to an
+// unarmed one.
+func (c *Controller) EnableInvariantChecks() { c.invariants = true }
+
 // Release implements coherence.L1: a global release completes when
 // every buffered write has obtained ownership — no data moves, unlike
 // the GPU protocol's writethrough flush. Lazy (DH) slots start their
@@ -707,6 +734,9 @@ func (c *Controller) Release(scope coherence.Scope, cb func()) {
 				c.regBatch = append(c.regBatch, lineMask{line: l})
 			}
 			c.regBatch[gi].mask |= mem.Bit(e.Word.Index())
+			if c.invariants && c.regs.Has(uint64(e.Word)) {
+				panic(fmt.Sprintf("denovo: lazy-reg-exclusive: node %d release batched delayed %v over its in-flight registration", c.node, e.Word))
+			}
 			c.regs.Put(uint64(e.Word), &regTxn{dataWrite: true})
 			c.pin(l)
 		}
@@ -732,6 +762,38 @@ func (c *Controller) Release(scope coherence.Scope, cb func()) {
 func (c *Controller) Drained() bool {
 	return c.sb.Len() == 0 && c.regs.Len() == 0 && c.reads.Len() == 0 &&
 		c.pendingOwn.Len() == 0 && c.victim.Len() == 0
+}
+
+// CheckInvariants validates the sanitizer's quiesced-state suite for
+// this controller (machine.CheckInvariants calls it after every kernel
+// when Config.Invariants is set): the store buffer's structure
+// (sb-fifo), every lazy mark backed by a live buffered write
+// (lazy-orphan), no word both delayed and mid-registration
+// (lazy-reg-exclusive), and the victim buffer's value/state tables in
+// step (wb-lost). It only reads state, so armed runs stay
+// report-identical to unarmed ones.
+func (c *Controller) CheckInvariants() error {
+	if err := c.sb.CheckInvariants(); err != nil {
+		return fmt.Errorf("node %d: %w", c.node, err)
+	}
+	if len(c.lazy) > 0 {
+		buffered := make(map[mem.Word]bool, c.sb.Len())
+		for _, e := range c.sb.Entries() {
+			buffered[e.Word] = true
+		}
+		for w := range c.lazy {
+			if !buffered[w] {
+				return fmt.Errorf("denovo: lazy-orphan: node %d delays %v with no buffered write", c.node, w)
+			}
+			if c.regs.Has(uint64(w)) {
+				return fmt.Errorf("denovo: lazy-reg-exclusive: node %d has %v both delayed and mid-registration", c.node, w)
+			}
+		}
+	}
+	if c.victim.Len() != c.vstate.Len() {
+		return fmt.Errorf("denovo: wb-lost: node %d victim buffer holds %d values but %d states", c.node, c.victim.Len(), c.vstate.Len())
+	}
+	return nil
 }
 
 // sbFreed services stalled writers after store-buffer slots free.

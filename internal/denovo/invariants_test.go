@@ -1,0 +1,90 @@
+package denovo
+
+import (
+	"strings"
+	"testing"
+
+	"denovogpu/internal/coherence"
+	"denovogpu/internal/mem"
+	"denovogpu/internal/testrig"
+)
+
+// The sanitizer tests below hand-corrupt controller state into the
+// exact shapes the model checker's invariants forbid and verify that
+// the armed controller refuses them. The release-path case is the
+// mechanism of the lazy-sync registration overwrite bug (pinned in
+// internal/litmus): before the fix, a release could batch a delayed
+// slot whose word already had a sync registration in flight,
+// overwriting the transaction and losing its waiters.
+
+func lazyCtl(r *testrig.Rig) *Controller {
+	c := newCtl(r, 0, Options{LazyWrites: true})
+	c.EnableInvariantChecks()
+	return c
+}
+
+func TestSanitizerKickOverRegistrationPanics(t *testing.T) {
+	r := testrig.New()
+	c := lazyCtl(r)
+	w := mem.Addr(0x40).WordOf()
+	c.sb.Insert(w, 1)
+	c.lazy[w] = true
+	c.regs.Put(uint64(w), &regTxn{})
+	defer func() {
+		if rec := recover(); rec == nil {
+			t.Fatal("kicking a delayed word with a registration in flight did not panic")
+		} else if !strings.Contains(rec.(string), "lazy-reg-exclusive") {
+			t.Fatalf("panic %q does not name the invariant", rec)
+		}
+	}()
+	c.kickOldestLazy()
+}
+
+func TestSanitizerReleaseOverRegistrationPanics(t *testing.T) {
+	r := testrig.New()
+	c := lazyCtl(r)
+	w := mem.Addr(0x40).WordOf()
+	c.sb.Insert(w, 1)
+	c.lazy[w] = true
+	c.regs.Put(uint64(w), &regTxn{})
+	defer func() {
+		if rec := recover(); rec == nil {
+			t.Fatal("release batching a delayed word with a registration in flight did not panic")
+		} else if !strings.Contains(rec.(string), "lazy-reg-exclusive") {
+			t.Fatalf("panic %q does not name the invariant", rec)
+		}
+	}()
+	c.Release(coherence.ScopeGlobal, func() {})
+}
+
+func TestSanitizerQuiesceChecks(t *testing.T) {
+	r := testrig.New()
+	c := lazyCtl(r)
+	w := mem.Addr(0x40).WordOf()
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatalf("fresh controller: %v", err)
+	}
+
+	// A lazy mark with no buffered write is an orphan.
+	c.lazy[w] = true
+	if err := c.CheckInvariants(); err == nil || !strings.Contains(err.Error(), "lazy-orphan") {
+		t.Fatalf("orphan lazy mark: got %v, want lazy-orphan", err)
+	}
+	c.sb.Insert(w, 7)
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatalf("backed lazy mark: %v", err)
+	}
+
+	// A delayed word must not also be mid-registration.
+	c.regs.Put(uint64(w), &regTxn{})
+	if err := c.CheckInvariants(); err == nil || !strings.Contains(err.Error(), "lazy-reg-exclusive") {
+		t.Fatalf("delayed+registering word: got %v, want lazy-reg-exclusive", err)
+	}
+	c.regs.Delete(uint64(w))
+
+	// Victim values and states must stay paired.
+	c.victim.Put(w, 3)
+	if err := c.CheckInvariants(); err == nil || !strings.Contains(err.Error(), "wb-lost") {
+		t.Fatalf("unpaired victim value: got %v, want wb-lost", err)
+	}
+}

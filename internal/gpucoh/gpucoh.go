@@ -115,6 +115,10 @@ type Controller struct {
 	// injection; see DisableAcquireInvalidation).
 	faultNoAcqInval bool
 
+	// invariants arms the sanitizer's hot-path assertions (see
+	// EnableInvariantChecks).
+	invariants bool
+
 	// rec, when non-nil, receives L1/sync events on track c.node.
 	rec *obs.Recorder
 }
@@ -467,6 +471,41 @@ func (c *Controller) Acquire(scope coherence.Scope) {
 // to verify that it detects consistency violations.
 func (c *Controller) DisableAcquireInvalidation() { c.faultNoAcqInval = true }
 
+// EnableInvariantChecks arms the protocol sanitizer
+// (machine.Config.Invariants): the writethrough-ack path panics on an
+// ack that finds no pending entry (the wt-balance invariant), and
+// CheckInvariants validates the quiesced-state suite. The assertions
+// schedule no events and touch no counters, so an armed run stays
+// cycle- and report-identical to an unarmed one.
+func (c *Controller) EnableInvariantChecks() { c.invariants = true }
+
+// CheckInvariants validates the sanitizer's quiesced-state suite for
+// this controller: the store buffer's structure (sb-fifo), the
+// outstanding-writethrough count in step with the per-word pending
+// table (wt-balance), and — once drained — no stranded local-atomic
+// serialization state (a queued atomic with no one processing it is a
+// lost wakeup).
+func (c *Controller) CheckInvariants() error {
+	if err := c.sb.CheckInvariants(); err != nil {
+		return fmt.Errorf("node %d: %w", c.node, err)
+	}
+	if (c.outstandingWT == 0) != (c.wtPending.Len() == 0) {
+		return fmt.Errorf("gpucoh: wt-balance: node %d has %d writethroughs outstanding but %d words pending",
+			c.node, c.outstandingWT, c.wtPending.Len())
+	}
+	if c.Drained() {
+		// Emptied per-word queues keep their map entry (capacity reuse),
+		// so count pending operations, not words.
+		queued := 0
+		c.localAtomicQ.ForEach(func(_ uint64, q []pendingLocalAtomic) { queued += len(q) })
+		if queued > 0 || c.localAtomicIn.Len() > 0 {
+			return fmt.Errorf("gpucoh: node %d drained with %d queued and %d in-progress local atomics",
+				c.node, queued, c.localAtomicIn.Len())
+		}
+	}
+	return nil
+}
+
 // Release implements coherence.L1: a global release drains the store
 // buffer as per-line coalesced writethroughs and completes when every
 // writethrough (including earlier overflow drains) has been acked by
@@ -542,6 +581,8 @@ func (c *Controller) Deliver(p noc.Packet) {
 				if p.count == 0 {
 					c.wtPending.Delete(uint64(w))
 				}
+			} else if c.invariants {
+				panic(fmt.Sprintf("gpucoh: wt-balance: node %d acked a writethrough of %v with no pending entry", c.node, w))
 			}
 		}
 		if c.outstandingWT == 0 {

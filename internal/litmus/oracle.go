@@ -130,6 +130,24 @@ func (s *oracleState) key() string {
 // exceeding it are rejected (the generator keeps programs far below it).
 const DefaultOracleStateLimit = 400_000
 
+// StateLimitError reports that the oracle's exploration hit its state
+// limit before the permitted-outcome set was complete. It is a budget
+// exhaustion, not a consistency violation: callers that hunt for
+// violations (the fuzzer, the model checker) must detect it with
+// errors.As and treat the program as unverifiable — an incomplete
+// outcome set would otherwise turn every unexplored-but-legal outcome
+// into a false alarm.
+type StateLimitError struct {
+	// Limit is the state budget that was exceeded.
+	Limit int
+	// Program names the program whose exploration blew up.
+	Program string
+}
+
+func (e *StateLimitError) Error() string {
+	return fmt.Sprintf("litmus: oracle state limit %d exceeded for %q", e.Limit, e.Program)
+}
+
 // Oracle enumerates the set of outcomes the given consistency model
 // permits for the program, keyed by Outcome.Key. It errors if the
 // program is invalid or exploration exceeds stateLimit states
@@ -172,7 +190,7 @@ func Oracle(p *Program, model consistency.Model, stateLimit int) (map[string]Out
 			return nil
 		}
 		if len(visited) >= stateLimit {
-			return fmt.Errorf("litmus: oracle state limit %d exceeded for %q", stateLimit, p.Name)
+			return &StateLimitError{Limit: stateLimit, Program: p.Name}
 		}
 		visited[k] = true
 		stack = append(stack, s)

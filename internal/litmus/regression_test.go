@@ -1,0 +1,53 @@
+package litmus
+
+import (
+	"testing"
+
+	"denovogpu/internal/coherence"
+	"denovogpu/internal/machine"
+)
+
+// TestLazySyncRegistrationOverwrite pins the counterexample behind the
+// model checker's lazy-reg-exclusive invariant, minimized to three
+// operations. Under DH with lazy writes, a locally scoped atomic
+// leaves a delayed (lazy) store-buffer slot for x. A second thread on
+// the same CU then issues a globally scoped synchronization access to
+// x, putting a sync registration with waiters in flight — which must
+// absorb the delayed slot. If it does not, the first thread's global
+// release batches the still-marked slot, overwrites the in-flight
+// transaction (losing its waiters) and double-registers the word; the
+// second acknowledgment then arrives with no transaction and the
+// controller panics.
+func TestLazySyncRegistrationOverwrite(t *testing.T) {
+	p := &Program{
+		Name: "lazy-sync-overwrite",
+		Vars: []VarClass{Sync, Sync},
+		Threads: []Thread{
+			{CU: 0, Ops: []Op{
+				{Kind: OpSyncAdd, Var: 0, Val: 1, Scope: coherence.ScopeLocal},
+				{Kind: OpSyncStore, Var: 1, Val: 1, Scope: coherence.ScopeGlobal},
+			}},
+			{CU: 0, Ops: []Op{
+				{Kind: OpSyncLoad, Var: 0, Scope: coherence.ScopeGlobal},
+			}},
+		},
+	}
+	cfg := machine.DH()
+	cfg.LazyWrites = true
+	// The overwrite window is the sync registration's round trip
+	// (tens of cycles), so sweep fine-grained offsets between the
+	// release and the competing sync access.
+	var scheds []Schedule
+	for e := 150; e <= 450; e += 10 {
+		for d := 0; d <= 300; d += 10 {
+			scheds = append(scheds, Schedule{{0, d}, {e}})
+		}
+	}
+	v, err := Check([]machine.Config{cfg}, p, scheds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Fatal(v)
+	}
+}

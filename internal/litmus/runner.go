@@ -38,6 +38,11 @@ func Run(cfg machine.Config, p *Program, sched Schedule) (Outcome, error) {
 		return Outcome{}, err
 	}
 	cfg = cfg.Defaults()
+	// Every litmus run doubles as a sanitizer run: the hot-path
+	// assertions and quiesced-state checks observe without perturbing
+	// timing, so outcomes are unchanged and protocol-structure bugs
+	// surface even on conforming schedules.
+	cfg.Invariants = true
 	maxSlot := 0
 	for _, n := range p.MaxSlotPerCU() {
 		if n > maxSlot {

@@ -1,0 +1,51 @@
+package litmus
+
+import (
+	"testing"
+
+	"denovogpu/internal/machine"
+)
+
+// TestShrinkIsOneMinimal is the shrinker's contract as a property: a
+// shrunk counterexample still violates the oracle, and deleting any
+// single remaining operation (with its schedule slot) makes the
+// violation disappear — every op left in the report is there because
+// it is needed. The violation comes from the acquire-invalidation
+// fault, the same source the fuzz and check pipelines shrink.
+func TestShrinkIsOneMinimal(t *testing.T) {
+	cfg := machine.GD()
+	cfg.FaultDisableAcquireInval = true
+	var v *Violation
+	for _, e := range Catalog() {
+		var err error
+		v, err = Check([]machine.Config{cfg}, e.Program, Schedules(e.Program, 7, 20260805))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != nil {
+			break
+		}
+	}
+	if v == nil {
+		t.Fatal("fault injection produced no violation to shrink")
+	}
+
+	sp, ss := Shrink(cfg, v.Program, v.Schedule)
+	if !stillViolates(cfg, sp, ss) {
+		t.Fatalf("shrunk case no longer violates:\n%s", sp)
+	}
+	if sp.NumOps() > v.Program.NumOps() {
+		t.Fatalf("shrink grew the program: %d ops from %d", sp.NumOps(), v.Program.NumOps())
+	}
+	for ti := range sp.Threads {
+		for oi := range sp.Threads[ti].Ops {
+			cand, cands := sp.Clone(), ss.Clone()
+			cand.Threads[ti].Ops = append(cand.Threads[ti].Ops[:oi:oi], cand.Threads[ti].Ops[oi+1:]...)
+			cands[ti] = append(cands[ti][:oi:oi], cands[ti][oi+1:]...)
+			cand, cands = dropEmpty(cand, cands)
+			if stillViolates(cfg, cand, cands) {
+				t.Errorf("thread %d op %d is deletable: the shrunk case is not 1-minimal\n%s", ti, oi, sp)
+			}
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Sanitizer identity tests: arming Config.Invariants must not change a
+// single byte of any report. The sanitizer's hot-path assertions and
+// quiesced-state checks only observe — they schedule no events and
+// touch no counters — so an armed run of a pinned (workload, config)
+// pair must reproduce its committed golden exactly. A timing or
+// accounting side effect in any check shows up here as a golden diff.
+package machine_test
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"denovogpu"
+)
+
+// invariantsPairs covers both protocols, both models, and the lazy
+// ablation's home config without slowing tier-1 down.
+var invariantsPairs = []goldenPair{
+	{"UTS", "DH"},
+	{"SPM_L", "DD"},
+	{"LAVA", "GD"},
+	{"ST", "GH"},
+}
+
+func TestInvariantsGoldenIdentical(t *testing.T) {
+	for _, p := range invariantsPairs {
+		p := p
+		t.Run(p.workload+"/"+p.config, func(t *testing.T) {
+			t.Parallel()
+			cfg, err := denovogpu.ConfigByName(p.config)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Invariants = true
+			rep, err := denovogpu.RunByName(cfg, p.workload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := marshalGolden(toGolden(rep))
+			want, err := os.ReadFile(goldenFile(p))
+			if err != nil {
+				t.Fatalf("missing golden: %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("armed sanitizer changed the report for %s under %s:\ngot:\n%s\nwant:\n%s",
+					p.workload, p.config, got, want)
+			}
+		})
+	}
+}

@@ -65,6 +65,16 @@ type Config struct {
 	// DirectTransfer enables direct cache-to-cache transfers (the
 	// paper's future-work optimization).
 	DirectTransfer bool
+	// Invariants arms the protocol invariant sanitizer: controllers gain
+	// hot-path assertions (DeNovo's lazy-reg-exclusive, GPU coherence's
+	// wt-balance) and CheckInvariants extends its always-on registry
+	// walk with per-controller quiesced-state suites after every kernel.
+	// The checks observe state without scheduling events or touching
+	// counters, so an armed run produces byte-identical reports; they
+	// cost nothing when off. The litmus harness and `litmus check`
+	// counterexample replay arm it unconditionally; denovosim exposes it
+	// as -invariants.
+	Invariants bool
 	// FaultDisableAcquireInval is a test-only fault-injection knob: it
 	// makes globally scoped acquires skip their self-invalidation in the
 	// GPU and DeNovo protocols, deliberately breaking the consistency
@@ -122,6 +132,8 @@ func (c Config) Name() string {
 		return "DD+RO"
 	case c.Protocol == ProtoDeNovo && c.Model == consistency.DRF:
 		return "DD"
+	case c.Protocol == ProtoDeNovo && c.Model == consistency.HRF && c.LazyWrites:
+		return "DH+lazy"
 	case c.Protocol == ProtoDeNovo && c.Model == consistency.HRF:
 		return "DH"
 	case c.Protocol == ProtoMESI:
@@ -233,6 +245,11 @@ func New(cfg Config) *Machine {
 		if cfg.FaultDisableAcquireInval {
 			if f, ok := l1.(interface{ DisableAcquireInvalidation() }); ok {
 				f.DisableAcquireInvalidation()
+			}
+		}
+		if cfg.Invariants {
+			if f, ok := l1.(interface{ EnableInvariantChecks() }); ok {
+				f.EnableInvariantChecks()
 			}
 		}
 		m.l1s = append(m.l1s, l1)
@@ -453,33 +470,71 @@ func (m *Machine) PlaceTB(cu, slot int) int {
 	return base + slot*n
 }
 
-// CheckInvariants validates the protocol's global single-owner
-// invariant at a quiesced point: every word the registry records as
-// registered must be present (and only be writable) at exactly that
-// L1. It runs automatically after every kernel, so every benchmark in
-// the suite doubles as a protocol invariant check.
+// CheckInvariants validates the protocol's global ownership agreement
+// at a quiesced point. Always on for DeNovo: every word the registry
+// records as registered must be present (and only be writable) at
+// exactly that L1 (the l2-agreement invariant). With Config.Invariants
+// armed it also validates the MESI directory's Modified-owner
+// agreement and runs every controller's quiesced-state suite
+// (store-buffer structure, lazy/registration exclusivity, writethrough
+// balance — see each protocol's CheckInvariants). It runs
+// automatically after every kernel, so every benchmark in the suite
+// doubles as a protocol invariant check.
 func (m *Machine) CheckInvariants() error {
-	if m.cfg.Protocol != ProtoDeNovo {
-		return nil // the registry invariant is DeNovo-specific
-	}
-	for n := noc.NodeID(0); n < noc.Nodes; n++ {
-		bank := m.banks[n]
-		var err error
-		bank.ForEachRegistered(func(w mem.Word, owner noc.NodeID) {
+	switch m.cfg.Protocol {
+	case ProtoDeNovo:
+		for n := noc.NodeID(0); n < noc.Nodes; n++ {
+			bank := m.banks[n]
+			var err error
+			bank.ForEachRegistered(func(w mem.Word, owner noc.NodeID) {
+				if err != nil {
+					return
+				}
+				if int(owner) >= len(m.l1s) {
+					err = fmt.Errorf("word %v registered to nonexistent node %d", w, owner)
+					return
+				}
+				dn := m.l1s[owner].(*denovo.Controller)
+				if !dn.OwnsWord(w) {
+					err = fmt.Errorf("word %v registered to node %d, which does not own it", w, owner)
+				}
+			})
 			if err != nil {
-				return
+				return err
 			}
-			if int(owner) >= len(m.l1s) {
-				err = fmt.Errorf("word %v registered to nonexistent node %d", w, owner)
-				return
+		}
+	case ProtoMESI:
+		if !m.cfg.Invariants {
+			break
+		}
+		for n := noc.NodeID(0); n < noc.Nodes; n++ {
+			var err error
+			m.dirs[n].ForEachModified(func(l mem.Line, owner noc.NodeID) {
+				if err != nil {
+					return
+				}
+				if int(owner) >= len(m.l1s) {
+					err = fmt.Errorf("line %v modified at nonexistent node %d", l, owner)
+					return
+				}
+				mc := m.l1s[owner].(*mesi.Controller)
+				if !mc.HoldsModified(l) {
+					err = fmt.Errorf("directory says node %d holds %v modified, but its L1 does not", owner, l)
+				}
+			})
+			if err != nil {
+				return err
 			}
-			dn := m.l1s[owner].(*denovo.Controller)
-			if !dn.OwnsWord(w) {
-				err = fmt.Errorf("word %v registered to node %d, which does not own it", w, owner)
+		}
+	}
+	if !m.cfg.Invariants {
+		return nil
+	}
+	for i, l1 := range m.l1s {
+		if ck, ok := l1.(interface{ CheckInvariants() error }); ok {
+			if err := ck.CheckInvariants(); err != nil {
+				return fmt.Errorf("CU %d: %w", i, err)
 			}
-		})
-		if err != nil {
-			return err
 		}
 	}
 	return nil

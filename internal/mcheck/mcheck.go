@@ -1,0 +1,157 @@
+// Package mcheck is a bounded-exhaustive model checker for the
+// simulator's coherence protocols. It enumerates every message and
+// schedule interleaving of a small litmus program under an abstract
+// word-granular model of a configuration's protocol — GPU
+// writethrough (with or without HRF partial blocks), DeNovo
+// registration (eager or lazy), or MESI's sequentially consistent
+// observable behavior — checking a machine-readable invariant suite
+// on every reachable state and the consistency oracle on every
+// terminal outcome. Sleep-set partial-order reduction over a
+// footprint-based independence relation keeps the enumeration
+// tractable at litmus-program sizes.
+//
+// The model abstracts the cycle-level simulator but keeps the
+// properties the protocols rely on: per-(source, destination, word)
+// FIFO message delivery (what the mesh provides and the controllers
+// assume), store-buffer coalescing with write ordering, acquire-time
+// self-invalidation with in-flight fills going stale rather than
+// vanishing, and the registry's single-owner transfer discipline.
+// Where the model and the simulator can diverge it only adds
+// interleavings (any-order lazy kicks, unserialized same-word local
+// atomics), so a clean check never hides a modeled-protocol bug, and
+// every reported counterexample carries a transition trace plus a
+// litmus.Case for replay through the simulator itself.
+package mcheck
+
+import (
+	"fmt"
+	"strings"
+
+	"denovogpu/internal/litmus"
+	"denovogpu/internal/machine"
+)
+
+// DefaultBudget bounds exploration per (configuration, program). The
+// full catalog across all standard configurations fits comfortably;
+// the bound exists so generated programs cannot wedge a CI run.
+const DefaultBudget = 2_000_000
+
+// Options tunes a Check call.
+type Options struct {
+	// Budget caps explored (state, sleep set) nodes; <= 0 uses
+	// DefaultBudget. Exceeding it returns a *BudgetError.
+	Budget int
+	// DisablePOR explores the full interleaving graph with no sleep-set
+	// reduction. Exists to validate the reduction (same outcomes, same
+	// verdict) and for debugging; expect orders of magnitude more states.
+	DisablePOR bool
+	// OracleStateLimit is passed through to litmus.Oracle (<= 0 uses
+	// its default). A *litmus.StateLimitError from the oracle is
+	// returned as an error, never as a violation.
+	OracleStateLimit int
+}
+
+// Result is a completed exploration.
+type Result struct {
+	// States is the number of distinct nodes expanded.
+	States int
+	// Outcomes is every reachable terminal outcome, keyed by
+	// Outcome.Key. Populated only up to the first violation.
+	Outcomes map[string]litmus.Outcome
+	// Violation is the first invariant or conformance failure found in
+	// deterministic exploration order, or nil if the program checks
+	// clean.
+	Violation *Violation
+}
+
+// Violation is a model-checking counterexample.
+type Violation struct {
+	// Invariant is the violated invariant's name (see Invariants).
+	Invariant string
+	// Detail describes the failing state.
+	Detail string
+	Config machine.Config
+	// Program is the litmus program being checked.
+	Program *litmus.Program
+	// Observed is the non-conformant outcome (oracle-conformance only).
+	Observed *litmus.Outcome
+	// Trace is the transition sequence from the initial state.
+	Trace []string
+}
+
+func (v *Violation) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mcheck: %s violated under %s: %s\n  program %s\n  trace (%d steps):",
+		v.Invariant, v.Config.Name(), v.Detail, v.Program.Name, len(v.Trace))
+	for _, step := range v.Trace {
+		b.WriteString("\n    ")
+		b.WriteString(step)
+	}
+	return b.String()
+}
+
+// Case converts the counterexample for replay and shrinking through
+// the litmus machinery. The model trace itself does not transfer — the
+// simulator schedules differently — but the (configuration, program)
+// pair and the offending outcome do.
+func (v *Violation) Case() *litmus.Case {
+	return &litmus.Case{
+		Config:   v.Config.Name(),
+		Fault:    v.Config.FaultDisableAcquireInval,
+		Program:  v.Program,
+		Schedule: litmus.ZeroSchedule(v.Program),
+		Observed: v.Observed,
+	}
+}
+
+// BudgetError reports that exploration exhausted its node budget
+// before completing. It is a budget exhaustion, not a verdict: the
+// program is unverifiable at this budget.
+type BudgetError struct {
+	Budget  int
+	Config  string
+	Program string
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("mcheck: state budget %d exhausted checking %q under %s", e.Budget, e.Program, e.Config)
+}
+
+// Configs returns the configurations a full check covers: the litmus
+// set (the paper's five plus MESI) and the DH lazy-writes ablation,
+// whose release-time registration races are exactly where exhaustive
+// checking earns its keep.
+func Configs() []machine.Config {
+	cfgs := litmus.Configs()
+	lazy := machine.DH()
+	lazy.LazyWrites = true
+	return append(cfgs, lazy)
+}
+
+// Check exhaustively explores program p under configuration cfg.
+// A Violation is reported in the Result, not as an error; errors are
+// invalid programs, oracle state-limit exhaustion
+// (*litmus.StateLimitError), or exploration budget exhaustion
+// (*BudgetError).
+func Check(cfg machine.Config, p *litmus.Program, opts Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m, err := newModel(cfg, p)
+	if err != nil {
+		return nil, err
+	}
+	oracle, err := litmus.Oracle(p, cfg.Model, opts.OracleStateLimit)
+	if err != nil {
+		return nil, err
+	}
+	budget := opts.Budget
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	states, outcomes, viol, err := m.explore(oracle, budget, opts.DisablePOR)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{States: states, Outcomes: outcomes, Violation: viol}, nil
+}

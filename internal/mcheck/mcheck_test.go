@@ -1,0 +1,208 @@
+package mcheck
+
+import (
+	"errors"
+	"testing"
+
+	"denovogpu/internal/litmus"
+	"denovogpu/internal/machine"
+)
+
+// TestCatalogClean exhaustively checks every catalog shape under every
+// configuration (the litmus six plus DH+lazy): no invariant violation,
+// no oracle non-conformance, within the default budget.
+func TestCatalogClean(t *testing.T) {
+	// The four-thread and three-CU DeNovo cells run to ~1M states
+	// (minutes of wall clock; far more under the race detector). The CI
+	// mcheck job covers them through `litmus check`; skip them here
+	// under -short or -race.
+	heavy := map[string]bool{"IRIW+sync": true, "IRIW+scoped": true, "ISA2+transitive": true}
+	for _, cfg := range Configs() {
+		for _, e := range litmus.Catalog() {
+			if (testing.Short() || raceEnabled) && heavy[e.Program.Name] && cfg.Protocol == machine.ProtoDeNovo {
+				continue
+			}
+			res, err := Check(cfg, e.Program, Options{})
+			if err != nil {
+				t.Fatalf("%s / %s: %v", cfg.Name(), e.Program.Name, err)
+			}
+			if res.Violation != nil {
+				t.Fatalf("%s / %s: %v", cfg.Name(), e.Program.Name, res.Violation)
+			}
+			if len(res.Outcomes) == 0 {
+				t.Fatalf("%s / %s: no terminal outcome reached", cfg.Name(), e.Program.Name)
+			}
+			t.Logf("%-8s %-22s %7d states, %d outcomes", cfg.Name(), e.Program.Name, res.States, len(res.Outcomes))
+		}
+	}
+}
+
+// TestPORSoundOnCatalog validates the sleep-set reduction: with and
+// without POR, exploration reaches exactly the same terminal outcomes
+// and the same verdict.
+func TestPORSoundOnCatalog(t *testing.T) {
+	shapes := map[string]bool{"MP": true, "SB+sync": true, "CoRR": true, "LB": true}
+	for _, cfg := range Configs() {
+		for _, e := range litmus.Catalog() {
+			if !shapes[e.Program.Name] {
+				continue
+			}
+			por, err := Check(cfg, e.Program, Options{})
+			if err != nil {
+				t.Fatalf("%s / %s (POR): %v", cfg.Name(), e.Program.Name, err)
+			}
+			full, err := Check(cfg, e.Program, Options{DisablePOR: true})
+			if err != nil {
+				t.Fatalf("%s / %s (full): %v", cfg.Name(), e.Program.Name, err)
+			}
+			if (por.Violation == nil) != (full.Violation == nil) {
+				t.Fatalf("%s / %s: POR verdict %v, full verdict %v",
+					cfg.Name(), e.Program.Name, por.Violation, full.Violation)
+			}
+			for k := range full.Outcomes {
+				if _, ok := por.Outcomes[k]; !ok {
+					t.Errorf("%s / %s: outcome %s reachable without POR but missed with it",
+						cfg.Name(), e.Program.Name, k)
+				}
+			}
+			for k := range por.Outcomes {
+				if _, ok := full.Outcomes[k]; !ok {
+					t.Errorf("%s / %s: outcome %s found only with POR", cfg.Name(), e.Program.Name, k)
+				}
+			}
+		}
+	}
+}
+
+// TestWeakOutcomesReachable spot-checks model completeness: the racy
+// store-buffering weak outcome (both loads 0, permitted by both
+// models) must be reachable under GD, where write buffering is the
+// protocol's signature relaxation.
+func TestWeakOutcomesReachable(t *testing.T) {
+	for _, e := range litmus.Catalog() {
+		if e.Program.Name != "SB+data" {
+			continue
+		}
+		res, err := Check(machine.GD(), e.Program, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, o := range res.Outcomes {
+			if e.Weak(o) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("SB+data weak outcome unreachable in the GD model; outcomes: %v", keys(res.Outcomes))
+		}
+		return
+	}
+	t.Fatal("SB+data not in catalog")
+}
+
+// TestFaultInjectionFindsViolation turns off acquire invalidation (the
+// litmus engine's seeded fault) and checks the message-passing shape
+// whose reader pre-caches stale data: the checker must flush out the
+// stale read as an oracle-conformance violation whose Case replays.
+func TestFaultInjectionFindsViolation(t *testing.T) {
+	var mp *litmus.Program
+	for _, e := range litmus.Catalog() {
+		if e.Program.Name == "MP+preload" {
+			mp = e.Program
+		}
+	}
+	if mp == nil {
+		t.Fatal("MP+preload not in catalog")
+	}
+	for _, base := range []machine.Config{machine.GD(), machine.DD()} {
+		cfg := base
+		cfg.FaultDisableAcquireInval = true
+		res, err := Check(cfg, mp, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", base.Name(), err)
+		}
+		if res.Violation == nil {
+			t.Fatalf("%s: fault injection not detected", base.Name())
+		}
+		v := res.Violation
+		if v.Invariant != "oracle-conformance" {
+			t.Fatalf("%s: violated %q, want oracle-conformance", base.Name(), v.Invariant)
+		}
+		if v.Observed == nil || len(v.Trace) == 0 {
+			t.Fatalf("%s: counterexample missing outcome or trace: %+v", base.Name(), v)
+		}
+		c := v.Case()
+		if c.Config != base.Name() || !c.Fault {
+			t.Fatalf("%s: case misnames the configuration: %q fault=%v", base.Name(), c.Config, c.Fault)
+		}
+		if _, err := c.MarshalIndent(); err != nil {
+			t.Fatalf("%s: case does not marshal: %v", base.Name(), err)
+		}
+	}
+}
+
+// TestBudgetError checks that exhausting the exploration budget is a
+// typed, distinguishable error — never a verdict.
+func TestBudgetError(t *testing.T) {
+	var mp *litmus.Program
+	for _, e := range litmus.Catalog() {
+		if e.Program.Name == "MP" {
+			mp = e.Program
+		}
+	}
+	_, err := Check(machine.GD(), mp, Options{Budget: 10})
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("got %v, want *BudgetError", err)
+	}
+	if be.Budget != 10 || be.Program != "MP" {
+		t.Fatalf("budget error fields: %+v", be)
+	}
+}
+
+// TestOracleStateLimitPropagates checks that an oracle budget
+// exhaustion surfaces as *litmus.StateLimitError, distinguishable from
+// both violations and the checker's own budget error.
+func TestOracleStateLimitPropagates(t *testing.T) {
+	var mp *litmus.Program
+	for _, e := range litmus.Catalog() {
+		if e.Program.Name == "MP" {
+			mp = e.Program
+		}
+	}
+	_, err := Check(machine.GD(), mp, Options{OracleStateLimit: 2})
+	var sl *litmus.StateLimitError
+	if !errors.As(err, &sl) {
+		t.Fatalf("got %v, want *litmus.StateLimitError", err)
+	}
+	var be *BudgetError
+	if errors.As(err, &be) {
+		t.Fatal("oracle state-limit error must not look like a checker budget error")
+	}
+}
+
+// TestProgramLimits rejects programs beyond the model's fixed
+// capacities instead of silently truncating them.
+func TestProgramLimits(t *testing.T) {
+	big := &litmus.Program{Name: "too-wide", Vars: make([]litmus.VarClass, maxVars+1)}
+	big.Threads = []litmus.Thread{{CU: 0, Ops: []litmus.Op{{Kind: litmus.OpLoad, Var: 0}}}}
+	if _, err := Check(machine.GD(), big, Options{}); err == nil {
+		t.Fatal("program with too many variables accepted")
+	}
+	many := &litmus.Program{Name: "too-threaded", Vars: []litmus.VarClass{litmus.Data}}
+	for i := 0; i < maxThreads+1; i++ {
+		many.Threads = append(many.Threads, litmus.Thread{CU: i, Ops: []litmus.Op{{Kind: litmus.OpLoad, Var: 0}}})
+	}
+	if _, err := Check(machine.GD(), many, Options{}); err == nil {
+		t.Fatal("program with too many threads accepted")
+	}
+}
+
+func keys(m map[string]litmus.Outcome) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}

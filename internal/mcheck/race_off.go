@@ -1,0 +1,8 @@
+//go:build !race
+
+package mcheck
+
+// raceEnabled reports whether the race detector is active; the
+// exhaustive catalog test skips its heaviest cells under the detector
+// (the dedicated CI mcheck job covers them without it).
+const raceEnabled = false

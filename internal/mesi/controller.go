@@ -212,6 +212,25 @@ func (c *Controller) Drained() bool {
 	return len(c.mshr) == 0 && len(c.victim) == 0
 }
 
+// HoldsModified reports whether this L1 holds the line in Modified
+// state — the L1 side of the directory's owner agreement, checked by
+// the protocol sanitizer (machine.Config.Invariants).
+func (c *Controller) HoldsModified(l mem.Line) bool {
+	e := c.cache.Peek(l)
+	return e != nil && e.State[0] == cache.Registered
+}
+
+// CheckInvariants validates the sanitizer's quiesced-state suite for
+// this controller: with no transactions outstanding, no release may
+// still be waiting (a stranded release waiter is a lost wakeup that
+// surfaces as a kernel deadlock).
+func (c *Controller) CheckInvariants() error {
+	if len(c.mshr) == 0 && len(c.relWaiters) > 0 {
+		return fmt.Errorf("mesi: node %d has %d release waiters with no transactions outstanding", c.node, len(c.relWaiters))
+	}
+	return nil
+}
+
 // Deliver implements noc.Handler.
 func (c *Controller) Deliver(p noc.Packet) {
 	var m *coherence.Msg

@@ -286,6 +286,18 @@ func (d *Directory) PeekOwner(l mem.Line) noc.NodeID {
 	return -1
 }
 
+// ForEachModified calls fn for every line the directory records as
+// Modified, with its owner. Used by the protocol sanitizer
+// (machine.CheckInvariants) to verify directory/L1 owner agreement at
+// quiesce points; iteration order is unspecified.
+func (d *Directory) ForEachModified(fn func(l mem.Line, owner noc.NodeID)) {
+	for l, s := range d.lines {
+		if s.mod {
+			fn(l, s.owner)
+		}
+	}
+}
+
 // PeekData returns the directory's copy of a word.
 func (d *Directory) PeekData(w mem.Word) uint32 {
 	if s, ok := d.lines[w.LineOf()]; ok {
