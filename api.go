@@ -36,8 +36,9 @@ import (
 	"denovogpu/internal/stats"
 	"denovogpu/internal/workload"
 
-	// Register all Table 4 benchmarks.
+	// Register all Table 4 benchmarks, plus the graph-analytics family.
 	_ "denovogpu/internal/workload/apps"
+	_ "denovogpu/internal/workload/graph"
 	_ "denovogpu/internal/workload/sync"
 )
 
@@ -64,17 +65,23 @@ func AllConfigs() []Config { return machine.AllConfigs() }
 // but does not evaluate.
 var MESI = machine.MESI
 
+// Specialized is the per-phase specialized extension configuration
+// (Salvador et al.): DeNovo ownership for pull phases, writethrough
+// coherence with L2-side relaxed atomics for push phases, with a
+// phase-transition drain between differing kernels.
+var Specialized = machine.Specialized
+
 // ConfigByName resolves a configuration name ("GD", "GH", "DD",
-// "DD+RO", "DH", or the extension "MESI"; case-sensitive).
+// "DD+RO", "DH", or the extensions "MESI" and "SPEC"; case-sensitive).
 func ConfigByName(name string) (Config, error) {
 	// Each candidate is built fresh (no append onto a shared slice), so
 	// every call hands the caller an independent Config value to mutate.
-	for _, mk := range []func() Config{machine.GD, machine.GH, machine.DD, machine.DDRO, machine.DH, machine.MESI} {
+	for _, mk := range []func() Config{machine.GD, machine.GH, machine.DD, machine.DDRO, machine.DH, machine.MESI, machine.Specialized} {
 		if c := mk(); c.Name() == name {
 			return c, nil
 		}
 	}
-	return Config{}, fmt.Errorf("denovogpu: unknown configuration %q (want GD, GH, DD, DD+RO, DH, or MESI)", name)
+	return Config{}, fmt.Errorf("denovogpu: unknown configuration %q (want GD, GH, DD, DD+RO, DH, MESI, or SPEC)", name)
 }
 
 // Addr is a byte address in the simulated unified address space.
@@ -167,6 +174,7 @@ const (
 	NoSync     = workload.NoSync
 	GlobalSync = workload.GlobalSync
 	LocalSync  = workload.LocalSync
+	Graph      = workload.Graph
 )
 
 // Recorder is the observability event recorder (see internal/obs):

@@ -33,9 +33,14 @@ func TestAllConfigsOrder(t *testing.T) {
 }
 
 func TestWorkloadInventoryMatchesTable4(t *testing.T) {
-	// 10 applications + 4 global-sync + 9 local-sync = 23 benchmarks.
-	if got := len(denovogpu.Workloads()); got != 23 {
-		t.Fatalf("registered benchmarks = %d, want 23", got)
+	// 10 applications + 4 global-sync + 9 local-sync = 23 Table 4
+	// benchmarks, plus the 3 graph-analytics workloads (beyond the
+	// paper).
+	if got := len(denovogpu.Workloads()); got != 26 {
+		t.Fatalf("registered benchmarks = %d, want 26", got)
+	}
+	if got := len(denovogpu.WorkloadsByCategory(denovogpu.Graph)); got != 3 {
+		t.Fatalf("graph = %d, want 3", got)
 	}
 	if got := len(denovogpu.WorkloadsByCategory(denovogpu.NoSync)); got != 10 {
 		t.Fatalf("no-sync = %d, want 10", got)

@@ -20,9 +20,10 @@ import (
 
 // Figure sweeps are minutes-long; tests stub these out.
 var (
-	sweepFig2 = figures.Fig2
-	sweepFig3 = figures.Fig3
-	sweepFig4 = figures.Fig4
+	sweepFig2  = figures.Fig2
+	sweepFig3  = figures.Fig3
+	sweepFig4  = figures.Fig4
+	sweepGraph = figures.FigGraph
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -57,6 +58,7 @@ func run(args []string, rawStdout, stderr io.Writer) int {
 		fig2   = fs.Bool("fig2", false, "Figure 2: no-synchronization applications (G* vs D*)")
 		fig3   = fs.Bool("fig3", false, "Figure 3: globally scoped synchronization (G* vs D*)")
 		fig4   = fs.Bool("fig4", false, "Figure 4: locally scoped / hybrid synchronization (all five configs)")
+		graphF = fs.Bool("graph", false, "graph analytics (beyond the paper): BFS/PR/SSSP crossover, fixed vs per-phase specialized")
 		table1 = fs.Bool("table1", false, "Table 1: protocol classification")
 		table2 = fs.Bool("table2", false, "Table 2: feature comparison")
 		table3 = fs.Bool("table3", false, "Table 3: parameters and measured latencies")
@@ -66,7 +68,7 @@ func run(args []string, rawStdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if !(*all || *fig2 || *fig3 || *fig4 || *table1 || *table2 || *table3 || *table4 || *table5) {
+	if !(*all || *fig2 || *fig3 || *fig4 || *graphF || *table1 || *table2 || *table3 || *table4 || *table5) {
 		fs.Usage()
 		return 2
 	}
@@ -119,6 +121,10 @@ func run(args []string, rawStdout, stderr io.Writer) int {
 	if *all || *fig4 {
 		fmt.Fprintln(stdout, "Running Figure 4 sweep (9 local-sync benchmarks x 5 configs)...")
 		emit("Figure 4", sweepFig4(*jobs), "GD", nil)
+	}
+	if *all || *graphF {
+		fmt.Fprintln(stdout, "Running graph-analytics sweep (3 workloads x GD/DD/DD+RO/SPEC)...")
+		emit("Figure G", sweepGraph(*jobs), "GD", nil)
 	}
 	if stdout.err != nil {
 		fmt.Fprintf(stderr, "sweep: writing output: %v\n", stdout.err)

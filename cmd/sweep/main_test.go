@@ -61,6 +61,22 @@ func TestFigureStubbed(t *testing.T) {
 	}
 }
 
+func TestGraphStubbed(t *testing.T) {
+	orig := sweepGraph
+	sweepGraph = func(int) *figures.Matrix { return stubMatrix(nil) }
+	defer func() { sweepGraph = orig }()
+
+	code, out, errb := runCmd(t, "-graph")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, want := range []string{"Figure Ga", "Figure Gb", "Figure Gc", "STUB", "energy breakdown", "traffic breakdown"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestFigureSweepErrorFails(t *testing.T) {
 	orig := sweepFig3
 	sweepFig3 = func(int) *figures.Matrix { return stubMatrix(errors.New("synthetic sweep failure")) }

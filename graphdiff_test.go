@@ -1,0 +1,70 @@
+package denovogpu_test
+
+import (
+	"fmt"
+	"testing"
+
+	"denovogpu"
+	"denovogpu/internal/workload/graph"
+)
+
+// TestGraphDifferential is the sequential-reference differential
+// harness for the graph-analytics family: every workload's Verify is a
+// pure-Go serial run over the same generated graph, so executing each
+// (workload, protocol, seed) cell through the simulator checks the
+// device result word-for-word against the reference. Any protocol or
+// phase-drain bug that corrupts data fails here as a wrong answer.
+func TestGraphDifferential(t *testing.T) {
+	params := []graph.Params{
+		{N: 320, AvgDeg: 6, Seed: 7},
+		{N: 640, AvgDeg: 8, Seed: 42},
+	}
+	if testing.Short() {
+		params = params[:1]
+	}
+	configs := append(denovogpu.AllConfigs(), denovogpu.Specialized())
+	families := []struct {
+		name string
+		mk   func(graph.Params) denovogpu.Workload
+	}{
+		{"BFS", graph.BFS},
+		{"PR", graph.PageRank},
+		{"SSSP", graph.SSSP},
+	}
+	for _, fam := range families {
+		for _, p := range params {
+			for _, cfg := range configs {
+				fam, p, cfg := fam, p, cfg
+				t.Run(fmt.Sprintf("%s/%s/n%d-seed%d", fam.name, cfg.Name(), p.N, p.Seed), func(t *testing.T) {
+					t.Parallel()
+					rep, err := denovogpu.Run(cfg, fam.mk(p))
+					if err != nil {
+						t.Fatalf("differential check failed: %v", err)
+					}
+					if rep.Cycles == 0 {
+						t.Fatalf("empty report %+v", rep)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestGraphSpecializedDeterminism pins that the per-phase specialized
+// configuration — the one exercising mid-workload protocol switches —
+// is as deterministic as the fixed-protocol ones: identical runs give
+// bit-identical measurements.
+func TestGraphSpecializedDeterminism(t *testing.T) {
+	w := graph.BFS(graph.Params{N: 320, AvgDeg: 6, Seed: 7})
+	a, err := denovogpu.Run(denovogpu.Specialized(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := denovogpu.Run(denovogpu.Specialized(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.EnergyPJ != b.EnergyPJ || a.Flits != b.Flits {
+		t.Fatalf("specialized runs differ: %+v vs %+v", a, b)
+	}
+}

@@ -41,13 +41,18 @@ func (s Scope) String() string {
 // Order is the memory-order attribute of a synchronization access under
 // DRF/HRF: a synchronization read is an acquire, a synchronization
 // write is a release, and a read-modify-write is both. The paper does
-// not allow relaxed atomics (Section 5.3), so there is no relaxed order.
+// not allow relaxed atomics (Section 5.3); OrderRelaxed is the
+// extension from the follow-up work (Salvador et al.) for graph
+// analytics: the atomic is still a single indivisible RMW, but it
+// orders nothing around it — no flash/self-invalidation on the way in,
+// no store-buffer flush on the way out.
 type Order int
 
 const (
 	OrderAcquire Order = iota
 	OrderRelease
 	OrderAcqRel
+	OrderRelaxed
 )
 
 // Acquires reports whether the order includes acquire semantics.
@@ -62,6 +67,8 @@ func (o Order) String() string {
 		return "acquire"
 	case OrderRelease:
 		return "release"
+	case OrderRelaxed:
+		return "relaxed"
 	default:
 		return "acq_rel"
 	}

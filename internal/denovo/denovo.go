@@ -1337,3 +1337,29 @@ func (c *Controller) HostSteal(w mem.Word) (uint32, bool) {
 	e.State[w.Index()] = cache.Invalid
 	return v, true
 }
+
+// HostDropClean applies the controller's acquire semantics at a
+// phase-transition drain: every word the protocol may not retain
+// across a synchronization point becomes Invalid. With the read-only
+// optimization, Valid words in the software-conveyed read-only region
+// survive — by contract nothing writes them in any phase, so they
+// cannot go stale while another protocol set runs. Ownership cannot
+// survive (the registry is being emptied), so unlike Acquire the
+// predicate never spares Registered words; it requires a quiesced
+// controller whose registrations have already been recalled (HostSteal
+// per registered word), and finding leftover ownership here means the
+// registry and this L1 disagree, which the drain must not paper over.
+// Returns the number of clean words dropped.
+func (c *Controller) HostDropClean() (int, error) {
+	if !c.Drained() {
+		return 0, fmt.Errorf("denovo: phase-drain: node %d not drained (sb=%d regs=%d reads=%d own=%d victim=%d)",
+			c.node, c.sb.Len(), c.regs.Len(), c.reads.Len(), c.pendingOwn.Len(), c.victim.Len())
+	}
+	if n := c.cache.CountWords(cache.Registered); n != 0 {
+		return 0, fmt.Errorf("denovo: phase-drain: node %d still owns %d words after recall", c.node, n)
+	}
+	ro := c.opts.ReadOnly
+	return c.cache.Invalidate(func(e *cache.Entry, i int) bool {
+		return ro != nil && ro(e.Line.Word(i))
+	}), nil
+}

@@ -288,10 +288,26 @@ func Fig4(workers int) *Matrix {
 	return SweepN(fig4Benches, denovogpu.AllConfigs(), workers)
 }
 
+// graphBenches is the graph-analytics family (beyond the paper),
+// ordered by how strongly their pull phases favour DeNovo ownership.
+var graphBenches = []string{"BFS", "PR", "SSSP"}
+
+// FigGraph runs the graph-analytics crossover study: each workload
+// under the two fixed paper endpoints (GD, DD), the best fixed DeNovo
+// variant (DD+RO), and the per-phase specialized extension (SPEC:
+// writethrough push, DeNovo pull), normalized to GD. The specialized
+// column beating every fixed column is the study's headline result.
+func FigGraph(workers int) *Matrix {
+	return SweepN(graphBenches, []denovogpu.Config{
+		denovogpu.GD(), denovogpu.DD(), denovogpu.DDRO(), denovogpu.Specialized(),
+	}, workers)
+}
+
 // Fig2Benches etc. expose the orderings for external reporting.
-func Fig2Benches() []string { return append([]string(nil), fig2Benches...) }
-func Fig3Benches() []string { return append([]string(nil), fig3Benches...) }
-func Fig4Benches() []string { return append([]string(nil), fig4Benches...) }
+func Fig2Benches() []string  { return append([]string(nil), fig2Benches...) }
+func Fig3Benches() []string  { return append([]string(nil), fig3Benches...) }
+func Fig4Benches() []string  { return append([]string(nil), fig4Benches...) }
+func GraphBenches() []string { return append([]string(nil), graphBenches...) }
 
 // Table4 renders the benchmark inventory.
 func Table4() string {

@@ -165,6 +165,15 @@ func New(node noc.NodeID, eng *sim.Engine, l1 coherence.L1, model consistency.Mo
 // L1 exposes the CU's L1 controller.
 func (cu *CU) L1() coherence.L1 { return cu.l1 }
 
+// SetL1 swaps the CU onto a different L1 controller. Only legal while
+// the CU is quiescent (no resident blocks, no in-flight accesses) —
+// the machine calls it at a phase-transition drain between kernels.
+func (cu *CU) SetL1(l1 coherence.L1) { cu.l1 = l1 }
+
+// SetModel swaps the CU's consistency model alongside SetL1, under the
+// same quiescence requirement.
+func (cu *CU) SetModel(model consistency.Model) { cu.model = model }
+
 // SetRecorder installs an obs recorder (nil to disable).
 func (cu *CU) SetRecorder(rec *obs.Recorder) { cu.rec = rec }
 

@@ -700,3 +700,21 @@ func (c *Controller) HostInvalidateLine(l mem.Line, mask mem.WordMask) {
 		}
 	}
 }
+
+// HostDropClean empties the cache at a phase-transition drain: every
+// remaining word becomes Invalid and frames are untagged. It requires
+// a quiesced controller; a leftover Dirty word (GPU-H partial blocks)
+// would be a lost write, since the kernel-boundary release must have
+// flushed them all. Returns the number of clean words dropped.
+func (c *Controller) HostDropClean() (int, error) {
+	if !c.Drained() {
+		return 0, fmt.Errorf("gpucoh: phase-drain: node %d not drained (sb=%d wt=%d reads=%d atomics=%d)",
+			c.node, c.sb.Len(), c.outstandingWT, c.reads.Len(), c.atomics.Len())
+	}
+	if c.partialBlocks {
+		if n := c.cache.CountWords(cache.Dirty); n != 0 {
+			return 0, fmt.Errorf("gpucoh: phase-drain: node %d holds %d unflushed dirty words", c.node, n)
+		}
+	}
+	return c.cache.Invalidate(func(*cache.Entry, int) bool { return false }), nil
+}

@@ -91,6 +91,15 @@ func goldenPairs() []goldenPair {
 	for _, c := range []string{"GD", "GH"} {
 		pairs = append(pairs, goldenPair{"SPMBO_G", c})
 	}
+	// The graph-analytics family runs under the two fixed paper
+	// endpoints it compares (GPU writethrough and DeNovo), the best
+	// fixed DeNovo variant, and the per-phase specialized extension
+	// whose phase-transition drains these goldens pin.
+	for _, w := range []string{"BFS", "PR", "SSSP"} {
+		for _, c := range []string{"GD", "DD", "DD+RO", "SPEC"} {
+			pairs = append(pairs, goldenPair{w, c})
+		}
+	}
 	return pairs
 }
 

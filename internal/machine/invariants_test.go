@@ -14,13 +14,16 @@ import (
 	"denovogpu"
 )
 
-// invariantsPairs covers both protocols, both models, and the lazy
-// ablation's home config without slowing tier-1 down.
+// invariantsPairs covers both protocols, both models, the lazy
+// ablation's home config, and a per-phase specialized graph cell
+// (whose phase-transition drains run the quiesced-state suites at
+// every protocol switch) without slowing tier-1 down.
 var invariantsPairs = []goldenPair{
 	{"UTS", "DH"},
 	{"SPM_L", "DD"},
 	{"LAVA", "GD"},
 	{"ST", "GH"},
+	{"BFS", "SPEC"},
 }
 
 func TestInvariantsGoldenIdentical(t *testing.T) {

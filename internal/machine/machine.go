@@ -6,6 +6,7 @@ package machine
 
 import (
 	"fmt"
+	"sort"
 
 	"denovogpu/internal/coherence"
 	"denovogpu/internal/consistency"
@@ -83,6 +84,21 @@ type Config struct {
 	// it outside tests.
 	FaultDisableAcquireInval bool
 
+	// Phases maps kernel-phase labels (workload.PhasePush/PhasePull) to
+	// the protocol and consistency model that phase's kernels run under
+	// (beyond the paper; Salvador et al.'s per-phase specialization).
+	// Kernels launched through LaunchPhase with an unlisted or empty
+	// label run under the base Protocol/Model. Between two kernels whose
+	// selections differ, the machine performs a phase-transition drain:
+	// it quiesces the outgoing L1 set, retires every DeNovo registration
+	// back to the registry, invalidates the outgoing caches, and only
+	// then moves the CUs onto the incoming set (see DESIGN.md). MESI has
+	// no drain story and cannot appear in Phases or be phased.
+	Phases map[string]PhaseProto
+	// PhaseDrainCycles is the simulated cost of one phase-transition
+	// drain (store-buffer quiesce, registry walk, flash invalidation).
+	PhaseDrainCycles int
+
 	NumCUs         int
 	MaxResidentTBs int
 	L1Bytes        int
@@ -114,15 +130,67 @@ func (c Config) Defaults() Config {
 	if c.LaunchOverheadCycles == 0 {
 		c.LaunchOverheadCycles = 300
 	}
+	if c.PhaseDrainCycles == 0 {
+		// Half a kernel dispatch: the previous kernel's boundary release
+		// already emptied every store buffer and MSHR (Launch asserts it),
+		// so the drain is the command processor walking the registry and
+		// reprogramming the L1 set, not waiting out in-flight traffic.
+		c.PhaseDrainCycles = 150
+	}
 	if c.HorizonCycles == 0 {
 		c.HorizonCycles = 5_000_000_000
 	}
 	return c
 }
 
+// PhaseProto selects the coherence protocol and consistency model one
+// named kernel phase runs under (Config.Phases).
+type PhaseProto struct {
+	Protocol Protocol
+	Model    consistency.Model
+}
+
 // Name returns the paper's abbreviation for the configuration (GD, GH,
-// DD, DD+RO, DH) when it matches one, or a descriptive string.
+// DD, DD+RO, DH) when it matches one, "SPEC" for the canonical
+// per-phase specialized configuration, or a descriptive string.
 func (c Config) Name() string {
+	base := c.baseName()
+	if len(c.Phases) == 0 {
+		return base
+	}
+	if c.isSpecialized() {
+		return "SPEC"
+	}
+	labels := make([]string, 0, len(c.Phases))
+	for p := range c.Phases {
+		labels = append(labels, p)
+	}
+	sort.Strings(labels)
+	s := base + "+phased["
+	for i, p := range labels {
+		if i > 0 {
+			s += " "
+		}
+		pp := c.Phases[p]
+		s += fmt.Sprintf("%s:%s", p, Config{Protocol: pp.Protocol, Model: pp.Model}.baseName())
+	}
+	return s + "]"
+}
+
+// isSpecialized reports whether the configuration is exactly the
+// canonical Specialized() shape.
+func (c Config) isSpecialized() bool {
+	if c.Protocol != ProtoDeNovo || c.Model != consistency.DRF || !c.ReadOnlyOpt || c.LazyWrites {
+		return false
+	}
+	if len(c.Phases) != 2 {
+		return false
+	}
+	return c.Phases[workload.PhasePush] == PhaseProto{Protocol: ProtoGPU, Model: consistency.DRF} &&
+		c.Phases[workload.PhasePull] == PhaseProto{Protocol: ProtoDeNovo, Model: consistency.DRF}
+}
+
+func (c Config) baseName() string {
 	switch {
 	case c.Protocol == ProtoGPU && c.Model == consistency.DRF:
 		return "GD"
@@ -175,6 +243,21 @@ func MESI() Config {
 	return Config{Protocol: ProtoMESI, Model: consistency.DRF}.Defaults()
 }
 
+// Specialized is the per-phase specialized configuration (beyond the
+// paper; Salvador et al., arXiv 2002.10245): DeNovo ownership with the
+// read-only region optimization for pull phases and unphased kernels,
+// writethrough GPU coherence (with relaxed atomics executing at the L2
+// bank) for push phases, DRF throughout. A phase-transition drain runs
+// between kernels whose phases differ.
+func Specialized() Config {
+	c := DDRO()
+	c.Phases = map[string]PhaseProto{
+		workload.PhasePush: {Protocol: ProtoGPU, Model: consistency.DRF},
+		workload.PhasePull: {Protocol: ProtoDeNovo, Model: consistency.DRF},
+	}
+	return c
+}
+
 // AllConfigs returns the paper's five configurations in figure order.
 func AllConfigs() []Config { return []Config{GD(), GH(), DD(), DDRO(), DH()} }
 
@@ -189,10 +272,32 @@ type Machine struct {
 	backing *mem.Backing
 	banks   [noc.Nodes]*l2.Bank
 	dirs    [noc.Nodes]*mesi.Directory // MESI only
-	l1s     []coherence.L1
+	l1s     []coherence.L1             // the active set (== sets[active])
 	cus     []*gpu.CU
 	st      *stats.Stats
 	meter   *energy.Meter
+
+	// Per-phase protocol specialization: one full L1 controller set per
+	// distinct PhaseProto the configuration uses. Exactly one set is
+	// attached to the mesh and the CUs at a time; the others are empty
+	// (the phase-transition drain empties the outgoing set before every
+	// switch). denovoL1s aliases the DeNovo set when one exists — the
+	// only set the registry's owner pointers can refer to.
+	sets      map[PhaseProto][]coherence.L1
+	setOrder  []PhaseProto
+	denovoL1s []coherence.L1
+	base      PhaseProto
+	active    PhaseProto
+	// ranInPhase records whether any kernel has executed since the
+	// machine entered the active phase; a switch away from an idle
+	// phase skips the quiesce delay (nothing is in flight).
+	ranInPhase bool
+	// drainOverlap is how much of the just-completed phase drain the
+	// next kernel dispatch can hide: a switch only happens on the way
+	// into a launch, so the command processor walks the registry while
+	// it is already issuing that kernel. Only drain time beyond the
+	// dispatch overhead adds latency.
+	drainOverlap int
 
 	ro  []addrRange
 	err error
@@ -218,14 +323,66 @@ func New(cfg Config) *Machine {
 		m.banks[n] = l2.New(n, m.eng, m.mesh, m.backing, m.st, m.meter)
 		m.mesh.Attach(n, noc.PortL2, m.banks[n])
 	}
+	// One L1 controller set per distinct PhaseProto, base first. The
+	// constructors attach themselves to the mesh, so after building every
+	// set the base set is re-attached explicitly below.
+	m.base = PhaseProto{Protocol: cfg.Protocol, Model: cfg.Model}
+	m.setOrder = []PhaseProto{m.base}
+	if len(cfg.Phases) > 0 {
+		if cfg.Protocol == ProtoMESI {
+			panic("machine: MESI cannot be phase-specialized (no drain story)")
+		}
+		labels := make([]string, 0, len(cfg.Phases))
+		for p := range cfg.Phases {
+			labels = append(labels, p)
+		}
+		sort.Strings(labels)
+		for _, p := range labels {
+			pp := cfg.Phases[p]
+			if pp.Protocol == ProtoMESI {
+				panic(fmt.Sprintf("machine: phase %q selects MESI, which cannot be phased", p))
+			}
+			dup := false
+			for _, have := range m.setOrder {
+				if have == pp {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				m.setOrder = append(m.setOrder, pp)
+			}
+		}
+	}
+	m.sets = make(map[PhaseProto][]coherence.L1, len(m.setOrder))
+	for _, pp := range m.setOrder {
+		set := m.buildL1Set(pp)
+		m.sets[pp] = set
+		if pp.Protocol == ProtoDeNovo && m.denovoL1s == nil {
+			m.denovoL1s = set
+		}
+	}
+	m.active = m.base
+	m.l1s = m.sets[m.base]
+	m.attachSet(m.l1s)
+	for i := 0; i < cfg.NumCUs; i++ {
+		m.cus = append(m.cus, gpu.New(noc.NodeID(i), m.eng, m.l1s[i], cfg.Model, m.st, m.meter, cfg.MaxResidentTBs))
+	}
+	return m
+}
+
+// buildL1Set constructs one per-CU L1 controller set for a PhaseProto.
+func (m *Machine) buildL1Set(pp PhaseProto) []coherence.L1 {
+	cfg := m.cfg
+	set := make([]coherence.L1, 0, cfg.NumCUs)
 	for i := 0; i < cfg.NumCUs; i++ {
 		node := noc.NodeID(i)
 		var l1 coherence.L1
-		switch cfg.Protocol {
+		switch pp.Protocol {
 		case ProtoGPU:
 			// HRF (GPU-H) adds per-word dirty bits for partial blocks.
 			l1 = gpucoh.New(node, m.eng, m.mesh, m.st, m.meter, cfg.L1Bytes, cfg.L1Ways, cfg.SBEntries,
-				cfg.Model == consistency.HRF)
+				pp.Model == consistency.HRF)
 		case ProtoDeNovo:
 			opts := denovo.Options{
 				LazyWrites:       cfg.LazyWrites,
@@ -240,7 +397,7 @@ func New(cfg Config) *Machine {
 		case ProtoMESI:
 			l1 = mesi.New(node, m.eng, m.mesh, m.st, m.meter, cfg.L1Bytes, cfg.L1Ways)
 		default:
-			panic(fmt.Sprintf("machine: unknown protocol %d", cfg.Protocol))
+			panic(fmt.Sprintf("machine: unknown protocol %d", pp.Protocol))
 		}
 		if cfg.FaultDisableAcquireInval {
 			if f, ok := l1.(interface{ DisableAcquireInvalidation() }); ok {
@@ -252,10 +409,26 @@ func New(cfg Config) *Machine {
 				f.EnableInvariantChecks()
 			}
 		}
-		m.l1s = append(m.l1s, l1)
-		m.cus = append(m.cus, gpu.New(node, m.eng, l1, cfg.Model, m.st, m.meter, cfg.MaxResidentTBs))
+		set = append(set, l1)
 	}
-	return m
+	return set
+}
+
+// attachSet points the mesh's per-node L1 ports at the given set.
+func (m *Machine) attachSet(set []coherence.L1) {
+	for i, l1 := range set {
+		m.mesh.Attach(noc.NodeID(i), noc.PortL1, l1.(noc.Handler))
+	}
+}
+
+// eachL1 visits every L1 controller of every set in deterministic
+// order (set construction order, then CU order).
+func (m *Machine) eachL1(fn func(l1 coherence.L1)) {
+	for _, pp := range m.setOrder {
+		for _, l1 := range m.sets[pp] {
+			fn(l1)
+		}
+	}
 }
 
 func (m *Machine) inReadOnly(w mem.Word) bool {
@@ -305,11 +478,11 @@ func (m *Machine) SetObservability(rec *obs.Recorder, sampler *obs.Sampler) {
 				m.banks[n].SetRecorder(rec)
 			}
 		}
-		for _, l1 := range m.l1s {
+		m.eachL1(func(l1 coherence.L1) {
 			if s, ok := l1.(interface{ SetRecorder(*obs.Recorder) }); ok {
 				s.SetRecorder(rec)
 			}
-		}
+		})
 		for _, cu := range m.cus {
 			cu.SetRecorder(rec)
 			rec.NameTrack(obs.DomainCU, int32(cu.Node), fmt.Sprintf("cu-%02d", int(cu.Node)))
@@ -323,51 +496,51 @@ func (m *Machine) SetObservability(rec *obs.Recorder, sampler *obs.Sampler) {
 	type sbProbe interface{ StoreBufferLen() int }
 	sampler.AddGauge("l1.mshr.sum", func() uint64 {
 		var sum uint64
-		for _, l1 := range m.l1s {
+		m.eachL1(func(l1 coherence.L1) {
 			if p, ok := l1.(mshrProbe); ok {
 				sum += uint64(p.MSHROccupancy())
 			}
-		}
+		})
 		return sum
 	})
 	sampler.AddGauge("l1.mshr.max", func() uint64 {
 		var max uint64
-		for _, l1 := range m.l1s {
+		m.eachL1(func(l1 coherence.L1) {
 			if p, ok := l1.(mshrProbe); ok {
 				if v := uint64(p.MSHROccupancy()); v > max {
 					max = v
 				}
 			}
-		}
+		})
 		return max
 	})
 	sampler.AddGauge("sb.depth.sum", func() uint64 {
 		var sum uint64
-		for _, l1 := range m.l1s {
+		m.eachL1(func(l1 coherence.L1) {
 			if p, ok := l1.(sbProbe); ok {
 				sum += uint64(p.StoreBufferLen())
 			}
-		}
+		})
 		return sum
 	})
 	sampler.AddGauge("sb.depth.max", func() uint64 {
 		var max uint64
-		for _, l1 := range m.l1s {
+		m.eachL1(func(l1 coherence.L1) {
 			if p, ok := l1.(sbProbe); ok {
 				if v := uint64(p.StoreBufferLen()); v > max {
 					max = v
 				}
 			}
-		}
+		})
 		return max
 	})
 	sampler.AddGauge("l1.out_regs.sum", func() uint64 {
 		var sum uint64
-		for _, l1 := range m.l1s {
+		m.eachL1(func(l1 coherence.L1) {
 			if p, ok := l1.(regProbe); ok {
 				sum += uint64(p.OutstandingRegistrations())
 			}
-		}
+		})
 		return sum
 	})
 	for n := noc.NodeID(0); n < noc.Nodes; n++ {
@@ -412,9 +585,14 @@ func (m *Machine) Launch(k workload.Kernel, numTBs, threadsPerTB int) {
 		cu := (tb + rot) % m.cfg.NumCUs
 		assign[cu] = append(assign[cu], tb)
 	}
+	overhead := m.cfg.LaunchOverheadCycles - m.drainOverlap
+	if overhead < 0 {
+		overhead = 0
+	}
+	m.drainOverlap = 0
 	complete := false
 	remaining := m.cfg.NumCUs
-	m.eng.Schedule(sim.Time(m.cfg.LaunchOverheadCycles), func() {
+	m.eng.Schedule(sim.Time(overhead), func() {
 		for i, cu := range m.cus {
 			cu.L1().Acquire(coherence.ScopeGlobal)
 			cu := cu
@@ -448,6 +626,176 @@ func (m *Machine) Launch(k workload.Kernel, numTBs, threadsPerTB int) {
 	}
 	m.st.Cycles = uint64(m.eng.Now())
 	m.st.Inc("kernels_launched", 1)
+	m.ranInPhase = true
+}
+
+var _ workload.PhasedHost = (*Machine)(nil)
+
+// LaunchPhase implements workload.PhasedHost: it runs the kernel under
+// the protocol/model Config.Phases selects for the phase label (the
+// base configuration for unlisted labels), performing a
+// phase-transition drain first when the selection differs from the
+// currently active one.
+func (m *Machine) LaunchPhase(phase string, k workload.Kernel, numTBs, threadsPerTB int) {
+	if m.err != nil {
+		return
+	}
+	target := m.base
+	if pp, ok := m.cfg.Phases[phase]; ok {
+		target = pp
+	}
+	if target != m.active {
+		if err := m.switchPhase(target); err != nil {
+			m.err = fmt.Errorf("machine: phase switch to %q: %w", phase, err)
+			return
+		}
+	}
+	m.Launch(k, numTBs, threadsPerTB)
+}
+
+// switchPhase performs the phase-transition drain and moves the CUs
+// onto the target PhaseProto's L1 set. The drain contract (DESIGN.md):
+//
+//  1. Quiesce: PhaseDrainCycles of simulated time pass while the
+//     outgoing set's store buffers and MSHRs empty. The previous
+//     kernel's boundary release already forced this, so finding a
+//     non-drained controller afterwards is a protocol bug, not a
+//     workload property.
+//  2. Retire registrations: every word the registry records as owned
+//     by an outgoing DeNovo L1 is recalled — the L1 surrenders the
+//     word's value, the home bank becomes the owner again. The
+//     incoming protocol thus finds a registry with no dangling owner
+//     pointers (the GPU protocol's bank-side atomics treat a
+//     registered word as a protocol-mixing bug).
+//  3. Drop: the outgoing caches flash-invalidate whatever clean state
+//     remains, so no stale copy can resurface if the machine later
+//     switches back.
+//  4. Verify (the phase-drain invariant, always armed here): the
+//     registry holds no registered words, and every outgoing
+//     controller is drained. With Config.Invariants set, the outgoing
+//     controllers' quiesced-state suites run as well.
+func (m *Machine) switchPhase(target PhaseProto) error {
+	// Simulated cost of the drain: the command processor quiesces the
+	// pipeline before reprogramming the L1s. A switch before any kernel
+	// has run in the active phase is free — there is nothing to
+	// quiesce, and programming the initial L1 mode rides along with the
+	// first kernel's dispatch.
+	if m.ranInPhase {
+		fired := false
+		m.eng.Schedule(sim.Time(m.cfg.PhaseDrainCycles), func() { fired = true })
+		if err := m.eng.Run(); err != nil {
+			return fmt.Errorf("phase-drain: %w", err)
+		}
+		if !fired {
+			return fmt.Errorf("phase-drain: drain event did not fire")
+		}
+		m.st.Cycles = uint64(m.eng.Now())
+		// The switch is on the way into a launch, so the drain runs
+		// concurrently with that kernel's dispatch; credit the overlap
+		// back against the launch overhead.
+		m.drainOverlap = m.cfg.PhaseDrainCycles
+	}
+
+	out := m.l1s
+	for i, l1 := range out {
+		if !l1.Drained() {
+			return fmt.Errorf("phase-drain: CU %d not drained at phase switch", i)
+		}
+	}
+	if m.active.Protocol == ProtoDeNovo {
+		if err := m.retireRegistrations(out); err != nil {
+			return err
+		}
+	}
+	for i, l1 := range out {
+		if d, ok := l1.(interface{ HostDropClean() (int, error) }); ok {
+			if _, err := d.HostDropClean(); err != nil {
+				return fmt.Errorf("phase-drain: CU %d: %w", i, err)
+			}
+		}
+	}
+	if err := m.checkPhaseDrain(out); err != nil {
+		return err
+	}
+	if m.cfg.Invariants {
+		for i, l1 := range out {
+			if ck, ok := l1.(interface{ CheckInvariants() error }); ok {
+				if err := ck.CheckInvariants(); err != nil {
+					return fmt.Errorf("phase-drain: CU %d: %w", i, err)
+				}
+			}
+		}
+	}
+
+	in := m.sets[target]
+	m.attachSet(in)
+	for i, cu := range m.cus {
+		cu.SetL1(in[i])
+		cu.SetModel(target.Model)
+	}
+	m.l1s = in
+	m.active = target
+	m.ranInPhase = false
+	m.st.Inc("phase_switches", 1)
+	return nil
+}
+
+// retireRegistrations recalls every registered word from the outgoing
+// DeNovo set to its home bank (step 2 of the drain contract). Words
+// are recalled in address order so the walk is deterministic
+// regardless of registry iteration order.
+func (m *Machine) retireRegistrations(out []coherence.L1) error {
+	for n := noc.NodeID(0); n < noc.Nodes; n++ {
+		bank := m.banks[n]
+		type regWord struct {
+			w     mem.Word
+			owner noc.NodeID
+		}
+		var regs []regWord
+		bank.ForEachRegistered(func(w mem.Word, owner noc.NodeID) {
+			regs = append(regs, regWord{w, owner})
+		})
+		sort.Slice(regs, func(i, j int) bool { return regs[i].w < regs[j].w })
+		for _, r := range regs {
+			if int(r.owner) >= len(out) {
+				return fmt.Errorf("phase-drain: word %v registered to nonexistent node %d", r.w, r.owner)
+			}
+			dn, ok := out[r.owner].(*denovo.Controller)
+			if !ok {
+				return fmt.Errorf("phase-drain: word %v registered to non-DeNovo node %d", r.w, r.owner)
+			}
+			v, ok := dn.HostSteal(r.w)
+			if !ok {
+				return fmt.Errorf("phase-drain: word %v registered to node %d, which does not own it", r.w, r.owner)
+			}
+			bank.Recall(r.w, v)
+		}
+	}
+	return nil
+}
+
+// checkPhaseDrain is the always-on phase-drain invariant: after the
+// drain, the registry must hold no registered words and every outgoing
+// controller must be quiescent. The mcheck suite lists it alongside
+// the protocol invariants (mcheck.Invariants, name "phase-drain").
+func (m *Machine) checkPhaseDrain(out []coherence.L1) error {
+	for n := noc.NodeID(0); n < noc.Nodes; n++ {
+		var err error
+		m.banks[n].ForEachRegistered(func(w mem.Word, owner noc.NodeID) {
+			if err == nil {
+				err = fmt.Errorf("phase-drain: word %v still registered to node %d after drain", w, owner)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for i, l1 := range out {
+		if !l1.Drained() {
+			return fmt.Errorf("phase-drain: CU %d not drained after drop", i)
+		}
+	}
+	return nil
 }
 
 // launchRot is the per-launch placement rotation: real GPU block
@@ -481,8 +829,8 @@ func (m *Machine) PlaceTB(cu, slot int) int {
 // automatically after every kernel, so every benchmark in the suite
 // doubles as a protocol invariant check.
 func (m *Machine) CheckInvariants() error {
-	switch m.cfg.Protocol {
-	case ProtoDeNovo:
+	switch {
+	case m.denovoL1s != nil:
 		for n := noc.NodeID(0); n < noc.Nodes; n++ {
 			bank := m.banks[n]
 			var err error
@@ -490,11 +838,11 @@ func (m *Machine) CheckInvariants() error {
 				if err != nil {
 					return
 				}
-				if int(owner) >= len(m.l1s) {
+				if int(owner) >= len(m.denovoL1s) {
 					err = fmt.Errorf("word %v registered to nonexistent node %d", w, owner)
 					return
 				}
-				dn := m.l1s[owner].(*denovo.Controller)
+				dn := m.denovoL1s[owner].(*denovo.Controller)
 				if !dn.OwnsWord(w) {
 					err = fmt.Errorf("word %v registered to node %d, which does not own it", w, owner)
 				}
@@ -503,7 +851,7 @@ func (m *Machine) CheckInvariants() error {
 				return err
 			}
 		}
-	case ProtoMESI:
+	case m.cfg.Protocol == ProtoMESI:
 		if !m.cfg.Invariants {
 			break
 		}
@@ -530,10 +878,12 @@ func (m *Machine) CheckInvariants() error {
 	if !m.cfg.Invariants {
 		return nil
 	}
-	for i, l1 := range m.l1s {
-		if ck, ok := l1.(interface{ CheckInvariants() error }); ok {
-			if err := ck.CheckInvariants(); err != nil {
-				return fmt.Errorf("CU %d: %w", i, err)
+	for _, pp := range m.setOrder {
+		for i, l1 := range m.sets[pp] {
+			if ck, ok := l1.(interface{ CheckInvariants() error }); ok {
+				if err := ck.CheckInvariants(); err != nil {
+					return fmt.Errorf("CU %d (%v set): %w", i, pp.Protocol, err)
+				}
 			}
 		}
 	}
@@ -549,8 +899,10 @@ func (m *Machine) Read(a mem.Addr) uint32 {
 		return m.mesiRead(w)
 	}
 	bank := m.banks[l2.HomeNode(w.LineOf())]
+	// Only the DeNovo set can hold registry-owned words, regardless of
+	// which set is currently active.
 	if owner := bank.PeekOwner(w); owner != l2.MemoryOwner {
-		if v, ok := m.l1s[owner].PeekWord(w); ok {
+		if v, ok := m.denovoL1s[owner].PeekWord(w); ok {
 			return v
 		}
 		panic(fmt.Sprintf("machine: registry says node %d owns %v but its L1 has no copy", owner, w))
@@ -592,10 +944,11 @@ func (m *Machine) WriteWords(base mem.Addr, vals []uint32) {
 		}
 		// Stale clean copies in any L1 must not survive (a
 		// read-only-region declaration could otherwise carry them past
-		// the next acquire).
-		for _, l1 := range m.l1s {
+		// the next acquire). Inactive phase sets are empty post-drain,
+		// but visiting them keeps the property unconditional.
+		m.eachL1(func(l1 coherence.L1) {
 			l1.HostInvalidateLine(l, mask)
-		}
+		})
 		off += n
 	}
 }
@@ -607,7 +960,7 @@ func (m *Machine) hostWriteRun(l mem.Line, first int, vals []uint32) {
 	for i, v := range vals {
 		w := l.Word(first + i)
 		if owner := bank.PeekOwner(w); owner != l2.MemoryOwner {
-			dn, ok := m.l1s[owner].(*denovo.Controller)
+			dn, ok := m.denovoL1s[owner].(*denovo.Controller)
 			if !ok {
 				panic("machine: non-DeNovo L1 owns a word")
 			}
@@ -664,9 +1017,11 @@ func (m *Machine) ClearReadOnly() {
 // state (DeNovo only), for debugging hangs.
 func (m *Machine) DumpL1s() string {
 	out := ""
-	for i, l1 := range m.l1s {
-		if dn, ok := l1.(*denovo.Controller); ok {
-			out += fmt.Sprintf("== CU %d (drained=%v)\n%s", i, dn.Drained(), dn.DebugDump())
+	for _, pp := range m.setOrder {
+		for i, l1 := range m.sets[pp] {
+			if dn, ok := l1.(*denovo.Controller); ok {
+				out += fmt.Sprintf("== CU %d (drained=%v)\n%s", i, dn.Drained(), dn.DebugDump())
+			}
 		}
 	}
 	return out

@@ -1,0 +1,183 @@
+package machine
+
+import (
+	"testing"
+
+	"denovogpu/internal/mem"
+	"denovogpu/internal/noc"
+	"denovogpu/internal/workload"
+)
+
+// countRegistered sums the words the L2 registry records as owned by
+// some L1 across all banks.
+func countRegistered(m *Machine) int {
+	n := 0
+	for node := noc.NodeID(0); node < noc.Nodes; node++ {
+		m.banks[node].ForEachRegistered(func(mem.Word, noc.NodeID) { n++ })
+	}
+	return n
+}
+
+// TestPhaseDrainLitmus is the litmus slice for the phase-transition
+// drain contract: a pull kernel under the specialized configuration's
+// DeNovo phase registers a spread of words (plain stores register
+// their targets), then the next push launch forces a DeNovo ->
+// writethrough switch. The drain must retire every registration back
+// to the home banks before the GPU protocol attaches — a registered
+// word surviving the switch is exactly the protocol-mixing hazard the
+// phase-drain invariant (mcheck suite) exists to rule out. The test
+// pins all four steps of the contract: values land (retire preserves
+// data), the registry empties (verify), and the follow-on push kernel
+// reads the drained values through the new protocol.
+func TestPhaseDrainLitmus(t *testing.T) {
+	cfg := Specialized()
+	cfg.Invariants = true // arm the quiesced-state suites at every switch
+	m := New(cfg)
+
+	const n = 256
+	src, dst := mem.Addr(0x10000), mem.Addr(0x20000)
+	const threads = 32
+	// Pull phase (DeNovo): every thread block stores to its own slice,
+	// registering those words to its CU's L1.
+	m.LaunchPhase(workload.PhasePull, func(c *workload.Ctx) {
+		base := c.TB * threads
+		out := make([]uint32, threads)
+		for i := range out {
+			out[i] = uint32(base + i + 1)
+		}
+		c.StoreStride(src+mem.Addr(4*base), out)
+	}, n/threads, threads)
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	reg := countRegistered(m)
+	if reg == 0 {
+		t.Fatal("pull kernel registered no words; the litmus is vacuous")
+	}
+	t.Logf("%d words registered before the switch", reg)
+
+	// Push phase (GPU writethrough): forces the drain, then reads the
+	// drained values under the new protocol and writes them through.
+	m.LaunchPhase(workload.PhasePush, func(c *workload.Ctx) {
+		base := c.TB * threads
+		vals := c.LoadStride(src + mem.Addr(4*base))
+		c.StoreStride(dst+mem.Addr(4*base), vals)
+	}, n/threads, threads)
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := countRegistered(m); got != 0 {
+		t.Fatalf("%d words still registered after the DeNovo -> writethrough drain", got)
+	}
+	// The specialized base phase is already DeNovo/DRF, so entering the
+	// pull phase is not a switch; only pull -> push is.
+	if got := m.Stats().Get("phase_switches"); got != 1 {
+		t.Fatalf("phase_switches = %d, want 1 (pull -> push)", got)
+	}
+	for i := 0; i < n; i++ {
+		if got := m.Read(dst + mem.Addr(4*i)); got != uint32(i+1) {
+			t.Fatalf("dst[%d] = %d, want %d: a drained value was lost or stale", i, got, i+1)
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPhaseDrainRoundTrip switches DeNovo -> GPU -> DeNovo and back
+// again, writing in every phase, to check that repeated drains neither
+// lose data nor let stale clean copies resurface after a protocol
+// returns (step 3 of the contract: non-read-only valid words are
+// dropped on the way out).
+func TestPhaseDrainRoundTrip(t *testing.T) {
+	m := New(Specialized())
+	const threads = 32
+	addr := mem.Addr(0x30000)
+	phases := []string{workload.PhasePull, workload.PhasePush, workload.PhasePull, workload.PhasePush}
+	for round, ph := range phases {
+		want := uint32(round)
+		m.LaunchPhase(ph, func(c *workload.Ctx) {
+			if c.TB != 0 {
+				return
+			}
+			vals := make([]uint32, threads)
+			for i := range vals {
+				vals[i] = want + uint32(i)
+			}
+			c.StoreStride(addr, vals)
+		}, 2, threads)
+		if err := m.Err(); err != nil {
+			t.Fatalf("round %d (%s): %v", round, ph, err)
+		}
+		for i := 0; i < threads; i++ {
+			if got := m.Read(addr + mem.Addr(4*i)); got != want+uint32(i) {
+				t.Fatalf("round %d (%s): word %d = %d, want %d", round, ph, i, got, want+uint32(i))
+			}
+		}
+	}
+	if got := m.Stats().Get("phase_switches"); got != 3 {
+		t.Fatalf("phase_switches = %d, want 3 (the first pull launch matches the base phase)", got)
+	}
+	if got := countRegistered(m); got != 0 {
+		t.Fatalf("%d words registered while the GPU protocol is active", got)
+	}
+}
+
+// TestPhaseDrainFirstSwitchFree pins the drain's timing model: a
+// switch before any kernel has run in the active phase costs no
+// simulated time (nothing is in flight to quiesce), and a real switch
+// after a kernel overlaps its PhaseDrainCycles with the next launch's
+// dispatch overhead, so at the default budgets a drain adds zero
+// end-to-end latency but still executes and is still verified.
+func TestPhaseDrainFirstSwitchFree(t *testing.T) {
+	kernel := func(c *workload.Ctx) {
+		c.Store(0x40000+mem.Addr(4*c.TB), uint32(c.TB))
+	}
+	run := func(t *testing.T, cfg Config, phases []string) uint64 {
+		m := New(cfg)
+		for _, ph := range phases {
+			m.LaunchPhase(ph, kernel, 4, 32)
+		}
+		if err := m.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Stats().Get("phase_switches"); got != uint64(len(phases)) {
+			t.Fatalf("phase_switches = %d, want %d", got, len(phases))
+		}
+		return m.Stats().Cycles
+	}
+
+	free := Specialized()
+	free.PhaseDrainCycles = 0
+	def := Specialized()
+	if def.PhaseDrainCycles > def.LaunchOverheadCycles {
+		t.Fatalf("default PhaseDrainCycles %d exceeds LaunchOverheadCycles %d; the overlap model assumes it fits",
+			def.PhaseDrainCycles, def.LaunchOverheadCycles)
+	}
+	slow := Specialized()
+	slow.PhaseDrainCycles = slow.LaunchOverheadCycles + 1000
+
+	// A switch before any kernel has run quiesces nothing: even an
+	// oversized drain budget must cost zero simulated time.
+	push := []string{workload.PhasePush}
+	if got, want := run(t, slow, push), run(t, free, push); got != want {
+		t.Fatalf("first switch cost %d cycles over the zero-budget baseline of %d; it should be free", got-want, want)
+	}
+
+	// A real switch (after the push kernel) runs its drain concurrently
+	// with the next launch's dispatch: at the default budgets it adds
+	// zero end-to-end latency.
+	pushPull := []string{workload.PhasePush, workload.PhasePull}
+	defCycles, freeCycles := run(t, def, pushPull), run(t, free, pushPull)
+	if defCycles != freeCycles {
+		t.Fatalf("default drain added %d cycles; it should hide under the dispatch overhead", defCycles-freeCycles)
+	}
+
+	// The overlap credit is capped at the dispatch overhead: a budget
+	// above it must surface as real latency.
+	if slowCycles := run(t, slow, pushPull); slowCycles <= defCycles {
+		t.Fatalf("oversized drain budget (%d cycles) did not add latency: %d vs %d cycles",
+			slow.PhaseDrainCycles, slowCycles, defCycles)
+	}
+}

@@ -28,6 +28,7 @@ func Invariants() []Invariant {
 		{"wb-lost", "every writeback ack finds its victim copy; no registered data is dropped"},
 		{"deadlock", "a non-terminal state always has an enabled transition (no lost wakeups, no stranded requests)"},
 		{"oracle-conformance", "every reachable terminal outcome is permitted by the consistency model's oracle"},
+		{"phase-drain", "after a phase-transition drain, the registry holds no registered words and every outgoing L1 is quiesced and clean — no ownership, buffered write, or non-read-only valid word survives a protocol switch (the model explores one protocol per run, so this is enforced by the runtime sanitizer at every switch rather than by state exploration)"},
 	}
 }
 

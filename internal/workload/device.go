@@ -141,3 +141,25 @@ func (c *Ctx) AtomicCAS(a mem.Addr, oldV, newV uint32, s coherence.Scope) uint32
 func (c *Ctx) AtomicExch(a mem.Addr, v uint32, s coherence.Scope) uint32 {
 	return c.Ex.Atomic(coherence.AtomicExch, a, v, 0, coherence.OrderAcqRel, s)
 }
+
+// Relaxed atomics (beyond the paper; Salvador et al.'s graph-analytics
+// extension). The RMW itself is indivisible, but it carries no
+// acquire/release ordering: no invalidation before subsequent accesses
+// and no store-buffer flush of prior writes. They are the accumulation
+// primitive of the push-phase graph kernels, where the only property
+// the algorithm needs is atomicity of the commutative update.
+
+// AtomicAddRelaxed is a relaxed fetch-and-add.
+func (c *Ctx) AtomicAddRelaxed(a mem.Addr, v uint32, s coherence.Scope) uint32 {
+	return c.Ex.Atomic(coherence.AtomicAdd, a, v, 0, coherence.OrderRelaxed, s)
+}
+
+// AtomicMinRelaxed is a relaxed fetch-and-min.
+func (c *Ctx) AtomicMinRelaxed(a mem.Addr, v uint32, s coherence.Scope) uint32 {
+	return c.Ex.Atomic(coherence.AtomicMin, a, v, 0, coherence.OrderRelaxed, s)
+}
+
+// AtomicExchRelaxed is a relaxed exchange (flag raising).
+func (c *Ctx) AtomicExchRelaxed(a mem.Addr, v uint32, s coherence.Scope) uint32 {
+	return c.Ex.Atomic(coherence.AtomicExch, a, v, 0, coherence.OrderRelaxed, s)
+}

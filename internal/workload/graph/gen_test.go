@@ -1,0 +1,133 @@
+package graph
+
+import (
+	"reflect"
+	"runtime"
+	"sort"
+	"testing"
+)
+
+// TestGenerateDeterministic pins the generator's portability contract:
+// the same seed yields a byte-identical graph regardless of
+// GOMAXPROCS, because generation walks one sequential splitmix64
+// stream and never consults the scheduler.
+func TestGenerateDeterministic(t *testing.T) {
+	p := Params{N: 640, AvgDeg: 8, Seed: 42}
+	base := Generate(p)
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	for _, procs := range []int{1, 2, old} {
+		runtime.GOMAXPROCS(procs)
+		g := Generate(p)
+		if !reflect.DeepEqual(base, g) {
+			t.Fatalf("GOMAXPROCS=%d: graph differs from the first generation", procs)
+		}
+	}
+	if reflect.DeepEqual(base, Generate(Params{N: 640, AvgDeg: 8, Seed: 43})) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+// TestGenerateWellFormed checks structural soundness for several
+// (size, seed) pairs: monotone CSR/CSC offsets covering the edge
+// arrays, in-range targets, no self-loops, no duplicate out-edges,
+// sorted per-vertex targets, weights in 1..8 that agree between CSR
+// and CSC, and CSC being exactly the transpose of CSR.
+func TestGenerateWellFormed(t *testing.T) {
+	for _, p := range []Params{
+		{N: 32, AvgDeg: 2, Seed: 1},
+		{N: 320, AvgDeg: 8, Seed: 7},
+		{N: 1920, AvgDeg: 8, Seed: 42},
+	} {
+		g := Generate(p)
+		n := p.N
+		if len(g.OutOff) != n+1 || len(g.InOff) != n+1 {
+			t.Fatalf("%+v: offset array lengths %d/%d", p, len(g.OutOff), len(g.InOff))
+		}
+		if g.OutOff[0] != 0 || int(g.OutOff[n]) != len(g.OutDst) {
+			t.Fatalf("%+v: CSR offsets do not span the edge array", p)
+		}
+		if g.InOff[0] != 0 || int(g.InOff[n]) != len(g.InSrc) {
+			t.Fatalf("%+v: CSC offsets do not span the edge array", p)
+		}
+		if len(g.OutW) != len(g.OutDst) || len(g.InW) != len(g.InSrc) || len(g.InSrc) != len(g.OutDst) {
+			t.Fatalf("%+v: edge array lengths disagree", p)
+		}
+		type edge struct{ u, v int32 }
+		csrW := map[edge]uint32{}
+		for u := 0; u < n; u++ {
+			lo, hi := g.OutOff[u], g.OutOff[u+1]
+			if lo > hi {
+				t.Fatalf("%+v: vertex %d has negative out-degree", p, u)
+			}
+			for e := lo; e < hi; e++ {
+				v := g.OutDst[e]
+				if v < 0 || int(v) >= n {
+					t.Fatalf("%+v: edge %d->%d out of range", p, u, v)
+				}
+				if int(v) == u {
+					t.Fatalf("%+v: self-loop at vertex %d", p, u)
+				}
+				if e > lo && g.OutDst[e-1] >= v {
+					t.Fatalf("%+v: vertex %d targets unsorted or duplicated (%d, %d)", p, u, g.OutDst[e-1], v)
+				}
+				if w := g.OutW[e]; w < 1 || w > 8 {
+					t.Fatalf("%+v: edge %d->%d weight %d outside 1..8", p, u, v, w)
+				}
+				csrW[edge{int32(u), v}] = g.OutW[e]
+			}
+		}
+		// CSC must be the exact transpose, weights included.
+		seen := 0
+		for v := 0; v < n; v++ {
+			for e := g.InOff[v]; e < g.InOff[v+1]; e++ {
+				u := g.InSrc[e]
+				w, ok := csrW[edge{u, int32(v)}]
+				if !ok {
+					t.Fatalf("%+v: CSC edge %d->%d missing from CSR", p, u, v)
+				}
+				if w != g.InW[e] {
+					t.Fatalf("%+v: edge %d->%d weight %d in CSR, %d in CSC", p, u, v, w, g.InW[e])
+				}
+				seen++
+			}
+		}
+		if seen != len(g.OutDst) {
+			t.Fatalf("%+v: CSC has %d edges, CSR has %d", p, seen, len(g.OutDst))
+		}
+	}
+}
+
+// TestGeneratePowerLaw checks the property the workloads depend on:
+// in-degree mass concentrates on low vertex indices (the hubs that
+// make push atomics contend and make the hub/tail PageRank partition
+// meaningful). The lowest-index 10% of vertices must absorb several
+// times their uniform share of in-edges, and the maximum in-degree
+// must dwarf the mean.
+func TestGeneratePowerLaw(t *testing.T) {
+	p := DefaultParams()
+	g := Generate(p)
+	n := p.N
+	inDeg := make([]int, n)
+	for _, v := range g.OutDst {
+		inDeg[v]++
+	}
+	hubEdges := 0
+	for v := 0; v < n/10; v++ {
+		hubEdges += inDeg[v]
+	}
+	if frac := float64(hubEdges) / float64(g.NumEdges()); frac < 0.25 {
+		t.Fatalf("lowest 10%% of vertices hold only %.1f%% of in-edges; degree distribution is not hub-skewed", 100*frac)
+	}
+	sorted := append([]int(nil), inDeg...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	mean := float64(g.NumEdges()) / float64(n)
+	if float64(sorted[0]) < 8*mean {
+		t.Fatalf("max in-degree %d is under 8x the mean %.1f; no hubs", sorted[0], mean)
+	}
+	// Mean out-degree should be in the neighbourhood of AvgDeg: the
+	// truncated power law targets it, duplicate rejection shaves a bit.
+	if mean < float64(p.AvgDeg)/2 || mean > float64(p.AvgDeg)*2 {
+		t.Fatalf("mean degree %.1f far from target %d", mean, p.AvgDeg)
+	}
+}

@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"fmt"
+
+	"denovogpu/internal/mem"
+	"denovogpu/internal/workload"
+)
+
+// threadsPerTB is the thread-block width; each block owns a contiguous
+// run of threadsPerTB vertices (one per lane for the dense scans).
+const threadsPerTB = 32
+
+// DefaultParams is the registered benchmark input: large enough that
+// the push phases contend on real hubs, small enough that a full
+// config sweep stays interactive. N is one vertex tile per persistent
+// worker (30 workers on the default 15-CU machine), so no worker's
+// double share stretches a kernel's critical path.
+func DefaultParams() Params { return Params{N: 1920, AvgDeg: 8, Seed: 42} }
+
+func init() {
+	workload.Register(BFS(DefaultParams()))
+	workload.Register(PageRank(DefaultParams()))
+	workload.Register(SSSP(DefaultParams()))
+}
+
+// numTBs returns the grid size covering n vertices.
+func numTBs(n int) int { return (n + threadsPerTB - 1) / threadsPerTB }
+
+// workersPerCU is how many persistent worker blocks each CU hosts.
+// Two keeps intra-CU memory-level parallelism (two resident blocks
+// interleave) without exceeding the residency limit.
+const workersPerCU = 2
+
+// workerGrid is the grid size for persistent-worker kernels: an exact
+// multiple of the CU count, so the machine's round-robin dispatch puts
+// the same workersPerCU blocks on every CU no matter the per-launch
+// placement rotation.
+func workerGrid(h workload.Host) int { return workersPerCU * h.NumCUs() }
+
+// workerRange returns the half-open, tile-aligned vertex range this
+// block's persistent worker covers out of n. Work is keyed by the
+// physical CU (plus the block's stable sub-slot on it), not by the
+// grid index: each consecutive group of NumCUs blocks lands one block
+// per CU, so CU X hosts workers {X*workersPerCU .. X*workersPerCU+
+// workersPerCU-1} in every kernel regardless of rotation. That is the
+// persistent-threads idiom GPU graph frameworks use to keep a CU's
+// slice of the frontier and its CSR/CSC window hot across kernel
+// launches — the locality the pull phases' ownership protocol turns
+// into local hits.
+func workerRange(c *workload.Ctx, n int) (int, int) {
+	wid := workerID(c)
+	workers := c.NumTBs / c.NumCUs * c.NumCUs
+	tiles := n / threadsPerTB
+	return wid * tiles / workers * threadsPerTB, (wid + 1) * tiles / workers * threadsPerTB
+}
+
+// workerID is the block's persistent worker index (stable across
+// kernels, per workerRange).
+func workerID(c *workload.Ctx) int {
+	return c.CU*(c.NumTBs/c.NumCUs) + c.TB/c.NumCUs
+}
+
+// maxWorkers bounds the per-worker count-slot arrays. A worker stores
+// its partial count into its own slot instead of a global atomic — the
+// per-block-reduction idiom that avoids contending on one counter word
+// — and the host sums the slots after the kernel.
+const maxWorkers = 64
+
+// u32s converts CSR index slices for seeding device memory.
+func u32s(xs []int32) []uint32 {
+	out := make([]uint32, len(xs))
+	for i, x := range xs {
+		out[i] = uint32(x)
+	}
+	return out
+}
+
+// fill returns n copies of v.
+func fill(n int, v uint32) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// sumSlots reads and totals the first n per-worker count slots.
+func sumSlots(h workload.Host, base mem.Addr, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += int(h.Read(base + mem.Addr(4*i)))
+	}
+	return total
+}
+
+// checkWords compares device memory against a reference vector.
+func checkWords(h workload.Host, name string, base mem.Addr, want []uint32) error {
+	for i, w := range want {
+		if got := h.Read(base + mem.Addr(4*i)); got != w {
+			return fmt.Errorf("%s: vertex %d = %d, want %d", name, i, got, w)
+		}
+	}
+	return nil
+}
+
+// inputDesc describes a graph input the way Table 4 describes sizes.
+func inputDesc(p Params) string {
+	return fmt.Sprintf("power-law N=%d avg-deg %d seed %d", p.N, p.AvgDeg, p.Seed)
+}

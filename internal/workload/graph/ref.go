@@ -1,0 +1,144 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"denovogpu/internal/mem"
+	"denovogpu/internal/workload"
+)
+
+// Sequential references. Each is a pure-Go serial implementation over
+// the same Graph the device kernels traverse; the differential tests
+// run every workload under every protocol configuration and compare
+// device memory against these, so a coherence or drain bug cannot hide
+// behind plausible traffic numbers.
+
+// refBFS returns the BFS level of every vertex from src (bfsInf if
+// unreachable). Push and pull device kernels both compute exactly
+// this: a vertex's level is determined by the first wave that reaches
+// it, no matter which direction discovered it.
+func refBFS(g *Graph, src int) []uint32 {
+	level := fill(g.P.N, bfsInf)
+	level[src] = 0
+	frontier := []int32{int32(src)}
+	for d := uint32(0); len(frontier) > 0; d++ {
+		var nextF []int32
+		for _, u := range frontier {
+			for e := g.OutOff[u]; e < g.OutOff[u+1]; e++ {
+				t := g.OutDst[e]
+				if level[t] == bfsInf {
+					level[t] = d + 1
+					nextF = append(nextF, t)
+				}
+			}
+		}
+		frontier = nextF
+	}
+	return level
+}
+
+// refPageRank replays the device's fixed-point arithmetic serially:
+// uint32 additions commute, so the parallel scatter's accumulator is
+// exactly this sum regardless of arrival order, and the hub gather is
+// a plain in-order sum over the same CSC the device kernel walks.
+func refPageRank(g *Graph) []uint32 {
+	n := g.P.N
+	hub := hubCut(n)
+	rank := fill(n, prOne)
+	contrib := make([]uint32, n)
+	for u := 0; u < n; u++ {
+		contrib[u] = prOne / uint32(g.OutOff[u+1]-g.OutOff[u])
+	}
+	acc := make([]uint32, n)
+	for it := 0; it < prIters; it++ {
+		for i := range acc {
+			acc[i] = 0
+		}
+		for u := 0; u < n; u++ {
+			for e := g.OutOff[u]; e < g.OutOff[u+1]; e++ {
+				if t := g.OutDst[e]; int(t) >= hub {
+					acc[t] += contrib[u]
+				}
+			}
+		}
+		for v := 0; v < hub; v++ {
+			s := uint32(0)
+			for e := g.InOff[v]; e < g.InOff[v+1]; e++ {
+				s += contrib[g.InSrc[e]]
+			}
+			acc[v] = s
+		}
+		for v := 0; v < n; v++ {
+			rank[v] = prBase + prDamp*acc[v]>>10
+			contrib[v] = rank[v] / uint32(g.OutOff[v+1]-g.OutOff[v])
+		}
+	}
+	return rank
+}
+
+// checkPRTolerance compares the device's fixed-point ranks against a
+// float64 PageRank of the same shape (the hub partition is invisible
+// in exact arithmetic: every target still receives each in-neighbor's
+// contribution exactly once). The fixed-point kernel floors once per
+// contribution division and once per damping shift, and those floors
+// compound through the iterations — a hub's in-neighbors deliver
+// slightly undersized contributions computed from already-undersized
+// ranks — so the band has a value-proportional term on top of the
+// per-edge one. Anything beyond it means updates were lost or
+// duplicated.
+func checkPRTolerance(h workload.Host, rankBase mem.Addr, g *Graph) error {
+	n := g.P.N
+	rank := make([]float64, n)
+	acc := make([]float64, n)
+	for i := range rank {
+		rank[i] = prOne
+	}
+	for it := 0; it < prIters; it++ {
+		for i := range acc {
+			acc[i] = 0
+		}
+		for u := 0; u < n; u++ {
+			contrib := rank[u] / float64(g.OutOff[u+1]-g.OutOff[u])
+			for e := g.OutOff[u]; e < g.OutOff[u+1]; e++ {
+				acc[g.OutDst[e]] += contrib
+			}
+		}
+		for v := 0; v < n; v++ {
+			rank[v] = prBase + float64(prDamp)/prOne*acc[v]
+		}
+	}
+	for v := 0; v < n; v++ {
+		got := float64(h.Read(rankBase + mem.Addr(4*v)))
+		inDeg := float64(g.InOff[v+1] - g.InOff[v])
+		tol := 16 + 0.06*rank[v] + 2*inDeg
+		if math.Abs(got-rank[v]) > tol {
+			return fmt.Errorf("PR: vertex %d = %.0f, float reference %.1f (tolerance %.0f)", v, got, rank[v], tol)
+		}
+	}
+	return nil
+}
+
+// refSSSP returns exact shortest distances from src (ssspInf if
+// unreachable) by Bellman-Ford iteration to fixpoint — the same
+// fixpoint the device's monotonic AtomicMin relaxation converges to.
+func refSSSP(g *Graph, src int) []uint32 {
+	dist := fill(g.P.N, ssspInf)
+	dist[src] = 0
+	for changed := true; changed; {
+		changed = false
+		for u := 0; u < g.P.N; u++ {
+			du := dist[u]
+			if du == ssspInf {
+				continue
+			}
+			for e := g.OutOff[u]; e < g.OutOff[u+1]; e++ {
+				if nd := du + g.OutW[e]; nd < dist[g.OutDst[e]] {
+					dist[g.OutDst[e]] = nd
+					changed = true
+				}
+			}
+		}
+	}
+	return dist
+}

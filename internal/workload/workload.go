@@ -31,6 +31,37 @@ type Host interface {
 	NumCUs() int
 }
 
+// Canonical kernel-phase labels for per-phase protocol specialization.
+// A "push" kernel scatters updates with relaxed atomics (writethrough
+// friendly); a "pull" kernel streams reads and issues plain stores to
+// data it will reuse (ownership friendly).
+const (
+	PhasePush = "push"
+	PhasePull = "pull"
+)
+
+// PhasedHost is an optional Host extension: a launch that names the
+// kernel's phase so the machine can specialize the coherence protocol
+// per phase (machine.Config.Phases). Hosts without the extension run
+// the kernel under the fixed base protocol.
+type PhasedHost interface {
+	Host
+	// LaunchPhase is Launch with a phase label. An unknown or empty
+	// phase runs under the base protocol.
+	LaunchPhase(phase string, k Kernel, numTBs, threadsPerTB int)
+}
+
+// LaunchPhase launches k under the named phase when the host supports
+// specialization, and falls back to a plain Launch otherwise. Workloads
+// call this so they run unchanged on both kinds of host.
+func LaunchPhase(h Host, phase string, k Kernel, numTBs, threadsPerTB int) {
+	if ph, ok := h.(PhasedHost); ok {
+		ph.LaunchPhase(phase, k, numTBs, threadsPerTB)
+		return
+	}
+	h.Launch(k, numTBs, threadsPerTB)
+}
+
 // Category groups benchmarks the way the paper's evaluation does.
 type Category int
 
@@ -44,6 +75,9 @@ const (
 	// LocalSync: microbenchmarks with mostly locally scoped or hybrid
 	// synchronization (Figure 4).
 	LocalSync
+	// Graph: irregular graph-analytics workloads with per-kernel-phase
+	// protocol specialization (beyond the paper; Salvador et al.).
+	Graph
 )
 
 func (c Category) String() string {
@@ -54,6 +88,8 @@ func (c Category) String() string {
 		return "global-sync"
 	case LocalSync:
 		return "local-sync"
+	case Graph:
+		return "graph"
 	default:
 		return fmt.Sprintf("Category(%d)", int(c))
 	}
