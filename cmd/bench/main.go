@@ -285,13 +285,23 @@ func sweep(matrix []pair, matrixName, label string, jobs int) (*section, error) 
 	return s, nil
 }
 
+// allocCellSlack is the absolute per-cell allocation headroom added on
+// top of the fractional tolerance. Steady-state cells allocate nothing
+// per event, so their counts are dominated by one-time pool warm-up and
+// are small (tens of thousands); a purely fractional gate on numbers
+// that small would trip on runtime-internal noise (GC metadata, map
+// growth timing, testing harness), while a purely absolute gate would
+// be meaningless for the bigger cells. The sum of the two absorbs both.
+const allocCellSlack = 5000
+
 // checkAgainst gates a measured sweep on machine-independent metrics
 // only. Per-cell fired event counts must equal the committed section's
 // (the simulator is deterministic, so a mismatch means simulated
 // behavior changed and the file must be regenerated deliberately), and
-// aggregate allocations over the shared cells may not grow by more than
-// tolerance (allocation counts are near-deterministic; the slack absorbs
-// runtime noise). Wall-clock throughput is printed for information but
+// allocations may not grow beyond tolerance — gated per cell when the
+// sweep ran serially (exact per-cell deltas, each allowed
+// ref*(1+tolerance)+allocCellSlack), and as the aggregate over shared
+// cells otherwise. Wall-clock throughput is printed for information but
 // never gated: the committed numbers were recorded on a different
 // machine than CI.
 func checkAgainst(cur, ref *section, tolerance float64) error {
@@ -323,6 +333,12 @@ func checkAgainst(cur, ref *section, tolerance float64) error {
 		if r.Events != rr.Events {
 			return fmt.Errorf("%s under %s fired %d events, committed %s section has %d: simulated behavior changed, regenerate the file if intended",
 				r.Workload, r.Config, r.Events, ref.Label, rr.Events)
+		}
+		if perCellAllocs && rr.Allocs > 0 {
+			if limit := uint64(float64(rr.Allocs)*(1.0+tolerance)) + allocCellSlack; r.Allocs > limit {
+				return fmt.Errorf("allocation regression in %s under %s: %d allocs, committed %s section has %d (limit %d = +%.0f%% + %d slack)",
+					r.Workload, r.Config, r.Allocs, ref.Label, rr.Allocs, limit, tolerance*100, allocCellSlack)
+			}
 		}
 	}
 	if cells == 0 {

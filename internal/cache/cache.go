@@ -12,6 +12,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"denovogpu/internal/mem"
 )
@@ -97,7 +98,16 @@ type Cache struct {
 	ways int
 	// frames[set*ways+way]
 	frames []Entry
-	tick   uint64
+	// occ is a conservative occupancy bitmap: one bit per frame, set
+	// whenever a frame pointer is handed out (Lookup/Peek/Victim) and
+	// cleared only by Invalidate when it observes the frame untagged.
+	// Every tagged frame has its bit set (frames are only tagged via
+	// Reset on a just-handed-out pointer); a set bit over an untagged
+	// frame is harmless. This lets Invalidate skip empty regions — on
+	// the GPU protocol it runs once per global acquire, usually over a
+	// mostly-empty cache.
+	occ  []uint64
+	tick uint64
 }
 
 // New returns a cache of the given total size and associativity with
@@ -108,7 +118,7 @@ func New(sizeBytes, ways int) *Cache {
 	if sets == 0 || sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cache: %d sets (size %d, ways %d) is not a power of two", sets, sizeBytes, ways))
 	}
-	return &Cache{sets: sets, ways: ways, frames: make([]Entry, sets*ways)}
+	return &Cache{sets: sets, ways: ways, frames: make([]Entry, sets*ways), occ: make([]uint64, (sets*ways+63)/64)}
 }
 
 // Sets returns the number of sets.
@@ -117,18 +127,22 @@ func (c *Cache) Sets() int { return c.sets }
 // Ways returns the associativity.
 func (c *Cache) Ways() int { return c.ways }
 
-func (c *Cache) set(l mem.Line) []Entry {
+func (c *Cache) set(l mem.Line) (base int, set []Entry) {
 	s := int(uint64(l) % uint64(c.sets))
-	return c.frames[s*c.ways : (s+1)*c.ways]
+	return s * c.ways, c.frames[s*c.ways : (s+1)*c.ways]
 }
+
+// mark records frame index idx in the occupancy bitmap.
+func (c *Cache) mark(idx int) { c.occ[idx>>6] |= 1 << (idx & 63) }
 
 // Lookup returns the frame holding l and bumps its recency, or nil.
 func (c *Cache) Lookup(l mem.Line) *Entry {
-	set := c.set(l)
+	base, set := c.set(l)
 	for i := range set {
 		if set[i].Tag && set[i].Line == l {
 			c.tick++
 			set[i].lru = c.tick
+			c.mark(base + i)
 			return &set[i]
 		}
 	}
@@ -137,9 +151,10 @@ func (c *Cache) Lookup(l mem.Line) *Entry {
 
 // Peek returns the frame holding l without touching recency, or nil.
 func (c *Cache) Peek(l mem.Line) *Entry {
-	set := c.set(l)
+	base, set := c.set(l)
 	for i := range set {
 		if set[i].Tag && set[i].Line == l {
+			c.mark(base + i)
 			return &set[i]
 		}
 	}
@@ -152,11 +167,13 @@ func (c *Cache) Peek(l mem.Line) *Entry {
 // later). The returned frame is NOT reset; the caller must inspect its
 // state (e.g. write back Registered words) before calling Reset.
 func (c *Cache) Victim(l mem.Line) *Entry {
-	set := c.set(l)
+	base, set := c.set(l)
 	var free, lru *Entry
+	freeIdx, lruIdx := -1, -1
 	for i := range set {
 		e := &set[i]
 		if e.Tag && e.Line == l {
+			c.mark(base + i)
 			return e
 		}
 		if e.Pinned {
@@ -164,16 +181,20 @@ func (c *Cache) Victim(l mem.Line) *Entry {
 		}
 		if !e.Tag {
 			if free == nil {
-				free = e
+				free, freeIdx = e, base+i
 			}
 			continue
 		}
 		if lru == nil || e.lru < lru.lru {
-			lru = e
+			lru, lruIdx = e, base+i
 		}
 	}
 	if free != nil {
+		c.mark(freeIdx)
 		return free
+	}
+	if lru != nil {
+		c.mark(lruIdx)
 	}
 	return lru
 }
@@ -202,25 +223,35 @@ func (c *Cache) ForEach(fn func(e *Entry)) {
 // region).
 func (c *Cache) Invalidate(keep func(e *Entry, word int) bool) int {
 	n := 0
-	for i := range c.frames {
-		e := &c.frames[i]
-		if !e.Tag {
+	for wi, occw := range c.occ {
+		if occw == 0 {
 			continue
 		}
-		live := false
-		for w := 0; w < mem.WordsPerLine; w++ {
-			if e.State[w] == Invalid {
+		rem := occw
+		for rem != 0 {
+			i := wi<<6 + bits.TrailingZeros64(rem)
+			rem &= rem - 1
+			e := &c.frames[i]
+			if !e.Tag {
+				c.occ[wi] &^= 1 << (i & 63)
 				continue
 			}
-			if keep(e, w) {
-				live = true
-				continue
+			live := false
+			for w := 0; w < mem.WordsPerLine; w++ {
+				if e.State[w] == Invalid {
+					continue
+				}
+				if keep(e, w) {
+					live = true
+					continue
+				}
+				e.State[w] = Invalid
+				n++
 			}
-			e.State[w] = Invalid
-			n++
-		}
-		if !live && !e.Pinned {
-			e.Tag = false
+			if !live && !e.Pinned {
+				e.Tag = false
+				c.occ[wi] &^= 1 << (i & 63)
+			}
 		}
 	}
 	return n

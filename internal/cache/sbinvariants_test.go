@@ -49,20 +49,28 @@ func TestStoreBufferCheckInvariantsDetectsCorruption(t *testing.T) {
 		return b
 	}
 
+	slot := func(b *StoreBuffer, w mem.Word) int32 {
+		i, ok := b.index.Get(uint64(w))
+		if !ok {
+			t.Fatalf("word %v not indexed", w)
+		}
+		return i
+	}
+
 	b := fresh()
-	b.index[w0] = b.index[w1]
+	b.index.Put(uint64(w0), slot(b, w1))
 	if err := b.CheckInvariants(); err == nil || !strings.Contains(err.Error(), "index points to") {
 		t.Fatalf("cross-linked index: got %v", err)
 	}
 
 	b = fresh()
-	delete(b.index, w1)
+	b.index.Delete(uint64(w1))
 	if err := b.CheckInvariants(); err == nil || !strings.Contains(err.Error(), "does not know") {
 		t.Fatalf("missing index entry: got %v", err)
 	}
 
 	b = fresh()
-	b.pool[b.index[w1]].prev = nilSlot
+	b.pool[slot(b, w1)].prev = nilSlot
 	if err := b.CheckInvariants(); err == nil || !strings.Contains(err.Error(), "has prev") {
 		t.Fatalf("broken back-pointer: got %v", err)
 	}
@@ -74,7 +82,7 @@ func TestStoreBufferCheckInvariantsDetectsCorruption(t *testing.T) {
 	}
 
 	b = fresh()
-	b.free = append(b.free, b.index[w0])
+	b.free = append(b.free, slot(b, w0))
 	if err := b.CheckInvariants(); err == nil || !strings.Contains(err.Error(), "pool leak") {
 		t.Fatalf("slot both live and free: got %v", err)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"denovogpu/internal/mem"
 	"denovogpu/internal/obs"
+	"denovogpu/internal/wordmap"
 )
 
 // SBEntry is one store-buffer slot: a pending word write.
@@ -40,7 +41,7 @@ type sbSlot struct {
 // single largest cost.
 type StoreBuffer struct {
 	cap        int
-	index      map[mem.Word]int32 // word -> pool slot of its live entry
+	index      wordmap.Map[int32] // word -> pool slot of its live entry
 	pool       []sbSlot
 	free       []int32 // recycled pool slots
 	head, tail int32   // live entries, insertion order
@@ -54,11 +55,10 @@ type StoreBuffer struct {
 // NewStoreBuffer returns a buffer with the given capacity in word slots.
 func NewStoreBuffer(capacity int) *StoreBuffer {
 	return &StoreBuffer{
-		cap:   capacity,
-		index: make(map[mem.Word]int32, capacity),
-		pool:  make([]sbSlot, 0, capacity),
-		head:  nilSlot,
-		tail:  nilSlot,
+		cap:  capacity,
+		pool: make([]sbSlot, 0, capacity),
+		head: nilSlot,
+		tail: nilSlot,
 	}
 }
 
@@ -73,14 +73,14 @@ func (b *StoreBuffer) SetRecorder(rec *obs.Recorder, track int32) {
 func (b *StoreBuffer) Cap() int { return b.cap }
 
 // Len returns the number of live slots.
-func (b *StoreBuffer) Len() int { return len(b.index) }
+func (b *StoreBuffer) Len() int { return b.index.Len() }
 
 // Full reports whether the buffer has no free slots.
-func (b *StoreBuffer) Full() bool { return len(b.index) >= b.cap }
+func (b *StoreBuffer) Full() bool { return b.index.Len() >= b.cap }
 
 // Lookup returns the buffered value for w, for store-to-load forwarding.
 func (b *StoreBuffer) Lookup(w mem.Word) (uint32, bool) {
-	i, ok := b.index[w]
+	i, ok := b.index.Get(uint64(w))
 	if !ok {
 		return 0, false
 	}
@@ -131,7 +131,7 @@ func (b *StoreBuffer) unlink(i int32) {
 // overflow destroys is the ability of *future* writes to the evicted
 // words to coalesce (the paper's LavaMD effect).
 func (b *StoreBuffer) Insert(w mem.Word, v uint32) (coalesced bool, evicted *LineGroup) {
-	if i, ok := b.index[w]; ok {
+	if i, ok := b.index.Get(uint64(w)); ok {
 		b.pool[i].val = v
 		if b.rec != nil {
 			b.rec.Emit(obs.SBCoalesce, b.track, uint64(w))
@@ -144,7 +144,7 @@ func (b *StoreBuffer) Insert(w mem.Word, v uint32) (coalesced bool, evicted *Lin
 	i := b.alloc()
 	b.pool[i] = sbSlot{word: w, val: v}
 	b.linkTail(i)
-	b.index[w] = i
+	b.index.Put(uint64(w), i)
 	if b.rec != nil {
 		b.rec.Emit(obs.SBInsert, b.track, uint64(w))
 	}
@@ -161,10 +161,10 @@ func (b *StoreBuffer) popOldestLine() *LineGroup {
 	words := uint64(0)
 	for i := 0; i < mem.WordsPerLine; i++ {
 		word := g.Line.Word(i)
-		if si, ok := b.index[word]; ok {
+		if si, ok := b.index.Get(uint64(word)); ok {
 			g.Mask |= mem.Bit(i)
 			g.Data[i] = b.pool[si].val
-			delete(b.index, word)
+			b.index.Delete(uint64(word))
 			b.unlink(si)
 			words++
 		}
@@ -178,12 +178,12 @@ func (b *StoreBuffer) popOldestLine() *LineGroup {
 // Remove deletes the slot for w (e.g. when its registration completes)
 // and returns its value.
 func (b *StoreBuffer) Remove(w mem.Word) (uint32, bool) {
-	i, ok := b.index[w]
+	i, ok := b.index.Get(uint64(w))
 	if !ok {
 		return 0, false
 	}
 	v := b.pool[i].val
-	delete(b.index, w)
+	b.index.Delete(uint64(w))
 	b.unlink(i)
 	if b.rec != nil {
 		b.rec.Emit(obs.SBDrain, b.track, 1)
@@ -213,17 +213,17 @@ func (b *StoreBuffer) AppendEntries(dst []SBEntry) []SBEntry {
 // Entries returns all live slots in insertion order without removing
 // them.
 func (b *StoreBuffer) Entries() []SBEntry {
-	return b.AppendEntries(make([]SBEntry, 0, len(b.index)))
+	return b.AppendEntries(make([]SBEntry, 0, b.index.Len()))
 }
 
 // AppendDrain empties the buffer, appending all slots in insertion
 // order to dst (the allocation-free variant of DrainAll).
 func (b *StoreBuffer) AppendDrain(dst []SBEntry) []SBEntry {
 	dst = b.AppendEntries(dst)
-	if b.rec != nil && len(b.index) > 0 {
-		b.rec.Emit(obs.SBDrain, b.track, uint64(len(b.index)))
+	if b.rec != nil && b.index.Len() > 0 {
+		b.rec.Emit(obs.SBDrain, b.track, uint64(b.index.Len()))
 	}
-	clear(b.index)
+	b.index.Reset()
 	b.pool = b.pool[:0]
 	b.free = b.free[:0]
 	b.head, b.tail = nilSlot, nilSlot
@@ -232,7 +232,7 @@ func (b *StoreBuffer) AppendDrain(dst []SBEntry) []SBEntry {
 
 // DrainAll empties the buffer, returning all slots in insertion order.
 func (b *StoreBuffer) DrainAll() []SBEntry {
-	return b.AppendDrain(make([]SBEntry, 0, len(b.index)))
+	return b.AppendDrain(make([]SBEntry, 0, b.index.Len()))
 }
 
 // CheckInvariants validates the buffer's internal structure (the
@@ -251,7 +251,7 @@ func (b *StoreBuffer) CheckInvariants() error {
 		if s.prev != prev {
 			return fmt.Errorf("cache: store buffer slot %d has prev %d, want %d", i, s.prev, prev)
 		}
-		j, ok := b.index[s.word]
+		j, ok := b.index.Get(uint64(s.word))
 		if !ok {
 			return fmt.Errorf("cache: store buffer slot %d holds %v, which the index does not know", i, s.word)
 		}
@@ -259,16 +259,16 @@ func (b *StoreBuffer) CheckInvariants() error {
 			return fmt.Errorf("cache: store buffer holds %v at slot %d but the index points to slot %d (duplicate word or stale index)", s.word, i, j)
 		}
 		live++
-		if live > len(b.index) {
-			return fmt.Errorf("cache: store buffer list is longer than its %d-entry index (cycle or leaked slot)", len(b.index))
+		if live > b.index.Len() {
+			return fmt.Errorf("cache: store buffer list is longer than its %d-entry index (cycle or leaked slot)", b.index.Len())
 		}
 		prev = i
 	}
 	if b.tail != prev {
 		return fmt.Errorf("cache: store buffer tail is slot %d, but the list ends at slot %d", b.tail, prev)
 	}
-	if live != len(b.index) {
-		return fmt.Errorf("cache: store buffer list has %d slots but the index has %d entries", live, len(b.index))
+	if live != b.index.Len() {
+		return fmt.Errorf("cache: store buffer list has %d slots but the index has %d entries", live, b.index.Len())
 	}
 	if live+len(b.free) != len(b.pool) {
 		return fmt.Errorf("cache: store buffer pool leak: %d live + %d free != %d pooled", live, len(b.free), len(b.pool))
@@ -323,25 +323,24 @@ func GroupByLine(entries []SBEntry) []LineGroup {
 // transferred by RegXfer that may still receive stale forwards. It is a
 // correctness structure for protocol races, not a performance one.
 type VictimBuffer struct {
-	vals map[mem.Word]uint32
+	vals wordmap.Map[uint32]
 }
 
 // NewVictimBuffer returns an empty victim buffer.
 func NewVictimBuffer() *VictimBuffer {
-	return &VictimBuffer{vals: make(map[mem.Word]uint32)}
+	return &VictimBuffer{}
 }
 
 // Put stores a word value.
-func (v *VictimBuffer) Put(w mem.Word, val uint32) { v.vals[w] = val }
+func (v *VictimBuffer) Put(w mem.Word, val uint32) { v.vals.Put(uint64(w), val) }
 
 // Get returns a word value if present.
 func (v *VictimBuffer) Get(w mem.Word) (uint32, bool) {
-	val, ok := v.vals[w]
-	return val, ok
+	return v.vals.Get(uint64(w))
 }
 
 // Drop removes a word.
-func (v *VictimBuffer) Drop(w mem.Word) { delete(v.vals, w) }
+func (v *VictimBuffer) Drop(w mem.Word) { v.vals.Delete(uint64(w)) }
 
 // Len returns the number of held words.
-func (v *VictimBuffer) Len() int { return len(v.vals) }
+func (v *VictimBuffer) Len() int { return v.vals.Len() }

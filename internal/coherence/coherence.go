@@ -263,17 +263,12 @@ type Msg struct {
 	ID uint64
 }
 
-// NocSrc implements noc.Packet.
-func (m *Msg) NocSrc() noc.NodeID { return m.Src }
+// NocRoute implements noc.Packet in a single dynamic dispatch.
+func (m *Msg) NocRoute() noc.Route {
+	return noc.Route{Src: m.Src, Dst: m.Dst, Port: m.Port, Class: m.NocClass(), PayloadBytes: m.PayloadBytes()}
+}
 
-// NocDst implements noc.Packet.
-func (m *Msg) NocDst() noc.NodeID { return m.Dst }
-
-// NocPort implements noc.Packet.
-func (m *Msg) NocPort() noc.Port { return m.Port }
-
-// NocClass implements noc.Packet, classifying traffic the way the
-// paper's figures do.
+// NocClass classifies traffic the way the paper's figures do.
 func (m *Msg) NocClass() stats.TrafficClass {
 	switch m.Kind {
 	case ReadReq, ReadResp, ReadFwd, DirectReadReq, ReadNack:
@@ -292,8 +287,9 @@ func (m *Msg) NocClass() stats.TrafficClass {
 	}
 }
 
-// PayloadBytes implements noc.Packet. Control messages carry no payload
-// beyond the header; data-bearing messages carry 4 bytes per word moved.
+// PayloadBytes reports the message's data payload. Control messages
+// carry nothing beyond the header; data-bearing messages carry 4 bytes
+// per word moved.
 // This is where DeNovo's decoupled transfer granularity pays off on the
 // wire: a response carries only the words it actually moves.
 func (m *Msg) PayloadBytes() int {

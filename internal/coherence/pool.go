@@ -1,0 +1,46 @@
+package coherence
+
+// MsgPool is a free list of Msg structs, eliminating the per-message
+// heap allocation that dominated the mesh traffic cost (~136 bytes per
+// Send before pooling).
+//
+// Ownership discipline: a message belongs to its sender until Send,
+// then to the receiving handler. The receiver returns it with Put once
+// processing is complete — including any processing deferred behind a
+// DRAM fetch — and must copy out anything it keeps longer (the
+// controllers already copy messages they defer). Each component keeps
+// its own private pool; free messages migrate between pools as traffic
+// flows (an L1's request is freed into the bank's pool, the bank's
+// response into the L1's), which needs no sharing or synchronization
+// because every pool belongs to one single-threaded machine.
+//
+// Not safe for concurrent use, exactly like the components that embed
+// it.
+type MsgPool struct {
+	free []*Msg
+}
+
+// Get returns a zeroed message from the pool, allocating if empty.
+func (p *MsgPool) Get() *Msg {
+	if n := len(p.free); n > 0 {
+		m := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return m
+	}
+	return &Msg{}
+}
+
+// NewMsg returns a pooled message initialized to v — a drop-in for
+// &Msg{...} literals at send sites.
+func (p *MsgPool) NewMsg(v Msg) *Msg {
+	m := p.Get()
+	*m = v
+	return m
+}
+
+// Put returns a message to the pool. The caller must not touch m
+// afterwards.
+func (p *MsgPool) Put(m *Msg) {
+	p.free = append(p.free, m)
+}

@@ -149,9 +149,9 @@ type Controller struct {
 
 	cache  *cache.Cache
 	sb     *cache.StoreBuffer // data writes awaiting registration (or delayed, when lazy)
-	lazy   map[mem.Word]bool  // sb slots whose registration is delayed
+	lazy   wordmap.Map[bool]  // sb slots whose registration is delayed
 	victim *cache.VictimBuffer
-	vstate wordmap.Map[*victimWord]
+	vstate wordmap.Map[victimWord]
 
 	// The per-word/per-line transaction tables below are open-addressed
 	// (wordmap) rather than builtin maps: they sit on the protocol's
@@ -168,7 +168,7 @@ type Controller struct {
 	reads   wordmap.Map[*readTxn]
 	lineTxn wordmap.Map[uint64]
 
-	pins map[mem.Line]int
+	pins wordmap.Map[int32]
 
 	nextID       uint64
 	epoch        uint64
@@ -176,10 +176,22 @@ type Controller struct {
 	spaceWaiters []func()
 
 	// lostAt/backoffDelay drive Options.SyncBackoff.
-	lostAt       map[mem.Word]sim.Time
-	backoffDelay map[mem.Word]sim.Time
+	lostAt       wordmap.Map[sim.Time]
+	backoffDelay wordmap.Map[sim.Time]
 	// lastSupplier predicts owners for Options.DirectTransfer.
-	lastSupplier map[mem.Line]noc.NodeID
+	lastSupplier wordmap.Map[noc.NodeID]
+
+	// pool recycles coherence messages (see coherence.MsgPool); the
+	// free lists below recycle event payloads and transaction structs so
+	// the steady-state access path allocates nothing.
+	pool          coherence.MsgPool
+	readDoneFree  []*readDoneTask
+	syncDoneFree  []*syncDoneTask
+	retryFree     []*retryInstallTask
+	regTxnFree    []*regTxn
+	readTxnFree   []*readTxn
+	relWaiterFree []*relWaiter
+	sbFreedT      sbFreedTask
 
 	// faultNoAcqInval makes global acquires no-ops (test-only fault
 	// injection; see DisableAcquireInvalidation).
@@ -210,25 +222,143 @@ type lineMask struct {
 // existed when it was issued. Entries buffered afterwards belong to
 // other thread blocks and must not block this release — they will be
 // covered by their own block's release (waiting for them can deadlock
-// if their block has already finished).
+// if their block has already finished). Waiters are pooled; pending
+// keeps its backing storage across reuse.
 type relWaiter struct {
-	pending map[mem.Word]struct{}
+	pending wordmap.Map[bool]
 	cb      func()
+}
+
+// readDoneTask is the pooled payload of a read-completion event.
+type readDoneTask struct {
+	c    *Controller
+	vals [mem.WordsPerLine]uint32
+	cb   func([mem.WordsPerLine]uint32)
+}
+
+func (t *readDoneTask) Run() {
+	c, cb, vals := t.c, t.cb, t.vals
+	t.cb = nil
+	c.readDoneFree = append(c.readDoneFree, t)
+	cb(vals)
+}
+
+func (c *Controller) scheduleReadDone(d sim.Time, vals [mem.WordsPerLine]uint32, cb func([mem.WordsPerLine]uint32)) {
+	var t *readDoneTask
+	if n := len(c.readDoneFree); n > 0 {
+		t = c.readDoneFree[n-1]
+		c.readDoneFree[n-1] = nil
+		c.readDoneFree = c.readDoneFree[:n-1]
+	} else {
+		t = &readDoneTask{c: c}
+	}
+	t.vals, t.cb = vals, cb
+	c.eng.ScheduleTask(d, t)
+}
+
+// syncDoneTask is the pooled payload of a synchronization-completion
+// event.
+type syncDoneTask struct {
+	c   *Controller
+	ret uint32
+	cb  func(uint32)
+}
+
+func (t *syncDoneTask) Run() {
+	c, cb, ret := t.c, t.cb, t.ret
+	t.cb = nil
+	c.syncDoneFree = append(c.syncDoneFree, t)
+	cb(ret)
+}
+
+func (c *Controller) scheduleSyncDone(d sim.Time, ret uint32, cb func(uint32)) {
+	var t *syncDoneTask
+	if n := len(c.syncDoneFree); n > 0 {
+		t = c.syncDoneFree[n-1]
+		c.syncDoneFree[n-1] = nil
+		c.syncDoneFree = c.syncDoneFree[:n-1]
+	} else {
+		t = &syncDoneTask{c: c}
+	}
+	t.ret, t.cb = ret, cb
+	c.eng.ScheduleTask(d, t)
+}
+
+// retryInstallTask is the pooled payload of a frame-retry event.
+type retryInstallTask struct {
+	c *Controller
+	w mem.Word
+}
+
+func (t *retryInstallTask) Run() {
+	c, w := t.c, t.w
+	c.retryFree = append(c.retryFree, t)
+	c.retryInstall(w)
+}
+
+func (c *Controller) scheduleRetryInstall(d sim.Time, w mem.Word) {
+	var t *retryInstallTask
+	if n := len(c.retryFree); n > 0 {
+		t = c.retryFree[n-1]
+		c.retryFree[n-1] = nil
+		c.retryFree = c.retryFree[:n-1]
+	} else {
+		t = &retryInstallTask{c: c}
+	}
+	t.w = w
+	c.eng.ScheduleTask(d, t)
+}
+
+// sbFreedTask wakes stalled writers; one persistent instance per
+// controller (Run only drains waiters, so concurrent schedulings of the
+// same instance are harmless).
+type sbFreedTask struct{ c *Controller }
+
+func (t *sbFreedTask) Run() { t.c.sbFreed() }
+
+// Transaction struct pools: regTxn/readTxn keep their waiter-slice
+// capacity across reuse, so steady-state transactions allocate nothing.
+
+func (c *Controller) newRegTxn() *regTxn {
+	if n := len(c.regTxnFree); n > 0 {
+		t := c.regTxnFree[n-1]
+		c.regTxnFree[n-1] = nil
+		c.regTxnFree = c.regTxnFree[:n-1]
+		return t
+	}
+	return &regTxn{}
+}
+
+func (c *Controller) freeRegTxn(t *regTxn) {
+	t.dataWrite = false
+	t.syncWaiters = t.syncWaiters[:0]
+	c.regTxnFree = append(c.regTxnFree, t)
+}
+
+func (c *Controller) newReadTxn() *readTxn {
+	if n := len(c.readTxnFree); n > 0 {
+		t := c.readTxnFree[n-1]
+		c.readTxnFree[n-1] = nil
+		c.readTxnFree = c.readTxnFree[:n-1]
+		return t
+	}
+	return &readTxn{}
+}
+
+func (c *Controller) freeReadTxn(t *readTxn) {
+	*t = readTxn{waiters: t.waiters[:0]}
+	c.readTxnFree = append(c.readTxnFree, t)
 }
 
 // New returns a DeNovo L1 controller attached to the mesh at node.
 func New(node noc.NodeID, eng *sim.Engine, mesh *noc.Mesh, st *stats.Stats, meter *energy.Meter, l1Bytes, l1Ways, sbEntries int, opts Options) *Controller {
 	c := &Controller{
 		node: node, eng: eng, mesh: mesh, st: st, meter: meter, opts: opts,
-		cache:        cache.New(l1Bytes, l1Ways),
-		sb:           cache.NewStoreBuffer(sbEntries),
-		lazy:         make(map[mem.Word]bool),
-		victim:       cache.NewVictimBuffer(),
-		pins:         make(map[mem.Line]int),
-		lostAt:       make(map[mem.Word]sim.Time),
-		backoffDelay: make(map[mem.Word]sim.Time),
-		lastSupplier: make(map[mem.Line]noc.NodeID),
+		cache:  cache.New(l1Bytes, l1Ways),
+		sb:     cache.NewStoreBuffer(sbEntries),
+		victim: cache.NewVictimBuffer(),
 	}
+	c.sbFreedT.c = c
 	mesh.Attach(node, noc.PortL1, c)
 	return c
 }
@@ -254,19 +384,22 @@ func (c *Controller) OutstandingRegistrations() int { return c.regs.Len() }
 // evicted.
 
 func (c *Controller) pin(l mem.Line) {
-	c.pins[l]++
+	(*c.pins.Upsert(uint64(l)))++
 	if e := c.cache.Peek(l); e != nil {
 		e.Pinned = true
 	}
 }
 
 func (c *Controller) unpin(l mem.Line) {
-	c.pins[l]--
-	if c.pins[l] <= 0 {
-		delete(c.pins, l)
-		if e := c.cache.Peek(l); e != nil {
-			e.Pinned = false
+	if p, ok := c.pins.Ptr(uint64(l)); ok {
+		*p--
+		if *p > 0 {
+			return
 		}
+	}
+	c.pins.Delete(uint64(l))
+	if e := c.cache.Peek(l); e != nil {
+		e.Pinned = false
 	}
 }
 
@@ -285,7 +418,8 @@ func (c *Controller) frame(l mem.Line) *cache.Entry {
 		c.evict(e)
 	}
 	e.Reset(l)
-	e.Pinned = c.pins[l] > 0
+	n, _ := c.pins.Get(uint64(l))
+	e.Pinned = n > 0
 	return e
 }
 
@@ -304,13 +438,13 @@ func (c *Controller) evict(e *cache.Entry) {
 		if reg.Has(i) {
 			w := e.Line.Word(i)
 			c.victim.Put(w, e.Data[i])
-			c.vstate.Put(uint64(w), &victimWord{})
+			c.vstate.Put(uint64(w), victimWord{})
 		}
 	}
-	c.mesh.Send(&coherence.Msg{
+	c.mesh.Send(c.pool.NewMsg(coherence.Msg{
 		Kind: coherence.WriteBack, Src: c.node, Dst: l2.HomeNode(e.Line), Port: noc.PortL2,
 		Line: e.Line, Mask: reg, Data: e.Data,
-	})
+	}))
 }
 
 // ReadLine implements coherence.L1.
@@ -342,7 +476,7 @@ func (c *Controller) ReadLine(l mem.Line, need mem.WordMask, cb func([mem.WordsP
 		if c.rec != nil {
 			c.rec.Emit(obs.L1ReadHit, int32(c.node), uint64(l))
 		}
-		c.eng.Schedule(coherence.L1HitCycles, func() { cb(vals) })
+		c.scheduleReadDone(coherence.L1HitCycles, vals, cb)
 		return
 	}
 	c.st.IncKey(kL1ReadMisses, 1)
@@ -363,33 +497,34 @@ func (c *Controller) ReadLine(l mem.Line, need mem.WordMask, cb func([mem.WordsP
 				// forward); issue a supplementary request under the same
 				// transaction.
 				t.requested |= extra
-				c.mesh.Send(&coherence.Msg{
+				c.mesh.Send(c.pool.NewMsg(coherence.Msg{
 					Kind: coherence.ReadReq, Src: c.node, Dst: l2.HomeNode(l), Port: noc.PortL2,
 					Line: l, Mask: extra, ID: id,
-				})
+				}))
 			}
 		}
 	}
 	if txn == nil {
 		c.nextID++
-		txn = &readTxn{line: l, epoch: c.epoch, requested: missing}
+		txn = c.newReadTxn()
+		txn.line, txn.epoch, txn.requested = l, c.epoch, missing
 		c.reads.Put(c.nextID, txn)
 		c.lineTxn.Put(uint64(l), c.nextID)
 		c.pin(l)
-		if pred, ok := c.lastSupplier[l]; c.opts.DirectTransfer && ok && pred != c.node {
+		if pred, ok := c.lastSupplier.Get(uint64(l)); c.opts.DirectTransfer && ok && pred != c.node {
 			// Direct cache-to-cache transfer: try the L1 that last
 			// supplied this line (2 hops) before the registry (3 hops).
 			txn.direct = true
 			c.st.IncKey(kL1DirectReads, 1)
-			c.mesh.Send(&coherence.Msg{
+			c.mesh.Send(c.pool.NewMsg(coherence.Msg{
 				Kind: coherence.DirectReadReq, Src: c.node, Dst: pred, Port: noc.PortL1,
 				Line: l, Mask: missing, ID: c.nextID,
-			})
+			}))
 		} else {
-			c.mesh.Send(&coherence.Msg{
+			c.mesh.Send(c.pool.NewMsg(coherence.Msg{
 				Kind: coherence.ReadReq, Src: c.node, Dst: l2.HomeNode(l), Port: noc.PortL2,
 				Line: l, Mask: missing, ID: c.nextID,
-			})
+			}))
 		}
 	}
 	txn.waiters = append(txn.waiters, readWaiter{need: missing, vals: vals, cb: cb})
@@ -460,9 +595,11 @@ func (c *Controller) writeRun(l mem.Line, mask mem.WordMask, data [mem.WordsPerL
 		c.meter.StoreBuffer(1)
 		c.sb.Insert(w, data[i])
 		if c.opts.LazyWrites {
-			c.lazy[w] = true
+			c.lazy.Put(uint64(w), true)
 		} else {
-			c.regs.Put(uint64(w), &regTxn{dataWrite: true})
+			txn := c.newRegTxn()
+			txn.dataWrite = true
+			c.regs.Put(uint64(w), txn)
 			c.pin(l)
 			newReg |= mem.Bit(i)
 		}
@@ -489,13 +626,15 @@ func (c *Controller) kickOldestLazy() {
 	if !c.opts.LazyWrites {
 		return
 	}
-	if oldest, ok := c.sb.PeekOldest(); ok && c.lazy[oldest.Word] {
+	if oldest, ok := c.sb.PeekOldest(); ok && c.lazy.Has(uint64(oldest.Word)) {
 		c.st.IncKey(kSbKickedRegs, 1)
-		delete(c.lazy, oldest.Word)
+		c.lazy.Delete(uint64(oldest.Word))
 		if c.invariants && c.regs.Has(uint64(oldest.Word)) {
 			panic(fmt.Sprintf("denovo: lazy-reg-exclusive: node %d kicked delayed %v over its in-flight registration", c.node, oldest.Word))
 		}
-		c.regs.Put(uint64(oldest.Word), &regTxn{dataWrite: true})
+		txn := c.newRegTxn()
+		txn.dataWrite = true
+		c.regs.Put(uint64(oldest.Word), txn)
 		c.pin(oldest.Word.LineOf())
 		c.sendRegReq(oldest.Word.LineOf(), mem.Bit(oldest.Word.Index()), false, false)
 	}
@@ -503,10 +642,10 @@ func (c *Controller) kickOldestLazy() {
 
 func (c *Controller) sendRegReq(l mem.Line, mask mem.WordMask, sync, needsData bool) {
 	c.st.IncKey(kL1RegRequests, 1)
-	c.mesh.Send(&coherence.Msg{
+	c.mesh.Send(c.pool.NewMsg(coherence.Msg{
 		Kind: coherence.RegReq, Src: c.node, Dst: l2.HomeNode(l), Port: noc.PortL2,
 		Line: l, Mask: mask, Sync: sync, NeedsData: needsData,
-	})
+	}))
 }
 
 // Atomic implements coherence.L1: DeNovoSync0 registers synchronization
@@ -536,7 +675,7 @@ func (c *Controller) Atomic(op coherence.AtomicOp, w mem.Word, operand, operand2
 			c.rec.Emit(obs.L1SyncHit, int32(c.node), uint64(w))
 		}
 		c.meter.L1Access(1)
-		c.eng.Schedule(coherence.L1HitCycles, func() { cb(ret) })
+		c.scheduleSyncDone(coherence.L1HitCycles, ret, cb)
 		c.serviceDeferred(w)
 		return
 	}
@@ -547,20 +686,20 @@ func (c *Controller) Atomic(op coherence.AtomicOp, w mem.Word, operand, operand2
 		if c.rec != nil {
 			c.rec.Emit(obs.L1SyncHit, int32(c.node), uint64(w))
 		}
-		c.eng.Schedule(coherence.L1HitCycles, func() { cb(ret) })
+		c.scheduleSyncDone(coherence.L1HitCycles, ret, cb)
 		return
 	}
 	txn, _ := c.regs.Get(uint64(w))
 	if txn == nil {
-		txn = &regTxn{}
-		if c.opts.LazyWrites && c.lazy[w] {
+		txn = c.newRegTxn()
+		if c.opts.LazyWrites && c.lazy.Has(uint64(w)) {
 			// A delayed (lazy) slot for this word sits in the store
 			// buffer; this registration absorbs it. Leaving the mark
 			// would let a release batch (or a space kick) re-register
 			// the word, overwriting this transaction — losing its sync
 			// waiters and sending a second request whose acknowledgment
 			// finds no transaction.
-			delete(c.lazy, w)
+			c.lazy.Delete(uint64(w))
 			txn.dataWrite = true
 		}
 		c.regs.Put(uint64(w), txn)
@@ -570,21 +709,21 @@ func (c *Controller) Atomic(op coherence.AtomicOp, w mem.Word, operand, operand2
 			c.rec.Emit(obs.L1SyncMiss, int32(c.node), uint64(w))
 		}
 		if c.opts.SyncBackoff && op == coherence.AtomicLoad {
-			if lost, ok := c.lostAt[w]; ok && c.eng.Now()-lost < syncBackoffWindow {
+			if lost, ok := c.lostAt.Get(uint64(w)); ok && c.eng.Now()-lost < syncBackoffWindow {
 				// DeNovoSync: a reader that just lost this word backs
 				// off before re-registering, breaking read-read
 				// ownership ping-pong.
-				d := c.backoffDelay[w]
+				d, _ := c.backoffDelay.Get(uint64(w))
 				if d == 0 {
 					d = syncBackoffMin
 				} else {
 					d = min(d*2, syncBackoffMax)
 				}
-				c.backoffDelay[w] = d
+				c.backoffDelay.Put(uint64(w), d)
 				c.st.IncKey(kL1SyncBackoffs, 1)
 				c.eng.Schedule(d, func() { c.sendRegReq(l, mem.Bit(w.Index()), true, true) })
 			} else {
-				delete(c.backoffDelay, w)
+				c.backoffDelay.Delete(uint64(w))
 				c.sendRegReq(l, mem.Bit(w.Index()), true, true)
 			}
 		} else {
@@ -609,14 +748,14 @@ func (c *Controller) localAtomic(op coherence.AtomicOp, w mem.Word, operand, ope
 		c.meter.L1Access(1)
 		if e := c.cache.Peek(l); e != nil && e.State[w.Index()] == cache.Registered {
 			e.Data[w.Index()] = next
-			c.eng.Schedule(coherence.L1HitCycles, func() { cb(ret) })
+			c.scheduleSyncDone(coherence.L1HitCycles, ret, cb)
 			return
 		}
 		if !op.WritesBack(cur, next) {
 			// A pure synchronization read must not become a lazy write:
 			// registering the read value at the next release would clobber
 			// a concurrent writer's update.
-			c.eng.Schedule(coherence.L1HitCycles, func() { cb(ret) })
+			c.scheduleSyncDone(coherence.L1HitCycles, ret, cb)
 			return
 		}
 		if c.sb.Full() {
@@ -630,12 +769,12 @@ func (c *Controller) localAtomic(op coherence.AtomicOp, w mem.Word, operand, ope
 		// this slot (a global release may have kicked it); re-marking
 		// would double-register and corrupt the transaction state.
 		if !c.regs.Has(uint64(w)) {
-			c.lazy[w] = true
+			c.lazy.Put(uint64(w), true)
 		}
 		if e := c.cache.Peek(l); e != nil && e.State[w.Index()] == cache.Valid {
 			e.Data[w.Index()] = next
 		}
-		c.eng.Schedule(coherence.L1HitCycles, func() { cb(ret) })
+		c.scheduleSyncDone(coherence.L1HitCycles, ret, cb)
 	}
 	if v, ok := c.sb.Lookup(w); ok {
 		finish(v)
@@ -710,17 +849,17 @@ func (c *Controller) Release(scope coherence.Scope, cb func()) {
 	if c.rec != nil {
 		c.rec.Emit(obs.SyncRelease, int32(c.node), uint64(c.sb.Len()))
 	}
-	if len(c.lazy) > 0 {
+	if c.lazy.Len() > 0 {
 		// Batch delayed registrations by line. The line lookup is a
 		// linear scan over the batch built so far — a release covers few
 		// distinct lines, and the scan keeps this path allocation-free.
 		c.regBatch = c.regBatch[:0]
 		c.sbScratch = c.sb.AppendEntries(c.sbScratch[:0])
 		for _, e := range c.sbScratch {
-			if !c.lazy[e.Word] {
+			if !c.lazy.Has(uint64(e.Word)) {
 				continue
 			}
-			delete(c.lazy, e.Word)
+			c.lazy.Delete(uint64(e.Word))
 			l := e.Word.LineOf()
 			gi := -1
 			for i := range c.regBatch {
@@ -737,7 +876,9 @@ func (c *Controller) Release(scope coherence.Scope, cb func()) {
 			if c.invariants && c.regs.Has(uint64(e.Word)) {
 				panic(fmt.Sprintf("denovo: lazy-reg-exclusive: node %d release batched delayed %v over its in-flight registration", c.node, e.Word))
 			}
-			c.regs.Put(uint64(e.Word), &regTxn{dataWrite: true})
+			txn := c.newRegTxn()
+			txn.dataWrite = true
+			c.regs.Put(uint64(e.Word), txn)
 			c.pin(l)
 		}
 		for _, lm := range c.regBatch {
@@ -751,9 +892,17 @@ func (c *Controller) Release(scope coherence.Scope, cb func()) {
 		return
 	}
 	c.st.IncKey(kSbReleaseDrains, 1)
-	w := &relWaiter{pending: make(map[mem.Word]struct{}, len(entries)), cb: cb}
+	var w *relWaiter
+	if n := len(c.relWaiterFree); n > 0 {
+		w = c.relWaiterFree[n-1]
+		c.relWaiterFree[n-1] = nil
+		c.relWaiterFree = c.relWaiterFree[:n-1]
+	} else {
+		w = &relWaiter{}
+	}
+	w.cb = cb
 	for _, e := range entries {
-		w.pending[e.Word] = struct{}{}
+		w.pending.Put(uint64(e.Word), true)
 	}
 	c.relWaiters = append(c.relWaiters, w)
 }
@@ -776,18 +925,25 @@ func (c *Controller) CheckInvariants() error {
 	if err := c.sb.CheckInvariants(); err != nil {
 		return fmt.Errorf("node %d: %w", c.node, err)
 	}
-	if len(c.lazy) > 0 {
+	if c.lazy.Len() > 0 {
 		buffered := make(map[mem.Word]bool, c.sb.Len())
 		for _, e := range c.sb.Entries() {
 			buffered[e.Word] = true
 		}
-		for w := range c.lazy {
+		var err error
+		c.lazy.ForEach(func(k uint64, _ bool) {
+			w := mem.Word(k)
+			if err != nil {
+				return
+			}
 			if !buffered[w] {
-				return fmt.Errorf("denovo: lazy-orphan: node %d delays %v with no buffered write", c.node, w)
+				err = fmt.Errorf("denovo: lazy-orphan: node %d delays %v with no buffered write", c.node, w)
+			} else if c.regs.Has(uint64(w)) {
+				err = fmt.Errorf("denovo: lazy-reg-exclusive: node %d has %v both delayed and mid-registration", c.node, w)
 			}
-			if c.regs.Has(uint64(w)) {
-				return fmt.Errorf("denovo: lazy-reg-exclusive: node %d has %v both delayed and mid-registration", c.node, w)
-			}
+		})
+		if err != nil {
+			return err
 		}
 	}
 	if c.victim.Len() != c.vstate.Len() {
@@ -817,10 +973,13 @@ func (c *Controller) sbFreed() {
 func (c *Controller) notifyReleases(w mem.Word) {
 	remaining := c.relWaiters[:0]
 	for _, rw := range c.relWaiters {
-		delete(rw.pending, w)
-		if len(rw.pending) == 0 {
+		rw.pending.Delete(uint64(w))
+		if rw.pending.Len() == 0 {
 			cb := rw.cb
 			c.eng.Schedule(0, cb)
+			rw.cb = nil
+			rw.pending.Reset()
+			c.relWaiterFree = append(c.relWaiterFree, rw)
 		} else {
 			remaining = append(remaining, rw)
 		}
@@ -854,6 +1013,9 @@ func (c *Controller) Deliver(p noc.Packet) {
 	default:
 		panic(fmt.Sprintf("denovo: unexpected message %v", msg.Kind))
 	}
+	// The message is fully processed (handlers copy anything they defer
+	// into pooled messages of their own); recycle it.
+	c.pool.Put(msg)
 }
 
 // fill handles read data arriving from the L2 bank or a forwarding
@@ -861,9 +1023,9 @@ func (c *Controller) Deliver(p noc.Packet) {
 func (c *Controller) fill(msg *coherence.Msg) {
 	if c.opts.DirectTransfer {
 		if l2.HomeNode(msg.Line) == msg.Src {
-			delete(c.lastSupplier, msg.Line)
+			c.lastSupplier.Delete(uint64(msg.Line))
 		} else {
-			c.lastSupplier[msg.Line] = msg.Src
+			c.lastSupplier.Put(uint64(msg.Line), msg.Src)
 		}
 	}
 	txn, _ := c.reads.Get(msg.ID)
@@ -901,8 +1063,7 @@ func (c *Controller) fill(msg *coherence.Msg) {
 			}
 		}
 		if w.need == 0 {
-			vals, cb := w.vals, w.cb
-			c.eng.Schedule(coherence.L1HitCycles, func() { cb(vals) })
+			c.scheduleReadDone(coherence.L1HitCycles, w.vals, w.cb)
 		} else {
 			remaining = append(remaining, w)
 		}
@@ -917,6 +1078,7 @@ func (c *Controller) fill(msg *coherence.Msg) {
 			c.lineTxn.Delete(uint64(txn.line))
 		}
 		c.unpin(txn.line)
+		c.freeReadTxn(txn)
 	}
 }
 
@@ -945,10 +1107,10 @@ func (c *Controller) readFwd(msg *coherence.Msg) {
 		} else if v, ok := c.victim.Get(w); ok {
 			data[i] = v
 		} else if c.regs.Has(uint64(w)) {
-			m := *msg
+			m := c.pool.NewMsg(*msg)
 			m.Mask = mem.Bit(i)
 			q := c.deferredReads.Upsert(uint64(w))
-			*q = append(*q, &m)
+			*q = append(*q, m)
 			c.st.IncKey(kL1ReadsDeferred, 1)
 			continue
 		} else {
@@ -961,10 +1123,10 @@ func (c *Controller) readFwd(msg *coherence.Msg) {
 	}
 	c.st.IncKey(kL1RemoteReadsServed, 1)
 	c.meter.L1Access(1)
-	c.mesh.Send(&coherence.Msg{
+	c.mesh.Send(c.pool.NewMsg(coherence.Msg{
 		Kind: coherence.ReadResp, Src: c.node, Dst: msg.Requester, Port: noc.PortL1,
 		Line: msg.Line, Mask: now, Data: data, ID: msg.ID,
-	})
+	}))
 }
 
 // ownershipArrived handles RegAck (from the registry) and RegXfer (from
@@ -985,7 +1147,7 @@ func (c *Controller) ownershipArrived(l mem.Line, mask mem.WordMask, data [mem.W
 			val = v // our buffered write supersedes any carried value
 			// Wake stalled writers after this delivery finishes
 			// (zero-delay event) to avoid reentrant state mutation.
-			c.eng.Schedule(0, c.sbFreed)
+			c.eng.ScheduleTask(0, &c.sbFreedT)
 			c.notifyReleases(w)
 		} else if carriesData {
 			val = data[i]
@@ -1017,13 +1179,15 @@ func (c *Controller) ownershipArrived(l mem.Line, mask mem.WordMask, data [mem.W
 		for _, op := range waiters {
 			next, ret := op.op.Apply(val, op.operand, op.operand2)
 			val = next
-			cb := op.cb
-			c.eng.Schedule(delay, func() { cb(ret) })
+			c.scheduleSyncDone(delay, ret, op.cb)
 			delay++
 			c.st.IncKey(kL1SyncServicedOnArrival, 1)
 		}
 		c.regs.Delete(uint64(w))
 		c.unpin(l)
+		if !c.opts.NoMSHRCoalescing || txn.syncWaiters == nil {
+			c.freeRegTxn(txn)
+		}
 		// Install.
 		if e != nil {
 			e.Data[i] = val
@@ -1031,7 +1195,7 @@ func (c *Controller) ownershipArrived(l mem.Line, mask mem.WordMask, data [mem.W
 			c.cache.Touch(e)
 		} else {
 			c.pendingOwn.Put(uint64(w), val)
-			c.eng.Schedule(2, func() { c.retryInstall(w) })
+			c.scheduleRetryInstall(2, w)
 		}
 		c.meter.L1Access(1)
 		// Reads forwarded while the registration was in flight are served
@@ -1072,6 +1236,7 @@ func (c *Controller) serveDeferredReads(w mem.Word) {
 	c.deferredReads.Delete(uint64(w))
 	for _, m := range msgs {
 		c.readFwd(m)
+		c.pool.Put(m)
 	}
 }
 
@@ -1087,7 +1252,7 @@ func (c *Controller) regFwd(msg *coherence.Msg) {
 			continue
 		}
 		w := msg.Line.Word(i)
-		if vs, _ := c.vstate.Get(uint64(w)); vs != nil && !vs.servicedFwd {
+		if vs, ok := c.vstate.Ptr(uint64(w)); ok && !vs.servicedFwd {
 			// This forward targets the ownership we already evicted
 			// (the registry had not yet processed our writeback when it
 			// forwarded); serve it from the victim copy even if we have
@@ -1103,9 +1268,9 @@ func (c *Controller) regFwd(msg *coherence.Msg) {
 			if c.deferredFwd.Has(uint64(w)) {
 				panic(fmt.Sprintf("denovo: node %d second deferred forward for %v", c.node, w))
 			}
-			m := *msg
+			m := c.pool.NewMsg(*msg)
 			m.Mask = mem.Bit(i)
-			c.deferredFwd.Put(uint64(w), &m)
+			c.deferredFwd.Put(uint64(w), m)
 			c.st.IncKey(kL1FwdDeferred, 1)
 			continue
 		}
@@ -1141,11 +1306,11 @@ func (c *Controller) transferMask(l mem.Line, mask mem.WordMask, to noc.NodeID, 
 			c.pendingOwn.Delete(uint64(w))
 		} else if v, ok := c.victim.Get(w); ok {
 			data[i] = v
-			vs, _ := c.vstate.Get(uint64(w))
-			if vs != nil && vs.rejectedKnown {
+			vs, vok := c.vstate.Ptr(uint64(w))
+			if vok && vs.rejectedKnown {
 				c.victim.Drop(w)
 				c.vstate.Delete(uint64(w))
-			} else if vs != nil {
+			} else if vok {
 				vs.servicedFwd = true
 			}
 		} else {
@@ -1153,17 +1318,17 @@ func (c *Controller) transferMask(l mem.Line, mask mem.WordMask, to noc.NodeID, 
 		}
 		c.st.IncKey(kL1OwnershipTransfers, 1)
 		if c.opts.SyncBackoff {
-			c.lostAt[w] = c.eng.Now()
+			c.lostAt.Put(uint64(w), c.eng.Now())
 		}
 	}
 	if e != nil && !e.HasAny(cache.Valid) && !e.HasAny(cache.Registered) && !e.Pinned {
 		e.Tag = false
 	}
 	c.meter.L1Access(1)
-	c.mesh.Send(&coherence.Msg{
+	c.mesh.Send(c.pool.NewMsg(coherence.Msg{
 		Kind: coherence.RegXfer, Src: c.node, Dst: to, Port: noc.PortL1,
 		Line: l, Mask: mask, Data: data, Sync: sync, ID: id,
-	})
+	}))
 }
 
 // serviceDeferred passes ownership to a queued remote requester once
@@ -1175,6 +1340,7 @@ func (c *Controller) serviceDeferred(w mem.Word) {
 	}
 	c.deferredFwd.Delete(uint64(w))
 	c.transfer(w, msg.Requester, msg.Sync, msg.ID)
+	c.pool.Put(msg)
 }
 
 // directRead serves a predicted-owner read: if every requested word is
@@ -1195,17 +1361,17 @@ func (c *Controller) directRead(msg *coherence.Msg) {
 	if have == msg.Mask {
 		c.st.IncKey(kL1DirectReadsServed, 1)
 		c.meter.L1Access(1)
-		c.mesh.Send(&coherence.Msg{
+		c.mesh.Send(c.pool.NewMsg(coherence.Msg{
 			Kind: coherence.ReadResp, Src: c.node, Dst: msg.Src, Port: noc.PortL1,
 			Line: msg.Line, Mask: have, Data: data, ID: msg.ID,
-		})
+		}))
 		return
 	}
 	c.st.IncKey(kL1DirectReadsNacked, 1)
-	c.mesh.Send(&coherence.Msg{
+	c.mesh.Send(c.pool.NewMsg(coherence.Msg{
 		Kind: coherence.ReadNack, Src: c.node, Dst: msg.Src, Port: noc.PortL1,
 		Line: msg.Line, Mask: msg.Mask, ID: msg.ID,
-	})
+	}))
 }
 
 // readNack falls a missed direct read back to the registry.
@@ -1215,11 +1381,11 @@ func (c *Controller) readNack(msg *coherence.Msg) {
 		return // transaction already satisfied some other way
 	}
 	txn.direct = false
-	delete(c.lastSupplier, msg.Line)
-	c.mesh.Send(&coherence.Msg{
+	c.lastSupplier.Delete(uint64(msg.Line))
+	c.mesh.Send(c.pool.NewMsg(coherence.Msg{
 		Kind: coherence.ReadReq, Src: c.node, Dst: l2.HomeNode(msg.Line), Port: noc.PortL2,
 		Line: msg.Line, Mask: txn.requested &^ txn.arrived, ID: msg.ID,
-	})
+	}))
 }
 
 // writeBackAck resolves victim-buffer entries. Accepted words are done;
@@ -1232,8 +1398,8 @@ func (c *Controller) writeBackAck(msg *coherence.Msg) {
 			continue
 		}
 		w := msg.Line.Word(i)
-		vs, _ := c.vstate.Get(uint64(w))
-		if vs == nil {
+		vs, ok := c.vstate.Ptr(uint64(w))
+		if !ok {
 			continue // already fully resolved
 		}
 		if msg.WBAccepted.Has(i) || vs.servicedFwd {
@@ -1281,7 +1447,7 @@ func (c *Controller) PeekWord(w mem.Word) (uint32, bool) {
 func (c *Controller) DebugDump() string {
 	out := ""
 	for _, e := range c.sb.Entries() {
-		out += fmt.Sprintf("word %v lazy=%v regs=%v\n", e.Word, c.lazy[e.Word], c.regs.Has(uint64(e.Word)))
+		out += fmt.Sprintf("word %v lazy=%v regs=%v\n", e.Word, c.lazy.Has(uint64(e.Word)), c.regs.Has(uint64(e.Word)))
 	}
 	out += fmt.Sprintf("spaceWaiters=%d relWaiters=%d\n", len(c.spaceWaiters), len(c.relWaiters))
 	c.regs.ForEach(func(k uint64, txn *regTxn) {

@@ -28,7 +28,7 @@ func TestSanitizerKickOverRegistrationPanics(t *testing.T) {
 	c := lazyCtl(r)
 	w := mem.Addr(0x40).WordOf()
 	c.sb.Insert(w, 1)
-	c.lazy[w] = true
+	c.lazy.Put(uint64(w), true)
 	c.regs.Put(uint64(w), &regTxn{})
 	defer func() {
 		if rec := recover(); rec == nil {
@@ -45,7 +45,7 @@ func TestSanitizerReleaseOverRegistrationPanics(t *testing.T) {
 	c := lazyCtl(r)
 	w := mem.Addr(0x40).WordOf()
 	c.sb.Insert(w, 1)
-	c.lazy[w] = true
+	c.lazy.Put(uint64(w), true)
 	c.regs.Put(uint64(w), &regTxn{})
 	defer func() {
 		if rec := recover(); rec == nil {
@@ -66,7 +66,7 @@ func TestSanitizerQuiesceChecks(t *testing.T) {
 	}
 
 	// A lazy mark with no buffered write is an orphan.
-	c.lazy[w] = true
+	c.lazy.Put(uint64(w), true)
 	if err := c.CheckInvariants(); err == nil || !strings.Contains(err.Error(), "lazy-orphan") {
 		t.Fatalf("orphan lazy mark: got %v, want lazy-orphan", err)
 	}

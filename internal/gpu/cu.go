@@ -3,19 +3,26 @@
 // coalescing, a scratchpad, and the consistency-model orchestration
 // around synchronization accesses.
 //
-// Thread blocks execute as coroutines: each runs its kernel body in a
-// goroutine that communicates with the CU through an unbuffered
-// channel handshake, so exactly one goroutine is ever runnable and the
-// simulation stays deterministic. The CU resumes a block by delivering
-// the response to its last memory operation and then synchronously
-// waits for the block's next request (kernel code between operations is
-// pure computation).
+// Thread blocks execute as coroutines: each runs its kernel body under
+// an iter.Pull coroutine whose yields hand requests to the CU, so
+// exactly one control flow is ever runnable and the simulation stays
+// deterministic. The CU resumes a block by writing the response to the
+// block's last memory operation into its response buffer and switching
+// back in; the switch returns the block's next request (kernel code
+// between operations is pure computation). The direct coroutine switch
+// replaces an earlier unbuffered-channel handshake — same rendezvous
+// points, but without waking the goroutine scheduler, which measures
+// roughly 4x cheaper per handoff.
 package gpu
 
 import (
+	"iter"
+
 	"denovogpu/internal/coherence"
 	"denovogpu/internal/consistency"
+	"denovogpu/internal/denovo"
 	"denovogpu/internal/energy"
+	"denovogpu/internal/gpucoh"
 	"denovogpu/internal/mem"
 	"denovogpu/internal/noc"
 	"denovogpu/internal/obs"
@@ -52,6 +59,23 @@ const (
 	reqDone
 )
 
+// Pending (deferred) timing-only operations. Compute/Wait/Scratch need
+// no data from the CU, so the block does not rendezvous for them: it
+// banks ONE such op locally and piggybacks it on the next request,
+// halving the goroutine handoffs of compute/sync-alternating kernels.
+// The CU charges the banked op at the time its request arrives and
+// defers handling by its cycles — the same instants, event schedule
+// and sequence numbers the eager rendezvous produced. Only one op may
+// bank (a second timing op flushes through the old rendezvous path):
+// collapsing a chain into one deferral would merge engine events and
+// reshuffle sequence numbers, which the golden reports would see.
+const (
+	pendNone uint8 = iota
+	pendCompute
+	pendWait
+	pendScratch
+)
+
 type request struct {
 	kind reqKind
 
@@ -67,6 +91,11 @@ type request struct {
 	scope    coherence.Scope
 
 	cycles int
+
+	// Piggybacked timing op (see pendNone); consumed by CU.handle
+	// before the request proper.
+	preKind   uint8
+	preCycles int
 }
 
 type response struct {
@@ -75,60 +104,115 @@ type response struct {
 }
 
 // tbState is one resident thread block. reqBuf/respBuf are the
-// reusable request/response records exchanged over the channels: the
-// handshake is fully synchronous (the block never issues a new request
-// before receiving the response to its last one), so one buffer of
-// each per block suffices and the per-operation allocations disappear.
+// reusable request/response records exchanged across the coroutine
+// boundary: the handshake is fully synchronous (the block never issues
+// a new request before receiving the response to its last one), so one
+// buffer of each per block suffices and the per-operation allocations
+// disappear. States (with their embedded kernel context) are pooled per
+// CU and recycled across thread blocks and kernels; the iter.Pull
+// coroutine is the only per-launch cost that remains.
 type tbState struct {
 	index   int
 	threads int
-	req     chan *request
-	resp    chan *response
 	reqBuf  request
 	respBuf response
+	ctx     workload.Ctx
+	kernel  workload.Kernel
+	// Coroutine plumbing: yield is the block-side handoff installed by
+	// seq; next/stop are the CU-side handles from iter.Pull, created per
+	// kernel launch and released in finishTB (stop lets seq return so
+	// the coroutine exits instead of leaking suspended).
+	yield func(*request) bool
+	next  func() (*request, bool)
+	stop  func()
+	// seqFn is the bound method value for seq, created once per pooled
+	// state so each launch's iter.Pull doesn't allocate a fresh closure.
+	seqFn func(func(*request) bool)
+	// Banked timing-only op, flushed with the next send (see pendNone).
+	pendKind   uint8
+	pendCycles int
+	// started flips on the block's first send. The first timing op is
+	// never banked: a block becomes resident at its first timed
+	// operation, and banking it would let the kernel prologue run
+	// before the block counts as resident.
+	started bool
 }
 
-// send transfers a request to the CU through the reusable buffer.
-func (tb *tbState) send(rq request) {
-	tb.reqBuf = rq
-	tb.req <- &tb.reqBuf
+// seq is the coroutine body: it executes the kernel and yields requests
+// to the CU via send. Nothing runs until the CU's first next() call.
+func (tb *tbState) seq(yield func(*request) bool) {
+	tb.yield = yield
+	tb.kernel(&tb.ctx)
+	tb.reqBuf = request{kind: reqDone}
+	tb.send()
+}
+
+// send transfers reqBuf — already filled by the caller except for the
+// piggybacked timing op, which it flushes — to the CU. When it
+// returns, the CU has switched back in and any response is in respBuf.
+// Callers fill reqBuf in place rather than passing a request by value:
+// the struct is large enough that the extra copy showed up as duffcopy
+// in the access-path profile.
+func (tb *tbState) send() {
+	tb.reqBuf.preKind, tb.reqBuf.preCycles = tb.pendKind, tb.pendCycles
+	tb.pendKind, tb.pendCycles = pendNone, 0
+	tb.started = true
+	tb.yield(&tb.reqBuf)
 }
 
 // tbExec implements workload.Executor from inside the block's goroutine.
 type tbExec struct{ tb *tbState }
 
 func (e tbExec) Vec(loads []mem.Addr, stores []mem.Addr, storeVals []uint32) []uint32 {
-	e.tb.send(request{kind: reqVec, loads: loads, stores: stores, storeVals: storeVals})
-	return (<-e.tb.resp).loadVals
+	rq := &e.tb.reqBuf
+	rq.kind = reqVec
+	rq.loads, rq.stores, rq.storeVals = loads, stores, storeVals
+	e.tb.send()
+	return e.tb.respBuf.loadVals
 }
 
 func (e tbExec) Atomic(op coherence.AtomicOp, a mem.Addr, o1, o2 uint32, order coherence.Order, scope coherence.Scope) uint32 {
-	e.tb.send(request{kind: reqAtomic, op: op, addr: a, operand: o1, operand2: o2, order: order, scope: scope})
-	return (<-e.tb.resp).atomicOld
+	rq := &e.tb.reqBuf
+	rq.kind = reqAtomic
+	rq.op, rq.addr, rq.operand, rq.operand2, rq.order, rq.scope = op, a, o1, o2, order, scope
+	e.tb.send()
+	return e.tb.respBuf.atomicOld
 }
 
 func (e tbExec) Compute(n int) {
 	if n <= 0 {
 		return
 	}
-	e.tb.send(request{kind: reqCompute, cycles: n})
-	<-e.tb.resp
+	if e.tb.started && e.tb.pendKind == pendNone {
+		e.tb.pendKind, e.tb.pendCycles = pendCompute, n
+		return
+	}
+	e.tb.reqBuf.kind, e.tb.reqBuf.cycles = reqCompute, n
+	e.tb.send()
 }
 
 func (e tbExec) Wait(n int) {
 	if n <= 0 {
 		return
 	}
-	e.tb.send(request{kind: reqWait, cycles: n})
-	<-e.tb.resp
+	if e.tb.started && e.tb.pendKind == pendNone {
+		e.tb.pendKind, e.tb.pendCycles = pendWait, n
+		return
+	}
+	e.tb.reqBuf.kind, e.tb.reqBuf.cycles = reqWait, n
+	e.tb.send()
 }
 
 func (e tbExec) Scratch(n int) {
 	if n <= 0 {
 		return
 	}
-	e.tb.send(request{kind: reqScratch, cycles: n})
-	<-e.tb.resp
+	if e.tb.started && e.tb.pendKind == pendNone {
+		e.tb.pendKind, e.tb.pendCycles = pendScratch, n
+		return
+	}
+	e.tb.reqBuf.kind, e.tb.reqBuf.cycles = reqScratch, n
+	e.tb.send()
 }
 
 // CU is one compute unit.
@@ -141,6 +225,19 @@ type CU struct {
 	st    *stats.Stats
 	meter *energy.Meter
 
+	// Monomorphic L1 dispatch: when the attached controller is one of
+	// the two concrete protocol types the paper's five configurations
+	// use, the corresponding pointer is set and the access loop calls
+	// it directly — the call devirtualizes and can inline, where the
+	// interface call through l1 cannot. Exactly one of l1dn/l1gp is
+	// non-nil on the fast path; both nil falls back to the generic
+	// interface path (MESI, test doubles, or Config.GenericL1). The two
+	// paths are behaviorally identical; the differential suite in
+	// internal/machine diffs them cell by cell.
+	l1dn      *denovo.Controller
+	l1gp      *gpucoh.Controller
+	genericL1 bool
+
 	maxResident int
 	resident    int
 	queue       []*tbState
@@ -151,6 +248,17 @@ type CU struct {
 
 	kernelTBsLeft int
 
+	// Free lists for the per-operation state that used to dominate the
+	// simulator's allocation profile: vector-op records, per-access
+	// issue tasks, atomic-op records, plain resume events, and thread
+	// block states. All are recycled within this (single-threaded) CU.
+	vecFree    []*vecOp
+	accessFree []*accessTask
+	atomFree   []*atomicOp
+	resumeFree []*resumeTask
+	deferFree  []*deferTask
+	tbFree     []*tbState
+
 	// rec, when non-nil, receives StallMem/StallSync spans on track Node:
 	// one span per vector memory instruction / synchronization access,
 	// from issue to completion.
@@ -159,7 +267,9 @@ type CU struct {
 
 // New returns a CU at the given node using the given L1.
 func New(node noc.NodeID, eng *sim.Engine, l1 coherence.L1, model consistency.Model, st *stats.Stats, meter *energy.Meter, maxResident int) *CU {
-	return &CU{Node: node, eng: eng, l1: l1, model: model, st: st, meter: meter, maxResident: maxResident}
+	cu := &CU{Node: node, eng: eng, model: model, st: st, meter: meter, maxResident: maxResident}
+	cu.SetL1(l1)
+	return cu
 }
 
 // L1 exposes the CU's L1 controller.
@@ -168,7 +278,82 @@ func (cu *CU) L1() coherence.L1 { return cu.l1 }
 // SetL1 swaps the CU onto a different L1 controller. Only legal while
 // the CU is quiescent (no resident blocks, no in-flight accesses) —
 // the machine calls it at a phase-transition drain between kernels.
-func (cu *CU) SetL1(l1 coherence.L1) { cu.l1 = l1 }
+// It re-resolves the monomorphic dispatch for the new controller.
+func (cu *CU) SetL1(l1 coherence.L1) {
+	cu.l1 = l1
+	cu.l1dn, cu.l1gp = nil, nil
+	if cu.genericL1 {
+		return
+	}
+	switch c := l1.(type) {
+	case *denovo.Controller:
+		cu.l1dn = c
+	case *gpucoh.Controller:
+		cu.l1gp = c
+	}
+}
+
+// UseGenericL1 pins the CU to the generic interface dispatch — the
+// reference implementation the monomorphic fast path is diffed
+// against (machine Config.GenericL1).
+func (cu *CU) UseGenericL1() {
+	cu.genericL1 = true
+	cu.l1dn, cu.l1gp = nil, nil
+}
+
+// The l1* helpers are the CU-side ends of the coherence.L1 methods on
+// the access hot path. Each is a two-way type dispatch to a direct
+// (devirtualized, inlinable) call, with the interface as fallback.
+
+func (cu *CU) l1ReadLine(l mem.Line, need mem.WordMask, cb func(vals [mem.WordsPerLine]uint32)) {
+	if cu.l1dn != nil {
+		cu.l1dn.ReadLine(l, need, cb)
+	} else if cu.l1gp != nil {
+		cu.l1gp.ReadLine(l, need, cb)
+	} else {
+		cu.l1.ReadLine(l, need, cb)
+	}
+}
+
+func (cu *CU) l1WriteLine(l mem.Line, mask mem.WordMask, data [mem.WordsPerLine]uint32, cb func()) {
+	if cu.l1dn != nil {
+		cu.l1dn.WriteLine(l, mask, data, cb)
+	} else if cu.l1gp != nil {
+		cu.l1gp.WriteLine(l, mask, data, cb)
+	} else {
+		cu.l1.WriteLine(l, mask, data, cb)
+	}
+}
+
+func (cu *CU) l1Atomic(op coherence.AtomicOp, w mem.Word, operand, operand2 uint32, scope coherence.Scope, cb func(old uint32)) {
+	if cu.l1dn != nil {
+		cu.l1dn.Atomic(op, w, operand, operand2, scope, cb)
+	} else if cu.l1gp != nil {
+		cu.l1gp.Atomic(op, w, operand, operand2, scope, cb)
+	} else {
+		cu.l1.Atomic(op, w, operand, operand2, scope, cb)
+	}
+}
+
+func (cu *CU) l1Acquire(scope coherence.Scope) {
+	if cu.l1dn != nil {
+		cu.l1dn.Acquire(scope)
+	} else if cu.l1gp != nil {
+		cu.l1gp.Acquire(scope)
+	} else {
+		cu.l1.Acquire(scope)
+	}
+}
+
+func (cu *CU) l1Release(scope coherence.Scope, cb func()) {
+	if cu.l1dn != nil {
+		cu.l1dn.Release(scope, cb)
+	} else if cu.l1gp != nil {
+		cu.l1gp.Release(scope, cb)
+	} else {
+		cu.l1.Release(scope, cb)
+	}
+}
 
 // SetModel swaps the CU's consistency model alongside SetL1, under the
 // same quiescence requirement.
@@ -194,20 +379,32 @@ func (cu *CU) StartKernel(k workload.Kernel, tbIndices []int, threadsPerTB, numT
 		cu.activeStart = cu.eng.Now()
 	}
 	for _, idx := range tbIndices {
-		tb := &tbState{index: idx, threads: threadsPerTB, req: make(chan *request), resp: make(chan *response)}
+		tb := cu.newTB()
+		tb.index, tb.threads, tb.kernel = idx, threadsPerTB, k
+		tb.ctx.TB, tb.ctx.NumTBs, tb.ctx.Threads = idx, numTBs, threadsPerTB
+		tb.ctx.CU, tb.ctx.NumCUs = int(cu.Node), numCUs
 		cu.queue = append(cu.queue, tb)
-		idx := idx
-		go func() {
-			ctx := &workload.Ctx{
-				TB: idx, NumTBs: numTBs, Threads: threadsPerTB,
-				CU: int(cu.Node), NumCUs: numCUs,
-				Ex: tbExec{tb: tb},
-			}
-			k(ctx)
-			tb.send(request{kind: reqDone})
-		}()
+		// The coroutine is lazy: nothing runs until fillResident's first
+		// next() call, so launching here costs only the Pull setup.
+		tb.next, tb.stop = iter.Pull(tb.seqFn)
 	}
 	cu.eng.Schedule(0, cu.fillResident)
+}
+
+// newTB returns a recycled (or fresh) thread block state. Recycling is
+// safe because a block's goroutine touches nothing after sending
+// reqDone, so once finishTB has received it the state is free.
+func (cu *CU) newTB() *tbState {
+	if n := len(cu.tbFree); n > 0 {
+		tb := cu.tbFree[n-1]
+		cu.tbFree[n-1] = nil
+		cu.tbFree = cu.tbFree[:n-1]
+		return tb
+	}
+	tb := &tbState{}
+	tb.ctx.Ex = tbExec{tb: tb}
+	tb.seqFn = tb.seq
+	return tb
 }
 
 func (cu *CU) fillResident() {
@@ -216,46 +413,70 @@ func (cu *CU) fillResident() {
 		cu.queue = cu.queue[1:]
 		cu.resident++
 		cu.st.IncKey(kCuTbsStarted, 1)
-		// The goroutine is already running its kernel body; receive its
-		// first request.
+		// First switch into the coroutine: runs the kernel body up to
+		// its first request.
 		cu.receive(tb)
 	}
 }
 
-// receive blocks (the engine goroutine) until the thread block issues
-// its next request, then handles it. The block always either sends a
+// receive switches into the thread block's coroutine until it yields
+// its next request, then handles it. The block always either yields a
 // request or reqDone, so this never hangs.
 func (cu *CU) receive(tb *tbState) {
-	cu.handle(tb, <-tb.req)
+	rq, ok := tb.next()
+	if !ok {
+		return
+	}
+	cu.handle(tb, rq)
 }
 
 // resume delivers a response to the block and receives its next
-// request. The response travels through the block's reusable buffer;
-// the block reads it before issuing anything further, so the buffer is
+// request. The response travels through the block's reusable buffer:
+// the coroutine switch in receive returns control to the block, which
+// reads the buffer before yielding anything further, so the buffer is
 // free again by the time the next resume runs.
 func (cu *CU) resume(tb *tbState, r response) {
 	tb.respBuf = r
-	tb.resp <- &tb.respBuf
 	cu.receive(tb)
 }
 
 func (cu *CU) handle(tb *tbState, rq *request) {
+	if rq.preKind != pendNone {
+		// Charge the piggybacked timing op now (the instant its eager
+		// rendezvous would have been received) and handle the request
+		// proper once its cycles have elapsed — the instant the eager
+		// resume would have delivered it.
+		d := sim.Time(rq.preCycles)
+		switch rq.preKind {
+		case pendCompute:
+			cu.meter.Instr(rq.preCycles * cu.warps(tb))
+			cu.st.IncKey(kCuComputeCycles, uint64(rq.preCycles))
+		case pendWait:
+			cu.st.IncKey(kCuWaitCycles, uint64(rq.preCycles))
+		case pendScratch:
+			cu.meter.Scratch(rq.preCycles * tb.threads)
+			cu.st.IncKey(kCuScratchAccesses, uint64(rq.preCycles*tb.threads))
+		}
+		rq.preKind, rq.preCycles = pendNone, 0
+		cu.scheduleDefer(d, tb, rq)
+		return
+	}
 	switch rq.kind {
 	case reqDone:
-		cu.finishTB()
+		cu.finishTB(tb)
 	case reqCompute:
 		cu.meter.Instr(rq.cycles * cu.warps(tb))
 		cu.st.IncKey(kCuComputeCycles, uint64(rq.cycles))
-		cu.eng.Schedule(sim.Time(rq.cycles), func() { cu.resume(tb, response{}) })
+		cu.scheduleResume(sim.Time(rq.cycles), tb)
 	case reqWait:
 		// Idle wait: the warp is descheduled; time passes without
 		// instruction energy.
 		cu.st.IncKey(kCuWaitCycles, uint64(rq.cycles))
-		cu.eng.Schedule(sim.Time(rq.cycles), func() { cu.resume(tb, response{}) })
+		cu.scheduleResume(sim.Time(rq.cycles), tb)
 	case reqScratch:
 		cu.meter.Scratch(rq.cycles * tb.threads)
 		cu.st.IncKey(kCuScratchAccesses, uint64(rq.cycles*tb.threads))
-		cu.eng.Schedule(sim.Time(rq.cycles), func() { cu.resume(tb, response{}) })
+		cu.scheduleResume(sim.Time(rq.cycles), tb)
 	case reqVec:
 		cu.vec(tb, rq)
 	case reqAtomic:
@@ -265,7 +486,15 @@ func (cu *CU) handle(tb *tbState, rq *request) {
 
 func (cu *CU) warps(tb *tbState) int { return (tb.threads + WarpSize - 1) / WarpSize }
 
-func (cu *CU) finishTB() {
+func (cu *CU) finishTB(tb *tbState) {
+	// The coroutine is suspended in its final yield (reqDone); stop
+	// makes that yield return false, letting seq return and the
+	// coroutine exit before the state is pooled.
+	tb.stop()
+	tb.next, tb.stop, tb.yield = nil, nil, nil
+	tb.kernel = nil
+	tb.started = false
+	cu.tbFree = append(cu.tbFree, tb)
 	cu.resident--
 	cu.kernelTBsLeft--
 	cu.st.IncKey(kCuTbsFinished, 1)
@@ -297,64 +526,249 @@ type lineAccess struct {
 	lanes []laneRef // load lanes and the word each receives
 }
 
-// scanThreshold is the access count beyond which coalesce switches
+// scanThreshold is the access count beyond which coalescing switches
 // from a linear key scan to an indexed lookup. Well-coalesced warps
 // (the common case) stay under it and never touch a hash table.
 const scanThreshold = 16
 
-// coalesce groups a vector operation's lane addresses into per-warp
-// line accesses, exactly one access per distinct line per warp, in
-// first-touch order. The result is a dense value slice: no per-access
-// heap objects and no per-word lane maps (this function used to be
-// the simulator's largest allocation site).
-func coalesce(rq *request) []lineAccess {
-	var accesses []lineAccess
-	var idx wordmap.Map[int32]
-	indexed := false
-	get := func(warp int, l mem.Line) int {
-		key := uint64(warp)<<48 ^ uint64(l)
-		if indexed {
-			if i, ok := idx.Get(key); ok {
-				return int(i)
-			}
-		} else {
-			for i := range accesses {
-				if accesses[i].key == key {
-					return i
-				}
-			}
-			if len(accesses) >= scanThreshold {
-				for i := range accesses {
-					idx.Put(accesses[i].key, int32(i))
-				}
-				indexed = true
-			}
-		}
-		i := len(accesses)
-		accesses = append(accesses, lineAccess{line: l, key: key})
-		if indexed {
-			idx.Put(key, int32(i))
-		}
-		return i
+// vecOp is the pooled state of one in-flight vector memory
+// instruction: its coalesced accesses, the completion countdown, and
+// the load-value buffer handed back to the block. finishFn is bound
+// once when the record is first allocated, so completing an access
+// never allocates a closure. loadVals is the one allocation that must
+// stay per-instruction: the slice is returned to kernel code, which
+// may legitimately hold several results at once (stencil rows, say).
+type vecOp struct {
+	cu        *CU
+	tb        *tbState
+	accesses  []lineAccess
+	idx       wordmap.Map[int32]
+	indexed   bool
+	loadVals  []uint32
+	remaining int
+	start     uint64
+	finishFn  func()
+}
+
+func (cu *CU) newVecOp(tb *tbState) *vecOp {
+	var op *vecOp
+	if n := len(cu.vecFree); n > 0 {
+		op = cu.vecFree[n-1]
+		cu.vecFree[n-1] = nil
+		cu.vecFree = cu.vecFree[:n-1]
+	} else {
+		op = &vecOp{cu: cu}
+		op.finishFn = op.finish
 	}
+	op.tb = tb
+	return op
+}
+
+func (cu *CU) freeVecOp(op *vecOp) {
+	op.tb, op.loadVals = nil, nil
+	cu.vecFree = append(cu.vecFree, op)
+}
+
+// coalesce groups the operation's lane addresses into per-warp line
+// accesses, exactly one access per distinct line per warp, in
+// first-touch order, reusing the record's access and lane storage
+// (this path used to be the simulator's largest allocation site).
+func (op *vecOp) coalesce(rq *request) {
+	op.accesses = op.accesses[:0]
+	op.indexed = false
 	for lane, a := range rq.loads {
-		la := &accesses[get(lane/WarpSize, a.LineOf())]
+		la := op.access(lane/WarpSize, a.LineOf())
 		la.need |= mem.Bit(a.WordIndex())
 		la.lanes = append(la.lanes, laneRef{word: int32(a.WordIndex()), lane: int32(lane)})
 	}
 	for lane, a := range rq.stores {
-		la := &accesses[get(lane/WarpSize, a.LineOf())]
+		la := op.access(lane/WarpSize, a.LineOf())
 		la.wmask |= mem.Bit(a.WordIndex())
 		la.data[a.WordIndex()] = rq.storeVals[lane]
 	}
-	return accesses
+}
+
+// access returns the coalescing group for (warp, line), creating it if
+// new. The returned pointer is valid only until the next access call.
+func (op *vecOp) access(warp int, l mem.Line) *lineAccess {
+	key := uint64(warp)<<48 ^ uint64(l)
+	if op.indexed {
+		if i, ok := op.idx.Get(key); ok {
+			return &op.accesses[i]
+		}
+	} else {
+		for i := range op.accesses {
+			if op.accesses[i].key == key {
+				return &op.accesses[i]
+			}
+		}
+		if len(op.accesses) >= scanThreshold {
+			op.idx.Reset()
+			for i := range op.accesses {
+				op.idx.Put(op.accesses[i].key, int32(i))
+			}
+			op.indexed = true
+		}
+	}
+	i := len(op.accesses)
+	if i < cap(op.accesses) {
+		// Recycle the slot in place, keeping its lane buffer.
+		op.accesses = op.accesses[:i+1]
+		la := &op.accesses[i]
+		la.line, la.key, la.need, la.wmask = l, key, 0, 0
+		la.lanes = la.lanes[:0]
+		la.data = [mem.WordsPerLine]uint32{}
+	} else {
+		op.accesses = append(op.accesses, lineAccess{line: l, key: key})
+	}
+	if op.indexed {
+		op.idx.Put(key, int32(i))
+	}
+	return &op.accesses[i]
+}
+
+// finish retires one access; the last one resumes the block.
+func (op *vecOp) finish() {
+	op.remaining--
+	if op.remaining != 0 {
+		return
+	}
+	cu, tb, loadVals := op.cu, op.tb, op.loadVals
+	if cu.rec != nil {
+		cu.rec.EmitSpan(obs.StallMem, int32(cu.Node), uint64(len(op.accesses)), op.start)
+	}
+	cu.freeVecOp(op)
+	cu.resume(tb, response{loadVals: loadVals})
+}
+
+// coalesce is the standalone form the unit tests exercise.
+func coalesce(rq *request) []lineAccess {
+	var op vecOp
+	op.coalesce(rq)
+	return op.accesses
+}
+
+// accessTask is the pooled payload of one scheduled line access.
+// readCb is bound once at allocation so issuing a load allocates no
+// callback closure; the task stays out of the free list while its
+// read callback is outstanding.
+type accessTask struct {
+	cu     *CU
+	op     *vecOp
+	idx    int32
+	readCb func([mem.WordsPerLine]uint32)
+}
+
+func (cu *CU) scheduleAccess(at sim.Time, op *vecOp, idx int32) {
+	var t *accessTask
+	if n := len(cu.accessFree); n > 0 {
+		t = cu.accessFree[n-1]
+		cu.accessFree[n-1] = nil
+		cu.accessFree = cu.accessFree[:n-1]
+	} else {
+		t = &accessTask{cu: cu}
+		t.readCb = t.onRead
+	}
+	t.op, t.idx = op, idx
+	cu.eng.AtTask(at, t)
+}
+
+func (t *accessTask) release() {
+	t.op = nil
+	t.cu.accessFree = append(t.cu.accessFree, t)
+}
+
+// Run issues the access. Loads (and lane-mixed accesses, which issue
+// the store after the load returns) keep the task alive until onRead;
+// pure stores complete through the op's finish callback directly.
+func (t *accessTask) Run() {
+	la := &t.op.accesses[t.idx]
+	if la.need != 0 {
+		t.cu.l1ReadLine(la.line, la.need, t.readCb)
+		return
+	}
+	cu, op := t.cu, t.op
+	line, wmask, data := la.line, la.wmask, la.data
+	t.release()
+	cu.l1WriteLine(line, wmask, data, op.finishFn)
+}
+
+func (t *accessTask) onRead(vals [mem.WordsPerLine]uint32) {
+	cu, op := t.cu, t.op
+	la := &op.accesses[t.idx]
+	la.scatter(vals, op.loadVals)
+	line, wmask, data := la.line, la.wmask, la.data
+	t.release()
+	if wmask != 0 {
+		// A lane-mixed access (loads and stores to one line in one
+		// instruction) issues the store after the load.
+		cu.l1WriteLine(line, wmask, data, op.finishFn)
+		return
+	}
+	op.finishFn()
+}
+
+// resumeTask is the pooled payload of a plain delayed resume
+// (compute/wait/scratch timing, zero-access vector ops).
+type resumeTask struct {
+	cu *CU
+	tb *tbState
+}
+
+func (t *resumeTask) Run() {
+	cu, tb := t.cu, t.tb
+	t.tb = nil
+	cu.resumeFree = append(cu.resumeFree, t)
+	cu.resume(tb, response{})
+}
+
+func (cu *CU) scheduleResume(d sim.Time, tb *tbState) {
+	var t *resumeTask
+	if n := len(cu.resumeFree); n > 0 {
+		t = cu.resumeFree[n-1]
+		cu.resumeFree[n-1] = nil
+		cu.resumeFree = cu.resumeFree[:n-1]
+	} else {
+		t = &resumeTask{cu: cu}
+	}
+	t.tb = tb
+	cu.eng.ScheduleTask(d, t)
+}
+
+// deferTask is the pooled payload of a deferred request: the handling
+// of a request that rode in behind a banked timing op (see pendNone).
+type deferTask struct {
+	cu *CU
+	tb *tbState
+	rq *request
+}
+
+func (t *deferTask) Run() {
+	cu, tb, rq := t.cu, t.tb, t.rq
+	t.tb, t.rq = nil, nil
+	cu.deferFree = append(cu.deferFree, t)
+	cu.handle(tb, rq)
+}
+
+func (cu *CU) scheduleDefer(d sim.Time, tb *tbState, rq *request) {
+	var t *deferTask
+	if n := len(cu.deferFree); n > 0 {
+		t = cu.deferFree[n-1]
+		cu.deferFree[n-1] = nil
+		cu.deferFree = cu.deferFree[:n-1]
+	} else {
+		t = &deferTask{cu: cu}
+	}
+	t.tb, t.rq = tb, rq
+	cu.eng.ScheduleTask(d, t)
 }
 
 // vec issues the coalesced accesses of one vector memory instruction,
 // one per cycle through the L1 port, and resumes the block when all
 // complete.
 func (cu *CU) vec(tb *tbState, rq *request) {
-	accesses := coalesce(rq)
+	op := cu.newVecOp(tb)
+	op.coalesce(rq)
 	nWarps := 0
 	if len(rq.loads) > 0 {
 		nWarps += (len(rq.loads) + WarpSize - 1) / WarpSize
@@ -367,48 +781,24 @@ func (cu *CU) vec(tb *tbState, rq *request) {
 	}
 	cu.meter.Instr(nWarps)
 	cu.st.IncKey(kCuMemInstrs, 1)
-	cu.st.IncKey(kCuLineAccesses, uint64(len(accesses)))
-	if len(accesses) == 0 {
-		cu.eng.Schedule(1, func() { cu.resume(tb, response{}) })
+	cu.st.IncKey(kCuLineAccesses, uint64(len(op.accesses)))
+	if len(op.accesses) == 0 {
+		cu.freeVecOp(op)
+		cu.scheduleResume(1, tb)
 		return
 	}
-	loadVals := make([]uint32, len(rq.loads))
-	remaining := len(accesses)
-	start := uint64(cu.eng.Now())
-	finish := func() {
-		remaining--
-		if remaining == 0 {
-			if cu.rec != nil {
-				cu.rec.EmitSpan(obs.StallMem, int32(cu.Node), uint64(len(accesses)), start)
-			}
-			cu.resume(tb, response{loadVals: loadVals})
-		}
+	if len(rq.loads) > 0 {
+		op.loadVals = make([]uint32, len(rq.loads))
 	}
-	for i := range accesses {
-		la := &accesses[i]
+	op.remaining = len(op.accesses)
+	op.start = uint64(cu.eng.Now())
+	for i := range op.accesses {
 		at := cu.eng.Now()
 		if cu.nextIssue > at {
 			at = cu.nextIssue
 		}
 		cu.nextIssue = at + 1
-		cu.eng.At(at, func() {
-			switch {
-			case la.need != 0 && la.wmask != 0:
-				// A lane-mixed access (loads and stores to one line in
-				// one instruction) issues the store after the load.
-				cu.l1.ReadLine(la.line, la.need, func(vals [mem.WordsPerLine]uint32) {
-					la.scatter(vals, loadVals)
-					cu.l1.WriteLine(la.line, la.wmask, la.data, finish)
-				})
-			case la.need != 0:
-				cu.l1.ReadLine(la.line, la.need, func(vals [mem.WordsPerLine]uint32) {
-					la.scatter(vals, loadVals)
-					finish()
-				})
-			default:
-				cu.l1.WriteLine(la.line, la.wmask, la.data, finish)
-			}
-		})
+		cu.scheduleAccess(at, op, int32(i))
 	}
 }
 
@@ -418,6 +808,38 @@ func (la *lineAccess) scatter(vals [mem.WordsPerLine]uint32, loadVals []uint32) 
 	}
 }
 
+// atomicOp is the pooled state of one in-flight synchronization
+// access. performFn/doneFn are bound once at allocation. Holding the
+// request pointer is safe: it is the block's reusable request buffer,
+// which stays untouched until the response resumes the block.
+type atomicOp struct {
+	cu        *CU
+	tb        *tbState
+	rq        *request
+	scope     coherence.Scope
+	start     uint64
+	performFn func()
+	doneFn    func(uint32)
+}
+
+func (op *atomicOp) perform() {
+	rq := op.rq
+	op.cu.l1Atomic(rq.op, rq.addr.WordOf(), rq.operand, rq.operand2, op.scope, op.doneFn)
+}
+
+func (op *atomicOp) done(old uint32) {
+	cu, tb, rq := op.cu, op.tb, op.rq
+	if rq.order.Acquires() {
+		cu.l1Acquire(op.scope)
+	}
+	if cu.rec != nil {
+		cu.rec.EmitSpan(obs.StallSync, int32(cu.Node), uint64(rq.addr.WordOf()), op.start)
+	}
+	op.tb, op.rq = nil, nil
+	cu.atomFree = append(cu.atomFree, op)
+	cu.resume(tb, response{atomicOld: old})
+}
+
 // atomic wraps a synchronization access in the consistency model's
 // program-order requirement: prior writes complete before a release;
 // the acquire's invalidation happens before subsequent accesses issue.
@@ -425,21 +847,20 @@ func (cu *CU) atomic(tb *tbState, rq *request) {
 	scope := cu.model.Effective(rq.scope)
 	cu.meter.Instr(1)
 	cu.st.IncKey(kCuSyncInstrs, 1)
-	start := uint64(cu.eng.Now())
-	perform := func() {
-		cu.l1.Atomic(rq.op, rq.addr.WordOf(), rq.operand, rq.operand2, scope, func(old uint32) {
-			if rq.order.Acquires() {
-				cu.l1.Acquire(scope)
-			}
-			if cu.rec != nil {
-				cu.rec.EmitSpan(obs.StallSync, int32(cu.Node), uint64(rq.addr.WordOf()), start)
-			}
-			cu.resume(tb, response{atomicOld: old})
-		})
-	}
-	if rq.order.Releases() {
-		cu.l1.Release(scope, perform)
+	var op *atomicOp
+	if n := len(cu.atomFree); n > 0 {
+		op = cu.atomFree[n-1]
+		cu.atomFree[n-1] = nil
+		cu.atomFree = cu.atomFree[:n-1]
 	} else {
-		perform()
+		op = &atomicOp{cu: cu}
+		op.performFn = op.perform
+		op.doneFn = op.done
+	}
+	op.tb, op.rq, op.scope, op.start = tb, rq, scope, uint64(cu.eng.Now())
+	if rq.order.Releases() {
+		cu.l1Release(scope, op.performFn)
+	} else {
+		op.perform()
 	}
 }

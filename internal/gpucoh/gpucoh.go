@@ -64,6 +64,15 @@ type pendingLocalAtomic struct {
 	cb       func(uint32)
 }
 
+// remoteAtomic is an in-flight L2-executed atomic: the word identifies
+// which per-word serialization slot to release when the response
+// arrives. Stored by value so issuing a remote atomic allocates no
+// completion closure.
+type remoteAtomic struct {
+	w  mem.Word
+	cb func(uint32)
+}
+
 // Controller is one CU's (or the CPU's) GPU-coherence L1.
 type Controller struct {
 	node  noc.NodeID
@@ -91,9 +100,18 @@ type Controller struct {
 	// reuse their storage across transaction churn.
 	reads         wordmap.Map[*readTxn]
 	lineTxn       wordmap.Map[uint64]
-	atomics       wordmap.Map[func(uint32)]
+	atomics       wordmap.Map[remoteAtomic]
 	localAtomicQ  wordmap.Map[[]pendingLocalAtomic]
 	localAtomicIn wordmap.Map[bool] // head of queue being processed
+
+	// pool and the free lists below keep steady-state operation
+	// allocation-free: messages and event payloads cycle through
+	// per-controller free lists instead of the heap (see
+	// coherence.MsgPool for the message ownership discipline).
+	pool         coherence.MsgPool
+	readDoneFree []*readDoneTask
+	atomDoneFree []*atomicDoneTask
+	readTxnFree  []*readTxn
 
 	nextID        uint64
 	outstandingWT int
@@ -142,6 +160,82 @@ func New(node noc.NodeID, eng *sim.Engine, mesh *noc.Mesh, st *stats.Stats, mete
 }
 
 var _ coherence.L1 = (*Controller)(nil)
+
+// readDoneTask is the pooled payload of a read-completion event. It
+// frees itself before invoking the callback so a read issued from
+// inside the callback can reuse it.
+type readDoneTask struct {
+	c    *Controller
+	vals [mem.WordsPerLine]uint32
+	cb   func([mem.WordsPerLine]uint32)
+}
+
+func (t *readDoneTask) Run() {
+	c, cb, vals := t.c, t.cb, t.vals
+	t.cb = nil
+	c.readDoneFree = append(c.readDoneFree, t)
+	cb(vals)
+}
+
+func (c *Controller) scheduleReadDone(d sim.Time, vals [mem.WordsPerLine]uint32, cb func([mem.WordsPerLine]uint32)) {
+	var t *readDoneTask
+	if n := len(c.readDoneFree); n > 0 {
+		t = c.readDoneFree[n-1]
+		c.readDoneFree[n-1] = nil
+		c.readDoneFree = c.readDoneFree[:n-1]
+	} else {
+		t = &readDoneTask{c: c}
+	}
+	t.vals, t.cb = vals, cb
+	c.eng.ScheduleTask(d, t)
+}
+
+// atomicDoneTask completes one locally applied atomic: it invokes the
+// callback, releases the per-word serialization slot, and pumps the
+// next queued same-word atomic.
+type atomicDoneTask struct {
+	c   *Controller
+	w   mem.Word
+	ret uint32
+	cb  func(uint32)
+}
+
+func (t *atomicDoneTask) Run() {
+	c, w, ret, cb := t.c, t.w, t.ret, t.cb
+	t.cb = nil
+	c.atomDoneFree = append(c.atomDoneFree, t)
+	cb(ret)
+	c.localAtomicIn.Delete(uint64(w))
+	c.pumpLocalAtomics(w)
+}
+
+func (c *Controller) scheduleAtomicDone(d sim.Time, w mem.Word, ret uint32, cb func(uint32)) {
+	var t *atomicDoneTask
+	if n := len(c.atomDoneFree); n > 0 {
+		t = c.atomDoneFree[n-1]
+		c.atomDoneFree[n-1] = nil
+		c.atomDoneFree = c.atomDoneFree[:n-1]
+	} else {
+		t = &atomicDoneTask{c: c}
+	}
+	t.w, t.ret, t.cb = w, ret, cb
+	c.eng.ScheduleTask(d, t)
+}
+
+func (c *Controller) newReadTxn() *readTxn {
+	if n := len(c.readTxnFree); n > 0 {
+		t := c.readTxnFree[n-1]
+		c.readTxnFree[n-1] = nil
+		c.readTxnFree = c.readTxnFree[:n-1]
+		return t
+	}
+	return &readTxn{}
+}
+
+func (c *Controller) freeReadTxn(t *readTxn) {
+	*t = readTxn{waiters: t.waiters[:0]}
+	c.readTxnFree = append(c.readTxnFree, t)
+}
 
 // SetRecorder installs an obs recorder (nil to disable) for this L1 and
 // its store buffer; events land on track c.node in the CU domain.
@@ -196,7 +290,7 @@ func (c *Controller) ReadLine(l mem.Line, need mem.WordMask, cb func([mem.WordsP
 		if c.rec != nil {
 			c.rec.Emit(obs.L1ReadHit, int32(c.node), uint64(l))
 		}
-		c.eng.Schedule(coherence.L1HitCycles, func() { cb(vals) })
+		c.scheduleReadDone(coherence.L1HitCycles, vals, cb)
 		return
 	}
 	c.st.IncKey(kL1ReadMisses, 1)
@@ -211,14 +305,15 @@ func (c *Controller) ReadLine(l mem.Line, need mem.WordMask, cb func([mem.WordsP
 		}
 	}
 	if txn == nil {
-		txn = &readTxn{epoch: c.epoch}
+		txn = c.newReadTxn()
+		txn.epoch = c.epoch
 		c.nextID++
 		c.reads.Put(c.nextID, txn)
 		c.lineTxn.Put(uint64(l), c.nextID)
-		c.mesh.Send(&coherence.Msg{
+		c.mesh.Send(c.pool.NewMsg(coherence.Msg{
 			Kind: coherence.ReadReq, Src: c.node, Dst: l2.HomeNode(l), Port: noc.PortL2,
 			Line: l, Mask: mem.AllWords, ID: c.nextID,
-		})
+		}))
 	}
 	txn.waiters = append(txn.waiters, readWaiter{need: missing, vals: vals, cb: cb})
 }
@@ -272,10 +367,10 @@ func (c *Controller) sendWT(l mem.Line, mask mem.WordMask, data [mem.WordsPerLin
 			c.wtPending.Put(uint64(w), wtWord{val: data[i], count: 1})
 		}
 	}
-	c.mesh.Send(&coherence.Msg{
+	c.mesh.Send(c.pool.NewMsg(coherence.Msg{
 		Kind: coherence.WriteThrough, Src: c.node, Dst: l2.HomeNode(l), Port: noc.PortL2,
 		Line: l, Mask: mask, Data: data,
-	})
+	}))
 }
 
 // writeDirty installs written words into the L1 as Dirty (GPU-H's
@@ -354,8 +449,13 @@ func (c *Controller) pumpLocalAtomics(w mem.Word) {
 		return
 	}
 	c.localAtomicIn.Put(uint64(w), true)
+	// Pop by shifting down rather than re-slicing forward, so the queue
+	// keeps its backing capacity and the append/pop churn of a busy sync
+	// word never reallocates.
 	p := (*qp)[0]
-	*qp = (*qp)[1:]
+	copy(*qp, (*qp)[1:])
+	(*qp)[len(*qp)-1] = pendingLocalAtomic{} // release the callback for GC
+	*qp = (*qp)[:len(*qp)-1]
 
 	if p.scope != coherence.ScopeLocal {
 		if v, ok := c.sb.Remove(w); ok {
@@ -371,75 +471,65 @@ func (c *Controller) pumpLocalAtomics(w mem.Word) {
 		}
 		c.nextID++
 		id := c.nextID
-		c.atomics.Put(id, func(v uint32) {
-			p.cb(v)
-			c.localAtomicIn.Delete(uint64(w))
-			c.pumpLocalAtomics(w)
-		})
-		c.mesh.Send(&coherence.Msg{
+		c.atomics.Put(id, remoteAtomic{w: w, cb: p.cb})
+		c.mesh.Send(c.pool.NewMsg(coherence.Msg{
 			Kind: coherence.AtomicReq, Src: c.node, Dst: l2.HomeNode(w.LineOf()), Port: noc.PortL2,
 			Line: w.LineOf(), WordIdx: w.Index(), Op: p.op, Operand: p.operand, Operand2: p.operand2, ID: id,
-		})
+		}))
 		return
-	}
-
-	finish := func(cur uint32) {
-		next, ret := p.op.Apply(cur, p.operand, p.operand2)
-		c.meter.L1Access(1)
-		if !p.op.WritesBack(cur, next) {
-			// A pure synchronization read must not dirty the word: marking
-			// the read value dirty would flush it at the next global
-			// release and clobber a concurrent writer's update.
-			c.eng.Schedule(coherence.L1HitCycles, func() {
-				p.cb(ret)
-				c.localAtomicIn.Delete(uint64(w))
-				c.pumpLocalAtomics(w)
-			})
-			return
-		}
-		if c.partialBlocks {
-			var data [mem.WordsPerLine]uint32
-			data[w.Index()] = next
-			c.writeDirty(w.LineOf(), mem.Bit(w.Index()), data)
-		} else {
-			c.meter.StoreBuffer(1)
-			_, evicted := c.sb.Insert(w, next)
-			if evicted != nil {
-				c.st.IncKey(kSbOverflowWritethroughs, 1)
-				c.sendWT(evicted.Line, evicted.Mask, evicted.Data)
-			}
-			if e := c.cache.Peek(w.LineOf()); e != nil {
-				e.Data[w.Index()] = next
-				e.State[w.Index()] = cache.Valid
-			}
-		}
-		c.eng.Schedule(coherence.L1HitCycles, func() {
-			p.cb(ret)
-			c.localAtomicIn.Delete(uint64(w))
-			c.pumpLocalAtomics(w)
-		})
 	}
 
 	if e := c.cache.Lookup(w.LineOf()); c.partialBlocks && e != nil && e.State[w.Index()] == cache.Dirty {
-		finish(e.Data[w.Index()])
+		c.finishLocalAtomic(w, p, e.Data[w.Index()])
 		return
 	}
 	if v, ok := c.sb.Lookup(w); ok {
-		finish(v)
+		c.finishLocalAtomic(w, p, v)
 		return
 	}
-	if p, ok := c.wtPending.Get(uint64(w)); ok {
-		finish(p.val)
+	if pw, ok := c.wtPending.Get(uint64(w)); ok {
+		c.finishLocalAtomic(w, p, pw.val)
 		return
 	}
 	if e := c.cache.Lookup(w.LineOf()); e != nil && e.State[w.Index()] != cache.Invalid {
-		finish(e.Data[w.Index()])
+		c.finishLocalAtomic(w, p, e.Data[w.Index()])
 		return
 	}
 	// Miss: fetch the line, then RMW.
 	c.ReadLine(w.LineOf(), mem.Bit(w.Index()), func(vals [mem.WordsPerLine]uint32) {
-		finish(vals[w.Index()])
+		c.finishLocalAtomic(w, p, vals[w.Index()])
 	})
+}
+
+// finishLocalAtomic applies a local-scope RMW to the current value cur
+// and schedules its completion.
+func (c *Controller) finishLocalAtomic(w mem.Word, p pendingLocalAtomic, cur uint32) {
+	next, ret := p.op.Apply(cur, p.operand, p.operand2)
+	c.meter.L1Access(1)
+	if !p.op.WritesBack(cur, next) {
+		// A pure synchronization read must not dirty the word: marking
+		// the read value dirty would flush it at the next global
+		// release and clobber a concurrent writer's update.
+		c.scheduleAtomicDone(coherence.L1HitCycles, w, ret, p.cb)
+		return
+	}
+	if c.partialBlocks {
+		var data [mem.WordsPerLine]uint32
+		data[w.Index()] = next
+		c.writeDirty(w.LineOf(), mem.Bit(w.Index()), data)
+	} else {
+		c.meter.StoreBuffer(1)
+		_, evicted := c.sb.Insert(w, next)
+		if evicted != nil {
+			c.st.IncKey(kSbOverflowWritethroughs, 1)
+			c.sendWT(evicted.Line, evicted.Mask, evicted.Data)
+		}
+		if e := c.cache.Peek(w.LineOf()); e != nil {
+			e.Data[w.Index()] = next
+			e.State[w.Index()] = cache.Valid
+		}
+	}
+	c.scheduleAtomicDone(coherence.L1HitCycles, w, ret, p.cb)
 }
 
 // Acquire implements coherence.L1: a global acquire flash-invalidates
@@ -593,15 +683,20 @@ func (c *Controller) Deliver(p noc.Packet) {
 			}
 		}
 	case coherence.AtomicResp:
-		cb, ok := c.atomics.Get(msg.ID)
+		ra, ok := c.atomics.Get(msg.ID)
 		if !ok {
 			panic(fmt.Sprintf("gpucoh: atomic response with unknown id %d", msg.ID))
 		}
 		c.atomics.Delete(msg.ID)
-		cb(msg.Result)
+		ra.cb(msg.Result)
+		c.localAtomicIn.Delete(uint64(ra.w))
+		c.pumpLocalAtomics(ra.w)
 	default:
 		panic(fmt.Sprintf("gpucoh: unexpected message %v", msg.Kind))
 	}
+	// Every handler above is done with the message once it returns (fill
+	// copies what its waiters need), so it recycles here.
+	c.pool.Put(msg)
 }
 
 func (c *Controller) fill(msg *coherence.Msg) {
@@ -654,9 +749,9 @@ func (c *Controller) fill(msg *coherence.Msg) {
 				vals[i] = msg.Data[i]
 			}
 		}
-		cb := w.cb
-		c.eng.Schedule(coherence.L1HitCycles, func() { cb(vals) })
+		c.scheduleReadDone(coherence.L1HitCycles, vals, w.cb)
 	}
+	c.freeReadTxn(txn)
 }
 
 // CacheWordState exposes a word's L1 state for tests.

@@ -31,6 +31,7 @@ import (
 	"denovogpu/internal/obs"
 	"denovogpu/internal/sim"
 	"denovogpu/internal/stats"
+	"denovogpu/internal/wordmap"
 )
 
 // Interned counter keys: hot-path counting indexes an array
@@ -47,12 +48,13 @@ var (
 // MemoryOwner marks a word as owned by the bank (not registered).
 const MemoryOwner noc.NodeID = -1
 
-type bankLine struct {
-	data  [mem.WordsPerLine]uint32
-	owner [mem.WordsPerLine]noc.NodeID
-}
-
 // Bank is one L2 bank plus its slice of the registry.
+//
+// Per-line state is struct-of-arrays: a dense id per resident line
+// (first-touch order, assigned when the DRAM fetch completes) indexes
+// flat data and owner tables, so the per-request map lookup of the
+// earlier design collapses to one hash probe for the id translation
+// plus array arithmetic.
 type Bank struct {
 	Node noc.NodeID
 
@@ -62,30 +64,100 @@ type Bank struct {
 	st      *stats.Stats
 	meter   *energy.Meter
 
-	lines map[mem.Line]*bankLine
-	// fetching maps lines with an in-flight DRAM fetch to the work
-	// queued behind the fetch.
-	fetching map[mem.Line][]func()
+	// ids assigns dense ids to resident lines; data/owner hold one row
+	// of mem.WordsPerLine values per id.
+	ids   wordmap.IDTable
+	data  *wordmap.WordTable[uint32]
+	owner *wordmap.WordTable[noc.NodeID]
+
+	// fetching maps lines with an in-flight DRAM fetch to the pooled
+	// fetch record carrying the work queued behind the fetch.
+	fetching  wordmap.Map[*fetchTask]
+	fetchFree []*fetchTask
 
 	busy     sim.Time // bank pipeline occupancy
 	dramBusy sim.Time // memory port occupancy
+
+	// pool recycles coherence messages (see coherence.MsgPool for the
+	// ownership discipline); taskFree recycles process-task payloads.
+	pool     coherence.MsgPool
+	taskFree []*procTask
 
 	// rec, when non-nil, receives L2* events on track b.Node.
 	rec *obs.Recorder
 }
 
+// procTask is the pooled payload of a deferred bank access: process msg
+// once the line is resident and the bank pipeline slot arrives.
+type procTask struct {
+	b   *Bank
+	msg *coherence.Msg
+}
+
+// Run processes the message, frees the message into the bank's pool,
+// and returns itself to the task free list.
+func (t *procTask) Run() {
+	b, msg := t.b, t.msg
+	t.msg = nil
+	b.taskFree = append(b.taskFree, t)
+	b.process(msg)
+	b.pool.Put(msg)
+}
+
+func (b *Bank) newTask(msg *coherence.Msg) *procTask {
+	if n := len(b.taskFree); n > 0 {
+		t := b.taskFree[n-1]
+		b.taskFree[n-1] = nil
+		b.taskFree = b.taskFree[:n-1]
+		t.msg = msg
+		return t
+	}
+	return &procTask{b: b, msg: msg}
+}
+
 // New returns a bank for the given node.
 func New(node noc.NodeID, eng *sim.Engine, mesh *noc.Mesh, backing *mem.Backing, st *stats.Stats, meter *energy.Meter) *Bank {
 	return &Bank{
-		Node:     node,
-		eng:      eng,
-		mesh:     mesh,
-		backing:  backing,
-		st:       st,
-		meter:    meter,
-		lines:    make(map[mem.Line]*bankLine),
-		fetching: make(map[mem.Line][]func()),
+		Node:    node,
+		eng:     eng,
+		mesh:    mesh,
+		backing: backing,
+		st:      st,
+		meter:   meter,
+		data:    wordmap.NewWordTable[uint32](mem.WordsPerLine),
+		owner:   wordmap.NewWordTable[noc.NodeID](mem.WordsPerLine),
 	}
+}
+
+// fetchTask is the pooled payload of a DRAM fetch completion: install
+// the line, then run the accesses queued behind the fetch.
+type fetchTask struct {
+	b       *Bank
+	l       mem.Line
+	waiters []*procTask
+}
+
+func (t *fetchTask) Run() {
+	b, l := t.b, t.l
+	b.install(l)
+	b.fetching.Delete(uint64(l))
+	for i, w := range t.waiters {
+		t.waiters[i] = nil
+		w.Run()
+	}
+	t.waiters = t.waiters[:0]
+	b.fetchFree = append(b.fetchFree, t)
+}
+
+func (b *Bank) newFetch(l mem.Line) *fetchTask {
+	if n := len(b.fetchFree); n > 0 {
+		t := b.fetchFree[n-1]
+		b.fetchFree[n-1] = nil
+		b.fetchFree = b.fetchFree[:n-1]
+		t.l = l
+		return t
+	}
+	return &fetchTask{b: b, l: l}
 }
 
 // SetRecorder installs an obs recorder (nil to disable) and names this
@@ -118,22 +190,24 @@ func (b *Bank) Deliver(p noc.Packet) {
 	b.busy = start + occ
 	b.meter.L2Access(1)
 	serviceAt := start + coherence.L2AccessCycles
-	b.withLine(msg.Line, serviceAt, func() { b.process(msg) })
+	b.withLine(msg.Line, serviceAt, b.newTask(msg))
 }
 
-// withLine runs fn at time at (or later) with the line resident,
+// withLine runs task at time at (or later) with the line resident,
 // inserting a DRAM fetch for cold lines and coalescing concurrent
 // fetches for the same line.
-func (b *Bank) withLine(l mem.Line, at sim.Time, fn func()) {
-	if _, ok := b.lines[l]; ok {
-		b.eng.At(at, fn)
+func (b *Bank) withLine(l mem.Line, at sim.Time, task *procTask) {
+	if _, ok := b.ids.Lookup(uint64(l)); ok {
+		b.eng.AtTask(at, task)
 		return
 	}
-	if waiters, inFlight := b.fetching[l]; inFlight {
-		b.fetching[l] = append(waiters, fn)
+	if ft, inFlight := b.fetching.Get(uint64(l)); inFlight {
+		ft.waiters = append(ft.waiters, task)
 		return
 	}
-	b.fetching[l] = []func(){fn}
+	ft := b.newFetch(l)
+	ft.waiters = append(ft.waiters, task)
+	b.fetching.Put(uint64(l), ft)
 	b.st.IncKey(kL2DramFetches, 1)
 	b.meter.DRAMAccess(1)
 	start := at
@@ -141,26 +215,29 @@ func (b *Bank) withLine(l mem.Line, at sim.Time, fn func()) {
 		start = b.dramBusy
 	}
 	b.dramBusy = start + coherence.DRAMOccupancyCycles
-	b.eng.At(start+coherence.DRAMCycles, func() {
-		bl := &bankLine{data: b.backing.ReadLine(l)}
-		for i := range bl.owner {
-			bl.owner[i] = MemoryOwner
-		}
-		b.lines[l] = bl
-		waiters := b.fetching[l]
-		delete(b.fetching, l)
-		for _, w := range waiters {
-			w()
-		}
-	})
+	b.eng.AtTask(start+coherence.DRAMCycles, ft)
 }
 
-func (b *Bank) line(l mem.Line) *bankLine {
-	bl, ok := b.lines[l]
+// install materializes the line's SoA rows with DRAM data, assigning
+// its dense id.
+func (b *Bank) install(l mem.Line) {
+	id := b.ids.ID(uint64(l))
+	data := b.data.Row(id)
+	vals := b.backing.ReadLine(l)
+	copy(data, vals[:])
+	owner := b.owner.Row(id)
+	for i := range owner {
+		owner[i] = MemoryOwner
+	}
+}
+
+// rows returns the data and owner rows of a resident line.
+func (b *Bank) rows(l mem.Line) ([]uint32, []noc.NodeID) {
+	id, ok := b.ids.Lookup(uint64(l))
 	if !ok {
 		panic(fmt.Sprintf("l2: line %v processed before fetch", l))
 	}
-	return bl
+	return b.data.Peek(id), b.owner.Peek(id)
 }
 
 func (b *Bank) process(msg *coherence.Msg) {
@@ -187,10 +264,10 @@ func (b *Bank) read(msg *coherence.Msg) {
 	if b.rec != nil {
 		b.rec.Emit(obs.L2Read, int32(b.Node), uint64(msg.Line))
 	}
-	bl := b.line(msg.Line)
+	data, owner := b.rows(msg.Line)
 	var have mem.WordMask
 	for i := 0; i < mem.WordsPerLine; i++ {
-		if bl.owner[i] == MemoryOwner {
+		if owner[i] == MemoryOwner {
 			have |= mem.Bit(i)
 		}
 	}
@@ -199,19 +276,19 @@ func (b *Bank) read(msg *coherence.Msg) {
 	// nodes, so a fixed per-node mask array replaces a per-request map.
 	var fwd [noc.Nodes]mem.WordMask
 	for i := 0; i < mem.WordsPerLine; i++ {
-		if msg.Mask.Has(i) && bl.owner[i] != MemoryOwner {
-			fwd[bl.owner[i]] |= mem.Bit(i)
+		if msg.Mask.Has(i) && owner[i] != MemoryOwner {
+			fwd[owner[i]] |= mem.Bit(i)
 		}
 	}
 	if have != 0 {
-		b.mesh.Send(&coherence.Msg{
+		b.mesh.Send(b.pool.NewMsg(coherence.Msg{
 			Kind: coherence.ReadResp, Src: b.Node, Dst: msg.Src, Port: noc.PortL1,
-			Line: msg.Line, Mask: have, Data: bl.data, ID: msg.ID,
-		})
+			Line: msg.Line, Mask: have, Data: [mem.WordsPerLine]uint32(data), ID: msg.ID,
+		}))
 	}
 	// Deterministic iteration: owners in node order.
-	for owner := noc.NodeID(0); owner < noc.Nodes; owner++ {
-		m := fwd[owner]
+	for dst := noc.NodeID(0); dst < noc.Nodes; dst++ {
+		m := fwd[dst]
 		if m == 0 {
 			continue
 		}
@@ -219,10 +296,10 @@ func (b *Bank) read(msg *coherence.Msg) {
 		if b.rec != nil {
 			b.rec.Emit(obs.L2ReadForward, int32(b.Node), uint64(msg.Line))
 		}
-		b.mesh.Send(&coherence.Msg{
-			Kind: coherence.ReadFwd, Src: b.Node, Dst: owner, Port: noc.PortL1,
+		b.mesh.Send(b.pool.NewMsg(coherence.Msg{
+			Kind: coherence.ReadFwd, Src: b.Node, Dst: dst, Port: noc.PortL1,
 			Line: msg.Line, Mask: m, Requester: msg.Src, ID: msg.ID,
-		})
+		}))
 	}
 }
 
@@ -230,17 +307,17 @@ func (b *Bank) writeThrough(msg *coherence.Msg) {
 	if b.rec != nil {
 		b.rec.Emit(obs.L2WriteThrough, int32(b.Node), uint64(msg.Line))
 	}
-	bl := b.line(msg.Line)
+	data, _ := b.rows(msg.Line)
 	for i := 0; i < mem.WordsPerLine; i++ {
 		if msg.Mask.Has(i) {
-			bl.data[i] = msg.Data[i]
+			data[i] = msg.Data[i]
 		}
 	}
 	b.st.IncKey(kL2Writethroughs, 1)
-	b.mesh.Send(&coherence.Msg{
+	b.mesh.Send(b.pool.NewMsg(coherence.Msg{
 		Kind: coherence.WriteThroughAck, Src: b.Node, Dst: msg.Src, Port: noc.PortL1,
 		Line: msg.Line, Mask: msg.Mask, ID: msg.ID,
-	})
+	}))
 }
 
 // register implements the DeNovo registry: every requested word's
@@ -253,30 +330,30 @@ func (b *Bank) register(msg *coherence.Msg) {
 	if b.rec != nil {
 		b.rec.Emit(obs.L2Registration, int32(b.Node), uint64(msg.Line))
 	}
-	bl := b.line(msg.Line)
+	data, owner := b.rows(msg.Line)
 	var grant mem.WordMask
 	var fwd [noc.Nodes]mem.WordMask
 	for i := 0; i < mem.WordsPerLine; i++ {
 		if !msg.Mask.Has(i) {
 			continue
 		}
-		prev := bl.owner[i]
+		prev := owner[i]
 		switch prev {
 		case MemoryOwner, msg.Src:
 			grant |= mem.Bit(i)
 		default:
 			fwd[prev] |= mem.Bit(i)
 		}
-		bl.owner[i] = msg.Src
+		owner[i] = msg.Src
 	}
 	if grant != 0 {
-		b.mesh.Send(&coherence.Msg{
+		b.mesh.Send(b.pool.NewMsg(coherence.Msg{
 			Kind: coherence.RegAck, Src: b.Node, Dst: msg.Src, Port: noc.PortL1,
-			Line: msg.Line, Mask: grant, Data: bl.data, Sync: msg.Sync, NeedsData: msg.NeedsData, ID: msg.ID,
-		})
+			Line: msg.Line, Mask: grant, Data: [mem.WordsPerLine]uint32(data), Sync: msg.Sync, NeedsData: msg.NeedsData, ID: msg.ID,
+		}))
 	}
-	for owner := noc.NodeID(0); owner < noc.Nodes; owner++ {
-		m := fwd[owner]
+	for dst := noc.NodeID(0); dst < noc.Nodes; dst++ {
+		m := fwd[dst]
 		if m == 0 {
 			continue
 		}
@@ -284,10 +361,10 @@ func (b *Bank) register(msg *coherence.Msg) {
 		if b.rec != nil {
 			b.rec.Emit(obs.L2RegForward, int32(b.Node), uint64(msg.Line))
 		}
-		b.mesh.Send(&coherence.Msg{
-			Kind: coherence.RegFwd, Src: b.Node, Dst: owner, Port: noc.PortL1,
+		b.mesh.Send(b.pool.NewMsg(coherence.Msg{
+			Kind: coherence.RegFwd, Src: b.Node, Dst: dst, Port: noc.PortL1,
 			Line: msg.Line, Mask: m, Requester: msg.Src, Sync: msg.Sync, NeedsData: msg.NeedsData, ID: msg.ID,
-		})
+		}))
 	}
 }
 
@@ -298,42 +375,42 @@ func (b *Bank) writeBack(msg *coherence.Msg) {
 	if b.rec != nil {
 		b.rec.Emit(obs.L2WriteBack, int32(b.Node), uint64(msg.Line))
 	}
-	bl := b.line(msg.Line)
+	data, owner := b.rows(msg.Line)
 	var accepted mem.WordMask
 	for i := 0; i < mem.WordsPerLine; i++ {
 		if !msg.Mask.Has(i) {
 			continue
 		}
-		if bl.owner[i] == msg.Src {
-			bl.owner[i] = MemoryOwner
-			bl.data[i] = msg.Data[i]
+		if owner[i] == msg.Src {
+			owner[i] = MemoryOwner
+			data[i] = msg.Data[i]
 			accepted |= mem.Bit(i)
 		} else {
 			b.st.IncKey(kL2StaleWritebacks, 1)
 		}
 	}
-	b.mesh.Send(&coherence.Msg{
+	b.mesh.Send(b.pool.NewMsg(coherence.Msg{
 		Kind: coherence.WriteBackAck, Src: b.Node, Dst: msg.Src, Port: noc.PortL1,
 		Line: msg.Line, Mask: msg.Mask, WBAccepted: accepted, ID: msg.ID,
-	})
+	}))
 }
 
 func (b *Bank) atomic(msg *coherence.Msg) {
 	if b.rec != nil {
 		b.rec.Emit(obs.L2Atomic, int32(b.Node), uint64(msg.Line))
 	}
-	bl := b.line(msg.Line)
+	data, owner := b.rows(msg.Line)
 	i := msg.WordIdx
-	if bl.owner[i] != MemoryOwner {
+	if owner[i] != MemoryOwner {
 		panic(fmt.Sprintf("l2: remote atomic on registered word %v[%d] (protocol mixing bug)", msg.Line, i))
 	}
-	next, ret := msg.Op.Apply(bl.data[i], msg.Operand, msg.Operand2)
-	bl.data[i] = next
+	next, ret := msg.Op.Apply(data[i], msg.Operand, msg.Operand2)
+	data[i] = next
 	b.st.IncKey(kL2Atomics, 1)
-	b.mesh.Send(&coherence.Msg{
+	b.mesh.Send(b.pool.NewMsg(coherence.Msg{
 		Kind: coherence.AtomicResp, Src: b.Node, Dst: msg.Src, Port: noc.PortL1,
 		Line: msg.Line, WordIdx: i, Result: ret, ID: msg.ID,
-	})
+	}))
 }
 
 // Functional access helpers used by the host (CPU) between kernels and
@@ -341,16 +418,16 @@ func (b *Bank) atomic(msg *coherence.Msg) {
 
 // PeekOwner returns the registered owner of a word, or MemoryOwner.
 func (b *Bank) PeekOwner(w mem.Word) noc.NodeID {
-	if bl, ok := b.lines[w.LineOf()]; ok {
-		return bl.owner[w.Index()]
+	if id, ok := b.ids.Lookup(uint64(w.LineOf())); ok {
+		return b.owner.Peek(id)[w.Index()]
 	}
 	return MemoryOwner
 }
 
 // PeekData returns the bank's copy of a word (DRAM value if cold).
 func (b *Bank) PeekData(w mem.Word) uint32 {
-	if bl, ok := b.lines[w.LineOf()]; ok {
-		return bl.data[w.Index()]
+	if id, ok := b.ids.Lookup(uint64(w.LineOf())); ok {
+		return b.data.Peek(id)[w.Index()]
 	}
 	return b.backing.Read(w)
 }
@@ -359,37 +436,39 @@ func (b *Bank) PeekData(w mem.Word) uint32 {
 // It panics if the word is registered to an L1 — the host must recall it
 // first (machine.HostWrite handles that).
 func (b *Bank) PokeData(w mem.Word, v uint32) {
-	bl, ok := b.lines[w.LineOf()]
+	id, ok := b.ids.Lookup(uint64(w.LineOf()))
 	if !ok {
 		b.backing.Write(w, v)
 		return
 	}
-	if bl.owner[w.Index()] != MemoryOwner {
+	if b.owner.Peek(id)[w.Index()] != MemoryOwner {
 		panic(fmt.Sprintf("l2: host write to registered %v", w))
 	}
-	bl.data[w.Index()] = v
+	b.data.Peek(id)[w.Index()] = v
 }
 
 // Recall functionally returns ownership of one word to memory with the
 // given up-to-date value (host access between kernels). Not timed.
 func (b *Bank) Recall(w mem.Word, val uint32) {
-	bl, ok := b.lines[w.LineOf()]
+	id, ok := b.ids.Lookup(uint64(w.LineOf()))
 	if !ok {
 		b.backing.Write(w, val)
 		return
 	}
-	bl.owner[w.Index()] = MemoryOwner
-	bl.data[w.Index()] = val
+	b.owner.Peek(id)[w.Index()] = MemoryOwner
+	b.data.Peek(id)[w.Index()] = val
 }
 
 // ForEachRegistered visits every word currently registered to an L1
 // (invariant checking). Iteration order is unspecified; callers must
 // not depend on it.
 func (b *Bank) ForEachRegistered(fn func(w mem.Word, owner noc.NodeID)) {
-	for l, bl := range b.lines {
+	for id := int32(0); id < int32(b.ids.Len()); id++ {
+		l := mem.Line(b.ids.Key(id))
+		owner := b.owner.Peek(id)
 		for i := 0; i < mem.WordsPerLine; i++ {
-			if bl.owner[i] != MemoryOwner {
-				fn(l.Word(i), bl.owner[i])
+			if owner[i] != MemoryOwner {
+				fn(l.Word(i), owner[i])
 			}
 		}
 	}
@@ -400,11 +479,13 @@ func (b *Bank) ForEachRegistered(fn func(w mem.Word, owner noc.NodeID)) {
 // teardown and by host access between kernels). It is not timed.
 func (b *Bank) RecallAll(node noc.NodeID, read func(w mem.Word) uint32) int {
 	n := 0
-	for l, bl := range b.lines {
+	for id := int32(0); id < int32(b.ids.Len()); id++ {
+		l := mem.Line(b.ids.Key(id))
+		data, owner := b.data.Peek(id), b.owner.Peek(id)
 		for i := 0; i < mem.WordsPerLine; i++ {
-			if bl.owner[i] == node {
-				bl.data[i] = read(l.Word(i))
-				bl.owner[i] = MemoryOwner
+			if owner[i] == node {
+				data[i] = read(l.Word(i))
+				owner[i] = MemoryOwner
 				n++
 			}
 		}

@@ -1,0 +1,118 @@
+// Differential wall between the monomorphic fast path and the generic
+// reference path.
+//
+// The CUs dispatch coherence calls either through direct calls to the
+// concrete protocol controllers (the default fast path, which the
+// compiler can devirtualize and inline) or through the coherence.L1
+// interface (the reference path, Config.GenericL1). The two are
+// required to be behaviorally identical: this suite runs every pinned
+// golden cell plus the graph-analytics differential seeds through BOTH
+// paths and compares the full reports byte for byte. Any divergence —
+// one event, one counter, one picojoule — fails here, so the
+// devirtualized code is proven equivalent, not assumed.
+package machine_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"denovogpu"
+	"denovogpu/internal/workload/graph"
+)
+
+// diffCell names one (workload, config) combination to diff.
+type diffCell struct {
+	name     string
+	config   string
+	workload denovogpu.Workload
+}
+
+func diffCells(t *testing.T) []diffCell {
+	var cells []diffCell
+	for _, p := range goldenPairs() {
+		w, err := denovogpu.WorkloadByName(p.workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells = append(cells, diffCell{
+			name:     p.workload + "/" + p.config,
+			config:   p.config,
+			workload: w,
+		})
+	}
+	// Graph-analytics differential seeds (the graphdiff harness inputs):
+	// randomized graphs exercise the per-phase protocol switches and the
+	// relaxed-atomic L2 path under both dispatch modes.
+	params := []graph.Params{{N: 320, AvgDeg: 6, Seed: 7}}
+	if !testing.Short() {
+		params = append(params, graph.Params{N: 640, AvgDeg: 8, Seed: 42})
+	}
+	families := []struct {
+		name string
+		mk   func(graph.Params) denovogpu.Workload
+	}{
+		{"BFS", graph.BFS},
+		{"PR", graph.PageRank},
+		{"SSSP", graph.SSSP},
+	}
+	for _, fam := range families {
+		for _, p := range params {
+			for _, cfg := range []string{"GD", "DD", "SPEC"} {
+				cells = append(cells, diffCell{
+					name:     fmt.Sprintf("%s-n%d-seed%d/%s", fam.name, p.N, p.Seed, cfg),
+					config:   cfg,
+					workload: fam.mk(p),
+				})
+			}
+		}
+	}
+	return cells
+}
+
+// TestFastPathDifferential runs every cell through the specialized
+// fast path and the generic interface path and requires byte-identical
+// serialized reports.
+func TestFastPathDifferential(t *testing.T) {
+	cells := diffCells(t)
+	if testing.Short() {
+		cells = cells[:8]
+	}
+	mk := func(generic bool) []denovogpu.MatrixCell {
+		out := make([]denovogpu.MatrixCell, len(cells))
+		for i, c := range cells {
+			cfg, err := denovogpu.ConfigByName(c.config)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.GenericL1 = generic
+			out[i] = denovogpu.MatrixCell{Config: cfg, Workload: c.workload}
+		}
+		return out
+	}
+	fast, err := denovogpu.RunMatrix(mk(false), denovogpu.MatrixOptions{KeepGoing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	generic, err := denovogpu.RunMatrix(mk(true), denovogpu.MatrixOptions{KeepGoing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cells {
+		i, c := i, c
+		t.Run(c.name, func(t *testing.T) {
+			if fast[i].Err != nil {
+				t.Fatalf("fast path: %v", fast[i].Err)
+			}
+			if generic[i].Err != nil {
+				t.Fatalf("generic path: %v", generic[i].Err)
+			}
+			got := marshalGolden(toGolden(fast[i].Report))
+			want := marshalGolden(toGolden(generic[i].Report))
+			if !bytes.Equal(got, want) {
+				t.Errorf("fast path deviates from generic reference for %s:\nfast:\n%s\ngeneric:\n%s",
+					c.name, got, want)
+			}
+		})
+	}
+}

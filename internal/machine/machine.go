@@ -99,6 +99,13 @@ type Config struct {
 	// drain (store-buffer quiesce, registry walk, flash invalidation).
 	PhaseDrainCycles int
 
+	// GenericL1 forces the CUs onto the generic coherence.L1 interface
+	// dispatch — the reference implementation — instead of the default
+	// monomorphic fast path that calls the concrete DeNovo/GPU
+	// controllers directly. The two paths are behaviorally identical;
+	// the differential suite diffs their reports cell by cell.
+	GenericL1 bool
+
 	NumCUs         int
 	MaxResidentTBs int
 	L1Bytes        int
@@ -366,7 +373,11 @@ func New(cfg Config) *Machine {
 	m.l1s = m.sets[m.base]
 	m.attachSet(m.l1s)
 	for i := 0; i < cfg.NumCUs; i++ {
-		m.cus = append(m.cus, gpu.New(noc.NodeID(i), m.eng, m.l1s[i], cfg.Model, m.st, m.meter, cfg.MaxResidentTBs))
+		cu := gpu.New(noc.NodeID(i), m.eng, m.l1s[i], cfg.Model, m.st, m.meter, cfg.MaxResidentTBs)
+		if cfg.GenericL1 {
+			cu.UseGenericL1()
+		}
+		m.cus = append(m.cus, cu)
 	}
 	return m
 }

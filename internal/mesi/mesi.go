@@ -103,8 +103,9 @@ func PayloadBytesFor(k coherence.MsgKind) int {
 // MESI kind space.
 type mesiPacket struct{ *coherence.Msg }
 
-func (p mesiPacket) NocClass() stats.TrafficClass { return classOf(p.Kind) }
-func (p mesiPacket) PayloadBytes() int            { return PayloadBytesFor(p.Kind) }
+func (p mesiPacket) NocRoute() noc.Route {
+	return noc.Route{Src: p.Src, Dst: p.Dst, Port: p.Port, Class: classOf(p.Kind), PayloadBytes: PayloadBytesFor(p.Kind)}
+}
 
 // dirState is the directory's view of one line.
 type dirState struct {

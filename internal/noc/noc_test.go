@@ -16,11 +16,9 @@ type testPacket struct {
 	bytes    int
 }
 
-func (p testPacket) NocSrc() NodeID               { return p.src }
-func (p testPacket) NocDst() NodeID               { return p.dst }
-func (p testPacket) NocPort() Port                { return p.port }
-func (p testPacket) NocClass() stats.TrafficClass { return p.class }
-func (p testPacket) PayloadBytes() int            { return p.bytes }
+func (p testPacket) NocRoute() Route {
+	return Route{Src: p.src, Dst: p.dst, Port: p.port, Class: p.class, PayloadBytes: p.bytes}
+}
 
 type collector struct {
 	got []Packet

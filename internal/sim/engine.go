@@ -40,11 +40,22 @@ const (
 	ringMask = ringSize - 1
 )
 
-// event is a scheduled callback, stored by value.
+// Task is a pooled event payload: Run is invoked when the event fires.
+// Components on the steady-state path keep free lists of their payload
+// structs and schedule them with ScheduleTask/AtTask — storing a
+// pointer in the Task interface allocates nothing, unlike a closure,
+// which heap-allocates its captured variables on every Schedule. A
+// task returns itself to its free list from inside Run once it has
+// extracted what it needs.
+type Task interface{ Run() }
+
+// event is a scheduled callback, stored by value. Exactly one of fn
+// and task is set.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	fn   func()
+	task Task
 }
 
 func eventLess(a, b *event) bool {
@@ -115,11 +126,28 @@ func (e *Engine) Schedule(delay Time, fn func()) {
 // At runs fn at absolute time t. Scheduling in the past panics: it is
 // always a model bug.
 func (e *Engine) At(t Time, fn func()) {
+	e.insert(event{at: t, fn: fn})
+}
+
+// ScheduleTask runs task at the given delay from now, sharing the
+// (time, seq) order with Schedule/At exactly — tasks and closures
+// scheduled for the same cycle interleave in scheduling order.
+func (e *Engine) ScheduleTask(delay Time, task Task) {
+	e.insert(event{at: e.now + delay, task: task})
+}
+
+// AtTask runs task at absolute time t.
+func (e *Engine) AtTask(t Time, task Task) {
+	e.insert(event{at: t, task: task})
+}
+
+func (e *Engine) insert(ev event) {
+	t := ev.at
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d in the past (now %d)", t, e.now))
 	}
 	e.seq++
-	ev := event{at: t, seq: e.seq, fn: fn}
+	ev.seq = e.seq
 	if t-e.now < ringSize {
 		b := &e.ring[t&ringMask]
 		b.ev = append(b.ev, ev)
@@ -203,8 +231,9 @@ func (e *Engine) advanceTo(t Time) {
 func (e *Engine) fireNext(t Time) {
 	e.advanceTo(t)
 	b := &e.ring[t&ringMask]
-	ev := b.ev[b.head]
-	b.ev[b.head] = event{} // release the closure for GC
+	ev := &b.ev[b.head]
+	fn, task := ev.fn, ev.task
+	ev.fn, ev.task = nil, nil // release the closure for GC
 	b.head++
 	if b.head == len(b.ev) {
 		b.ev = b.ev[:0]
@@ -212,7 +241,11 @@ func (e *Engine) fireNext(t Time) {
 	}
 	e.ringCount--
 	e.fired++
-	ev.fn()
+	if task != nil {
+		task.Run()
+	} else {
+		fn()
+	}
 }
 
 // Step fires the single next event and returns true, or returns false if

@@ -51,7 +51,8 @@ func (t *Tracer) Packet(p noc.Packet) {
 			t.eng.Now(), m.Src, m.Dst, m.Kind, m.Line, uint16(m.Mask), m.Sync)
 		return
 	}
-	fmt.Fprintf(t.w, "%10d %2d->%-2d %T\n", t.eng.Now(), p.NocSrc(), p.NocDst(), p)
+	r := p.NocRoute()
+	fmt.Fprintf(t.w, "%10d %2d->%-2d %T\n", t.eng.Now(), r.Src, r.Dst, p)
 }
 
 // Count returns the number of events recorded.

@@ -88,24 +88,55 @@ func (m *Map[V]) Put(k uint64, v V) { *m.Upsert(k) = v }
 // Upsert returns a pointer to the value stored for k, inserting the
 // zero value first if k is absent. The pointer is valid only until
 // the next Put/Upsert/Delete on the map.
+//
+// The existence probe runs before the load check: updating a key that
+// is already present never grows the table, so value pointers handed
+// out by earlier Upserts of other keys are only invalidated by true
+// insertions.
 func (m *Map[V]) Upsert(k uint64) *V {
-	if len(m.keys) == 0 || (m.n+1)*maxLoadDen > len(m.keys)*maxLoadNum {
-		m.grow()
+	if len(m.keys) != 0 {
+		mask := uint64(len(m.keys) - 1)
+		i := mix(k) & mask
+		for m.live[i] {
+			if m.keys[i] == k {
+				return &m.vals[i]
+			}
+			i = (i + 1) & mask
+		}
+		if (m.n+1)*maxLoadDen <= len(m.keys)*maxLoadNum {
+			m.live[i] = true
+			m.keys[i] = k
+			var zero V
+			m.vals[i] = zero
+			m.n++
+			return &m.vals[i]
+		}
 	}
+	m.grow()
 	mask := uint64(len(m.keys) - 1)
 	i := mix(k) & mask
 	for m.live[i] {
-		if m.keys[i] == k {
-			return &m.vals[i]
-		}
 		i = (i + 1) & mask
 	}
 	m.live[i] = true
 	m.keys[i] = k
-	var zero V
-	m.vals[i] = zero
 	m.n++
 	return &m.vals[i]
+}
+
+// Reset empties the map while keeping its backing storage, so a table
+// reused across rounds (the coalescer's per-instruction index) reaches
+// steady state with zero allocations.
+func (m *Map[V]) Reset() {
+	if m.n == 0 {
+		return
+	}
+	var zero V
+	for i := range m.live {
+		m.live[i] = false
+		m.vals[i] = zero
+	}
+	m.n = 0
 }
 
 // Delete removes k, reporting whether it was present. Deletion uses

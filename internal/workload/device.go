@@ -58,6 +58,9 @@ type Ctx struct {
 	ldScratch [1]mem.Addr
 	stScratch [1]mem.Addr
 	svScratch [1]uint32
+	// addrScratch backs StrideAddrs, reused across calls for the same
+	// reason.
+	addrScratch []mem.Addr
 }
 
 // Load reads one word (a scalar, thread-0 access).
@@ -84,9 +87,15 @@ func (c *Ctx) StoreV(addrs []mem.Addr, vals []uint32) {
 }
 
 // StrideAddrs returns the addresses thread i = base + 4*i*stride words,
-// one per thread — the canonical coalesced access.
+// one per thread — the canonical coalesced access. The returned slice
+// is the context's reusable scratch: it is valid until the next
+// StrideAddrs call, which is enough for the load/store it feeds (Vec
+// consumes the addresses before returning).
 func (c *Ctx) StrideAddrs(base mem.Addr, stride int) []mem.Addr {
-	addrs := make([]mem.Addr, c.Threads)
+	if cap(c.addrScratch) < c.Threads {
+		c.addrScratch = make([]mem.Addr, c.Threads)
+	}
+	addrs := c.addrScratch[:c.Threads]
 	for i := range addrs {
 		addrs[i] = base + mem.Addr(i*stride*mem.WordBytes)
 	}
