@@ -1,0 +1,17 @@
+# Static sweepd image: coordinator, worker and client are the same
+# binary (subcommands), so one image serves every role in
+# docker-compose.yml. The module has no external dependencies, so the
+# build needs no network beyond the base images.
+FROM golang:1.23-alpine AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -o /out/sweepd ./cmd/sweepd
+
+FROM alpine:3.20
+COPY --from=build /out/sweepd /usr/local/bin/sweepd
+# The result cache lives here when the coordinator runs with the
+# compose file's default flags; mount a volume to persist it.
+RUN mkdir -p /var/cache/sweepd
+ENTRYPOINT ["sweepd"]
+CMD ["serve", "-addr", ":8080", "-cache", "/var/cache/sweepd"]

@@ -33,13 +33,16 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
 
 	"denovogpu"
+	"denovogpu/internal/cli"
 )
 
 // pair is one cell of the benchmark matrix.
@@ -121,49 +124,84 @@ type benchFile struct {
 	SpeedupEventsPerSec float64 `json:"speedup_events_per_sec,omitempty"`
 }
 
-func main() {
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// runMatrix executes the benchmark matrix; a seam so tests can inject
+// cell failures without a broken workload.
+var runMatrix = denovogpu.RunMatrix
+
+// cellError marks a matrix-cell failure so run can exit with the
+// distinct cell-failure code plus the machine-readable stderr line
+// (internal/cli), as opposed to I/O or regression-gate failures.
+type cellError struct {
+	workload, config string
+	cell             int
+	err              error
+}
+
+func (e *cellError) Error() string {
+	return fmt.Sprintf("%s under %s: %v", e.workload, e.config, e.err)
+}
+
+func (e *cellError) Unwrap() error { return e.err }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		quick     = flag.Bool("quick", false, "run the fast CI subset instead of the full matrix")
-		out       = flag.String("o", "BENCH_sim.json", "output file (also the committed file -check compares against)")
-		record    = flag.Bool("record-baseline", false, "pin the baseline section to this run's measurements")
-		check     = flag.Bool("check", false, "compare against the committed current section and exit 1 on regression; does not rewrite the file")
-		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional allocation growth for -check")
-		label     = flag.String("label", "", "label stored with this run (default: matrix name)")
-		jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "matrix cells simulated in parallel (1 = serial, with exact per-cell alloc deltas)")
+		quick     = fs.Bool("quick", false, "run the fast CI subset instead of the full matrix")
+		out       = fs.String("o", "BENCH_sim.json", "output file (also the committed file -check compares against)")
+		record    = fs.Bool("record-baseline", false, "pin the baseline section to this run's measurements")
+		check     = fs.Bool("check", false, "compare against the committed current section and exit non-zero on regression; does not rewrite the file")
+		tolerance = fs.Float64("tolerance", 0.10, "allowed fractional allocation growth for -check")
+		label     = fs.String("label", "", "label stored with this run (default: matrix name)")
+		jobs      = fs.Int("j", runtime.GOMAXPROCS(0), "matrix cells simulated in parallel (1 = serial, with exact per-cell alloc deltas)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return cli.ExitUsage
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "bench: unexpected arguments %q\n", fs.Args())
+		fs.Usage()
+		return cli.ExitUsage
+	}
 
 	matrix, matrixName := fullMatrix(), "full"
 	if *quick {
 		matrix, matrixName = quickMatrix(), "quick"
 	}
 
-	cur, err := sweep(matrix, matrixName, *label, *jobs)
+	cur, err := sweep(stdout, matrix, matrixName, *label, *jobs)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
+		var ce *cellError
+		if errors.As(err, &ce) {
+			fmt.Fprintln(stderr, "bench:", ce)
+			return cli.EmitCellFailure(stderr, ce.workload, ce.config, ce.cell, ce.err.Error())
+		}
+		fmt.Fprintln(stderr, "bench:", err)
+		return cli.ExitFailure
 	}
 
 	prev, prevErr := load(*out)
 
 	if *check {
 		if prevErr != nil {
-			fmt.Fprintf(os.Stderr, "bench: -check needs a committed %s: %v\n", *out, prevErr)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "bench: -check needs a committed %s: %v\n", *out, prevErr)
+			return cli.ExitFailure
 		}
 		ref := prev.Current
 		if ref == nil {
 			ref = prev.Baseline
 		}
 		if ref == nil {
-			fmt.Fprintf(os.Stderr, "bench: %s has no section to check against\n", *out)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "bench: %s has no section to check against\n", *out)
+			return cli.ExitFailure
 		}
-		if err := checkAgainst(cur, ref, *tolerance); err != nil {
-			fmt.Fprintln(os.Stderr, "bench:", err)
-			os.Exit(1)
+		if err := checkAgainst(stdout, cur, ref, *tolerance); err != nil {
+			fmt.Fprintln(stderr, "bench:", err)
+			return cli.ExitFailure
 		}
-		return
+		return 0
 	}
 
 	f := &benchFile{Schema: "denovogpu-bench/v1"}
@@ -178,13 +216,14 @@ func main() {
 		f.SpeedupEventsPerSec, _ = compare(cur, f.Baseline)
 	}
 	if err := save(*out, f); err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "bench:", err)
+		return cli.ExitFailure
 	}
 	if f.SpeedupEventsPerSec != 0 {
-		fmt.Printf("speedup vs baseline (%s): %.2fx events/sec\n", f.Baseline.Label, f.SpeedupEventsPerSec)
+		fmt.Fprintf(stdout, "speedup vs baseline (%s): %.2fx events/sec\n", f.Baseline.Label, f.SpeedupEventsPerSec)
 	}
-	fmt.Printf("wrote %s\n", *out)
+	fmt.Fprintf(stdout, "wrote %s\n", *out)
+	return 0
 }
 
 // sweep runs the matrix on a pool of `jobs` workers and aggregates.
@@ -192,7 +231,7 @@ func main() {
 // runtime.MemStats is process-global, so under a parallel run the
 // per-cell numbers would attribute other cells' allocations. The
 // whole-matrix totals are exact at any worker count.
-func sweep(matrix []pair, matrixName, label string, jobs int) (*section, error) {
+func sweep(stdout io.Writer, matrix []pair, matrixName, label string, jobs int) (*section, error) {
 	if label == "" {
 		label = matrixName + " matrix"
 	}
@@ -232,7 +271,7 @@ func sweep(matrix []pair, matrixName, label string, jobs int) (*section, error) 
 	perCellMB := make([]float64, len(matrix))
 	lastMallocs, lastBytes := before.Mallocs, before.TotalAlloc
 	t0 := time.Now()
-	results, err := denovogpu.RunMatrix(cells, denovogpu.MatrixOptions{
+	results, err := runMatrix(cells, denovogpu.MatrixOptions{
 		Workers: jobs,
 		Progress: func(i int, cellErr error) {
 			if serial && cellErr == nil {
@@ -243,7 +282,7 @@ func sweep(matrix []pair, matrixName, label string, jobs int) (*section, error) 
 				lastMallocs, lastBytes = ms.Mallocs, ms.TotalAlloc
 			}
 			if cellErr == nil {
-				fmt.Printf("%-8s %-6s done\n", matrix[i].Workload, matrix[i].Config)
+				fmt.Fprintf(stdout, "%-8s %-6s done\n", matrix[i].Workload, matrix[i].Config)
 			}
 		},
 	})
@@ -252,7 +291,7 @@ func sweep(matrix []pair, matrixName, label string, jobs int) (*section, error) 
 	if err != nil {
 		for i, res := range results {
 			if res.Err != nil {
-				return nil, fmt.Errorf("%s under %s: %w", matrix[i].Workload, matrix[i].Config, res.Err)
+				return nil, &cellError{workload: matrix[i].Workload, config: matrix[i].Config, cell: i, err: res.Err}
 			}
 		}
 		return nil, err
@@ -271,7 +310,7 @@ func sweep(matrix []pair, matrixName, label string, jobs int) (*section, error) 
 		if res.Wall > 0 {
 			r.EventsPerSec = float64(r.Events) / res.Wall.Seconds()
 		}
-		fmt.Printf("%-8s %-6s %8.0f ms  %12.0f events/s  %10d allocs\n",
+		fmt.Fprintf(stdout, "%-8s %-6s %8.0f ms  %12.0f events/s  %10d allocs\n",
 			r.Workload, r.Config, r.WallMS, r.EventsPerSec, r.Allocs)
 		s.Results = append(s.Results, r)
 		s.TotalEvents += r.Events
@@ -304,7 +343,7 @@ const allocCellSlack = 5000
 // cells otherwise. Wall-clock throughput is printed for information but
 // never gated: the committed numbers were recorded on a different
 // machine than CI.
-func checkAgainst(cur, ref *section, tolerance float64) error {
+func checkAgainst(stdout io.Writer, cur, ref *section, tolerance float64) error {
 	refByKey := make(map[pair]result, len(ref.Results))
 	for _, r := range ref.Results {
 		refByKey[pair{r.Workload, r.Config}] = r
@@ -312,8 +351,8 @@ func checkAgainst(cur, ref *section, tolerance float64) error {
 	var cells int
 	var curAllocs, refAllocs uint64
 	perCellAllocs := true
-	fmt.Printf("check: per-cell wall time vs committed %q (informational; hosts differ)\n", ref.Label)
-	fmt.Printf("  %-8s %-6s %10s %10s %8s\n", "workload", "config", "cur ms", "ref ms", "delta")
+	fmt.Fprintf(stdout, "check: per-cell wall time vs committed %q (informational; hosts differ)\n", ref.Label)
+	fmt.Fprintf(stdout, "  %-8s %-6s %10s %10s %8s\n", "workload", "config", "cur ms", "ref ms", "delta")
 	for _, r := range cur.Results {
 		rr, ok := refByKey[pair{r.Workload, r.Config}]
 		if !ok {
@@ -329,7 +368,7 @@ func checkAgainst(cur, ref *section, tolerance float64) error {
 		if rr.WallMS > 0 {
 			delta = fmt.Sprintf("%+.0f%%", 100*(r.WallMS-rr.WallMS)/rr.WallMS)
 		}
-		fmt.Printf("  %-8s %-6s %10.0f %10.0f %8s\n", r.Workload, r.Config, r.WallMS, rr.WallMS, delta)
+		fmt.Fprintf(stdout, "  %-8s %-6s %10.0f %10.0f %8s\n", r.Workload, r.Config, r.WallMS, rr.WallMS, delta)
 		if r.Events != rr.Events {
 			return fmt.Errorf("%s under %s fired %d events, committed %s section has %d: simulated behavior changed, regenerate the file if intended",
 				r.Workload, r.Config, r.Events, ref.Label, rr.Events)
@@ -351,7 +390,7 @@ func checkAgainst(cur, ref *section, tolerance float64) error {
 		// shared-cell sum when every measured cell is shared.
 		if cells != len(cur.Results) {
 			speed, _ := compare(cur, ref)
-			fmt.Printf("check: %d shared cells, event counts identical; alloc gate skipped (parallel sweep with unshared cells), events/sec ratio %.3f (informational)\n",
+			fmt.Fprintf(stdout, "check: %d shared cells, event counts identical; alloc gate skipped (parallel sweep with unshared cells), events/sec ratio %.3f (informational)\n",
 				cells, speed)
 			return nil
 		}
@@ -360,7 +399,7 @@ func checkAgainst(cur, ref *section, tolerance float64) error {
 	}
 	allocRatio := float64(curAllocs) / float64(refAllocs)
 	speed, _ := compare(cur, ref)
-	fmt.Printf("check: %d shared cells, event counts identical, measured/committed allocs (%s) = %.3f (tolerance %.0f%%), events/sec ratio %.3f (informational)\n",
+	fmt.Fprintf(stdout, "check: %d shared cells, event counts identical, measured/committed allocs (%s) = %.3f (tolerance %.0f%%), events/sec ratio %.3f (informational)\n",
 		cells, allocScope, allocRatio, tolerance*100, speed)
 	if refAllocs > 0 && allocRatio > 1.0+tolerance {
 		return fmt.Errorf("allocation regression: %.1f%% above committed %s section",

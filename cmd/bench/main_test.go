@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"denovogpu"
+	"denovogpu/internal/cli"
+)
+
+func runCmd(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// stubRunner fabricates deterministic per-cell results so command
+// plumbing can be tested without minutes of simulation.
+func stubRunner(failCell int) func([]denovogpu.MatrixCell, denovogpu.MatrixOptions) ([]denovogpu.MatrixResult, error) {
+	return func(cells []denovogpu.MatrixCell, opts denovogpu.MatrixOptions) ([]denovogpu.MatrixResult, error) {
+		results := make([]denovogpu.MatrixResult, len(cells))
+		var firstErr error
+		for i := range cells {
+			if i == failCell {
+				results[i].Err = errors.New("injected cell fault")
+				firstErr = results[i].Err
+				continue
+			}
+			results[i].Report = denovogpu.Report{
+				Config:   cells[i].Config.Name(),
+				Workload: cells[i].Workload.Name,
+				Cycles:   uint64(1000 + i),
+				Events:   uint64(500 + i),
+			}
+			if opts.Progress != nil {
+				opts.Progress(i, nil)
+			}
+		}
+		return results, firstErr
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runCmd(t, "-nope"); code != cli.ExitUsage {
+		t.Errorf("bad flag: exit %d, want %d", code, cli.ExitUsage)
+	}
+	if code, _, _ := runCmd(t, "positional"); code != cli.ExitUsage {
+		t.Errorf("positional arg: exit %d, want %d", code, cli.ExitUsage)
+	}
+}
+
+func TestQuickSweepStubbed(t *testing.T) {
+	orig := runMatrix
+	runMatrix = stubRunner(-1)
+	defer func() { runMatrix = orig }()
+
+	out := filepath.Join(t.TempDir(), "bench.json")
+	code, stdout, stderr := runCmd(t, "-quick", "-j", "1", "-o", out)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Current == nil || len(f.Current.Results) != len(quickMatrix()) {
+		t.Fatalf("written file %+v", f)
+	}
+
+	// -check against the file just written: identical events pass.
+	code, _, stderr = runCmd(t, "-quick", "-j", "1", "-o", out, "-check")
+	if code != 0 {
+		t.Fatalf("self-check exit %d, stderr: %s", code, stderr)
+	}
+
+	// A behavior change (different event counts) fails the gate with the
+	// general-failure code — the cells themselves succeeded.
+	runMatrix = func(cells []denovogpu.MatrixCell, opts denovogpu.MatrixOptions) ([]denovogpu.MatrixResult, error) {
+		results, _ := stubRunner(-1)(cells, opts)
+		for i := range results {
+			results[i].Report.Events += 17
+		}
+		return results, nil
+	}
+	code, _, stderr = runCmd(t, "-quick", "-j", "1", "-o", out, "-check")
+	if code != cli.ExitFailure {
+		t.Fatalf("drifted -check exit %d, want %d\nstderr: %s", code, cli.ExitFailure, stderr)
+	}
+	if !strings.Contains(stderr, "events") {
+		t.Fatalf("stderr does not name the event drift:\n%s", stderr)
+	}
+}
+
+func TestCellFailureExitCode(t *testing.T) {
+	orig := runMatrix
+	runMatrix = stubRunner(2)
+	defer func() { runMatrix = orig }()
+
+	out := filepath.Join(t.TempDir(), "bench.json")
+	code, _, stderr := runCmd(t, "-quick", "-o", out)
+	if code != cli.ExitCellFailure {
+		t.Fatalf("exit %d, want %d\nstderr: %s", code, cli.ExitCellFailure, stderr)
+	}
+	var failure cli.CellFailure
+	found := false
+	for _, l := range strings.Split(stderr, "\n") {
+		if strings.HasPrefix(l, "{") && json.Unmarshal([]byte(l), &failure) == nil {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no machine-readable JSON line on stderr:\n%s", stderr)
+	}
+	want := quickMatrix()[2]
+	if failure.Error != "matrix_cell_failure" || failure.Workload != want.Workload ||
+		failure.Config != want.Config || failure.Cell != 2 {
+		t.Fatalf("machine-readable line %+v, want cell 2 = %+v", failure, want)
+	}
+	if !strings.Contains(failure.Message, "injected cell fault") {
+		t.Fatalf("machine line lost the cell error: %+v", failure)
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Error("bench wrote an output file despite the failed sweep")
+	}
+
+	// -check without a committed file is environmental, not a cell
+	// failure.
+	runMatrix = stubRunner(-1)
+	code, _, _ = runCmd(t, "-quick", "-o", filepath.Join(t.TempDir(), "missing.json"), "-check")
+	if code != cli.ExitFailure {
+		t.Errorf("-check with no committed file: exit %d, want %d", code, cli.ExitFailure)
+	}
+}

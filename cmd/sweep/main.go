@@ -10,12 +10,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"denovogpu"
+	"denovogpu/internal/cli"
 	"denovogpu/internal/figures"
+	"denovogpu/internal/sweepd"
 )
 
 // Figure sweeps are minutes-long; tests stub these out.
@@ -55,6 +59,7 @@ func run(args []string, rawStdout, stderr io.Writer) int {
 	var (
 		all    = fs.Bool("all", false, "regenerate every figure and table")
 		jobs   = fs.Int("j", 0, "matrix cells simulated in parallel (0 = GOMAXPROCS, 1 = serial)")
+		remote = fs.String("remote", "", "run matrix cells on a sweepd coordinator at this base URL instead of in-process")
 		fig2   = fs.Bool("fig2", false, "Figure 2: no-synchronization applications (G* vs D*)")
 		fig3   = fs.Bool("fig3", false, "Figure 3: globally scoped synchronization (G* vs D*)")
 		fig4   = fs.Bool("fig4", false, "Figure 4: locally scoped / hybrid synchronization (all five configs)")
@@ -66,11 +71,22 @@ func run(args []string, rawStdout, stderr io.Writer) int {
 		table5 = fs.Bool("table5", false, "Table 5: related-work comparison")
 	)
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return cli.ExitUsage
 	}
 	if !(*all || *fig2 || *fig3 || *fig4 || *graphF || *table1 || *table2 || *table3 || *table4 || *table5) {
 		fs.Usage()
-		return 2
+		return cli.ExitUsage
+	}
+
+	if *remote != "" {
+		// Route every figure's cell pool through the sweep service; the
+		// coordinator's cache and workers replace the local pool, and
+		// determinism guarantees identical reports either way.
+		client := &sweepd.Client{Base: *remote}
+		figures.SetRunner(func(cells []denovogpu.MatrixCell, opts denovogpu.MatrixOptions) ([]denovogpu.MatrixResult, error) {
+			return client.RunMatrix(context.Background(), cells, opts)
+		})
+		defer figures.SetRunner(nil)
 	}
 
 	if *all || *table1 {
@@ -89,11 +105,12 @@ func run(args []string, rawStdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, "## Table 5 — related work\n\n"+figures.Table5())
 	}
 
-	failed := false
+	cellFailed := false
 	emit := func(title string, m *figures.Matrix, baseline string, label map[string]string) {
-		if err := m.FirstErr(); err != nil {
-			fmt.Fprintf(stderr, "sweep: %s: %v\n", title, err)
-			failed = true
+		if bench, config, err := m.FirstFailure(); err != nil {
+			fmt.Fprintf(stderr, "sweep: %s: %s/%s: %v\n", title, bench, config, err)
+			cli.EmitCellFailure(stderr, bench, config, -1, err.Error())
+			cellFailed = true
 			return
 		}
 		for _, panel := range []struct {
@@ -126,12 +143,15 @@ func run(args []string, rawStdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, "Running graph-analytics sweep (3 workloads x GD/DD/DD+RO/SPEC)...")
 		emit("Figure G", sweepGraph(*jobs), "GD", nil)
 	}
+	// A simulation failing and the output pipe breaking are different
+	// conditions for a caller: cell failures (already announced with a
+	// machine-readable line) win the exit code.
+	if cellFailed {
+		return cli.ExitCellFailure
+	}
 	if stdout.err != nil {
 		fmt.Fprintf(stderr, "sweep: writing output: %v\n", stdout.err)
-		failed = true
-	}
-	if failed {
-		return 1
+		return cli.ExitFailure
 	}
 	return 0
 }

@@ -1,12 +1,18 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
+	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"denovogpu"
+	"denovogpu/internal/cli"
 	"denovogpu/internal/figures"
+	"denovogpu/internal/sweepd"
 )
 
 func runCmd(t *testing.T, args ...string) (code int, stdout, stderr string) {
@@ -83,11 +89,29 @@ func TestFigureSweepErrorFails(t *testing.T) {
 	defer func() { sweepFig3 = orig }()
 
 	code, _, errb := runCmd(t, "-fig3")
-	if code != 1 {
-		t.Fatalf("exit %d, want 1", code)
+	if code != cli.ExitCellFailure {
+		t.Fatalf("exit %d, want %d (matrix-cell failure)", code, cli.ExitCellFailure)
 	}
 	if !strings.Contains(errb, "synthetic sweep failure") {
 		t.Fatalf("stderr missing the sweep error:\n%s", errb)
+	}
+	// A machine-readable record accompanies the human line.
+	var failure cli.CellFailure
+	found := false
+	for _, l := range strings.Split(errb, "\n") {
+		if strings.HasPrefix(l, "{") && json.Unmarshal([]byte(l), &failure) == nil {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no machine-readable JSON line on stderr:\n%s", errb)
+	}
+	if failure.Error != "matrix_cell_failure" || failure.Workload != "STUB" || failure.Config != "GD" {
+		t.Fatalf("machine-readable line %+v", failure)
+	}
+	if !strings.Contains(failure.Message, "synthetic sweep failure") {
+		t.Fatalf("machine line lost the cell error: %+v", failure)
 	}
 }
 
@@ -123,14 +147,49 @@ func TestStdoutWriteErrorFails(t *testing.T) {
 }
 
 func TestErrorPaths(t *testing.T) {
-	if code, _, _ := runCmd(t); code != 2 {
-		t.Fatalf("no flags: exit %d, want 2", code)
+	if code, _, _ := runCmd(t); code != cli.ExitUsage {
+		t.Fatalf("no flags: exit %d, want %d", code, cli.ExitUsage)
 	}
 	code, _, errb := runCmd(t, "-nope")
-	if code != 2 {
-		t.Fatalf("bad flag: exit %d, want 2", code)
+	if code != cli.ExitUsage {
+		t.Fatalf("bad flag: exit %d, want %d", code, cli.ExitUsage)
 	}
 	if !strings.Contains(errb, "flag provided but not defined") {
 		t.Fatalf("stderr missing flag error:\n%s", errb)
+	}
+}
+
+// TestRemoteSweep runs a real figure sweep through an in-process sweepd
+// coordinator + worker: -remote must produce the same tables the local
+// pool would, proving the service is a drop-in matrix runner.
+func TestRemoteSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cell remote sweep in -short mode")
+	}
+	coord := sweepd.New(sweepd.Options{Version: "test-v1"})
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := &sweepd.Worker{Server: srv.URL, Name: "w1", IdlePoll: 5 * time.Millisecond}
+	go func() { _ = w.Run(ctx) }()
+
+	codeR, outR, errR := runCmd(t, "-remote", srv.URL, "-fig3")
+	if codeR != 0 {
+		t.Fatalf("remote sweep exit %d, stderr: %s", codeR, errR)
+	}
+	codeL, outL, errL := runCmd(t, "-fig3")
+	if codeL != 0 {
+		t.Fatalf("local sweep exit %d, stderr: %s", codeL, errL)
+	}
+	if outR != outL {
+		t.Errorf("remote and local sweeps render different tables:\nremote:\n%s\nlocal:\n%s", outR, outL)
+	}
+
+	// An unreachable coordinator fails every cell: the distinct
+	// cell-failure exit code, not a usage error.
+	code, _, errb := runCmd(t, "-remote", "http://127.0.0.1:1", "-fig3")
+	if code != cli.ExitCellFailure {
+		t.Fatalf("unreachable remote: exit %d, want %d\nstderr: %s", code, cli.ExitCellFailure, errb)
 	}
 }

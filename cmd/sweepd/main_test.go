@@ -1,0 +1,208 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"denovogpu"
+	"denovogpu/internal/cli"
+	"denovogpu/internal/resultcache"
+	"denovogpu/internal/sweepd"
+)
+
+func runCmd(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func newServer(t *testing.T, opts sweepd.Options) (*sweepd.Coordinator, *httptest.Server) {
+	t.Helper()
+	if opts.Version == "" {
+		opts.Version = "test-v1"
+	}
+	coord := sweepd.New(opts)
+	srv := httptest.NewServer(coord.Handler())
+	t.Cleanup(srv.Close)
+	return coord, srv
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"frobnicate"},
+		{"serve", "-nope"},
+		{"work", "-nope"},
+		{"submit", "-nope"},
+		{"submit", "-server", "http://x"}, // neither -golden nor -spec
+		{"status", "-nope"},
+		{"health", "-nope"},
+	} {
+		if code, _, _ := runCmd(t, args...); code != cli.ExitUsage {
+			t.Errorf("sweepd %v: exit %d, want %d", args, code, cli.ExitUsage)
+		}
+	}
+	// -golden and -spec are mutually exclusive.
+	if code, _, _ := runCmd(t, "submit", "-golden", "-spec", "x.json"); code != cli.ExitUsage {
+		t.Error("-golden with -spec accepted")
+	}
+}
+
+func TestHealth(t *testing.T) {
+	_, srv := newServer(t, sweepd.Options{})
+	code, out, _ := runCmd(t, "health", "-server", srv.URL)
+	if code != 0 || !strings.Contains(out, "ok") {
+		t.Fatalf("health exit %d, out %q", code, out)
+	}
+	if code, _, _ := runCmd(t, "health", "-server", "http://127.0.0.1:1"); code != cli.ExitFailure {
+		t.Errorf("health against dead server: exit %d, want %d", code, cli.ExitFailure)
+	}
+}
+
+// TestSubmitEndToEnd submits a small spec file against an in-process
+// coordinator + worker, writes reports to -out, and checks the -summary
+// JSON; then re-submits and checks the warm run reports 100% cache hits.
+func TestSubmitEndToEnd(t *testing.T) {
+	cache, err := resultcache.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, srv := newServer(t, sweepd.Options{Cache: cache})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := &sweepd.Worker{Server: srv.URL, Name: "w1", IdlePoll: 5 * time.Millisecond}
+	go func() { _ = w.Run(ctx) }()
+
+	specPath := filepath.Join(t.TempDir(), "spec.json")
+	spec := denovogpu.MatrixSpec{Cells: []denovogpu.CellSpec{
+		{Config: denovogpu.ConfigSpec{Name: "GD"}, Workload: "LAVA"},
+	}}
+	data, _ := json.Marshal(spec)
+	if err := os.WriteFile(specPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	outDir := filepath.Join(t.TempDir(), "reports")
+	code, out, errb := runCmd(t, "submit", "-server", srv.URL, "-spec", specPath, "-out", outDir, "-summary")
+	if code != 0 {
+		t.Fatalf("submit exit %d\nstdout: %s\nstderr: %s", code, out, errb)
+	}
+	var status sweepd.JobStatus
+	if err := json.Unmarshal([]byte(out), &status); err != nil {
+		t.Fatalf("-summary stdout is not a JobStatus: %v\n%s", err, out)
+	}
+	if status.State != "done" || status.Done != 1 || status.CacheHits != 0 {
+		t.Fatalf("cold summary %+v", status)
+	}
+	report, err := os.ReadFile(filepath.Join(outDir, denovogpu.ReportFileName("LAVA", "GD")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := denovogpu.UnmarshalReport(report); err != nil {
+		t.Fatalf("written report does not parse: %v", err)
+	}
+
+	// Warm re-submit: 100% cache hits, same bytes on disk.
+	code, out, errb = runCmd(t, "submit", "-server", srv.URL, "-spec", specPath, "-out", outDir, "-summary")
+	if code != 0 {
+		t.Fatalf("warm submit exit %d, stderr: %s", code, errb)
+	}
+	if err := json.Unmarshal([]byte(out), &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.CacheHits != 1 || status.Done != 1 {
+		t.Fatalf("warm summary %+v, want 1 cache hit", status)
+	}
+
+	// status subcommand: both jobs and the cache counters are visible.
+	code, out, _ = runCmd(t, "status", "-server", srv.URL)
+	if code != 0 {
+		t.Fatalf("status exit %d", code)
+	}
+	var st struct {
+		Jobs  []sweepd.JobStatus `json:"jobs"`
+		Cache resultcache.Stats  `json:"cache"`
+	}
+	if err := json.Unmarshal([]byte(out), &st); err != nil {
+		t.Fatalf("status output not JSON: %v\n%s", err, out)
+	}
+	if len(st.Jobs) != 2 || st.Cache.Entries != 1 {
+		t.Fatalf("status %+v, want 2 jobs and 1 cache entry", st)
+	}
+}
+
+// TestSubmitCellFailureExitCode: a job whose cell fails makes submit
+// exit with the distinct cell-failure code and one machine-readable
+// JSON line on stderr.
+func TestSubmitCellFailureExitCode(t *testing.T) {
+	coord, srv := newServer(t, sweepd.Options{})
+
+	// A fake worker that fails every cell it leases.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		for ctx.Err() == nil {
+			if info, ok := coord.Lease("saboteur"); ok {
+				_ = coord.Complete(sweepd.CompleteRequest{Lease: info.Lease, Err: "simulated meltdown"})
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	specPath := filepath.Join(t.TempDir(), "spec.json")
+	spec := denovogpu.MatrixSpec{Cells: []denovogpu.CellSpec{
+		{Config: denovogpu.ConfigSpec{Name: "DD"}, Workload: "ST"},
+	}}
+	data, _ := json.Marshal(spec)
+	if err := os.WriteFile(specPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, _, errb := runCmd(t, "submit", "-server", srv.URL, "-spec", specPath)
+	if code != cli.ExitCellFailure {
+		t.Fatalf("submit exit %d, want %d\nstderr: %s", code, cli.ExitCellFailure, errb)
+	}
+	line := machineLine(t, errb)
+	if line.Error != "matrix_cell_failure" || line.Workload != "ST" || line.Config != "DD" || line.Cell != 0 {
+		t.Fatalf("machine-readable line %+v", line)
+	}
+	if !strings.Contains(line.Message, "simulated meltdown") {
+		t.Fatalf("failure message %q lost the cell error", line.Message)
+	}
+}
+
+// machineLine finds and parses the one cli.CellFailure JSON line in a
+// command's stderr.
+func machineLine(t *testing.T, stderr string) cli.CellFailure {
+	t.Helper()
+	for _, l := range strings.Split(stderr, "\n") {
+		if !strings.HasPrefix(l, "{") {
+			continue
+		}
+		var f cli.CellFailure
+		if err := json.Unmarshal([]byte(l), &f); err != nil {
+			t.Fatalf("stderr JSON line does not parse: %v\n%s", err, l)
+		}
+		return f
+	}
+	t.Fatalf("no machine-readable JSON line on stderr:\n%s", stderr)
+	return cli.CellFailure{}
+}
+
+func TestSubmitUnreachableServer(t *testing.T) {
+	specPath := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(specPath, []byte(`{"cells":[{"config":{"name":"GD"},"workload":"LAVA"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errb := runCmd(t, "submit", "-server", "http://127.0.0.1:1", "-spec", specPath)
+	if code != cli.ExitFailure {
+		t.Fatalf("unreachable server: exit %d, want %d (stderr %s)", code, cli.ExitFailure, errb)
+	}
+}

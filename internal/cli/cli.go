@@ -1,0 +1,59 @@
+// Package cli holds the exit-code contract shared by the repository's
+// commands (sweep, bench, sweepd): flag and usage errors exit 2 (the
+// flag package's own convention), a simulation matrix cell failing
+// exits 3 with one machine-readable JSON line on stderr, and anything
+// else non-zero exits 1. CI and scripts branch on the distinction —
+// "the tool was invoked wrong" (fix the invocation) vs "a simulation
+// failed" (a correctness bug; parse the line) vs "environmental
+// trouble".
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+const (
+	// ExitFailure is the general-error exit code (I/O trouble,
+	// unreachable servers, regressions).
+	ExitFailure = 1
+	// ExitUsage is the flag/usage-error exit code.
+	ExitUsage = 2
+	// ExitCellFailure is the matrix-cell-failure exit code: at least
+	// one simulation cell errored. A CellFailure line precedes it on
+	// stderr.
+	ExitCellFailure = 3
+)
+
+// CellFailure is the machine-readable stderr record emitted before an
+// ExitCellFailure exit. Error is the constant tag "matrix_cell_failure"
+// so log scrapers can find the line without knowing which command
+// produced it; Cell is the cell's matrix index when the caller has one,
+// -1 otherwise.
+type CellFailure struct {
+	Error    string `json:"error"`
+	Workload string `json:"workload,omitempty"`
+	Config   string `json:"config,omitempty"`
+	Cell     int    `json:"cell"`
+	Message  string `json:"message"`
+}
+
+// EmitCellFailure writes the one-line JSON record for a failed cell to
+// w and returns ExitCellFailure for the caller to exit with.
+func EmitCellFailure(w io.Writer, workload, config string, cell int, message string) int {
+	line, err := json.Marshal(CellFailure{
+		Error:    "matrix_cell_failure",
+		Workload: workload,
+		Config:   config,
+		Cell:     cell,
+		Message:  message,
+	})
+	if err != nil {
+		// A string field cannot fail to marshal; belt and braces.
+		fmt.Fprintf(w, `{"error":"matrix_cell_failure","cell":%d}`+"\n", cell)
+		return ExitCellFailure
+	}
+	fmt.Fprintf(w, "%s\n", line)
+	return ExitCellFailure
+}

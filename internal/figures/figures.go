@@ -41,14 +41,25 @@ func (m *Matrix) Get(bench, config string) *Run {
 
 // FirstErr returns the first failed run, if any.
 func (m *Matrix) FirstErr() error {
+	if b, c, err := m.FirstFailure(); err != nil {
+		return fmt.Errorf("%s/%s: %w", b, c, err)
+	}
+	return nil
+}
+
+// FirstFailure returns the first failed run's coordinates and error,
+// in bench-major sweep order ("" , "", nil when every run succeeded).
+// Commands use the coordinates for their machine-readable cell-failure
+// records.
+func (m *Matrix) FirstFailure() (bench, config string, err error) {
 	for _, b := range m.Benches {
 		for _, c := range m.Configs {
 			if r := m.Get(b, c); r != nil && r.Err != nil {
-				return fmt.Errorf("%s/%s: %w", b, c, r.Err)
+				return b, c, r.Err
 			}
 		}
 	}
-	return nil
+	return "", "", nil
 }
 
 // Sweep runs every benchmark under every configuration, in parallel
@@ -57,6 +68,23 @@ func (m *Matrix) FirstErr() error {
 // to the machine.
 func Sweep(benches []string, configs []denovogpu.Config) *Matrix {
 	return SweepN(benches, configs, 0)
+}
+
+// runMatrix executes the cell pool. It defaults to in-process
+// api.RunMatrix; SetRunner swaps in a remote executor (sweep -remote
+// routes cells through a sweepd coordinator). Determinism makes the two
+// interchangeable: a cell's Report is identical wherever it ran.
+var runMatrix = denovogpu.RunMatrix
+
+// SetRunner replaces the matrix executor behind every figure sweep
+// (nil restores the in-process default). The runner must honor
+// api.RunMatrix's contract: one result per cell, in cell order.
+func SetRunner(fn func([]denovogpu.MatrixCell, denovogpu.MatrixOptions) ([]denovogpu.MatrixResult, error)) {
+	if fn == nil {
+		runMatrix = denovogpu.RunMatrix
+		return
+	}
+	runMatrix = fn
 }
 
 // SweepN is Sweep with an explicit worker bound (<= 0 selects
@@ -82,7 +110,19 @@ func SweepN(benches []string, configs []denovogpu.Config, workers int) *Matrix {
 			cells = append(cells, denovogpu.MatrixCell{Config: c, Workload: w})
 		}
 	}
-	results, _ := denovogpu.RunMatrix(cells, denovogpu.MatrixOptions{Workers: workers, KeepGoing: true})
+	results, err := runMatrix(cells, denovogpu.MatrixOptions{Workers: workers, KeepGoing: true})
+	if len(results) != len(cells) {
+		// A remote runner can fail wholesale (unreachable coordinator)
+		// before producing per-cell results; surface that on every cell
+		// rather than panicking on a short slice.
+		if err == nil {
+			err = fmt.Errorf("figures: runner returned %d results for %d cells", len(results), len(cells))
+		}
+		results = make([]denovogpu.MatrixResult, len(cells))
+		for i := range results {
+			results[i].Err = err
+		}
+	}
 	for i, cell := range cells {
 		m.Runs[cell.Workload.Name][cell.Config.Name()] = &Run{
 			Bench:  cell.Workload.Name,

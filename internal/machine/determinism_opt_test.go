@@ -37,7 +37,7 @@ func snapshot(t *testing.T, p goldenPair) []byte {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return marshalGolden(toGolden(rep))
+	return mustCanonical(t, rep)
 }
 
 func TestDeterminismSameProcess(t *testing.T) {

@@ -107,8 +107,8 @@ func TestFastPathDifferential(t *testing.T) {
 			if generic[i].Err != nil {
 				t.Fatalf("generic path: %v", generic[i].Err)
 			}
-			got := marshalGolden(toGolden(fast[i].Report))
-			want := marshalGolden(toGolden(generic[i].Report))
+			got := mustCanonical(t, fast[i].Report)
+			want := mustCanonical(t, generic[i].Report)
 			if !bytes.Equal(got, want) {
 				t.Errorf("fast path deviates from generic reference for %s:\nfast:\n%s\ngeneric:\n%s",
 					c.name, got, want)

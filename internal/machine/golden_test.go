@@ -10,6 +10,12 @@
 // engine, the L2 banks, the NoC, the store buffers) must leave every
 // golden byte untouched.
 //
+// The pinned cell list and the canonical serialization are exported
+// from the api package (denovogpu.PinnedCells, denovogpu.MarshalReport)
+// because the sweep service reuses both: a distributed or cached sweep
+// of the pinned matrix must reproduce these exact files (the sweepd-e2e
+// CI job and internal/sweepd's golden test diff against them).
+//
 // Regenerate after an intentional model change with:
 //
 //	go test ./internal/machine -run TestGoldenReports -update
@@ -19,101 +25,47 @@ package machine_test
 
 import (
 	"bytes"
-	"encoding/json"
 	"flag"
-	"fmt"
 	"os"
 	"path/filepath"
-	"strings"
 	"testing"
 
 	"denovogpu"
-	"denovogpu/internal/stats"
 )
 
 var update = flag.Bool("update", false, "rewrite testdata/golden files with current simulation output")
 
-// goldenReport is the serialized form of a Report. Maps are used for
-// the named dimensions because encoding/json emits map keys in sorted
-// order, making the output canonical.
-type goldenReport struct {
-	Config   string             `json:"config"`
-	Workload string             `json:"workload"`
-	Cycles   uint64             `json:"cycles"`
-	Events   uint64             `json:"events"`
-	EnergyPJ map[string]float64 `json:"energy_pj"`
-	Flits    map[string]uint64  `json:"flits"`
-	Counters map[string]uint64  `json:"counters"`
+func goldenPath(workload, config string) string {
+	return filepath.Join("testdata", "golden", denovogpu.ReportFileName(workload, config))
 }
 
-func toGolden(r denovogpu.Report) goldenReport {
-	g := goldenReport{
-		Config:   r.Config,
-		Workload: r.Workload,
-		Cycles:   r.Cycles,
-		Events:   r.Events,
-		EnergyPJ: make(map[string]float64),
-		Flits:    make(map[string]uint64),
-		Counters: make(map[string]uint64),
-	}
-	for c := stats.Component(0); c < stats.NumComponents; c++ {
-		g.EnergyPJ[c.String()] = r.EnergyPJ[c]
-	}
-	for c := stats.TrafficClass(0); c < stats.NumTrafficClasses; c++ {
-		g.Flits[c.String()] = r.Flits[c]
-	}
-	for _, n := range r.Stats.Names() {
-		g.Counters[n] = r.Stats.Get(n)
-	}
-	return g
-}
-
-// goldenPair is one pinned (workload, config) combination.
+// goldenPair is the package-local (workload, config) shorthand the
+// determinism, sanitizer-identity and fast-path suites share.
 type goldenPair struct {
 	workload string
 	config   string
 }
 
-// goldenPairs is the pinned fast subset: every paper category is
-// represented (no-sync applications, globally scoped sync, locally
-// scoped/hybrid sync including UTS), and the cheap workloads run under
-// all five configurations. The globally scoped microbenchmarks are
-// orders of magnitude slower under the DeNovo configs, so SPMBO_G is
-// pinned under the two GPU-coherence configs only.
+// goldenPairs mirrors the exported pinned-cell list as pairs.
 func goldenPairs() []goldenPair {
-	var pairs []goldenPair
-	allCfg := []string{"GD", "GH", "DD", "DD+RO", "DH"}
-	for _, w := range []string{"LAVA", "ST", "NN", "BP", "UTS", "SPM_L"} {
-		for _, c := range allCfg {
-			pairs = append(pairs, goldenPair{w, c})
-		}
+	specs := denovogpu.PinnedCells()
+	out := make([]goldenPair, len(specs))
+	for i, s := range specs {
+		out[i] = goldenPair{s.Workload, s.Config.Name}
 	}
-	for _, c := range []string{"GD", "GH"} {
-		pairs = append(pairs, goldenPair{"SPMBO_G", c})
-	}
-	// The graph-analytics family runs under the two fixed paper
-	// endpoints it compares (GPU writethrough and DeNovo), the best
-	// fixed DeNovo variant, and the per-phase specialized extension
-	// whose phase-transition drains these goldens pin.
-	for _, w := range []string{"BFS", "PR", "SSSP"} {
-		for _, c := range []string{"GD", "DD", "DD+RO", "SPEC"} {
-			pairs = append(pairs, goldenPair{w, c})
-		}
-	}
-	return pairs
+	return out
 }
 
-func goldenFile(p goldenPair) string {
-	cfg := strings.ReplaceAll(p.config, "+", "-")
-	return filepath.Join("testdata", "golden", fmt.Sprintf("%s_%s.json", p.workload, cfg))
-}
-
-func marshalGolden(g goldenReport) []byte {
-	out, err := json.MarshalIndent(g, "", "  ")
+// mustCanonical serializes a report with the canonical encoder; byte
+// equality of two canonical serializations is the package's definition
+// of "identical Report".
+func mustCanonical(t *testing.T, rep denovogpu.Report) []byte {
+	t.Helper()
+	b, err := denovogpu.MarshalReport(rep)
 	if err != nil {
-		panic(err)
+		t.Fatal(err)
 	}
-	return append(out, '\n')
+	return b
 }
 
 // TestGoldenReports runs the whole pinned matrix through the parallel
@@ -123,31 +75,27 @@ func marshalGolden(g goldenReport) []byte {
 // determinism contract: parallel execution leaves every report
 // byte-identical.
 func TestGoldenReports(t *testing.T) {
-	pairs := goldenPairs()
-	cells := make([]denovogpu.MatrixCell, len(pairs))
-	for i, p := range pairs {
-		cfg, err := denovogpu.ConfigByName(p.config)
+	specs := denovogpu.PinnedCells()
+	cells := make([]denovogpu.MatrixCell, len(specs))
+	for i, s := range specs {
+		cell, err := s.Cell()
 		if err != nil {
 			t.Fatal(err)
 		}
-		w, err := denovogpu.WorkloadByName(p.workload)
-		if err != nil {
-			t.Fatal(err)
-		}
-		cells[i] = denovogpu.MatrixCell{Config: cfg, Workload: w}
+		cells[i] = cell
 	}
 	results, err := denovogpu.RunMatrix(cells, denovogpu.MatrixOptions{KeepGoing: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i, p := range pairs {
-		p, res := p, results[i]
-		t.Run(p.workload+"/"+p.config, func(t *testing.T) {
+	for i, s := range specs {
+		s, res := s, results[i]
+		t.Run(s.Workload+"/"+s.Config.Name, func(t *testing.T) {
 			if res.Err != nil {
 				t.Fatal(res.Err)
 			}
-			got := marshalGolden(toGolden(res.Report))
-			path := goldenFile(p)
+			got := mustCanonical(t, res.Report)
+			path := goldenPath(s.Workload, s.Config.Name)
 			if *update {
 				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 					t.Fatal(err)
@@ -163,7 +111,7 @@ func TestGoldenReports(t *testing.T) {
 			}
 			if !bytes.Equal(got, want) {
 				t.Errorf("report for %s under %s deviates from golden %s;\nrerun with -update and review the diff if the change is intentional.\ngot:\n%s\nwant:\n%s",
-					p.workload, p.config, path, got, want)
+					s.Workload, s.Config.Name, path, got, want)
 			}
 		})
 	}
@@ -174,8 +122,8 @@ func TestGoldenReports(t *testing.T) {
 // stop guarding anything.
 func TestGoldenNoStrays(t *testing.T) {
 	expected := make(map[string]bool)
-	for _, p := range goldenPairs() {
-		expected[filepath.Base(goldenFile(p))] = true
+	for _, s := range denovogpu.PinnedCells() {
+		expected[denovogpu.ReportFileName(s.Workload, s.Config.Name)] = true
 	}
 	entries, err := os.ReadDir(filepath.Join("testdata", "golden"))
 	if err != nil {
@@ -185,5 +133,35 @@ func TestGoldenNoStrays(t *testing.T) {
 		if !expected[e.Name()] {
 			t.Errorf("stray golden file %s (not produced by any pinned pair)", e.Name())
 		}
+	}
+}
+
+// TestMarshalReportRoundTrip pins the canonical encoding's
+// invertibility on a real report: UnmarshalReport(MarshalReport(r))
+// re-serializes to the identical bytes. The sweep service's remote
+// mode depends on this — a report that survives the wire and parses
+// back must still diff clean against its golden.
+func TestMarshalReportRoundTrip(t *testing.T) {
+	rep, err := denovogpu.RunByName(denovogpu.DD(), "SPM_L")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := denovogpu.MarshalReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := denovogpu.UnmarshalReport(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := denovogpu.MarshalReport(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Errorf("round trip changed the canonical bytes:\nfirst:\n%s\nsecond:\n%s", b, b2)
+	}
+	if back.Cycles != rep.Cycles || back.Events != rep.Events || back.TotalFlits() != rep.TotalFlits() {
+		t.Errorf("round trip changed measurements: %+v vs %+v", back, rep)
 	}
 }

@@ -40,8 +40,8 @@ func TestInvariantsGoldenIdentical(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got := marshalGolden(toGolden(rep))
-			want, err := os.ReadFile(goldenFile(p))
+			got := mustCanonical(t, rep)
+			want, err := os.ReadFile(goldenPath(p.workload, p.config))
 			if err != nil {
 				t.Fatalf("missing golden: %v", err)
 			}

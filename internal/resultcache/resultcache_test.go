@@ -1,0 +1,290 @@
+package resultcache_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"denovogpu"
+	"denovogpu/internal/resultcache"
+)
+
+func key(t *testing.T, version string, s denovogpu.CellSpec) string {
+	t.Helper()
+	k, err := denovogpu.CellKey(version, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func gdCell(w string) denovogpu.CellSpec {
+	return denovogpu.CellSpec{Config: denovogpu.ConfigSpec{Name: "GD"}, Workload: w}
+}
+
+// TestKeyCanonicalization is the cache-key contract: keys are blind to
+// how a configuration is *spelled* and sensitive to everything that
+// changes what a run would *measure*.
+func TestKeyCanonicalization(t *testing.T) {
+	base := key(t, "v1", gdCell("LAVA"))
+	if !strings.HasPrefix(base, "") || len(base) != 64 {
+		t.Fatalf("key %q is not hex sha256", base)
+	}
+
+	// JSON field order of a raw config is irrelevant.
+	var a, b denovogpu.CellSpec
+	if err := json.Unmarshal([]byte(`{"workload":"LAVA","config":{"config":{"Protocol":0,"Model":0,"NumCUs":15}}}`), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(`{"config":{"config":{"NumCUs":15,"Model":0,"Protocol":0}},"workload":"LAVA"}`), &b); err != nil {
+		t.Fatal(err)
+	}
+	if key(t, "v1", a) != key(t, "v1", b) {
+		t.Error("field order changed the key")
+	}
+
+	// Defaulted fields and explicitly spelled default values coincide,
+	// and a by-name spec matches the raw struct it resolves to.
+	cfg := denovogpu.GD()
+	explicit := key(t, "v1", denovogpu.CellSpec{Config: denovogpu.ConfigSpec{Raw: &cfg}, Workload: "LAVA"})
+	zero := denovogpu.Config{} // all machine parameters defaulted
+	zeroKey := key(t, "v1", denovogpu.CellSpec{Config: denovogpu.ConfigSpec{Raw: &zero}, Workload: "LAVA"})
+	if base != explicit || base != zeroKey {
+		t.Errorf("spellings of GD diverge: name=%s explicit=%s zero=%s", base, explicit, zeroKey)
+	}
+
+	// Each input dimension changes the key.
+	if key(t, "v2", gdCell("LAVA")) == base {
+		t.Error("code version not in the key")
+	}
+	if key(t, "v1", denovogpu.CellSpec{Config: denovogpu.ConfigSpec{Name: "DD"}, Workload: "LAVA"}) == base {
+		t.Error("config not in the key")
+	}
+	if key(t, "v1", gdCell("ST")) == base {
+		t.Error("workload not in the key")
+	}
+	bfs0 := key(t, "v1", denovogpu.CellSpec{Config: denovogpu.ConfigSpec{Name: "GD"}, Workload: "BFS"})
+	bfs7 := key(t, "v1", denovogpu.CellSpec{Config: denovogpu.ConfigSpec{Name: "GD"}, Workload: "BFS", Seed: 7})
+	if bfs0 == bfs7 {
+		t.Error("seed not in the key")
+	}
+	// And a single behavioral config field flips it.
+	tweaked := denovogpu.GD()
+	tweaked.SBEntries = 128
+	if key(t, "v1", denovogpu.CellSpec{Config: denovogpu.ConfigSpec{Raw: &tweaked}, Workload: "LAVA"}) == base {
+		t.Error("config field change not in the key")
+	}
+	// Unresolvable specs error instead of hashing garbage.
+	if _, err := denovogpu.CellKey("v1", denovogpu.CellSpec{Workload: "LAVA"}); err == nil {
+		t.Error("empty config spec produced a key")
+	}
+}
+
+func mustOpen(t *testing.T, dir string, max int64) *resultcache.Cache {
+	t.Helper()
+	c, err := resultcache.Open(dir, max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func fakeKey(seed byte) string {
+	sum := sha256.Sum256([]byte{seed})
+	return hex.EncodeToString(sum[:])
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c := mustOpen(t, dir, 0)
+	k := fakeKey(1)
+	payload := []byte("{\n  \"cycles\": 42\n}\n")
+	if _, ok, err := c.Get(k); ok || err != nil {
+		t.Fatalf("empty cache Get = %v, %v", ok, err)
+	}
+	if err := c.Put(k, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.Get(k)
+	if err != nil || !ok || string(got) != string(payload) {
+		t.Fatalf("Get = %q, %v, %v", got, ok, err)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	// Entries survive reopen.
+	c2 := mustOpen(t, dir, 0)
+	got, ok, err = c2.Get(k)
+	if err != nil || !ok || string(got) != string(payload) {
+		t.Fatalf("after reopen Get = %q, %v, %v", got, ok, err)
+	}
+
+	// Invalid keys are rejected outright.
+	if err := c.Put("../escape", payload); err == nil {
+		t.Error("invalid key accepted by Put")
+	}
+	if _, _, err := c.Get("nope"); err == nil {
+		t.Error("invalid key accepted by Get")
+	}
+}
+
+// TestCorruptEntryRejected is the verify-on-read wall: flipped payload
+// bytes, truncation, and a gutted envelope must all be detected,
+// reported, and converted into a miss with the entry removed.
+func TestCorruptEntryRejected(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		corrupt func(path string, t *testing.T)
+	}{
+		{"bit-flip", func(path string, t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)-2] ^= 0x40
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"truncated", func(path string, t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"no-header", func(path string, t *testing.T) {
+			if err := os.WriteFile(path, []byte("garbage without newline"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			c := mustOpen(t, dir, 0)
+			k := fakeKey(9)
+			if err := c.Put(k, []byte("precious deterministic bytes\n")); err != nil {
+				t.Fatal(err)
+			}
+			tc.corrupt(filepath.Join(dir, k[:2], k), t)
+
+			_, ok, err := c.Get(k)
+			if ok {
+				t.Fatal("corrupt entry served as a hit")
+			}
+			var ce *resultcache.CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("Get error = %v, want CorruptError", err)
+			}
+			// The entry is gone: next Get is a clean miss, and the file
+			// was deleted.
+			if _, ok, err := c.Get(k); ok || err != nil {
+				t.Fatalf("after rejection Get = %v, %v, want clean miss", ok, err)
+			}
+			if _, err := os.Stat(filepath.Join(dir, k[:2], k)); !os.IsNotExist(err) {
+				t.Errorf("corrupt file still on disk: %v", err)
+			}
+			if st := c.Stats(); st.VerifyFailures != 1 {
+				t.Errorf("verify failures = %d, want 1", st.VerifyFailures)
+			}
+		})
+	}
+}
+
+// TestLRUEviction bounds the store: total bytes stay under the cap,
+// eviction order is least-recently-*used* (a Get refreshes recency,
+// not just a Put), and the newest entry always survives.
+func TestLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	payload := make([]byte, 1000)
+	// Envelope adds ~90 bytes; cap fits 3 entries but not 4.
+	c := mustOpen(t, dir, 3500)
+	for i := byte(0); i < 3; i++ {
+		if err := c.Put(fakeKey(i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch entry 0 so entry 1 is now the least recently used.
+	if _, ok, _ := c.Get(fakeKey(0)); !ok {
+		t.Fatal("entry 0 missing before eviction")
+	}
+	if err := c.Put(fakeKey(3), payload); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Bytes > 3500 {
+		t.Errorf("cache holds %d bytes, cap is 3500", st.Bytes)
+	}
+	if st.Evictions == 0 {
+		t.Error("no evictions recorded")
+	}
+	if _, ok, _ := c.Get(fakeKey(1)); ok {
+		t.Error("LRU entry 1 survived; expected it evicted")
+	}
+	for _, i := range []byte{0, 2, 3} {
+		if _, ok, _ := c.Get(fakeKey(i)); !ok {
+			t.Errorf("entry %d evicted; expected it kept", i)
+		}
+	}
+
+	// A cap smaller than one entry still keeps the newest entry (no
+	// thrash-to-empty), but nothing else.
+	tiny := mustOpen(t, t.TempDir(), 10)
+	if err := tiny.Put(fakeKey(10), payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := tiny.Put(fakeKey(11), payload); err != nil {
+		t.Fatal(err)
+	}
+	if n := tiny.Len(); n != 1 {
+		t.Errorf("tiny cache has %d entries, want exactly the newest", n)
+	}
+	if _, ok, _ := tiny.Get(fakeKey(11)); !ok {
+		t.Error("newest entry evicted from tiny cache")
+	}
+
+	// Reopen enforces the cap against what is on disk and preserves
+	// mtime-based recency.
+	re := mustOpen(t, dir, 2300) // fits 2 of the 3 surviving entries
+	if re.Len() != 2 {
+		t.Errorf("reopen kept %d entries, want 2", re.Len())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := mustOpen(t, t.TempDir(), 50_000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := fakeKey(byte(i % 16))
+				if i%3 == 0 {
+					if err := c.Put(k, []byte(fmt.Sprintf("payload %d", i%16))); err != nil {
+						t.Error(err)
+						return
+					}
+				} else if data, ok, err := c.Get(k); err != nil {
+					t.Error(err)
+					return
+				} else if ok && string(data) != fmt.Sprintf("payload %d", i%16) {
+					t.Errorf("goroutine %d read wrong payload %q", g, data)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

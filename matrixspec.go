@@ -1,0 +1,328 @@
+package denovogpu
+
+// This file is the serialization surface of the sweep service
+// (internal/sweepd, cmd/sweepd): wire specs for matrix cells, the
+// canonical cache key content-addressing a cell's result, and the
+// canonical report encoding — the exact bytes the golden harness pins
+// under internal/machine/testdata/golden, so a cached or
+// remotely-computed report is verifiable byte-for-byte against the
+// serial goldens.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"strings"
+
+	"denovogpu/internal/stats"
+	"denovogpu/internal/workload/graph"
+)
+
+// ConfigSpec selects a configuration on the wire: by paper name
+// ("GD" … "SPEC", resolved through ConfigByName) or as a raw Config
+// struct. Exactly one of the two must be set.
+type ConfigSpec struct {
+	Name string  `json:"name,omitempty"`
+	Raw  *Config `json:"config,omitempty"`
+}
+
+// Resolve returns the selected configuration.
+func (s ConfigSpec) Resolve() (Config, error) {
+	switch {
+	case s.Name != "" && s.Raw != nil:
+		return Config{}, fmt.Errorf("denovogpu: config spec sets both name %q and a raw config", s.Name)
+	case s.Name != "":
+		return ConfigByName(s.Name)
+	case s.Raw != nil:
+		return *s.Raw, nil
+	default:
+		return Config{}, fmt.Errorf("denovogpu: empty config spec (want name or config)")
+	}
+}
+
+// CellSpec is the wire form of one matrix cell: a configuration, a
+// built-in workload name, and an optional seed. Seed 0 selects the
+// workload's registered default input; a non-zero seed re-parameterizes
+// the graph-analytics generators (BFS, PR, SSSP) with that graph seed
+// and is an error for the fixed Table 4 benchmarks.
+type CellSpec struct {
+	Config   ConfigSpec `json:"config"`
+	Workload string     `json:"workload"`
+	Seed     uint64     `json:"seed,omitempty"`
+}
+
+// Cell resolves the spec into a runnable matrix cell.
+func (s CellSpec) Cell() (MatrixCell, error) {
+	cfg, err := s.Config.Resolve()
+	if err != nil {
+		return MatrixCell{}, err
+	}
+	w, err := workloadForSpec(s.Workload, s.Seed)
+	if err != nil {
+		return MatrixCell{}, err
+	}
+	return MatrixCell{Config: cfg, Workload: w}, nil
+}
+
+func workloadForSpec(name string, seed uint64) (Workload, error) {
+	if seed == 0 {
+		return WorkloadByName(name)
+	}
+	p := graph.DefaultParams()
+	p.Seed = seed
+	switch name {
+	case "BFS":
+		return graph.BFS(p), nil
+	case "PR":
+		return graph.PageRank(p), nil
+	case "SSSP":
+		return graph.SSSP(p), nil
+	default:
+		return Workload{}, fmt.Errorf("denovogpu: seed %d: only the graph workloads (BFS, PR, SSSP) are seedable, not %q", seed, name)
+	}
+}
+
+// MatrixSpec is the wire form of a sweep: the cross product
+// configs × workloads × seeds (config-major, then workload, then seed
+// — the paper-figure convention of Matrix), plus optional explicit
+// extra cells appended after the product. An empty Seeds list means
+// one cell per (config, workload) at the default input.
+type MatrixSpec struct {
+	Configs   []ConfigSpec `json:"configs,omitempty"`
+	Workloads []string     `json:"workloads,omitempty"`
+	Seeds     []uint64     `json:"seeds,omitempty"`
+	Cells     []CellSpec   `json:"cells,omitempty"`
+	// KeepGoing runs every cell even after failures, with
+	// MatrixOptions.KeepGoing semantics; off, the first failure stops
+	// dispatch and unstarted cells are skipped.
+	KeepGoing bool `json:"keep_going,omitempty"`
+}
+
+// CellSpecs expands the spec into its per-cell list.
+func (m MatrixSpec) CellSpecs() []CellSpec {
+	seeds := m.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{0}
+	}
+	out := make([]CellSpec, 0, len(m.Configs)*len(m.Workloads)*len(seeds)+len(m.Cells))
+	for _, c := range m.Configs {
+		for _, w := range m.Workloads {
+			for _, s := range seeds {
+				out = append(out, CellSpec{Config: c, Workload: w, Seed: s})
+			}
+		}
+	}
+	return append(out, m.Cells...)
+}
+
+// PinnedCells returns the golden-pinned (workload, config) subset —
+// the cells whose reports are committed byte-for-byte under
+// internal/machine/testdata/golden, in golden-harness order. It is the
+// reference matrix for the sweep service's differential wall: a
+// distributed or cached sweep of these cells must reproduce the
+// committed files exactly.
+func PinnedCells() []CellSpec {
+	var cells []CellSpec
+	add := func(w, c string) {
+		cells = append(cells, CellSpec{Config: ConfigSpec{Name: c}, Workload: w})
+	}
+	allCfg := []string{"GD", "GH", "DD", "DD+RO", "DH"}
+	for _, w := range []string{"LAVA", "ST", "NN", "BP", "UTS", "SPM_L"} {
+		for _, c := range allCfg {
+			add(w, c)
+		}
+	}
+	for _, c := range []string{"GD", "GH"} {
+		add("SPMBO_G", c)
+	}
+	for _, w := range []string{"BFS", "PR", "SSSP"} {
+		for _, c := range []string{"GD", "DD", "DD+RO", "SPEC"} {
+			add(w, c)
+		}
+	}
+	return cells
+}
+
+// ReportFileName is the canonical artifact name for one cell's report
+// ("+" in config names is not filesystem-friendly); it matches the
+// committed golden file names.
+func ReportFileName(workload, config string) string {
+	return fmt.Sprintf("%s_%s.json", workload, strings.ReplaceAll(config, "+", "-"))
+}
+
+// CodeVersion identifies the simulator build for cache keying: the VCS
+// revision when the binary was stamped with one (plus a "+dirty"
+// marker for modified trees), else the module version, else "devel".
+// Two binaries with equal CodeVersion are assumed to simulate
+// identically; "devel" and dirty builds break that assumption, so
+// development caches should be wiped after code changes (CI builds
+// from clean checkouts and is immune).
+func CodeVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	if rev != "" {
+		if modified == "true" {
+			return rev + "+dirty"
+		}
+		return rev
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	return "devel"
+}
+
+// CellKey returns the canonical content address of one simulation
+// cell: the hex SHA-256 of (codeVersion, canonicalized configuration,
+// workload name, seed). The configuration is canonicalized by applying
+// Defaults() and serializing the resulting struct — so specs that
+// spell the same machine differently (JSON field order, explicit
+// default values vs omitted fields) share a key, and any field that
+// changes simulated behavior changes it. Everything in Config is part
+// of the key, including fields proven behavior-neutral (Invariants,
+// GenericL1): a spurious miss only costs a re-simulation, a spurious
+// hit would be wrong.
+func CellKey(codeVersion string, s CellSpec) (string, error) {
+	cfg, err := s.Config.Resolve()
+	if err != nil {
+		return "", err
+	}
+	cfgJSON, err := json.Marshal(cfg.Defaults())
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	for _, part := range []string{
+		"denovogpu-cell/v1", codeVersion, string(cfgJSON), s.Workload, fmt.Sprintf("%d", s.Seed),
+	} {
+		fmt.Fprintf(h, "%d:%s", len(part), part)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// reportJSON is the canonical serialized form of a Report. Maps are
+// used for the named dimensions because encoding/json emits map keys
+// in sorted order, making the output canonical; this is the exact
+// golden-file layout pinned since PR 2.
+type reportJSON struct {
+	Config   string             `json:"config"`
+	Workload string             `json:"workload"`
+	Cycles   uint64             `json:"cycles"`
+	Events   uint64             `json:"events"`
+	EnergyPJ map[string]float64 `json:"energy_pj"`
+	Flits    map[string]uint64  `json:"flits"`
+	Counters map[string]uint64  `json:"counters"`
+}
+
+// MarshalReport serializes a report canonically: two byte slices are
+// equal iff the runs they came from measured identically. This is the
+// byte format of the committed golden files, of the sweep service's
+// report endpoints, and of the result cache's payloads.
+func MarshalReport(r Report) ([]byte, error) {
+	g := reportJSON{
+		Config:   r.Config,
+		Workload: r.Workload,
+		Cycles:   r.Cycles,
+		Events:   r.Events,
+		EnergyPJ: make(map[string]float64),
+		Flits:    make(map[string]uint64),
+		Counters: make(map[string]uint64),
+	}
+	for c := stats.Component(0); c < stats.NumComponents; c++ {
+		g.EnergyPJ[c.String()] = r.EnergyPJ[c]
+	}
+	for c := stats.TrafficClass(0); c < stats.NumTrafficClasses; c++ {
+		g.Flits[c.String()] = r.Flits[c]
+	}
+	if r.Stats != nil {
+		for _, n := range r.Stats.Names() {
+			g.Counters[n] = r.Stats.Get(n)
+		}
+	}
+	out, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// UnmarshalReport parses a canonically serialized report back into a
+// Report (Timeline excluded: timelines are not part of the canonical
+// encoding). Unknown energy or traffic dimensions are an error — a
+// report from a build with different dimensions must not silently
+// round-trip. MarshalReport(UnmarshalReport(b)) reproduces b exactly.
+func UnmarshalReport(data []byte) (Report, error) {
+	var g reportJSON
+	if err := json.Unmarshal(data, &g); err != nil {
+		return Report{}, fmt.Errorf("denovogpu: parsing report: %w", err)
+	}
+	r := Report{
+		Config:   g.Config,
+		Workload: g.Workload,
+		Cycles:   g.Cycles,
+		Events:   g.Events,
+	}
+	seenE := 0
+	for c := stats.Component(0); c < stats.NumComponents; c++ {
+		if v, ok := g.EnergyPJ[c.String()]; ok {
+			r.EnergyPJ[c] = v
+			seenE++
+		}
+	}
+	if seenE != len(g.EnergyPJ) {
+		return Report{}, fmt.Errorf("denovogpu: report has %d unknown energy components %v", len(g.EnergyPJ)-seenE, unknownKeys(g.EnergyPJ))
+	}
+	seenF := 0
+	for c := stats.TrafficClass(0); c < stats.NumTrafficClasses; c++ {
+		if v, ok := g.Flits[c.String()]; ok {
+			r.Flits[c] = v
+			seenF++
+		}
+	}
+	if seenF != len(g.Flits) {
+		return Report{}, fmt.Errorf("denovogpu: report has %d unknown traffic classes", len(g.Flits)-seenF)
+	}
+	st := stats.New()
+	st.Cycles = g.Cycles
+	st.EnergyPJ = r.EnergyPJ
+	st.Flits = r.Flits
+	names := make([]string, 0, len(g.Counters))
+	for n := range g.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		st.Inc(n, g.Counters[n])
+	}
+	r.Stats = st
+	return r, nil
+}
+
+func unknownKeys(m map[string]float64) []string {
+	known := make(map[string]bool)
+	for c := stats.Component(0); c < stats.NumComponents; c++ {
+		known[c.String()] = true
+	}
+	var out []string
+	for k := range m {
+		if !known[k] {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
