@@ -1,13 +1,16 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"denovogpu/internal/litmus"
 	"denovogpu/internal/machine"
@@ -25,20 +28,33 @@ func runCheck(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("litmus check", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		budget = fs.Int("budget", mcheck.DefaultBudget, "exploration node budget per (configuration, program)")
-		gen    = fs.Int("gen", 0, "also model-check N seeded generated programs after the catalog")
-		seed   = fs.Uint64("seed", 20260805, "base seed for -gen programs and counterexample replay schedules")
-		jobs   = fs.Int("j", 0, "programs checked in parallel (0 = GOMAXPROCS, 1 = serial; any value reports the same lowest-index violation)")
-		out    = fs.String("out", "", "directory for counterexample artifacts (case JSON + model trace)")
-		por    = fs.Bool("por", true, "use sleep-set partial-order reduction (disable only for debugging)")
-		fault  = fs.Bool("fault", false, "inject the acquire-invalidation fault into every configuration (pipeline self-test; violations expected)")
-		nsched = fs.Int("schedules", 5, "simulator schedules used to reproduce a counterexample")
+		budget   = fs.Int("budget", mcheck.DefaultBudget, "exploration node budget per (configuration, program) — per shard when -shards > 1")
+		gen      = fs.Int("gen", 0, "also model-check N seeded generated programs after the catalog")
+		seed     = fs.Uint64("seed", 20260805, "base seed for -gen programs and counterexample replay schedules")
+		jobs     = fs.Int("j", 0, "programs checked in parallel (0 = GOMAXPROCS, 1 = serial; any value reports the same lowest-index violation)")
+		out      = fs.String("out", "", "directory for counterexample artifacts (case JSON + model trace)")
+		por      = fs.Bool("por", true, "use partial-order reduction (disable only for debugging; implies -explorer sleepset)")
+		explorer = fs.String("explorer", "dpor", "exploration strategy: dpor (stateless source-DPOR, O(depth) memory) or sleepset (visited-table reference)")
+		shards   = fs.Int("shards", 1, "split every cell into this many prefix work units run on the -j pool (programs then run serially; requires the dpor explorer)")
+		stats    = fs.Bool("stats", false, "print a per-cell table (states, wall time, states/sec, allocation); timing columns vary run to run")
+		jsonOut  = fs.String("json", "", "write a machine-readable denovogpu-check/v1 summary of a clean run to this file")
+		fault    = fs.Bool("fault", false, "inject the acquire-invalidation fault into every configuration (pipeline self-test; violations expected)")
+		nsched   = fs.Int("schedules", 5, "simulator schedules used to reproduce a counterexample")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() > 0 {
 		fmt.Fprintf(stderr, "litmus check: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+	ex, err := mcheck.ExplorerByName(*explorer)
+	if err != nil {
+		fmt.Fprintf(stderr, "litmus check: %v\n", err)
+		return 2
+	}
+	if *shards > 1 && (ex != mcheck.ExplorerDPOR || !*por) {
+		fmt.Fprintln(stderr, "litmus check: -shards requires the dpor explorer with POR enabled")
 		return 2
 	}
 
@@ -63,29 +79,56 @@ func runCheck(args []string, stdout, stderr io.Writer) int {
 		progs = append(progs, job{p.Name, p})
 	}
 
-	// One shard per program; each shard sweeps the configurations
+	// One runner shard per program; each sweeps the configurations
 	// serially so the first violation for a program is always the one
-	// the lowest-numbered configuration produces.
+	// the lowest-numbered configuration produces. With -shards > 1 the
+	// parallelism moves inside the cell (prefix work units on the -j
+	// pool), so programs run serially.
+	wantStats := *stats || *jsonOut != ""
 	type result struct {
-		viol   *mcheck.Violation
-		states int
-		skips  []string
-		err    error
+		viol  *mcheck.Violation
+		cells []checkCell
+		skips []string
+		err   error
 	}
 	results := make([]result, len(progs))
 	failed := errors.New("shard failed")
-	runner.Run(len(progs), runner.Options{Workers: *jobs}, func(i int) error {
+	outerWorkers := *jobs
+	if *shards > 1 {
+		outerWorkers = 1
+	}
+	runner.Run(len(progs), runner.Options{Workers: outerWorkers}, func(i int) error {
 		r := &results[i]
+		opts := mcheck.Options{Budget: *budget, DisablePOR: !*por, Explorer: ex}
 		for _, cfg := range cfgs {
-			res, err := mcheck.Check(cfg, progs[i].p, mcheck.Options{
-				Budget:     *budget,
-				DisablePOR: !*por,
-			})
+			var m0, m1 runtime.MemStats
+			if wantStats {
+				runtime.ReadMemStats(&m0)
+			}
+			t0 := time.Now()
+			var res *mcheck.Result
+			var err error
+			if *shards > 1 {
+				res, err = mcheck.CheckSharded(cfg, progs[i].p, opts, *shards, *jobs)
+			} else {
+				res, err = mcheck.Check(cfg, progs[i].p, opts)
+			}
+			wall := time.Since(t0)
+			cell := checkCell{Program: progs[i].name, Config: cfg.Name(), WallMS: float64(wall.Nanoseconds()) / 1e6}
+			if wantStats {
+				runtime.ReadMemStats(&m1)
+				cell.AllocMB = float64(m1.TotalAlloc-m0.TotalAlloc) / 1e6
+			}
 			var be *mcheck.BudgetError
 			var sl *litmus.StateLimitError
 			if errors.As(err, &be) || errors.As(err, &sl) {
 				// Unverifiable at this budget, not a verdict. Recorded
 				// and reported deterministically, never a failure.
+				if be != nil {
+					cell.States = be.States
+				}
+				cell.Skipped = err.Error()
+				r.cells = append(r.cells, cell)
 				r.skips = append(r.skips, fmt.Sprintf("%s / %s: %v", cfg.Name(), progs[i].name, err))
 				continue
 			}
@@ -93,7 +136,12 @@ func runCheck(args []string, stdout, stderr io.Writer) int {
 				r.err = err
 				return failed
 			}
-			r.states += res.States
+			cell.States = res.States
+			cell.Outcomes = len(res.Outcomes)
+			if s := wall.Seconds(); s > 0 {
+				cell.StatesPerSec = float64(res.States) / s
+			}
+			r.cells = append(r.cells, cell)
 			if res.Violation != nil {
 				r.viol = res.Violation
 				return failed
@@ -104,6 +152,7 @@ func runCheck(args []string, stdout, stderr io.Writer) int {
 
 	checked, states := 0, 0
 	var skips []string
+	var cells []checkCell
 	for i := range results {
 		r := &results[i]
 		if r.err != nil {
@@ -114,18 +163,98 @@ func runCheck(args []string, stdout, stderr io.Writer) int {
 			return reportCheckViolation(stdout, stderr, r.viol, *out, *nsched, *seed)
 		}
 		checked++
-		states += r.states
+		for _, c := range r.cells {
+			if c.Skipped == "" {
+				states += c.States
+			}
+		}
+		cells = append(cells, r.cells...)
 		skips = append(skips, r.skips...)
 	}
 	for _, s := range skips {
 		fmt.Fprintf(stderr, "litmus check: skipped %s\n", s)
+	}
+	if *stats {
+		printCellStats(stdout, cells)
 	}
 	fmt.Fprintf(stdout, "model-checked %d programs x %d configurations: %d states, no invariant or oracle violations", checked, len(cfgs), states)
 	if len(skips) > 0 {
 		fmt.Fprintf(stdout, " (%d cells skipped on budget)", len(skips))
 	}
 	fmt.Fprintln(stdout)
+	if *jsonOut != "" {
+		sum := checkSummary{
+			Schema:     "denovogpu-check/v1",
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Explorer:   ex.String(),
+			Budget:     *budget,
+			Workers:    *jobs,
+			Shards:     *shards,
+			Programs:   checked,
+			Configs:    len(cfgs),
+			States:     states,
+			Skips:      len(skips),
+			Cells:      cells,
+		}
+		js, err := json.MarshalIndent(sum, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonOut, append(js, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// checkCell is one (configuration, program) cell of a check summary.
+// Timing and allocation columns vary run to run; States and Outcomes
+// are deterministic for a given explorer and shard count (States
+// differs between shard counts — different reductions prune
+// differently — but the outcome count and verdict never do). AllocMB
+// is the Go heap allocated while the cell ran; with -j > 1 concurrent
+// cells inflate each other's figure.
+type checkCell struct {
+	Program      string  `json:"program"`
+	Config       string  `json:"config"`
+	States       int     `json:"states"`
+	Outcomes     int     `json:"outcomes"`
+	WallMS       float64 `json:"wall_ms"`
+	StatesPerSec float64 `json:"states_per_sec"`
+	AllocMB      float64 `json:"alloc_mb"`
+	Skipped      string  `json:"skipped,omitempty"`
+}
+
+// checkSummary is the -json report, schema denovogpu-check/v1.
+type checkSummary struct {
+	Schema     string      `json:"schema"`
+	GoVersion  string      `json:"go_version"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Explorer   string      `json:"explorer"`
+	Budget     int         `json:"budget"`
+	Workers    int         `json:"workers"`
+	Shards     int         `json:"shards"`
+	Programs   int         `json:"programs"`
+	Configs    int         `json:"configs"`
+	States     int         `json:"states"`
+	Skips      int         `json:"skips"`
+	Cells      []checkCell `json:"cells"`
+}
+
+func printCellStats(w io.Writer, cells []checkCell) {
+	fmt.Fprintf(w, "%-10s %-20s %12s %9s %10s %12s %10s\n",
+		"CONFIG", "PROGRAM", "STATES", "OUTCOMES", "WALL(MS)", "STATES/S", "ALLOC(MB)")
+	for _, c := range cells {
+		if c.Skipped != "" {
+			fmt.Fprintf(w, "%-10s %-20s %12d %9s %10.1f %12s %10.1f  SKIP: %s\n",
+				c.Config, c.Program, c.States, "-", c.WallMS, "-", c.AllocMB, c.Skipped)
+			continue
+		}
+		fmt.Fprintf(w, "%-10s %-20s %12d %9d %10.1f %12.0f %10.1f\n",
+			c.Config, c.Program, c.States, c.Outcomes, c.WallMS, c.StatesPerSec, c.AllocMB)
+	}
 }
 
 // reportCheckViolation prints the counterexample, attempts to

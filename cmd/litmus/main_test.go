@@ -190,7 +190,10 @@ func TestCheckDeterminism(t *testing.T) {
 func TestCheckGenPrograms(t *testing.T) {
 	Catalog = func() []litmus.Entry { return nil }
 	t.Cleanup(func() { Catalog = litmus.Catalog })
-	code, out, errb := runCmd(t, "check", "-gen", "3", "-seed", "7", "-j", "2")
+	// A small budget: the test exercises the -gen path, not deep
+	// exploration; generated programs that exhaust it are skipped, which
+	// the summary line still counts as checked.
+	code, out, errb := runCmd(t, "check", "-gen", "3", "-seed", "7", "-j", "2", "-budget", "200000")
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s\n%s", code, errb, out)
 	}

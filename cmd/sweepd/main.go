@@ -10,6 +10,8 @@
 //	sweepd work   -server http://coordinator:8080          # worker (repeatable)
 //	sweepd submit -server ... -golden -out reports/        # submit + wait + fetch
 //	sweepd submit -server ... -spec sweep.json -summary    # custom matrix
+//	sweepd check  -server ... -shards 4 -out verdicts/     # sharded model checking
+//	sweepd check  -local -out verdicts/                    # serial reference check
 //	sweepd status -server ... [-job j1]                    # job + cache stats
 //	sweepd health -server ...                              # liveness probe
 //
@@ -41,7 +43,7 @@ import (
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
 func usage(stderr io.Writer) int {
-	fmt.Fprintln(stderr, "usage: sweepd <serve|work|submit|status|health> [flags]")
+	fmt.Fprintln(stderr, "usage: sweepd <serve|work|submit|check|status|health> [flags]")
 	fmt.Fprintln(stderr, "run 'sweepd <subcommand> -h' for subcommand flags")
 	return cli.ExitUsage
 }
@@ -57,6 +59,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runWork(args[1:], stdout, stderr)
 	case "submit":
 		return runSubmit(args[1:], stdout, stderr)
+	case "check":
+		return runCheckCmd(args[1:], stdout, stderr)
 	case "status":
 		return runStatus(args[1:], stdout, stderr)
 	case "health":

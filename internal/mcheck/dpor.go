@@ -1,0 +1,533 @@
+package mcheck
+
+import (
+	"fmt"
+	"time"
+
+	"denovogpu/internal/coherence"
+	"denovogpu/internal/litmus"
+)
+
+// Stateless source-DPOR exploration (Abdulla, Aronis, Jonsson,
+// Sagonas: "Source Sets: A Foundation for Optimal Dynamic Partial
+// Order Reduction", adapted to this transition system). Where the
+// legacy explorer (explore.go) prunes with a visited table keyed by a
+// canonical state encoding — memory proportional to the number of
+// distinct states — this explorer keeps only the current execution: a
+// stack of frames, one per depth, each holding a cloned state, the
+// happens-before clock of its incoming event, and the backtrack/sleep
+// bookkeeping of the node. Peak memory is O(depth), independent of how
+// many states the search visits, which is what lets the budget rise
+// from state-table scale (~2M) to tens of millions.
+//
+// The transition-id-as-process abstraction: a trans value is treated
+// as a "process" — at any state it denotes at most one enabled action
+// (thread a's next operation, the head delivery of one channel, one
+// background action of one CU word). Per-territory program order falls
+// out of the dependency relation automatically, because two events
+// with the same trans id share a footprint bit and are therefore
+// dependent.
+//
+// Dependence uses a *dynamic* footprint (dynFootprint), finer than the
+// legacy explorer's static one. The legacy relation is per-CU: any two
+// transitions touching the same CU are dependent. That coarseness is
+// nearly free under a visited table — both orders of a commuting pair
+// re-converge on a hashed state — but fatal for stateless search,
+// which would walk both orders of every same-CU diamond (background
+// actions, acks, and thread steps on *different* words commute
+// constantly) and multiply them. The dynamic footprint separates
+// territories a transition actually touches at the state where it
+// fires: one bit per (CU, word) L1 slot, one per thread's control
+// state (pc, blocked, pending loads, release bookkeeping), one per
+// variable's registry/L2 home, one per CU's end-of-kernel control.
+// Transitions that read CU-wide state stay CU-coarse: a release drain
+// reads the whole store buffer and the lazy/dirty masks, and a global
+// acquire sweeps every clean word and races with the CU's own
+// in-flight fills (it marks them stale), so both take every slot bit
+// of their CU. Message sends are deliberately *not* footprinted: all
+// appends to one channel already share a bit through their cause (a
+// channel is per-(src, dst, var)), and an append commutes with the
+// same channel's head delivery whenever both are enabled. Store-buffer
+// insertion *order* is also not footprinted: slots are per-word, and
+// the only order-sensitive reader (the release drain, which emits
+// writethroughs oldest-first) targets per-word channels, so the
+// resulting states differ only in dead bytes. Both exclusions — and
+// the relation as a whole — are checked empirically by the
+// TestDPORConformance differential wall against the unreduced and
+// sleep-set explorers.
+//
+// Happens-before is the transitive closure of the footprint-dependency
+// order within one execution: event i happens-before event n iff i < n
+// and a chain of pairwise-dependent events connects them. Each event
+// carries a clock — the bitset of its happens-before predecessors —
+// computed incrementally when the event is appended: scanning
+// backwards from the new event, a dependent earlier event i that is
+// not already covered by the clocks merged so far is a *race* (nothing
+// between them is ordered after i and before the new event, so the
+// two are adjacent in the happens-before order and their order could
+// be reversed); dependent events merge their clocks into the covered
+// set either way, which makes the test exact.
+//
+// For a race (i, n) the reversal candidate sequence is
+// v = notdep(i, E)·t_n: the events after i that do not happen-after i,
+// followed by the racing transition itself. Source-set backtracking
+// schedules one *initial* of v at frame i — an event of v with no
+// happens-before predecessor inside v — unless some initial is already
+// scheduled there (then the reversal is covered). The first element of
+// notdep is always an initial; when notdep is empty the candidate is
+// t_n itself. Because the footprint relation is not
+// enabledness-preserving (a thread's final step can enable a CU's
+// final release, or an append can create a delivery, with disjoint
+// footprints), a candidate can fail to be enabled at frame i; the
+// fallback schedules every enabled transition there, which is the
+// always-sound Flanagan-Godefroid degenerate case and is rare in
+// practice.
+//
+// Sleep sets are carried exactly as in the legacy explorer: a child
+// inherits the parent's sleep entries plus its already-explored
+// siblings, filtered to those independent of the taken transition; a
+// node whose enabled set is entirely asleep is a redundant prefix and
+// is abandoned. The reported States metric counts frames visited
+// (executed transitions plus the root), the stateless analogue of the
+// legacy explorer's expanded-node count.
+
+// ebits is a growable bitset over event indices (execution depths).
+type ebits []uint64
+
+func (b ebits) test(i int) bool {
+	w := i >> 6
+	return w < len(b) && b[w]&(1<<(uint(i)&63)) != 0
+}
+
+func (b *ebits) set(i int) {
+	w := i >> 6
+	for len(*b) <= w {
+		*b = append(*b, 0)
+	}
+	(*b)[w] |= 1 << (uint(i) & 63)
+}
+
+func (b *ebits) or(o ebits) {
+	for len(*b) < len(o) {
+		*b = append(*b, 0)
+	}
+	for i, w := range o {
+		(*b)[i] |= w
+	}
+}
+
+// Dynamic-footprint territory bits. Slots 0..35 are (CU, word) pairs;
+// above them one bit per thread's control state, per variable's home,
+// and per CU's end-of-kernel control.
+const (
+	fpTctl = uint(maxCUs * maxVars) // 36..41: thread control
+	fpHome = fpTctl + maxThreads    // 42..47: registry/L2 home
+	fpCctl = fpHome + maxVars       // 48..53: per-CU final release
+)
+
+func slotBit(ci, v uint8) uint64 { return 1 << (uint(ci)*maxVars + uint(v)) }
+func tctlBit(ti uint8) uint64    { return 1 << (fpTctl + uint(ti)) }
+func homeBit(v uint8) uint64     { return 1 << (fpHome + uint(v)) }
+func cctlBit(ci uint8) uint64    { return 1 << (fpCctl + uint(ci)) }
+
+// cuSlots is every word slot of one CU — the footprint of transitions
+// that read or sweep CU-wide word state.
+func (m *model) cuSlots(ci uint8) uint64 {
+	return ((1 << uint(m.nv)) - 1) << (uint(ci) * maxVars)
+}
+
+// dynFootprint is the dynamic read/write territory of transition t at
+// state s, used by the DPOR explorer and the shard split phase. It
+// must be computed at the state where t is enabled; it stays valid
+// while only transitions independent of t execute (anything that would
+// change t's behavior shares a bit with t by construction).
+func (m *model) dynFootprint(s *state, t trans) uint64 {
+	kind, a, b, c := t.parts()
+	switch kind {
+	case tkStep:
+		return m.stepFootprint(s, int(a))
+	case tkFinalRel:
+		// The end-of-kernel release drains the store buffer and the
+		// lazy/dirty masks: CU-wide.
+		return cctlBit(a) | m.cuSlots(a)
+	case tkEvict, tkFlushDirty, tkWriteBack, tkLazyKick:
+		return slotBit(a, c)
+	case tkDeliver:
+		return m.deliverFootprint(s, a, b, c)
+	}
+	return ^uint64(0)
+}
+
+func (m *model) stepFootprint(s *state, ti int) uint64 {
+	fp := tctlBit(uint8(ti))
+	op := m.opOf(ti, s)
+	v := uint8(op.Var)
+	if m.cfg.proto == protoSC {
+		return fp | homeBit(v)
+	}
+	ci := m.threadCU[ti]
+	if op.Kind == litmus.OpLoad || op.Kind == litmus.OpStore {
+		return fp | slotBit(ci, v)
+	}
+	scope := m.cfg.model.Effective(op.Scope)
+	releasing := (op.Kind == litmus.OpSyncStore || op.Kind == litmus.OpSyncAdd) &&
+		scope == coherence.ScopeGlobal
+	if releasing && s.relIssued&(1<<ti) == 0 {
+		// Release phase 1: the drain reads the whole store buffer (and
+		// the lazy/dirty masks), so it conflicts with every word of the
+		// CU — a concurrent same-CU store must not slip under the drain.
+		return fp | m.cuSlots(ci)
+	}
+	fp |= slotBit(ci, v)
+	acquiring := (op.Kind == litmus.OpSyncLoad || op.Kind == litmus.OpSyncAdd) &&
+		scope == coherence.ScopeGlobal
+	if m.cfg.proto == protoDeNovo && acquiring && s.cus[ci].st[v] == wReg {
+		// The sync hits the registered word in place, so the acquire
+		// sweep (every clean word invalidated, own in-flight fills marked
+		// stale) fires at this step.
+		fp |= m.cuSlots(ci)
+	}
+	return fp
+}
+
+func (m *model) deliverFootprint(s *state, src, dst, v uint8) uint64 {
+	if dst == home {
+		return homeBit(v)
+	}
+	fp := slotBit(dst, v)
+	var g *msg
+	for i := range s.msgs {
+		if s.msgs[i].src == src && s.msgs[i].dst == dst && s.msgs[i].v == v {
+			g = &s.msgs[i]
+			break
+		}
+	}
+	if g == nil {
+		return fp // unreachable: delivery is only enabled on a nonempty channel
+	}
+	switch g.kind {
+	case mReadResp:
+		fp |= tctlBit(g.thread)
+	case mAtomicResp:
+		fp |= tctlBit(g.thread)
+		op := m.opOf(int(g.thread), s)
+		if op.Kind == litmus.OpSyncLoad || op.Kind == litmus.OpSyncAdd {
+			fp |= m.cuSlots(dst) // the acquire sweep fires at delivery
+		}
+	case mRegAck, mRegXfer:
+		cu := &s.cus[dst]
+		for i := uint8(0); i < cu.syncQLen[v]; i++ {
+			ti := int(cu.syncQ[v][i])
+			fp |= tctlBit(uint8(ti))
+			op := m.opOf(ti, s)
+			if (op.Kind == litmus.OpSyncLoad || op.Kind == litmus.OpSyncAdd) &&
+				m.cfg.model.Effective(op.Scope) == coherence.ScopeGlobal {
+				fp |= m.cuSlots(dst) // a queued acquire sweeps at arrival
+			}
+		}
+	}
+	return fp
+}
+
+// sleepEnt is one sleep-set member with its precomputed footprint.
+type sleepEnt struct {
+	t  trans
+	fp uint64
+}
+
+func sleepHas(sleep []sleepEnt, t trans) bool {
+	for _, u := range sleep {
+		if u.t == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Unit is one shard of an exploration: replay Prefix from the root
+// (transition values, outermost first), then run source-DPOR below the
+// cut with Sleep as the cut frame's inherited sleep set. The zero Unit
+// is the whole exploration. Units come from Split; their fields are
+// wire-friendly (uint32 transition values) so a shard can be shipped
+// to a remote worker and replayed there deterministically.
+type Unit struct {
+	Prefix []uint32 `json:"prefix,omitempty"`
+	Sleep  []uint32 `json:"sleep,omitempty"`
+}
+
+// dframe is one depth of the DPOR stack: the state reached, the
+// incoming event's identity/footprint/clock (meaningless at the root),
+// and the node's exploration bookkeeping.
+type dframe struct {
+	s     *state
+	trace *traceNode
+
+	t     trans  // incoming transition (event index = depth-1)
+	fp    uint64 // its footprint
+	clock ebits  // its happens-before predecessors
+
+	visited bool
+	enab    []trans
+	enabFp  []uint64
+	back    []bool // scheduled for exploration (the backtrack set)
+	done    []bool // explored
+	sleep   []sleepEnt
+}
+
+// exploreDPOR runs stateless source-DPOR over unit. It returns frames
+// visited below the cut (the prefix was counted once by the split
+// phase), terminal outcomes, and the first violation in deterministic
+// DFS order, or a *BudgetError carrying progress at exhaustion.
+func (m *model) exploreDPOR(oracle map[string]litmus.Outcome, budget int, unit Unit) (int, map[string]litmus.Outcome, *Violation, error) {
+	outcomes := make(map[string]litmus.Outcome)
+	states := 0
+	start := time.Now()
+	cut := len(unit.Prefix)
+
+	violation := func(name, detail string, obs *litmus.Outcome, tn *traceNode) *Violation {
+		return &Violation{
+			Invariant: name,
+			Detail:    detail,
+			Config:    m.mcfg,
+			Program:   m.p,
+			Observed:  obs,
+			Trace:     tn.path(),
+		}
+	}
+
+	stack := make([]dframe, 1, 64)
+	stack[0] = dframe{s: m.initial()}
+
+	for len(stack) > 0 {
+		d := len(stack) - 1
+		fr := &stack[d]
+
+		if !fr.visited {
+			fr.visited = true
+			s := fr.s
+			if d >= cut {
+				if states >= budget {
+					return states, outcomes, nil, &BudgetError{
+						Budget: budget, Config: m.mcfg.Name(), Program: m.p.Name,
+						States: states, Elapsed: time.Since(start),
+					}
+				}
+				states++
+			}
+			if s.viol != "" {
+				return states, outcomes, violation(s.viol, s.violDetail, nil, fr.trace), nil
+			}
+			if name, detail := m.checkInvariants(s); name != "" {
+				return states, outcomes, violation(name, detail, nil, fr.trace), nil
+			}
+			if m.terminal(s) {
+				o, ok := m.outcome(s)
+				if !ok {
+					return states, outcomes, violation(s.viol, s.violDetail, nil, fr.trace), nil
+				}
+				k := o.Key()
+				if _, permitted := oracle[k]; !permitted {
+					return states, outcomes, violation("oracle-conformance",
+						fmt.Sprintf("reachable outcome %s is not permitted by the %v oracle", k, m.cfg.model),
+						&o, fr.trace), nil
+				}
+				outcomes[k] = o
+				stack = stack[:d]
+				continue
+			}
+			fr.enab = m.enabled(s)
+			if len(fr.enab) == 0 {
+				return states, outcomes, violation("deadlock",
+					"no transition enabled in a non-terminal state (lost wakeup or stranded request)",
+					nil, fr.trace), nil
+			}
+			fr.enabFp = make([]uint64, len(fr.enab))
+			for i, t := range fr.enab {
+				fr.enabFp[i] = m.dynFootprint(s, t)
+			}
+			fr.back = make([]bool, len(fr.enab))
+			fr.done = make([]bool, len(fr.enab))
+			switch {
+			case d < cut:
+				// Prefix replay: the split phase already branched here; take
+				// exactly the shard's transition.
+				want := trans(unit.Prefix[d])
+				found := false
+				for i, t := range fr.enab {
+					if t == want {
+						fr.back[i] = true
+						found = true
+						break
+					}
+				}
+				if !found {
+					return states, outcomes, nil, fmt.Errorf(
+						"mcheck: shard prefix transition %#x not enabled at depth %d of %q under %s (stale shard?)",
+						unit.Prefix[d], d, m.p.Name, m.mcfg.Name())
+				}
+			default:
+				if d == cut && len(unit.Sleep) > 0 {
+					fr.sleep = make([]sleepEnt, len(unit.Sleep))
+					for i, u := range unit.Sleep {
+						fr.sleep[i] = sleepEnt{trans(u), m.dynFootprint(s, trans(u))}
+					}
+				}
+				seeded := false
+				for i, t := range fr.enab {
+					if !sleepHas(fr.sleep, t) {
+						fr.back[i] = true
+						seeded = true
+						break
+					}
+				}
+				if !seeded {
+					// Sleep-blocked: every enabled transition is covered by a
+					// sibling exploration. Redundant prefix; abandon.
+					stack = stack[:d]
+					continue
+				}
+			}
+		}
+
+		// Pick the lowest-ordered scheduled, unexplored, awake transition.
+		sel := -1
+		for i := range fr.enab {
+			if fr.back[i] && !fr.done[i] && !sleepHas(fr.sleep, fr.enab[i]) {
+				sel = i
+				break
+			}
+		}
+		if sel < 0 {
+			stack = stack[:d]
+			continue
+		}
+		fr.done[sel] = true
+		t, ft := fr.enab[sel], fr.enabFp[sel]
+
+		// Race detection for the new event, and its clock.
+		clock := m.racesOnAppend(stack, t, ft, cut)
+
+		// Child sleep: inherited entries and already-explored siblings,
+		// filtered to those independent of the taken transition.
+		var childSleep []sleepEnt
+		for _, u := range fr.sleep {
+			if independent(u.fp, ft) {
+				childSleep = append(childSleep, u)
+			}
+		}
+		for i := range fr.enab {
+			if fr.done[i] && i != sel && independent(fr.enabFp[i], ft) {
+				childSleep = append(childSleep, sleepEnt{fr.enab[i], fr.enabFp[i]})
+			}
+		}
+
+		n, label := m.applyT(fr.s, t)
+		stack = append(stack, dframe{
+			s:     n,
+			trace: &traceNode{label: label, parent: fr.trace},
+			t:     t,
+			fp:    ft,
+			clock: clock,
+			sleep: childSleep,
+		})
+	}
+	return states, outcomes, nil, nil
+}
+
+// racesOnAppend computes the happens-before clock of the event about
+// to be appended (taken from the current top frame) and schedules a
+// reversal for every race it closes. Scanning backwards, `covered`
+// accumulates the clocks of dependent events: a dependent event not
+// yet covered is adjacent to the new event in happens-before — a race.
+// Races whose frame lies inside a shard's replayed prefix are skipped:
+// the split phase branched every top-region node fully, so the
+// reversed order lives in a sibling unit.
+func (m *model) racesOnAppend(stack []dframe, tn trans, ftn uint64, cut int) ebits {
+	d := len(stack) - 1 // index of the new event
+	var covered ebits
+	for i := d - 1; i >= 0; i-- {
+		ev := &stack[i+1] // event i
+		if independent(ev.fp, ftn) {
+			continue
+		}
+		if i >= cut && !covered.test(i) {
+			m.reverseRace(stack, i, tn, covered)
+		}
+		covered.set(i)
+		covered.or(ev.clock)
+	}
+	return covered
+}
+
+// reverseRace schedules, at frame i, an alternative exploration that
+// runs the new event's side of the race (i, new) first: one initial of
+// v = notdep(i, E)·t_n, unless an initial is already scheduled there.
+func (m *model) reverseRace(stack []dframe, i int, tn trans, covered ebits) {
+	d := len(stack) - 1
+	fr := &stack[i]
+
+	// notdep: events after i that do not happen-after event i.
+	var notdep []int
+	for j := i + 1; j < d; j++ {
+		if !stack[j+1].clock.test(i) {
+			notdep = append(notdep, j)
+		}
+	}
+
+	// Initials of v: events with no happens-before predecessor inside
+	// v. The new event qualifies when nothing in notdep happens-before
+	// it — `covered` holds exactly the events that do.
+	var initials []trans
+	for a, j := range notdep {
+		isInit := true
+		for _, k := range notdep[:a] {
+			if stack[j+1].clock.test(k) {
+				isInit = false
+				break
+			}
+		}
+		if isInit {
+			initials = append(initials, stack[j+1].t)
+		}
+	}
+	tnInit := true
+	for _, j := range notdep {
+		if covered.test(j) {
+			tnInit = false
+			break
+		}
+	}
+	if tnInit {
+		initials = append(initials, tn)
+	}
+
+	// Source-set check: an initial already scheduled at frame i covers
+	// this race.
+	for idx, bt := range fr.back {
+		if !bt {
+			continue
+		}
+		for _, q := range initials {
+			if fr.enab[idx] == q {
+				return
+			}
+		}
+	}
+
+	// Schedule the first initial that is enabled at frame i. When none
+	// is (the footprint relation is not enabledness-preserving: an
+	// event of v may only become enabled partway through it), fall back
+	// to scheduling every enabled transition — the always-sound
+	// Flanagan-Godefroid degenerate case.
+	for _, q := range initials {
+		for idx, e := range fr.enab {
+			if e == q {
+				fr.back[idx] = true
+				return
+			}
+		}
+	}
+	for idx := range fr.back {
+		fr.back[idx] = true
+	}
+}

@@ -3,6 +3,7 @@ package mcheck
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"denovogpu/internal/coherence"
 	"denovogpu/internal/litmus"
@@ -86,7 +87,7 @@ func (m *model) footprint(t trans) uint32 {
 	}
 }
 
-func independent(fa, fb uint32) bool { return fa&fb == 0 }
+func independent[T uint32 | uint64](fa, fb T) bool { return fa&fb == 0 }
 
 // enabled returns the enabled transitions of s in a fixed deterministic
 // order: thread steps, final releases, background cache actions, then
@@ -322,6 +323,7 @@ func (m *model) explore(oracle map[string]litmus.Outcome, budget int, disablePOR
 	outcomes := make(map[string]litmus.Outcome)
 	visited := make(map[string][][]trans)
 	expanded := 0
+	start := time.Now()
 	stack := []frame{{s: m.initial()}}
 
 	violation := func(name, detail string, obs *litmus.Outcome, tn *traceNode) *Violation {
@@ -352,7 +354,10 @@ func (m *model) explore(oracle map[string]litmus.Outcome, budget int, disablePOR
 			continue
 		}
 		if expanded >= budget {
-			return expanded, outcomes, nil, &BudgetError{Budget: budget, Config: m.mcfg.Name(), Program: m.p.Name}
+			return expanded, outcomes, nil, &BudgetError{
+				Budget: budget, Config: m.mcfg.Name(), Program: m.p.Name,
+				States: expanded, Elapsed: time.Since(start),
+			}
 		}
 		expanded++
 		visited[key] = append(visited[key], fr.sleep)

@@ -26,24 +26,69 @@ package mcheck
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"denovogpu/internal/litmus"
 	"denovogpu/internal/machine"
 )
 
 // DefaultBudget bounds exploration per (configuration, program). The
-// full catalog across all standard configurations fits comfortably;
-// the bound exists so generated programs cannot wedge a CI run.
-const DefaultBudget = 2_000_000
+// stateless DPOR explorer's memory is O(depth) regardless of budget,
+// so the default is sized for deep checks rather than for the visited
+// table that used to cap it at 2M; the bound exists so generated
+// programs cannot wedge a CI run.
+const DefaultBudget = 20_000_000
+
+// Explorer selects the exploration algorithm.
+type Explorer int
+
+const (
+	// ExplorerDPOR is the default: stateless source-DPOR (dpor.go).
+	// Peak memory is O(execution depth) — independent of the number of
+	// states visited — so budgets in the tens of millions run at flat
+	// RSS, and explorations split into Units for distribution.
+	ExplorerDPOR Explorer = iota
+	// ExplorerSleepSet is the legacy explorer (explore.go): sleep-set
+	// POR with a canonical-encoding visited table. Kept as the
+	// reference implementation for the differential wall; peak memory
+	// grows with the visited set.
+	ExplorerSleepSet
+)
+
+func (e Explorer) String() string {
+	switch e {
+	case ExplorerDPOR:
+		return "dpor"
+	case ExplorerSleepSet:
+		return "sleepset"
+	}
+	return fmt.Sprintf("Explorer(%d)", int(e))
+}
+
+// ExplorerByName parses an explorer name ("dpor" or "sleepset").
+func ExplorerByName(name string) (Explorer, error) {
+	switch name {
+	case "dpor":
+		return ExplorerDPOR, nil
+	case "sleepset":
+		return ExplorerSleepSet, nil
+	}
+	return 0, fmt.Errorf("mcheck: unknown explorer %q (want dpor or sleepset)", name)
+}
 
 // Options tunes a Check call.
 type Options struct {
-	// Budget caps explored (state, sleep set) nodes; <= 0 uses
-	// DefaultBudget. Exceeding it returns a *BudgetError.
+	// Budget caps explored nodes; <= 0 uses DefaultBudget. Exceeding it
+	// returns a *BudgetError. In a sharded run the budget applies per
+	// unit (each shard enforces it independently).
 	Budget int
-	// DisablePOR explores the full interleaving graph with no sleep-set
-	// reduction. Exists to validate the reduction (same outcomes, same
-	// verdict) and for debugging; expect orders of magnitude more states.
+	// Explorer selects the algorithm; the zero value is ExplorerDPOR.
+	Explorer Explorer
+	// DisablePOR explores the full interleaving graph with no
+	// reduction at all (it implies ExplorerSleepSet, whose unreduced
+	// DFS is the ground truth). Exists to validate the reductions
+	// (same outcomes, same verdict) and for debugging; expect orders
+	// of magnitude more states.
 	DisablePOR bool
 	// OracleStateLimit is passed through to litmus.Oracle (<= 0 uses
 	// its default). A *litmus.StateLimitError from the oracle is
@@ -106,15 +151,21 @@ func (v *Violation) Case() *litmus.Case {
 
 // BudgetError reports that exploration exhausted its node budget
 // before completing. It is a budget exhaustion, not a verdict: the
-// program is unverifiable at this budget.
+// program is unverifiable at this budget. States and Elapsed record
+// the progress made at exhaustion so budget sizing is data-driven.
 type BudgetError struct {
 	Budget  int
 	Config  string
 	Program string
+	// States is the number of nodes explored when the budget ran out.
+	States int
+	// Elapsed is the wall time spent exploring them.
+	Elapsed time.Duration
 }
 
 func (e *BudgetError) Error() string {
-	return fmt.Sprintf("mcheck: state budget %d exhausted checking %q under %s", e.Budget, e.Program, e.Config)
+	return fmt.Sprintf("mcheck: state budget %d exhausted checking %q under %s (%d states in %v)",
+		e.Budget, e.Program, e.Config, e.States, e.Elapsed.Round(time.Millisecond))
 }
 
 // Configs returns the configurations a full check covers: the litmus
@@ -149,7 +200,16 @@ func Check(cfg machine.Config, p *litmus.Program, opts Options) (*Result, error)
 	if budget <= 0 {
 		budget = DefaultBudget
 	}
-	states, outcomes, viol, err := m.explore(oracle, budget, opts.DisablePOR)
+	var (
+		states   int
+		outcomes map[string]litmus.Outcome
+		viol     *Violation
+	)
+	if opts.Explorer == ExplorerSleepSet || opts.DisablePOR {
+		states, outcomes, viol, err = m.explore(oracle, budget, opts.DisablePOR)
+	} else {
+		states, outcomes, viol, err = m.exploreDPOR(oracle, budget, Unit{})
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -217,24 +217,44 @@ func (c *Coordinator) Submit(spec denovogpu.MatrixSpec) (JobStatus, bool, error)
 	hash := sha256.New()
 	fmt.Fprintf(hash, "keep_going=%t\n", spec.KeepGoing)
 	for i, s := range specs {
-		mc, err := s.Cell()
-		if err != nil {
-			return JobStatus{}, false, fmt.Errorf("sweepd: cell %d: %w", i, err)
+		cl := &cell{index: i, spec: s, state: StateQueued}
+		if s.Check != nil {
+			// A check cell: validated and keyed through the check spec
+			// (which carries its own config); the simulation fields must
+			// be empty so one cell cannot mean two different runs.
+			if s.Workload != "" || s.Seed != 0 || s.Config.Name != "" || s.Config.Raw != nil {
+				return JobStatus{}, false, fmt.Errorf("sweepd: cell %d: check cell also sets simulation fields", i)
+			}
+			cfg, err := s.Check.Config.Resolve()
+			if err != nil {
+				return JobStatus{}, false, fmt.Errorf("sweepd: cell %d: %w", i, err)
+			}
+			if err := s.Check.Validate(); err != nil {
+				return JobStatus{}, false, fmt.Errorf("sweepd: cell %d: %w", i, err)
+			}
+			key, err := denovogpu.CheckKey(c.version, *s.Check)
+			if err != nil {
+				return JobStatus{}, false, fmt.Errorf("sweepd: cell %d: %w", i, err)
+			}
+			cl.workload = s.Check.DisplayName()
+			cl.config = cfg.Name()
+			cl.key = key
+		} else {
+			mc, err := s.Cell()
+			if err != nil {
+				return JobStatus{}, false, fmt.Errorf("sweepd: cell %d: %w", i, err)
+			}
+			key, err := denovogpu.CellKey(c.version, s)
+			if err != nil {
+				return JobStatus{}, false, fmt.Errorf("sweepd: cell %d: %w", i, err)
+			}
+			cl.mc = mc
+			cl.workload = mc.Workload.Name
+			cl.config = mc.Config.Name()
+			cl.key = key
 		}
-		key, err := denovogpu.CellKey(c.version, s)
-		if err != nil {
-			return JobStatus{}, false, fmt.Errorf("sweepd: cell %d: %w", i, err)
-		}
-		fmt.Fprintf(hash, "%s\n", key)
-		cells[i] = &cell{
-			index:    i,
-			spec:     s,
-			mc:       mc,
-			workload: mc.Workload.Name,
-			config:   mc.Config.Name(),
-			key:      key,
-			state:    StateQueued,
-		}
+		fmt.Fprintf(hash, "%s\n", cl.key)
+		cells[i] = cl
 	}
 	specHash := hex.EncodeToString(hash.Sum(nil))
 

@@ -19,6 +19,11 @@ var runCell = func(mc denovogpu.MatrixCell) (denovogpu.Report, error) {
 	return denovogpu.Run(mc.Config, mc.Workload)
 }
 
+// runCheckCell executes one model-checking cell; the same kind of seam.
+var runCheckCell = func(s denovogpu.CheckCellSpec) ([]byte, int, error) {
+	return denovogpu.RunCheckCell(s)
+}
+
 // Worker is a pull-based executor: it leases cells from a coordinator
 // over HTTP, simulates them through the api package, and posts back
 // canonical report bytes. Workers are stateless — all bookkeeping
@@ -109,6 +114,28 @@ func (w *Worker) RunOne(ctx context.Context) (worked bool, err error) {
 	}
 
 	req := CompleteRequest{Lease: info.Lease}
+	if info.Spec.Check != nil {
+		// A model-checking cell: same lease/heartbeat/complete flow, the
+		// execution runs through RunCheckCell and Events counts explored
+		// states instead of simulator events.
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		t0 := time.Now()
+		report, states, runErr := runCheckCell(*info.Spec.Check)
+		wall := time.Since(t0)
+		runtime.ReadMemStats(&after)
+		req.WallMS = float64(wall.Nanoseconds()) / 1e6
+		req.Allocs = after.Mallocs - before.Mallocs
+		if runErr != nil {
+			req.Err = runErr.Error()
+		} else {
+			req.Report = report
+			req.Events = uint64(states)
+		}
+		stopHB()
+		return true, w.complete(ctx, req)
+	}
 	mc, err := info.Spec.Cell()
 	if err != nil {
 		// The coordinator resolved this spec at submit; failure here

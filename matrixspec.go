@@ -48,14 +48,24 @@ func (s ConfigSpec) Resolve() (Config, error) {
 // workload's registered default input; a non-zero seed re-parameterizes
 // the graph-analytics generators (BFS, PR, SSSP) with that graph seed
 // and is an error for the fixed Table 4 benchmarks.
+//
+// A cell with Check set is a model-checking cell instead: it carries a
+// CheckCellSpec (which has its own config) and must leave the
+// simulation fields empty. Check cells flow through the same sweepd
+// queue/lease/cache machinery but execute via RunCheckCell, keyed by
+// CheckKey.
 type CellSpec struct {
-	Config   ConfigSpec `json:"config"`
-	Workload string     `json:"workload"`
-	Seed     uint64     `json:"seed,omitempty"`
+	Config   ConfigSpec     `json:"config,omitempty"`
+	Workload string         `json:"workload,omitempty"`
+	Seed     uint64         `json:"seed,omitempty"`
+	Check    *CheckCellSpec `json:"check,omitempty"`
 }
 
 // Cell resolves the spec into a runnable matrix cell.
 func (s CellSpec) Cell() (MatrixCell, error) {
+	if s.Check != nil {
+		return MatrixCell{}, fmt.Errorf("denovogpu: cell spec is a check cell (program %q); run it with RunCheckCell, not Run", s.Check.Program)
+	}
 	cfg, err := s.Config.Resolve()
 	if err != nil {
 		return MatrixCell{}, err
