@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"denovogpu"
+	"denovogpu/internal/workload"
 )
 
 func TestConfigByName(t *testing.T) {
@@ -34,10 +35,10 @@ func TestAllConfigsOrder(t *testing.T) {
 
 func TestWorkloadInventoryMatchesTable4(t *testing.T) {
 	// 10 applications + 4 global-sync + 9 local-sync = 23 Table 4
-	// benchmarks, plus the 3 graph-analytics workloads (beyond the
-	// paper).
-	if got := len(denovogpu.Workloads()); got != 26 {
-		t.Fatalf("registered benchmarks = %d, want 26", got)
+	// benchmarks, plus the 3 graph-analytics workloads and the 13
+	// 2-device sync ports (both beyond the paper).
+	if got := len(denovogpu.Workloads()); got != 39 {
+		t.Fatalf("registered benchmarks = %d, want 39", got)
 	}
 	if got := len(denovogpu.WorkloadsByCategory(denovogpu.Graph)); got != 3 {
 		t.Fatalf("graph = %d, want 3", got)
@@ -50,6 +51,9 @@ func TestWorkloadInventoryMatchesTable4(t *testing.T) {
 	}
 	if got := len(denovogpu.WorkloadsByCategory(denovogpu.LocalSync)); got != 9 {
 		t.Fatalf("local-sync = %d, want 9", got)
+	}
+	if got := len(denovogpu.WorkloadsByCategory(workload.MultiDev)); got != 13 {
+		t.Fatalf("multi-device = %d, want 13", got)
 	}
 }
 

@@ -44,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list benchmarks and exit")
 	sbEntries := fs.Int("sbentries", 0, "override store-buffer entries (0 = paper default 256)")
 	cus := fs.Int("cus", 0, "override GPU CU count (0 = paper default 15)")
+	devices := fs.Int("devices", 0, "override device count (0 = default 1; the x2 benchmarks expect 2)")
 	backoff := fs.Bool("syncbackoff", false, "enable the DeNovoSync read-backoff extension")
 	direct := fs.Bool("directtransfer", false, "enable direct cache-to-cache transfers")
 	lazy := fs.Bool("lazywrites", false, "delay DeNovo data-write registration to global releases")
@@ -80,6 +81,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *cus > 0 {
 		cfg.NumCUs = *cus
+	}
+	if *devices > 0 {
+		cfg.Devices = *devices
 	}
 	cfg.SyncBackoff = *backoff
 	cfg.DirectTransfer = *direct

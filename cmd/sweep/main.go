@@ -28,6 +28,8 @@ var (
 	sweepFig3  = figures.Fig3
 	sweepFig4  = figures.Fig4
 	sweepGraph = figures.FigGraph
+	sweepXDev  = figures.FigXDev
+	sweepCliff = figures.XDevCliff
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -64,6 +66,8 @@ func run(args []string, rawStdout, stderr io.Writer) int {
 		fig3   = fs.Bool("fig3", false, "Figure 3: globally scoped synchronization (G* vs D*)")
 		fig4   = fs.Bool("fig4", false, "Figure 4: locally scoped / hybrid synchronization (all five configs)")
 		graphF = fs.Bool("graph", false, "graph analytics (beyond the paper): BFS/PR/SSSP crossover, fixed vs per-phase specialized")
+		xdev   = fs.Bool("xdev", false, "multi-device (beyond the paper): 2-device sync suite + device-local vs cross-device sync cliff")
+		devs   = fs.Int("devices", 2, "device count for the -xdev cliff experiment (the suite itself is the registered 2-device port)")
 		table1 = fs.Bool("table1", false, "Table 1: protocol classification")
 		table2 = fs.Bool("table2", false, "Table 2: feature comparison")
 		table3 = fs.Bool("table3", false, "Table 3: parameters and measured latencies")
@@ -73,7 +77,7 @@ func run(args []string, rawStdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return cli.ExitUsage
 	}
-	if !(*all || *fig2 || *fig3 || *fig4 || *graphF || *table1 || *table2 || *table3 || *table4 || *table5) {
+	if !(*all || *fig2 || *fig3 || *fig4 || *graphF || *xdev || *table1 || *table2 || *table3 || *table4 || *table5) {
 		fs.Usage()
 		return cli.ExitUsage
 	}
@@ -142,6 +146,17 @@ func run(args []string, rawStdout, stderr io.Writer) int {
 	if *all || *graphF {
 		fmt.Fprintln(stdout, "Running graph-analytics sweep (3 workloads x GD/DD/DD+RO/SPEC)...")
 		emit("Figure G", sweepGraph(*jobs), "GD", nil)
+	}
+	if *all || *xdev {
+		fmt.Fprintln(stdout, "Running multi-device sweep (13 2-device sync benchmarks x GDx2/DDx2)...")
+		emit("Figure X", sweepXDev(*jobs), "GDx2", nil)
+		fmt.Fprintf(stdout, "## Cross-device sync cliff (%d devices)\n\n", *devs)
+		if cliff, err := sweepCliff("DD", *devs, 200); err != nil {
+			fmt.Fprintf(stderr, "sweep: cliff: %v\n", err)
+			cellFailed = true
+		} else {
+			fmt.Fprintln(stdout, figures.FormatXDevCliff(cliff))
+		}
 	}
 	// A simulation failing and the output pipe breaking are different
 	// conditions for a caller: cell failures (already announced with a

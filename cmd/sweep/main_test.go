@@ -83,6 +83,29 @@ func TestGraphStubbed(t *testing.T) {
 	}
 }
 
+func TestXDevStubbed(t *testing.T) {
+	origS, origC := sweepXDev, sweepCliff
+	sweepXDev = func(int) *figures.Matrix { return stubMatrix(nil) }
+	sweepCliff = func(config string, devices, iters int) (figures.XDevCliffResult, error) {
+		return figures.XDevCliffResult{
+			Config: "DDx2", Iters: iters, CrossCU: 15,
+			Local: figures.XDevCliffRun{Cycles: 100},
+			Cross: figures.XDevCliffRun{Cycles: 500, XDevFlits: 42},
+		}, nil
+	}
+	defer func() { sweepXDev, sweepCliff = origS, origC }()
+
+	code, out, errb := runCmd(t, "-xdev", "-devices", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, want := range []string{"Figure Xa", "STUB", "Cross-device sync cliff", "cycle ratio: 5.00x"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestFigureSweepErrorFails(t *testing.T) {
 	orig := sweepFig3
 	sweepFig3 = func(int) *figures.Matrix { return stubMatrix(errors.New("synthetic sweep failure")) }

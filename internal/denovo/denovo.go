@@ -27,12 +27,12 @@ import (
 	"denovogpu/internal/cache"
 	"denovogpu/internal/coherence"
 	"denovogpu/internal/energy"
-	"denovogpu/internal/l2"
 	"denovogpu/internal/mem"
 	"denovogpu/internal/noc"
 	"denovogpu/internal/obs"
 	"denovogpu/internal/sim"
 	"denovogpu/internal/stats"
+	"denovogpu/internal/topology"
 	"denovogpu/internal/wordmap"
 )
 
@@ -142,10 +142,15 @@ const (
 type Controller struct {
 	node  noc.NodeID
 	eng   *sim.Engine
-	mesh  *noc.Mesh
+	mesh  noc.Sender
 	st    *stats.Stats
 	meter *energy.Meter
 	opts  Options
+	// topo locates each line's home registry bank; in a multi-device
+	// machine the home may be on another device, in which case the
+	// fabric (this controller's Sender) carries the request over the
+	// inter-device link — the protocol itself is topology-oblivious.
+	topo topology.Desc
 
 	cache  *cache.Cache
 	sb     *cache.StoreBuffer // data writes awaiting registration (or delayed, when lazy)
@@ -350,10 +355,13 @@ func (c *Controller) freeReadTxn(t *readTxn) {
 	c.readTxnFree = append(c.readTxnFree, t)
 }
 
-// New returns a DeNovo L1 controller attached to the mesh at node.
-func New(node noc.NodeID, eng *sim.Engine, mesh *noc.Mesh, st *stats.Stats, meter *energy.Meter, l1Bytes, l1Ways, sbEntries int, opts Options) *Controller {
+// New returns a DeNovo L1 controller attached to the network at node,
+// assuming the single-device geometry; multi-device machines follow up
+// with SetTopology.
+func New(node noc.NodeID, eng *sim.Engine, mesh noc.Network, st *stats.Stats, meter *energy.Meter, l1Bytes, l1Ways, sbEntries int, opts Options) *Controller {
 	c := &Controller{
 		node: node, eng: eng, mesh: mesh, st: st, meter: meter, opts: opts,
+		topo:   topology.Single(),
 		cache:  cache.New(l1Bytes, l1Ways),
 		sb:     cache.NewStoreBuffer(sbEntries),
 		victim: cache.NewVictimBuffer(),
@@ -362,6 +370,12 @@ func New(node noc.NodeID, eng *sim.Engine, mesh *noc.Mesh, st *stats.Stats, mete
 	mesh.Attach(node, noc.PortL1, c)
 	return c
 }
+
+// SetTopology installs the machine geometry (call before simulation).
+func (c *Controller) SetTopology(topo topology.Desc) { c.topo = topo }
+
+// home returns the node whose L2 bank is the line's registry home.
+func (c *Controller) home(l mem.Line) noc.NodeID { return c.topo.HomeNode(l) }
 
 var _ coherence.L1 = (*Controller)(nil)
 
@@ -442,7 +456,7 @@ func (c *Controller) evict(e *cache.Entry) {
 		}
 	}
 	c.mesh.Send(c.pool.NewMsg(coherence.Msg{
-		Kind: coherence.WriteBack, Src: c.node, Dst: l2.HomeNode(e.Line), Port: noc.PortL2,
+		Kind: coherence.WriteBack, Src: c.node, Dst: c.home(e.Line), Port: noc.PortL2,
 		Line: e.Line, Mask: reg, Data: e.Data,
 	}))
 }
@@ -498,7 +512,7 @@ func (c *Controller) ReadLine(l mem.Line, need mem.WordMask, cb func([mem.WordsP
 				// transaction.
 				t.requested |= extra
 				c.mesh.Send(c.pool.NewMsg(coherence.Msg{
-					Kind: coherence.ReadReq, Src: c.node, Dst: l2.HomeNode(l), Port: noc.PortL2,
+					Kind: coherence.ReadReq, Src: c.node, Dst: c.home(l), Port: noc.PortL2,
 					Line: l, Mask: extra, ID: id,
 				}))
 			}
@@ -522,7 +536,7 @@ func (c *Controller) ReadLine(l mem.Line, need mem.WordMask, cb func([mem.WordsP
 			}))
 		} else {
 			c.mesh.Send(c.pool.NewMsg(coherence.Msg{
-				Kind: coherence.ReadReq, Src: c.node, Dst: l2.HomeNode(l), Port: noc.PortL2,
+				Kind: coherence.ReadReq, Src: c.node, Dst: c.home(l), Port: noc.PortL2,
 				Line: l, Mask: missing, ID: c.nextID,
 			}))
 		}
@@ -643,7 +657,7 @@ func (c *Controller) kickOldestLazy() {
 func (c *Controller) sendRegReq(l mem.Line, mask mem.WordMask, sync, needsData bool) {
 	c.st.IncKey(kL1RegRequests, 1)
 	c.mesh.Send(c.pool.NewMsg(coherence.Msg{
-		Kind: coherence.RegReq, Src: c.node, Dst: l2.HomeNode(l), Port: noc.PortL2,
+		Kind: coherence.RegReq, Src: c.node, Dst: c.home(l), Port: noc.PortL2,
 		Line: l, Mask: mask, Sync: sync, NeedsData: needsData,
 	}))
 }
@@ -1022,7 +1036,7 @@ func (c *Controller) Deliver(p noc.Packet) {
 // owner L1.
 func (c *Controller) fill(msg *coherence.Msg) {
 	if c.opts.DirectTransfer {
-		if l2.HomeNode(msg.Line) == msg.Src {
+		if c.home(msg.Line) == msg.Src {
 			c.lastSupplier.Delete(uint64(msg.Line))
 		} else {
 			c.lastSupplier.Put(uint64(msg.Line), msg.Src)
@@ -1383,7 +1397,7 @@ func (c *Controller) readNack(msg *coherence.Msg) {
 	txn.direct = false
 	c.lastSupplier.Delete(uint64(msg.Line))
 	c.mesh.Send(c.pool.NewMsg(coherence.Msg{
-		Kind: coherence.ReadReq, Src: c.node, Dst: l2.HomeNode(msg.Line), Port: noc.PortL2,
+		Kind: coherence.ReadReq, Src: c.node, Dst: c.home(msg.Line), Port: noc.PortL2,
 		Line: msg.Line, Mask: txn.requested &^ txn.arrived, ID: msg.ID,
 	}))
 }

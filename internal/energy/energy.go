@@ -30,6 +30,11 @@ const (
 	ScratchAccessPJ = 14.0
 	// FlitHopPJ is one flit crossing one link (router + channel).
 	FlitHopPJ = 5.5
+	// XDevFlitPJ is one flit crossing the inter-device link. Off-chip
+	// SerDes energy is an order of magnitude above an on-chip mesh hop
+	// (NVLink/PCIe-class links run ~5-10 pJ/bit against ~0.1 pJ/bit
+	// on-chip), so a 16-byte flit lands near 700 pJ.
+	XDevFlitPJ = 700.0
 	// CoreInstrPJ is issuing one warp instruction (fetch, decode,
 	// register file, execution units) — the "GPU core+" component.
 	CoreInstrPJ = 120.0
@@ -78,6 +83,10 @@ func (m *Meter) Scratch(n int) { m.add(stats.CompScratch, ScratchAccessPJ*float6
 
 // FlitHops records n flit-link crossings.
 func (m *Meter) FlitHops(n uint64) { m.add(stats.CompNoC, FlitHopPJ*float64(n)) }
+
+// XDevFlits records n flits crossing the inter-device link (booked
+// under the network component, like the paper's NoC energy).
+func (m *Meter) XDevFlits(n uint64) { m.add(stats.CompNoC, XDevFlitPJ*float64(n)) }
 
 // Instr records n issued warp instructions.
 func (m *Meter) Instr(n int) { m.add(stats.CompGPUCore, CoreInstrPJ*float64(n)) }

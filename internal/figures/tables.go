@@ -10,6 +10,7 @@ import (
 	"denovogpu/internal/noc"
 	"denovogpu/internal/sim"
 	"denovogpu/internal/testrig"
+	"denovogpu/internal/topology"
 )
 
 // Table1 renders the protocol classification (paper Table 1).
@@ -182,7 +183,7 @@ func Table3Latencies() []Table3Range {
 	rl1min, rl1max := sim.Forever, sim.Time(0)
 	for _, pickOwner := range []func(l mem.Line) noc.NodeID{
 		func(l mem.Line) noc.NodeID { // co-located with the home bank
-			if n := noc.NodeID(uint64(l) % noc.Nodes); n != 0 {
+			if n := topology.Single().HomeNode(l); n != 0 {
 				return n
 			}
 			return 1

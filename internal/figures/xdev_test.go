@@ -1,0 +1,54 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+// The cliff experiment itself (real 2-device simulations, direction of
+// the inequality, zero local XDev flits) is guarded by
+// internal/machine's TestCrossDeviceSyncCliff; here we pin the sweep
+// plumbing around it.
+
+func TestXDevCliffRejectsSingleDevice(t *testing.T) {
+	if _, err := XDevCliff("DD", 1, 10); err == nil {
+		t.Error("cliff accepted a 1-device machine; there is no link to measure")
+	}
+}
+
+func TestXDevBenchesAreRegistered(t *testing.T) {
+	names := XDevBenches()
+	if len(names) != 13 {
+		t.Fatalf("%d benches, want the 13 2-device ports", len(names))
+	}
+	for _, n := range names {
+		if !strings.HasSuffix(n, "x2") {
+			t.Errorf("bench %q is not a 2-device port", n)
+		}
+	}
+	// The exported copy must not alias the sweep's own ordering.
+	names[0] = "clobbered"
+	if XDevBenches()[0] == "clobbered" {
+		t.Error("XDevBenches leaks the internal slice")
+	}
+}
+
+func TestXDevConfigResolvesThroughSpec(t *testing.T) {
+	cfg := xdevConfig("GD", 2)
+	if cfg.Name() != "GDx2" || cfg.Devices != 2 {
+		t.Fatalf("resolved %q with %d devices", cfg.Name(), cfg.Devices)
+	}
+}
+
+func TestFormatXDevCliff(t *testing.T) {
+	out := FormatXDevCliff(XDevCliffResult{
+		Config: "DDx2", Iters: 200, CrossCU: 15,
+		Local: XDevCliffRun{Cycles: 100},
+		Cross: XDevCliffRun{Cycles: 650, XDevFlits: 42},
+	})
+	for _, want := range []string{"DDx2", "400 handoffs", "cross-device (CU0, CU15)", "cycle ratio: 6.50x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -218,6 +218,13 @@ func (e tbExec) Scratch(n int) {
 // CU is one compute unit.
 type CU struct {
 	Node noc.NodeID
+	// Index is the CU's contiguous worker index 0..totalCUs-1 across
+	// the whole machine — what workload kernels see as ctx.CU. It
+	// equals int(Node) on a single-device machine, but diverges with
+	// multiple devices because global node numbering skips each
+	// device's gateway node (device d's CUs are nodes d*16..d*16+14 but
+	// indices d*15..d*15+14).
+	Index int
 
 	eng   *sim.Engine
 	l1    coherence.L1
@@ -265,9 +272,11 @@ type CU struct {
 	rec *obs.Recorder
 }
 
-// New returns a CU at the given node using the given L1.
+// New returns a CU at the given node using the given L1. The worker
+// index defaults to the node number (the single-device identity);
+// multi-device machines set Index explicitly after construction.
 func New(node noc.NodeID, eng *sim.Engine, l1 coherence.L1, model consistency.Model, st *stats.Stats, meter *energy.Meter, maxResident int) *CU {
-	cu := &CU{Node: node, eng: eng, model: model, st: st, meter: meter, maxResident: maxResident}
+	cu := &CU{Node: node, Index: int(node), eng: eng, model: model, st: st, meter: meter, maxResident: maxResident}
 	cu.SetL1(l1)
 	return cu
 }
@@ -382,7 +391,7 @@ func (cu *CU) StartKernel(k workload.Kernel, tbIndices []int, threadsPerTB, numT
 		tb := cu.newTB()
 		tb.index, tb.threads, tb.kernel = idx, threadsPerTB, k
 		tb.ctx.TB, tb.ctx.NumTBs, tb.ctx.Threads = idx, numTBs, threadsPerTB
-		tb.ctx.CU, tb.ctx.NumCUs = int(cu.Node), numCUs
+		tb.ctx.CU, tb.ctx.NumCUs = cu.Index, numCUs
 		cu.queue = append(cu.queue, tb)
 		// The coroutine is lazy: nothing runs until fillResident's first
 		// next() call, so launching here costs only the Pull setup.

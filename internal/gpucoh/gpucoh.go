@@ -19,12 +19,12 @@ import (
 	"denovogpu/internal/cache"
 	"denovogpu/internal/coherence"
 	"denovogpu/internal/energy"
-	"denovogpu/internal/l2"
 	"denovogpu/internal/mem"
 	"denovogpu/internal/noc"
 	"denovogpu/internal/obs"
 	"denovogpu/internal/sim"
 	"denovogpu/internal/stats"
+	"denovogpu/internal/topology"
 	"denovogpu/internal/wordmap"
 )
 
@@ -77,9 +77,12 @@ type remoteAtomic struct {
 type Controller struct {
 	node  noc.NodeID
 	eng   *sim.Engine
-	mesh  *noc.Mesh
+	mesh  noc.Sender
 	st    *stats.Stats
 	meter *energy.Meter
+	// topo locates each line's home L2 bank (single-device by default;
+	// see SetTopology).
+	topo topology.Desc
 
 	// partialBlocks enables GPU-H's per-word dirty tracking: writes
 	// allocate into the L1 as Dirty words (no fetch needed — the dirty
@@ -147,10 +150,12 @@ type wtWord struct {
 }
 
 // New returns a controller with the given L1 geometry and store buffer
-// capacity, attached to the mesh at node.
-func New(node noc.NodeID, eng *sim.Engine, mesh *noc.Mesh, st *stats.Stats, meter *energy.Meter, l1Bytes, l1Ways, sbEntries int, partialBlocks bool) *Controller {
+// capacity, attached to the network at node (single-device geometry;
+// multi-device machines follow up with SetTopology).
+func New(node noc.NodeID, eng *sim.Engine, mesh noc.Network, st *stats.Stats, meter *energy.Meter, l1Bytes, l1Ways, sbEntries int, partialBlocks bool) *Controller {
 	c := &Controller{
 		node: node, eng: eng, mesh: mesh, st: st, meter: meter,
+		topo:          topology.Single(),
 		partialBlocks: partialBlocks,
 		cache:         cache.New(l1Bytes, l1Ways),
 		sb:            cache.NewStoreBuffer(sbEntries),
@@ -158,6 +163,12 @@ func New(node noc.NodeID, eng *sim.Engine, mesh *noc.Mesh, st *stats.Stats, mete
 	mesh.Attach(node, noc.PortL1, c)
 	return c
 }
+
+// SetTopology installs the machine geometry (call before simulation).
+func (c *Controller) SetTopology(topo topology.Desc) { c.topo = topo }
+
+// home returns the node whose L2 bank homes the line.
+func (c *Controller) home(l mem.Line) noc.NodeID { return c.topo.HomeNode(l) }
 
 var _ coherence.L1 = (*Controller)(nil)
 
@@ -311,7 +322,7 @@ func (c *Controller) ReadLine(l mem.Line, need mem.WordMask, cb func([mem.WordsP
 		c.reads.Put(c.nextID, txn)
 		c.lineTxn.Put(uint64(l), c.nextID)
 		c.mesh.Send(c.pool.NewMsg(coherence.Msg{
-			Kind: coherence.ReadReq, Src: c.node, Dst: l2.HomeNode(l), Port: noc.PortL2,
+			Kind: coherence.ReadReq, Src: c.node, Dst: c.home(l), Port: noc.PortL2,
 			Line: l, Mask: mem.AllWords, ID: c.nextID,
 		}))
 	}
@@ -368,7 +379,7 @@ func (c *Controller) sendWT(l mem.Line, mask mem.WordMask, data [mem.WordsPerLin
 		}
 	}
 	c.mesh.Send(c.pool.NewMsg(coherence.Msg{
-		Kind: coherence.WriteThrough, Src: c.node, Dst: l2.HomeNode(l), Port: noc.PortL2,
+		Kind: coherence.WriteThrough, Src: c.node, Dst: c.home(l), Port: noc.PortL2,
 		Line: l, Mask: mask, Data: data,
 	}))
 }
@@ -473,7 +484,7 @@ func (c *Controller) pumpLocalAtomics(w mem.Word) {
 		id := c.nextID
 		c.atomics.Put(id, remoteAtomic{w: w, cb: p.cb})
 		c.mesh.Send(c.pool.NewMsg(coherence.Msg{
-			Kind: coherence.AtomicReq, Src: c.node, Dst: l2.HomeNode(w.LineOf()), Port: noc.PortL2,
+			Kind: coherence.AtomicReq, Src: c.node, Dst: c.home(w.LineOf()), Port: noc.PortL2,
 			Line: w.LineOf(), WordIdx: w.Index(), Op: p.op, Operand: p.operand, Operand2: p.operand2, ID: id,
 		}))
 		return

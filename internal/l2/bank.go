@@ -31,6 +31,7 @@ import (
 	"denovogpu/internal/obs"
 	"denovogpu/internal/sim"
 	"denovogpu/internal/stats"
+	"denovogpu/internal/topology"
 	"denovogpu/internal/wordmap"
 )
 
@@ -59,10 +60,20 @@ type Bank struct {
 	Node noc.NodeID
 
 	eng     *sim.Engine
-	mesh    *noc.Mesh
+	mesh    noc.Sender
 	backing *mem.Backing
 	st      *stats.Stats
 	meter   *energy.Meter
+
+	// topo is the machine geometry (who homes which line, how many
+	// nodes exist); defaults to the single-device geometry.
+	topo topology.Desc
+	// fwd is the reusable per-owner forward-mask scratch, one entry per
+	// global node; cleared at the start of each use. Owners are global
+	// NodeIDs, so in a multi-device machine the registry naturally
+	// records cross-device owners and forwards route over the
+	// interconnect without any bank-level special case.
+	fwd []mem.WordMask
 
 	// ids assigns dense ids to resident lines; data/owner hold one row
 	// of mem.WordsPerLine values per id.
@@ -115,8 +126,10 @@ func (b *Bank) newTask(msg *coherence.Msg) *procTask {
 	return &procTask{b: b, msg: msg}
 }
 
-// New returns a bank for the given node.
-func New(node noc.NodeID, eng *sim.Engine, mesh *noc.Mesh, backing *mem.Backing, st *stats.Stats, meter *energy.Meter) *Bank {
+// New returns a bank for the given node, assuming the single-device
+// geometry; multi-device machines follow up with SetTopology.
+func New(node noc.NodeID, eng *sim.Engine, mesh noc.Sender, backing *mem.Backing, st *stats.Stats, meter *energy.Meter) *Bank {
+	topo := topology.Single()
 	return &Bank{
 		Node:    node,
 		eng:     eng,
@@ -124,9 +137,17 @@ func New(node noc.NodeID, eng *sim.Engine, mesh *noc.Mesh, backing *mem.Backing,
 		backing: backing,
 		st:      st,
 		meter:   meter,
+		topo:    topo,
+		fwd:     make([]mem.WordMask, topo.TotalNodes()),
 		data:    wordmap.NewWordTable[uint32](mem.WordsPerLine),
 		owner:   wordmap.NewWordTable[noc.NodeID](mem.WordsPerLine),
 	}
+}
+
+// SetTopology installs the machine geometry (call before simulation).
+func (b *Bank) SetTopology(topo topology.Desc) {
+	b.topo = topo
+	b.fwd = make([]mem.WordMask, topo.TotalNodes())
 }
 
 // fetchTask is the pooled payload of a DRAM fetch completion: install
@@ -167,8 +188,11 @@ func (b *Bank) SetRecorder(rec *obs.Recorder) {
 	rec.NameTrack(obs.DomainL2, int32(b.Node), fmt.Sprintf("bank-%02d", int(b.Node)))
 }
 
-// HomeNode returns the node whose bank homes the given line.
-func HomeNode(l mem.Line) noc.NodeID { return noc.NodeID(uint64(l) % noc.Nodes) }
+// HomeNode returns the node whose bank homes the given line in the
+// single-device geometry. Topology-aware callers (anything that can
+// run with Devices > 1) must use topology.Desc.HomeNode instead, which
+// this equals for one device.
+func HomeNode(l mem.Line) noc.NodeID { return topology.Single().HomeNode(l) }
 
 // Deliver implements noc.Handler.
 func (b *Bank) Deliver(p noc.Packet) {
@@ -176,7 +200,7 @@ func (b *Bank) Deliver(p noc.Packet) {
 	if !ok {
 		panic(fmt.Sprintf("l2: non-coherence packet %T", p))
 	}
-	if HomeNode(msg.Line) != b.Node {
+	if b.topo.HomeNode(msg.Line) != b.Node {
 		panic(fmt.Sprintf("l2: %v for %v delivered to wrong bank %d", msg.Kind, msg.Line, b.Node))
 	}
 	occ := sim.Time(coherence.L2OccupancyCycles)
@@ -273,8 +297,11 @@ func (b *Bank) read(msg *coherence.Msg) {
 	}
 	// Forward only demanded words; respond with every word we hold
 	// (line-granularity transfer of the useful words). Owners are mesh
-	// nodes, so a fixed per-node mask array replaces a per-request map.
-	var fwd [noc.Nodes]mem.WordMask
+	// nodes, so a per-node mask scratch replaces a per-request map.
+	fwd := b.fwd
+	for i := range fwd {
+		fwd[i] = 0
+	}
 	for i := 0; i < mem.WordsPerLine; i++ {
 		if msg.Mask.Has(i) && owner[i] != MemoryOwner {
 			fwd[owner[i]] |= mem.Bit(i)
@@ -286,8 +313,8 @@ func (b *Bank) read(msg *coherence.Msg) {
 			Line: msg.Line, Mask: have, Data: [mem.WordsPerLine]uint32(data), ID: msg.ID,
 		}))
 	}
-	// Deterministic iteration: owners in node order.
-	for dst := noc.NodeID(0); dst < noc.Nodes; dst++ {
+	// Deterministic iteration: owners in global node order.
+	for dst := noc.NodeID(0); int(dst) < len(fwd); dst++ {
 		m := fwd[dst]
 		if m == 0 {
 			continue
@@ -332,7 +359,10 @@ func (b *Bank) register(msg *coherence.Msg) {
 	}
 	data, owner := b.rows(msg.Line)
 	var grant mem.WordMask
-	var fwd [noc.Nodes]mem.WordMask
+	fwd := b.fwd
+	for i := range fwd {
+		fwd[i] = 0
+	}
 	for i := 0; i < mem.WordsPerLine; i++ {
 		if !msg.Mask.Has(i) {
 			continue
@@ -352,7 +382,7 @@ func (b *Bank) register(msg *coherence.Msg) {
 			Line: msg.Line, Mask: grant, Data: [mem.WordsPerLine]uint32(data), Sync: msg.Sync, NeedsData: msg.NeedsData, ID: msg.ID,
 		}))
 	}
-	for dst := noc.NodeID(0); dst < noc.Nodes; dst++ {
+	for dst := noc.NodeID(0); int(dst) < len(fwd); dst++ {
 		m := fwd[dst]
 		if m == 0 {
 			continue

@@ -53,9 +53,14 @@ func Run(cfg machine.Config, p *Program, sched Schedule) (Outcome, error) {
 		return Outcome{}, fmt.Errorf("litmus: %q pins %d threads to one CU, but only %d blocks are resident",
 			p.Name, maxSlot, cfg.MaxResidentTBs)
 	}
+	// CU pins address the contiguous worker-index space across all
+	// devices: CU i lives on device i/NumCUs, so a 2-device machine
+	// accepts pins in [0, 2*NumCUs) and pinning thread 0 to CU 0 and
+	// thread 1 to CU NumCUs places them on different devices.
+	totalCUs := cfg.Devices * cfg.NumCUs
 	for ti, t := range p.Threads {
-		if t.CU >= cfg.NumCUs {
-			return Outcome{}, fmt.Errorf("litmus: %q thread %d pinned to CU %d of %d", p.Name, ti, t.CU, cfg.NumCUs)
+		if t.CU >= totalCUs {
+			return Outcome{}, fmt.Errorf("litmus: %q thread %d pinned to CU %d of %d", p.Name, ti, t.CU, totalCUs)
 		}
 		if n := numRecords(t); n > outSlots {
 			return Outcome{}, fmt.Errorf("litmus: %q thread %d records %d values (max %d)", p.Name, ti, n, outSlots)
@@ -74,7 +79,7 @@ func Run(cfg machine.Config, p *Program, sched Schedule) (Outcome, error) {
 		tb := m.PlaceTB(t.CU, slot)
 		tbThread[tb] = ti
 	}
-	numTBs := cfg.NumCUs * maxSlot
+	numTBs := totalCUs * maxSlot
 
 	kernel := func(c *workload.Ctx) {
 		ti, ok := tbThread[c.TB]

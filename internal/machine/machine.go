@@ -14,6 +14,7 @@ import (
 	"denovogpu/internal/energy"
 	"denovogpu/internal/gpu"
 	"denovogpu/internal/gpucoh"
+	"denovogpu/internal/interconnect"
 	"denovogpu/internal/l2"
 	"denovogpu/internal/mem"
 	"denovogpu/internal/mesi"
@@ -21,6 +22,7 @@ import (
 	"denovogpu/internal/obs"
 	"denovogpu/internal/sim"
 	"denovogpu/internal/stats"
+	"denovogpu/internal/topology"
 	"denovogpu/internal/workload"
 )
 
@@ -53,6 +55,13 @@ func (p Protocol) String() string {
 type Config struct {
 	Protocol Protocol
 	Model    consistency.Model
+	// Devices is the number of GPU devices (default 1, the paper's
+	// machine). Each device gets its own NumCUs CUs, L1 set, L2 bank
+	// slice, and mesh domain; the devices are joined by the
+	// inter-device link modeled in internal/interconnect, and memory
+	// lines interleave their home registry banks across devices (see
+	// topology.Desc.HomeNode). MESI is single-device only.
+	Devices int
 	// ReadOnlyOpt enables DeNovo's read-only region optimization (DD+RO).
 	ReadOnlyOpt bool
 	// LazyWrites delays DeNovo data-write registration to the next
@@ -119,6 +128,9 @@ type Config struct {
 
 // Defaults fills zero fields with the paper's parameters.
 func (c Config) Defaults() Config {
+	if c.Devices == 0 {
+		c.Devices = 1
+	}
 	if c.NumCUs == 0 {
 		c.NumCUs = 15
 	}
@@ -159,8 +171,18 @@ type PhaseProto struct {
 
 // Name returns the paper's abbreviation for the configuration (GD, GH,
 // DD, DD+RO, DH) when it matches one, "SPEC" for the canonical
-// per-phase specialized configuration, or a descriptive string.
+// per-phase specialized configuration, or a descriptive string. A
+// multi-device configuration appends "xN" (e.g. "DDx2").
 func (c Config) Name() string {
+	name := c.singleName()
+	if c.Devices > 1 {
+		name += fmt.Sprintf("x%d", c.Devices)
+	}
+	return name
+}
+
+// singleName is Name without the device-count suffix.
+func (c Config) singleName() string {
 	base := c.baseName()
 	if len(c.Phases) == 0 {
 		return base
@@ -273,16 +295,29 @@ type addrRange struct{ lo, hi mem.Addr }
 
 // Machine is one assembled system.
 type Machine struct {
-	cfg     Config
-	eng     *sim.Engine
-	mesh    *noc.Mesh
+	cfg  Config
+	topo topology.Desc
+	eng  *sim.Engine
+	// meshes[d] is device d's mesh, based at d*noc.Nodes; fabric is
+	// the inter-device interconnect joining them (nil when Devices is
+	// 1). net is what controllers are built against: the single mesh
+	// itself on one device — keeping the pre-multi-device monomorphic
+	// send path and byte-identical goldens — or the fabric otherwise.
+	meshes  []*noc.Mesh
+	fabric  *interconnect.Fabric
+	net     noc.Network
 	backing *mem.Backing
-	banks   [noc.Nodes]*l2.Bank
-	dirs    [noc.Nodes]*mesi.Directory // MESI only
-	l1s     []coherence.L1             // the active set (== sets[active])
+	banks   []*l2.Bank        // indexed by global node, nil for MESI
+	dirs    []*mesi.Directory // MESI only (single-device)
+	l1s     []coherence.L1    // the active set (== sets[active])
 	cus     []*gpu.CU
 	st      *stats.Stats
-	meter   *energy.Meter
+	// devSt[d] is the stats sink device d's components record through:
+	// st itself on a single-device machine (counter names unchanged),
+	// st.DeviceView(d) otherwise, so per-device counters keep distinct
+	// "dN."-prefixed keys instead of silently summing across devices.
+	devSt []*stats.Stats
+	meter *energy.Meter
 
 	// Per-phase protocol specialization: one full L1 controller set per
 	// distinct PhaseProto the configuration uses. Exactly one set is
@@ -315,20 +350,47 @@ func New(cfg Config) *Machine {
 	cfg = cfg.Defaults()
 	m := &Machine{
 		cfg:     cfg,
+		topo:    topology.New(cfg.Devices),
 		eng:     sim.NewEngine(sim.Time(cfg.HorizonCycles)),
 		backing: mem.NewBacking(),
 		st:      stats.New(),
 	}
+	if cfg.Devices > 1 && cfg.Protocol == ProtoMESI {
+		panic("machine: MESI is single-device only (no inter-device directory story)")
+	}
 	m.meter = energy.NewMeter(m.st)
-	m.mesh = noc.New(m.eng, m.st, m.meter)
-	for n := noc.NodeID(0); n < noc.Nodes; n++ {
-		if cfg.Protocol == ProtoMESI {
-			m.dirs[n] = mesi.NewDirectory(n, m.eng, m.mesh, m.backing, m.st, m.meter)
-			m.mesh.Attach(n, noc.PortL2, m.dirs[n])
-			continue
+	for d := 0; d < cfg.Devices; d++ {
+		m.meshes = append(m.meshes, noc.NewAt(m.eng, m.st, m.meter, noc.NodeID(d*noc.Nodes)))
+	}
+	if cfg.Devices > 1 {
+		m.fabric = interconnect.New(m.eng, m.st, m.meter, m.topo, m.meshes)
+		m.net = m.fabric
+		for d := 0; d < cfg.Devices; d++ {
+			m.devSt = append(m.devSt, m.st.DeviceView(d))
 		}
-		m.banks[n] = l2.New(n, m.eng, m.mesh, m.backing, m.st, m.meter)
-		m.mesh.Attach(n, noc.PortL2, m.banks[n])
+	} else {
+		// Single device: controllers talk to the concrete mesh and the
+		// root stats directly — the exact pre-multi-device machine, so
+		// golden reports stay byte-identical.
+		m.net = m.meshes[0]
+		m.devSt = []*stats.Stats{m.st}
+	}
+	if cfg.Protocol == ProtoMESI {
+		m.dirs = make([]*mesi.Directory, noc.Nodes)
+		for n := noc.NodeID(0); n < noc.Nodes; n++ {
+			m.dirs[n] = mesi.NewDirectory(n, m.eng, m.meshes[0], m.backing, m.st, m.meter)
+			m.meshes[0].Attach(n, noc.PortL2, m.dirs[n])
+		}
+	} else {
+		m.banks = make([]*l2.Bank, m.topo.TotalNodes())
+		for n := noc.NodeID(0); int(n) < m.topo.TotalNodes(); n++ {
+			d := m.topo.DeviceOf(n)
+			m.banks[n] = l2.New(n, m.eng, m.net, m.backing, m.devSt[d], m.meter)
+			if cfg.Devices > 1 {
+				m.banks[n].SetTopology(m.topo)
+			}
+			m.meshes[d].Attach(n, noc.PortL2, m.banks[n])
+		}
 	}
 	// One L1 controller set per distinct PhaseProto, base first. The
 	// constructors attach themselves to the mesh, so after building every
@@ -372,8 +434,9 @@ func New(cfg Config) *Machine {
 	m.active = m.base
 	m.l1s = m.sets[m.base]
 	m.attachSet(m.l1s)
-	for i := 0; i < cfg.NumCUs; i++ {
-		cu := gpu.New(noc.NodeID(i), m.eng, m.l1s[i], cfg.Model, m.st, m.meter, cfg.MaxResidentTBs)
+	for i := 0; i < m.totalCUs(); i++ {
+		cu := gpu.New(m.cuNode(i), m.eng, m.l1s[i], cfg.Model, m.devSt[i/cfg.NumCUs], m.meter, cfg.MaxResidentTBs)
+		cu.Index = i
 		if cfg.GenericL1 {
 			cu.UseGenericL1()
 		}
@@ -382,18 +445,57 @@ func New(cfg Config) *Machine {
 	return m
 }
 
-// buildL1Set constructs one per-CU L1 controller set for a PhaseProto.
+// totalCUs is the number of CUs across all devices — what workloads
+// see as NumCUs and the length of every L1 set.
+func (m *Machine) totalCUs() int { return m.cfg.Devices * m.cfg.NumCUs }
+
+// cuNode maps a contiguous CU index (0..totalCUs-1) to its global mesh
+// node: device idx/NumCUs, local node idx%NumCUs. The identity map on
+// a single-device machine.
+func (m *Machine) cuNode(idx int) noc.NodeID {
+	return m.topo.Node(idx/m.cfg.NumCUs, idx%m.cfg.NumCUs)
+}
+
+// l1IndexOK maps a CU's global mesh node back to its index in the L1
+// sets (the inverse of cuNode; registry owner pointers are global
+// nodes). ok is false for a node hosting no CU — such a node can
+// never legitimately own a word.
+func (m *Machine) l1IndexOK(node noc.NodeID) (int, bool) {
+	d, local := m.topo.DeviceOf(node), m.topo.LocalNode(node)
+	if node < 0 || d >= m.cfg.Devices || local >= m.cfg.NumCUs {
+		return 0, false
+	}
+	return d*m.cfg.NumCUs + local, true
+}
+
+// l1Index is l1IndexOK for callers where a CU-less owner is a wiring
+// bug, not a checkable condition.
+func (m *Machine) l1Index(node noc.NodeID) int {
+	i, ok := m.l1IndexOK(node)
+	if !ok {
+		panic(fmt.Sprintf("machine: node %d hosts no CU", node))
+	}
+	return i
+}
+
+// buildL1Set constructs one per-CU L1 controller set for a PhaseProto,
+// indexed by contiguous CU index across all devices.
 func (m *Machine) buildL1Set(pp PhaseProto) []coherence.L1 {
 	cfg := m.cfg
-	set := make([]coherence.L1, 0, cfg.NumCUs)
-	for i := 0; i < cfg.NumCUs; i++ {
-		node := noc.NodeID(i)
+	set := make([]coherence.L1, 0, m.totalCUs())
+	for i := 0; i < m.totalCUs(); i++ {
+		node := m.cuNode(i)
+		st := m.devSt[i/cfg.NumCUs]
 		var l1 coherence.L1
 		switch pp.Protocol {
 		case ProtoGPU:
 			// HRF (GPU-H) adds per-word dirty bits for partial blocks.
-			l1 = gpucoh.New(node, m.eng, m.mesh, m.st, m.meter, cfg.L1Bytes, cfg.L1Ways, cfg.SBEntries,
+			gc := gpucoh.New(node, m.eng, m.net, st, m.meter, cfg.L1Bytes, cfg.L1Ways, cfg.SBEntries,
 				pp.Model == consistency.HRF)
+			if cfg.Devices > 1 {
+				gc.SetTopology(m.topo)
+			}
+			l1 = gc
 		case ProtoDeNovo:
 			opts := denovo.Options{
 				LazyWrites:       cfg.LazyWrites,
@@ -404,9 +506,13 @@ func (m *Machine) buildL1Set(pp PhaseProto) []coherence.L1 {
 			if cfg.ReadOnlyOpt {
 				opts.ReadOnly = m.inReadOnly
 			}
-			l1 = denovo.New(node, m.eng, m.mesh, m.st, m.meter, cfg.L1Bytes, cfg.L1Ways, cfg.SBEntries, opts)
+			dn := denovo.New(node, m.eng, m.net, st, m.meter, cfg.L1Bytes, cfg.L1Ways, cfg.SBEntries, opts)
+			if cfg.Devices > 1 {
+				dn.SetTopology(m.topo)
+			}
+			l1 = dn
 		case ProtoMESI:
-			l1 = mesi.New(node, m.eng, m.mesh, m.st, m.meter, cfg.L1Bytes, cfg.L1Ways)
+			l1 = mesi.New(node, m.eng, m.meshes[0], m.st, m.meter, cfg.L1Bytes, cfg.L1Ways)
 		default:
 			panic(fmt.Sprintf("machine: unknown protocol %d", pp.Protocol))
 		}
@@ -425,10 +531,10 @@ func (m *Machine) buildL1Set(pp PhaseProto) []coherence.L1 {
 	return set
 }
 
-// attachSet points the mesh's per-node L1 ports at the given set.
+// attachSet points each mesh's per-node L1 ports at the given set.
 func (m *Machine) attachSet(set []coherence.L1) {
 	for i, l1 := range set {
-		m.mesh.Attach(noc.NodeID(i), noc.PortL1, l1.(noc.Handler))
+		m.net.Attach(m.cuNode(i), noc.PortL1, l1.(noc.Handler))
 	}
 }
 
@@ -455,8 +561,17 @@ func (m *Machine) inReadOnly(w mem.Word) bool {
 // Config returns the machine's configuration.
 func (m *Machine) Config() Config { return m.cfg }
 
-// Mesh exposes the interconnect (for installing trace taps).
-func (m *Machine) Mesh() *noc.Mesh { return m.mesh }
+// Mesh exposes device 0's mesh (for installing trace taps).
+func (m *Machine) Mesh() *noc.Mesh { return m.meshes[0] }
+
+// Meshes exposes every device's mesh.
+func (m *Machine) Meshes() []*noc.Mesh { return m.meshes }
+
+// Fabric exposes the inter-device interconnect (nil when Devices is 1).
+func (m *Machine) Fabric() *interconnect.Fabric { return m.fabric }
+
+// Topology returns the machine's device geometry.
+func (m *Machine) Topology() topology.Desc { return m.topo }
 
 // Engine exposes the simulation engine (for trace timestamps).
 func (m *Machine) Engine() *sim.Engine { return m.eng }
@@ -483,10 +598,12 @@ func (m *Machine) NewRecorder(capacity int) *obs.Recorder {
 // flit-cycles.
 func (m *Machine) SetObservability(rec *obs.Recorder, sampler *obs.Sampler) {
 	if rec != nil {
-		m.mesh.SetRecorder(rec)
-		for n := noc.NodeID(0); n < noc.Nodes; n++ {
-			if m.banks[n] != nil {
-				m.banks[n].SetRecorder(rec)
+		for _, mesh := range m.meshes {
+			mesh.SetRecorder(rec)
+		}
+		for _, bank := range m.banks {
+			if bank != nil {
+				bank.SetRecorder(rec)
 			}
 		}
 		m.eachL1(func(l1 coherence.L1) {
@@ -554,12 +671,28 @@ func (m *Machine) SetObservability(rec *obs.Recorder, sampler *obs.Sampler) {
 		})
 		return sum
 	})
-	for n := noc.NodeID(0); n < noc.Nodes; n++ {
-		for dir := 0; dir < 4; dir++ {
-			n, dir := n, dir
-			sampler.AddGauge("noc.busy."+noc.LinkName(n, dir), func() uint64 {
-				return m.mesh.LinkBusy(n, dir)
-			})
+	for _, mesh := range m.meshes {
+		mesh := mesh
+		for local := noc.NodeID(0); local < noc.Nodes; local++ {
+			for dir := 0; dir < 4; dir++ {
+				n, dir := mesh.Base()+local, dir
+				sampler.AddGauge("noc.busy."+noc.LinkName(n, dir), func() uint64 {
+					return mesh.LinkBusy(n, dir)
+				})
+			}
+		}
+	}
+	if m.fabric != nil {
+		for s := 0; s < m.cfg.Devices; s++ {
+			for d := 0; d < m.cfg.Devices; d++ {
+				if s == d {
+					continue
+				}
+				s, d := s, d
+				sampler.AddGauge(fmt.Sprintf("xdev.busy.d%d-d%d", s, d), func() uint64 {
+					return m.fabric.LinkBusy(s, d)
+				})
+			}
 		}
 	}
 	m.eng.SetAdvanceHook(func(leaving sim.Time) { sampler.Tick(uint64(leaving)) })
@@ -570,8 +703,9 @@ func (m *Machine) Err() error { return m.err }
 
 var _ workload.Host = (*Machine)(nil)
 
-// NumCUs implements workload.Host.
-func (m *Machine) NumCUs() int { return m.cfg.NumCUs }
+// NumCUs implements workload.Host: the total CU count across all
+// devices — workloads partition work over the whole machine.
+func (m *Machine) NumCUs() int { return m.totalCUs() }
 
 // Launch implements workload.Host: it dispatches the kernel's thread
 // blocks round-robin across CUs, performs the kernel-boundary global
@@ -591,9 +725,10 @@ func (m *Machine) Launch(k workload.Kernel, numTBs, threadsPerTB int) {
 	// CU affinity, so block i of kernel n+1 must not be assumed to land
 	// on the CU that ran block i of kernel n.
 	rot := m.launchRot()
-	assign := make([][]int, m.cfg.NumCUs)
+	total := m.totalCUs()
+	assign := make([][]int, total)
 	for tb := 0; tb < numTBs; tb++ {
-		cu := (tb + rot) % m.cfg.NumCUs
+		cu := (tb + rot) % total
 		assign[cu] = append(assign[cu], tb)
 	}
 	overhead := m.cfg.LaunchOverheadCycles - m.drainOverlap
@@ -602,12 +737,12 @@ func (m *Machine) Launch(k workload.Kernel, numTBs, threadsPerTB int) {
 	}
 	m.drainOverlap = 0
 	complete := false
-	remaining := m.cfg.NumCUs
+	remaining := total
 	m.eng.Schedule(sim.Time(overhead), func() {
 		for i, cu := range m.cus {
 			cu.L1().Acquire(coherence.ScopeGlobal)
 			cu := cu
-			cu.StartKernel(k, assign[i], threadsPerTB, numTBs, m.cfg.NumCUs, func() {
+			cu.StartKernel(k, assign[i], threadsPerTB, numTBs, total, func() {
 				cu.L1().Release(coherence.ScopeGlobal, func() {
 					remaining--
 					if remaining == 0 {
@@ -756,8 +891,7 @@ func (m *Machine) switchPhase(target PhaseProto) error {
 // are recalled in address order so the walk is deterministic
 // regardless of registry iteration order.
 func (m *Machine) retireRegistrations(out []coherence.L1) error {
-	for n := noc.NodeID(0); n < noc.Nodes; n++ {
-		bank := m.banks[n]
+	for _, bank := range m.banks {
 		type regWord struct {
 			w     mem.Word
 			owner noc.NodeID
@@ -768,10 +902,11 @@ func (m *Machine) retireRegistrations(out []coherence.L1) error {
 		})
 		sort.Slice(regs, func(i, j int) bool { return regs[i].w < regs[j].w })
 		for _, r := range regs {
-			if int(r.owner) >= len(out) {
+			idx, ok := m.l1IndexOK(r.owner)
+			if !ok || idx >= len(out) {
 				return fmt.Errorf("phase-drain: word %v registered to nonexistent node %d", r.w, r.owner)
 			}
-			dn, ok := out[r.owner].(*denovo.Controller)
+			dn, ok := out[idx].(*denovo.Controller)
 			if !ok {
 				return fmt.Errorf("phase-drain: word %v registered to non-DeNovo node %d", r.w, r.owner)
 			}
@@ -790,9 +925,9 @@ func (m *Machine) retireRegistrations(out []coherence.L1) error {
 // controller must be quiescent. The mcheck suite lists it alongside
 // the protocol invariants (mcheck.Invariants, name "phase-drain").
 func (m *Machine) checkPhaseDrain(out []coherence.L1) error {
-	for n := noc.NodeID(0); n < noc.Nodes; n++ {
+	for _, bank := range m.banks {
 		var err error
-		m.banks[n].ForEachRegistered(func(w mem.Word, owner noc.NodeID) {
+		bank.ForEachRegistered(func(w mem.Word, owner noc.NodeID) {
 			if err == nil {
 				err = fmt.Errorf("phase-drain: word %v still registered to node %d after drain", w, owner)
 			}
@@ -824,7 +959,7 @@ func (m *Machine) launchRot() int {
 // chosen CUs; the grid must span at least NumCUs*(slot+1) blocks for
 // the returned index to be dispatched.
 func (m *Machine) PlaceTB(cu, slot int) int {
-	n := m.cfg.NumCUs
+	n := m.totalCUs()
 	base := ((cu-m.launchRot())%n + n) % n
 	return base + slot*n
 }
@@ -842,18 +977,18 @@ func (m *Machine) PlaceTB(cu, slot int) int {
 func (m *Machine) CheckInvariants() error {
 	switch {
 	case m.denovoL1s != nil:
-		for n := noc.NodeID(0); n < noc.Nodes; n++ {
-			bank := m.banks[n]
+		for _, bank := range m.banks {
 			var err error
 			bank.ForEachRegistered(func(w mem.Word, owner noc.NodeID) {
 				if err != nil {
 					return
 				}
-				if int(owner) >= len(m.denovoL1s) {
+				idx, ok := m.l1IndexOK(owner)
+				if !ok || idx >= len(m.denovoL1s) {
 					err = fmt.Errorf("word %v registered to nonexistent node %d", w, owner)
 					return
 				}
-				dn := m.denovoL1s[owner].(*denovo.Controller)
+				dn := m.denovoL1s[idx].(*denovo.Controller)
 				if !dn.OwnsWord(w) {
 					err = fmt.Errorf("word %v registered to node %d, which does not own it", w, owner)
 				}
@@ -909,11 +1044,11 @@ func (m *Machine) Read(a mem.Addr) uint32 {
 	if m.cfg.Protocol == ProtoMESI {
 		return m.mesiRead(w)
 	}
-	bank := m.banks[l2.HomeNode(w.LineOf())]
+	bank := m.banks[m.topo.HomeNode(w.LineOf())]
 	// Only the DeNovo set can hold registry-owned words, regardless of
 	// which set is currently active.
 	if owner := bank.PeekOwner(w); owner != l2.MemoryOwner {
-		if v, ok := m.denovoL1s[owner].PeekWord(w); ok {
+		if v, ok := m.denovoL1s[m.l1Index(owner)].PeekWord(w); ok {
 			return v
 		}
 		panic(fmt.Sprintf("machine: registry says node %d owns %v but its L1 has no copy", owner, w))
@@ -967,11 +1102,11 @@ func (m *Machine) WriteWords(base mem.Addr, vals []uint32) {
 // hostWriteRun updates the registry's copy of words [first, first+len)
 // of line l, recalling any word registered to an L1 first.
 func (m *Machine) hostWriteRun(l mem.Line, first int, vals []uint32) {
-	bank := m.banks[l2.HomeNode(l)]
+	bank := m.banks[m.topo.HomeNode(l)]
 	for i, v := range vals {
 		w := l.Word(first + i)
 		if owner := bank.PeekOwner(w); owner != l2.MemoryOwner {
-			dn, ok := m.denovoL1s[owner].(*denovo.Controller)
+			dn, ok := m.denovoL1s[m.l1Index(owner)].(*denovo.Controller)
 			if !ok {
 				panic("machine: non-DeNovo L1 owns a word")
 			}

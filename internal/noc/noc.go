@@ -22,9 +22,13 @@ import (
 	"denovogpu/internal/stats"
 )
 
-// NodeID identifies a mesh node. The simulated machine has 16 nodes:
-// 0..14 are GPU CUs and 15 is the CPU core; every node also hosts one
-// L2 bank.
+// NodeID identifies a mesh node globally: device d owns nodes
+// [d*Nodes, (d+1)*Nodes). Within a device, local nodes 0..14 are GPU
+// CUs and local node 15 is the CPU/IO agent (the CPU core on device 0,
+// the inter-device gateway on every device); every node also hosts one
+// L2 bank. A single-device machine therefore keeps the historical
+// numbering 0..15 exactly. The topology package maps between global
+// and (device, local) forms.
 type NodeID int
 
 // Mesh geometry.
@@ -51,6 +55,12 @@ type Port int
 const (
 	PortL1 Port = iota
 	PortL2
+	// PortGW is the inter-device gateway endpoint, present only on each
+	// device's gateway node (topology.GatewayLocal). Cross-device
+	// packets ride the local mesh to this port wrapped in an
+	// interconnect leg, hop the inter-device link, and ride the remote
+	// mesh from the remote gateway to their destination.
+	PortGW
 	numPorts
 )
 
@@ -86,17 +96,41 @@ type Handler interface {
 	Deliver(p Packet)
 }
 
+// Sender is the send side of an interconnect. Controllers hold a
+// Sender rather than a concrete *Mesh so a multi-device machine can
+// hand them the interconnect fabric (which routes device-local packets
+// straight to the local mesh and cross-device packets over the
+// inter-device link) without any protocol-level change.
+type Sender interface {
+	Send(p Packet)
+}
+
+// Network is what a controller needs from the interconnect at
+// construction time: a Sender it can also attach its receive side to.
+// Both *Mesh and the interconnect fabric implement it.
+type Network interface {
+	Sender
+	Attach(n NodeID, p Port, h Handler)
+}
+
 // Tap observes every packet as it is sent (tracing/debugging hook).
 type Tap interface {
 	Packet(p Packet)
 }
 
-// Mesh is the interconnect.
+// Mesh is the interconnect for one device. A machine with D devices
+// builds D meshes at bases 0, Nodes, 2*Nodes, ...; every mesh speaks
+// global NodeIDs at its API (Attach, Send routes, LinkBusy) and maps
+// them to its local node range internally, so protocol code is
+// oblivious to which device's mesh it is talking to.
 type Mesh struct {
-	eng      *sim.Engine
-	st       *stats.Stats
-	meter    *energy.Meter
-	tap      Tap
+	eng   *sim.Engine
+	st    *stats.Stats
+	meter *energy.Meter
+	tap   Tap
+	// base is the first global NodeID this mesh owns; it serves nodes
+	// [base, base+Nodes). Zero for the single-device machine.
+	base     NodeID
 	handlers [Nodes][numPorts]Handler
 	// linkFree[from][dir] is the first cycle the link is available.
 	// Directions: 0=east 1=west 2=north 3=south.
@@ -153,14 +187,44 @@ func LinkName(n NodeID, dir int) string {
 	return fmt.Sprintf("n%02d.%s", int(n), dirNames[dir])
 }
 
-// New returns a mesh wired to the engine and measurement sinks.
+// New returns a mesh wired to the engine and measurement sinks,
+// serving global nodes [0, Nodes) — the single-device geometry.
 func New(eng *sim.Engine, st *stats.Stats, meter *energy.Meter) *Mesh {
 	return &Mesh{eng: eng, st: st, meter: meter}
 }
 
-// Attach registers the handler for a node's port.
+// NewAt returns a mesh serving the global node range
+// [base, base+Nodes). base must be a multiple of Nodes.
+func NewAt(eng *sim.Engine, st *stats.Stats, meter *energy.Meter, base NodeID) *Mesh {
+	if int(base)%Nodes != 0 {
+		panic(fmt.Sprintf("noc: mesh base %d is not a multiple of %d", base, Nodes))
+	}
+	return &Mesh{eng: eng, st: st, meter: meter, base: base}
+}
+
+// Base returns the first global NodeID this mesh owns.
+func (m *Mesh) Base() NodeID { return m.base }
+
+// local maps a global NodeID into this mesh's node range, panicking on
+// a node it does not own (a routing bug, not a runtime condition).
+func (m *Mesh) local(n NodeID) NodeID {
+	l := n - m.base
+	if l < 0 || l >= Nodes {
+		panic(fmt.Sprintf("noc: node %d is outside mesh [%d,%d)", n, m.base, m.base+Nodes))
+	}
+	return l
+}
+
+// Attach registers the handler for a (global) node's port.
 func (m *Mesh) Attach(n NodeID, p Port, h Handler) {
-	m.handlers[n][p] = h
+	m.handlers[m.local(n)][p] = h
+}
+
+// HandlerAt returns the handler attached at a (global) node's port,
+// nil if none. The interconnect fabric uses it to hand a cross-device
+// packet's final delivery to the same endpoint a local send would hit.
+func (m *Mesh) HandlerAt(n NodeID, p Port) Handler {
+	return m.handlers[m.local(n)][p]
 }
 
 // SetTap installs a packet observer (nil to remove).
@@ -172,21 +236,26 @@ func (m *Mesh) SetRecorder(rec *obs.Recorder) {
 	m.rec = rec
 	for n := NodeID(0); n < Nodes; n++ {
 		for dir := 0; dir < 4; dir++ {
-			rec.NameTrack(obs.DomainNoC, int32(LinkIndex(n, dir)), LinkName(n, dir))
+			g := m.base + n
+			rec.NameTrack(obs.DomainNoC, int32(LinkIndex(g, dir)), LinkName(g, dir))
 		}
 	}
 }
 
 // LinkBusy returns the cumulative flit-cycles link (n, dir) has been
 // claimed for (monotone; sample and differentiate for utilization).
-func (m *Mesh) LinkBusy(n NodeID, dir int) uint64 { return m.linkBusy[n][dir] }
+// n is a global NodeID owned by this mesh.
+func (m *Mesh) LinkBusy(n NodeID, dir int) uint64 { return m.linkBusy[m.local(n)][dir] }
 
 // Sent returns the number of packets sent, a determinism diagnostic.
 func (m *Mesh) Sent() uint64 { return m.sent }
 
 func xy(n NodeID) (x, y int) { return int(n) % Width, int(n) / Width }
 
-// Hops returns the XY-route hop count between two nodes.
+// Hops returns the XY-route hop count between two nodes. The nodes
+// must share a device mesh; because mesh bases are multiples of Nodes
+// (and Nodes is a multiple of Width), same-device global NodeIDs give
+// the same answer as their local counterparts.
 func Hops(a, b NodeID) int {
 	ax, ay := xy(a)
 	bx, by := xy(b)
@@ -206,10 +275,10 @@ func Hops(a, b NodeID) int {
 // the destination: that is a wiring bug, not a runtime condition.
 func (m *Mesh) Send(p Packet) {
 	r := p.NocRoute()
-	src, dst := r.Src, r.Dst
+	src, dst := m.local(r.Src), m.local(r.Dst)
 	h := m.handlers[dst][r.Port]
 	if h == nil {
-		panic(fmt.Sprintf("noc: no handler attached at node %d port %d", dst, r.Port))
+		panic(fmt.Sprintf("noc: no handler attached at node %d port %d", r.Dst, r.Port))
 	}
 	m.sent++
 	if m.tap != nil {
@@ -249,7 +318,7 @@ func (m *Mesh) Send(p Packet) {
 		m.linkFree[node][dir] = t + sim.Time(flits)
 		m.linkBusy[node][dir] += uint64(flits)
 		if m.rec != nil {
-			m.rec.EmitAt(obs.NoCFlitHop, int32(LinkIndex(node, dir)), uint64(flits), uint64(t), uint64(flits))
+			m.rec.EmitAt(obs.NoCFlitHop, int32(LinkIndex(m.base+node, dir)), uint64(flits), uint64(t), uint64(flits))
 		}
 		t += HopCycles
 		cx, cy = nx, ny

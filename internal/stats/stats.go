@@ -26,9 +26,22 @@ const (
 	TrafficWBWT
 	// TrafficAtomic is synchronization (atomic) requests and responses.
 	TrafficAtomic
+	// TrafficXDev is cross-device traffic: every flit crossing the
+	// inter-device interconnect plus the mesh legs that carry it to and
+	// from the device gateways (internal/interconnect). Single-device
+	// machines never produce it, and the canonical report encoding
+	// omits it when zero, so pre-multi-device golden reports are
+	// byte-identical.
+	TrafficXDev
 
 	NumTrafficClasses
 )
+
+// NumLegacyTrafficClasses is the number of traffic classes that
+// existed when the golden-report encoding was pinned; classes at or
+// beyond this index are omitted from canonical reports when zero (see
+// MarshalReport in the api package).
+const NumLegacyTrafficClasses = TrafficXDev
 
 func (c TrafficClass) String() string {
 	switch c {
@@ -40,6 +53,8 @@ func (c TrafficClass) String() string {
 		return "WB/WT"
 	case TrafficAtomic:
 		return "Atomics"
+	case TrafficXDev:
+		return "XDev"
 	default:
 		return fmt.Sprintf("TrafficClass(%d)", int(c))
 	}
@@ -124,6 +139,20 @@ func lookup(name string) (Key, bool) {
 	return k, ok
 }
 
+// Name returns the counter name an interned key stands for. It panics
+// on a key no Intern call produced (a corrupted key, not a runtime
+// condition).
+func Name(k Key) string {
+	internMu.RLock()
+	defer internMu.RUnlock()
+	return internNames[k]
+}
+
+// DevPrefix returns the canonical per-device counter prefix ("d0.",
+// "d1.", ...) a DeviceView prepends. Exported so report consumers can
+// strip or group by it.
+func DevPrefix(dev int) string { return fmt.Sprintf("d%d.", dev) }
+
 // Stats accumulates measurements for one simulation run.
 // The zero value of counters is usable but Stats should be created with
 // New. Stats is not safe for concurrent use; distinct instances are
@@ -141,25 +170,78 @@ type Stats struct {
 	// and golden reports rely on that).
 	counters []uint64
 	touched  []bool
+
+	// parent/dev/remap implement per-device counter views (DeviceView):
+	// a view shares its parent's accumulators but remaps every counter
+	// key onto a device-prefixed name, so two devices incrementing the
+	// "same" counter land on distinct keys instead of silently summing.
+	// parent == nil means this IS the root Stats (the common case; the
+	// single branch it costs on the counting path is noise next to the
+	// array write).
+	parent *Stats
+	dev    int
+	remap  []Key
 }
 
 // New returns an empty Stats.
 func New() *Stats { return &Stats{} }
 
+// DeviceView returns a handle that records into s with every counter
+// name prefixed by DevPrefix(dev) ("d0.", "d1.", ...). Traffic-class
+// flits and component energy are machine-global dimensions and pass
+// through unprefixed. Multi-device machines hand each device's
+// components a view so merged reports keep per-device counters apart;
+// single-device machines never create one, so their counter names (and
+// golden reports) are unchanged.
+func (s *Stats) DeviceView(dev int) *Stats {
+	if s.parent != nil {
+		s = s.parent // views don't nest; re-root on the shared sink
+	}
+	return &Stats{parent: s, dev: dev}
+}
+
+// Root returns the shared sink a view records into (s itself when s is
+// not a view).
+func (s *Stats) Root() *Stats {
+	if s.parent != nil {
+		return s.parent
+	}
+	return s
+}
+
 // AddFlits records n flit crossings of the given class.
-func (s *Stats) AddFlits(c TrafficClass, n uint64) { s.Flits[c] += n }
+func (s *Stats) AddFlits(c TrafficClass, n uint64) { s.Root().Flits[c] += n }
 
 // AddEnergy records pj picojoules against the given component.
-func (s *Stats) AddEnergy(c Component, pj float64) { s.EnergyPJ[c] += pj }
+func (s *Stats) AddEnergy(c Component, pj float64) { s.Root().EnergyPJ[c] += pj }
 
 // IncKey adds n to the counter for an interned key, creating it at
 // zero if this run has not counted it yet.
 func (s *Stats) IncKey(k Key, n uint64) {
+	if s.parent != nil {
+		s.parent.IncKey(s.mapKey(k), n)
+		return
+	}
 	if int(k) >= len(s.counters) {
 		s.growTo(int(k) + 1)
 	}
 	s.counters[k] += n
 	s.touched[k] = true
+}
+
+// mapKey translates a base key onto this view's device-prefixed key,
+// memoizing the translation so steady-state counting stays one array
+// index away from the root path.
+func (s *Stats) mapKey(k Key) Key {
+	for int(k) >= len(s.remap) {
+		s.remap = append(s.remap, -1)
+	}
+	if m := s.remap[k]; m >= 0 {
+		return m
+	}
+	m := Intern(DevPrefix(s.dev) + Name(k))
+	s.remap[k] = m
+	return m
 }
 
 func (s *Stats) growTo(n int) {

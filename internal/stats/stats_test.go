@@ -37,7 +37,7 @@ func TestNamedCounters(t *testing.T) {
 
 func TestStringsAndLabels(t *testing.T) {
 	// The labels must match the paper's figure legends.
-	wantTraffic := []string{"Read", "Regist.", "WB/WT", "Atomics"}
+	wantTraffic := []string{"Read", "Regist.", "WB/WT", "Atomics", "XDev"}
 	for c := TrafficClass(0); c < NumTrafficClasses; c++ {
 		if c.String() != wantTraffic[c] {
 			t.Errorf("traffic class %d = %q, want %q", c, c.String(), wantTraffic[c])
@@ -70,5 +70,47 @@ func TestTotalsProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDeviceView: a view prefixes counter names with its device index
+// but shares flits/energy with the root — two devices incrementing the
+// "same" counter stay apart while the machine-global dimensions sum.
+func TestDeviceView(t *testing.T) {
+	root := New()
+	d0, d1 := root.DeviceView(0), root.DeviceView(1)
+	d0.Inc("l2.hits", 3)
+	d0.Inc("l2.hits", 2) // second hit exercises the memoized remap
+	d1.Inc("l2.hits", 7)
+	if got := root.Get(DevPrefix(0) + "l2.hits"); got != 5 {
+		t.Errorf("d0.l2.hits = %d, want 5", got)
+	}
+	if got := root.Get(DevPrefix(1) + "l2.hits"); got != 7 {
+		t.Errorf("d1.l2.hits = %d, want 7", got)
+	}
+	if got := root.Get("l2.hits"); got != 0 {
+		t.Errorf("unprefixed l2.hits = %d; views must never write the bare name", got)
+	}
+
+	d0.AddFlits(TrafficRead, 4)
+	d1.AddFlits(TrafficRead, 6)
+	d0.AddEnergy(CompL2, 1.5)
+	if root.Flits[TrafficRead] != 10 {
+		t.Errorf("root read flits = %d, want 10 (machine-global, unprefixed)", root.Flits[TrafficRead])
+	}
+	if root.EnergyPJ[CompL2] != 1.5 {
+		t.Errorf("root L2 energy = %v", root.EnergyPJ[CompL2])
+	}
+
+	if d0.Root() != root || root.Root() != root {
+		t.Error("Root must return the shared sink")
+	}
+	// Views don't nest: a view of a view re-roots on the shared sink.
+	d0.DeviceView(1).Inc("nested", 1)
+	if got := root.Get(DevPrefix(1) + "nested"); got != 1 {
+		t.Errorf("re-rooted view wrote %d to %q, want 1", got, DevPrefix(1)+"nested")
+	}
+	if got := root.Get(DevPrefix(0) + DevPrefix(1) + "nested"); got != 0 {
+		t.Error("nested view double-prefixed its counter")
 	}
 }

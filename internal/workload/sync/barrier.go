@@ -21,7 +21,8 @@ type BarrierParams struct {
 	Iters         int
 	Accesses      int
 	Threads       int
-	NumCUs        int
+	NumCUs        int // CUs per device
+	Devices       int // devices; the global barrier spans all of them
 }
 
 func (p BarrierParams) defaults() BarrierParams {
@@ -40,6 +41,9 @@ func (p BarrierParams) defaults() BarrierParams {
 	if p.NumCUs == 0 {
 		p.NumCUs = 15
 	}
+	if p.Devices == 0 {
+		p.Devices = 1
+	}
 	return p
 }
 
@@ -50,14 +54,16 @@ func TreeBarrier(p BarrierParams) workload.Workload {
 	if p.LocalExchange {
 		name = "TBEX_LG"
 	}
-	numTBs := p.TBsPerCU * p.NumCUs
+	name += devSuffix(p.Devices)
+	workers := p.Devices * p.NumCUs
+	numTBs := p.TBsPerCU * workers
 	regionWords := p.Accesses * p.Threads
 
 	lay := newLayout()
 	gcount := lay.line()
 	gsense := lay.line()
-	lcounts := make([]mem.Addr, p.NumCUs)
-	lsenses := make([]mem.Addr, p.NumCUs)
+	lcounts := make([]mem.Addr, workers)
+	lsenses := make([]mem.Addr, workers)
 	for i := range lcounts {
 		lcounts[i] = lay.line()
 		lsenses[i] = lay.line()
@@ -87,7 +93,7 @@ func TreeBarrier(p BarrierParams) workload.Workload {
 			c.AtomicStore(lcount, 0, coherence.ScopeLocal)
 			// Representative joins the global barrier.
 			g := c.AtomicAdd(gcount, 1, coherence.ScopeGlobal) + 1
-			if g == uint32(p.NumCUs) {
+			if g == uint32(workers) {
 				c.AtomicStore(gcount, 0, coherence.ScopeGlobal)
 				c.AtomicAdd(gsense, 1, coherence.ScopeGlobal)
 			} else {
@@ -135,7 +141,7 @@ func TreeBarrier(p BarrierParams) workload.Workload {
 	return workload.Workload{
 		Name:     name,
 		Input:    fmt.Sprintf("%d TBs/CU, %d iters/TB/kernel, %d Ld&St/thr/iter", p.TBsPerCU, p.Iters, p.Accesses),
-		Category: workload.LocalSync,
+		Category: devCategory(p.Devices, workload.LocalSync),
 		Host: func(h workload.Host) {
 			for tb := 0; tb < numTBs; tb++ {
 				for i := 0; i < regionWords; i++ {
@@ -160,8 +166,8 @@ func TreeBarrier(p BarrierParams) workload.Workload {
 				next := make([][]uint32, numTBs)
 				for tb := range next {
 					remote := (tb + 1) % numTBs
-					cu := tb % p.NumCUs
-					sibling := (tb/p.NumCUs+1)%p.TBsPerCU*p.NumCUs + cu
+					cu := tb % workers
+					sibling := (tb/workers+1)%p.TBsPerCU*workers + cu
 					next[tb] = make([]uint32, regionWords)
 					for i := range next[tb] {
 						v := cur[tb][i] + cur[remote][i]*coefAt(i)

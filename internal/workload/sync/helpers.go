@@ -27,6 +27,25 @@ const (
 	DefaultThreads  = 32
 )
 
+// devSuffix names a multi-device variant ("x2"), mirroring
+// machine.Config.Name: the empty suffix is the paper's single-device
+// benchmark.
+func devSuffix(devices int) string {
+	if devices > 1 {
+		return fmt.Sprintf("x%d", devices)
+	}
+	return ""
+}
+
+// devCategory demotes a multi-device variant out of its Table 4
+// figure group: the paper's figures hold only single-device runs.
+func devCategory(devices int, single workload.Category) workload.Category {
+	if devices > 1 {
+		return workload.MultiDev
+	}
+	return single
+}
+
 // Layout carves the address space for a benchmark. Regions are line
 // aligned and spaced so unrelated variables never share a line.
 type layout struct{ next mem.Addr }

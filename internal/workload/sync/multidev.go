@@ -1,0 +1,24 @@
+package syncbench
+
+import "denovogpu/internal/workload"
+
+// The 2-device ports of the Stuart-Owens suite and UTS (category
+// multi-device; run them on a 2-device machine, Config.Devices = 2).
+// Each is the paper benchmark with the grid spanning both devices'
+// CUs: the globally synchronizing variants (the "_G" mutexes, the tree
+// barriers' global level, UTS's shared queue) push their
+// synchronization across the inter-device link, while the locally
+// scoped work stays device-resident — the contrast behind the
+// device-local vs cross-device sync cost cliff in EXPERIMENTS.md.
+func init() {
+	for _, kind := range []MutexKind{FAMutex, SleepMutex, SpinMutex, SpinMutexBackoff} {
+		for _, local := range []bool{false, true} {
+			workload.Register(Mutex(MutexParams{Kind: kind, Local: local, Devices: 2}))
+		}
+	}
+	workload.Register(Semaphore(SemParams{Backoff: false, Devices: 2}))
+	workload.Register(Semaphore(SemParams{Backoff: true, Devices: 2}))
+	workload.Register(TreeBarrier(BarrierParams{LocalExchange: false, Devices: 2}))
+	workload.Register(TreeBarrier(BarrierParams{LocalExchange: true, Devices: 2}))
+	workload.Register(UTS(UTSParams{Devices: 2}))
+}

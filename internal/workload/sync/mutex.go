@@ -43,7 +43,8 @@ type MutexParams struct {
 	Iters    int
 	Accesses int // loads & stores per thread per iteration
 	Threads  int
-	NumCUs   int
+	NumCUs   int // CUs per device
+	Devices  int // devices; the grid spans Devices*NumCUs workers
 }
 
 func (p MutexParams) defaults() MutexParams {
@@ -62,26 +63,32 @@ func (p MutexParams) defaults() MutexParams {
 	if p.NumCUs == 0 {
 		p.NumCUs = 15
 	}
+	if p.Devices == 0 {
+		p.Devices = 1
+	}
 	return p
 }
 
 // Mutex builds a mutex microbenchmark workload. The global variant
 // guards one shared data region with one lock; the local variant gives
 // each CU its own lock and unique data and annotates the lock accesses
-// with local scope.
+// with local scope. With Devices > 1 the grid spans every device's
+// CUs: the global variants contend for one lock across the
+// inter-device link, the local variants stay device-resident.
 func Mutex(p MutexParams) workload.Workload {
 	p = p.defaults()
 	suffix := "_G"
 	if p.Local {
 		suffix = "_L"
 	}
-	name := p.Kind.prefix() + suffix
+	name := p.Kind.prefix() + suffix + devSuffix(p.Devices)
+	workers := p.Devices * p.NumCUs
 
 	lay := newLayout()
 	regionWords := p.Accesses * p.Threads
 	nLocks := 1
 	if p.Local {
-		nLocks = p.NumCUs
+		nLocks = workers
 	}
 	locks := make([]mem.Addr, nLocks)   // CAS lock or FAM ticket
 	turns := make([]mem.Addr, nLocks)   // FAM turn counter
@@ -123,15 +130,15 @@ func Mutex(p MutexParams) workload.Workload {
 		}
 	}
 
-	numTBs := p.TBsPerCU * p.NumCUs
+	numTBs := p.TBsPerCU * workers
 	return workload.Workload{
 		Name:  name,
 		Input: fmt.Sprintf("%d TBs/CU, %d iters/TB/kernel, %d Ld&St/thr/iter", p.TBsPerCU, p.Iters, p.Accesses),
 		Category: func() workload.Category {
 			if p.Local {
-				return workload.LocalSync
+				return devCategory(p.Devices, workload.LocalSync)
 			}
-			return workload.GlobalSync
+			return devCategory(p.Devices, workload.GlobalSync)
 		}(),
 		Host: func(h workload.Host) {
 			h.Launch(kernel, numTBs, p.Threads)
@@ -139,7 +146,7 @@ func Mutex(p MutexParams) workload.Workload {
 		Verify: func(h workload.Host) error {
 			if p.Local {
 				per := uint32(p.TBsPerCU * p.Iters)
-				for cu := 0; cu < p.NumCUs; cu++ {
+				for cu := 0; cu < workers; cu++ {
 					if err := expectData(h, regions[cu], regionWords, per, fmt.Sprintf("%s CU %d", name, cu)); err != nil {
 						return err
 					}

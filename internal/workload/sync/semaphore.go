@@ -19,7 +19,8 @@ type SemParams struct {
 	Backoff  bool
 	Iters    int
 	Threads  int
-	NumCUs   int
+	NumCUs   int // CUs per device
+	Devices  int // devices; one semaphore/region per CU on every device
 	LoadsPer int // reader loads per thread per iteration
 }
 
@@ -36,6 +37,9 @@ func (p SemParams) defaults() SemParams {
 	if p.LoadsPer == 0 {
 		p.LoadsPer = DefaultAccesses
 	}
+	if p.Devices == 0 {
+		p.Devices = 1
+	}
 	return p
 }
 
@@ -46,13 +50,15 @@ func Semaphore(p SemParams) workload.Workload {
 	if p.Backoff {
 		name = "SSBO_L"
 	}
+	name += devSuffix(p.Devices)
+	workers := p.Devices * p.NumCUs
 	const readers = 2
 	halfWords := p.LoadsPer * p.Threads // each reader's half
 	regionWords := readers * halfWords
 
 	lay := newLayout()
-	sems := make([]mem.Addr, p.NumCUs)
-	regions := make([]mem.Addr, p.NumCUs)
+	sems := make([]mem.Addr, workers)
+	regions := make([]mem.Addr, workers)
 	for i := range sems {
 		sems[i] = lay.line()
 		regions[i] = lay.words(regionWords + 1) // +1: shift writes region[1..regionWords]
@@ -105,19 +111,19 @@ func Semaphore(p SemParams) workload.Workload {
 	return workload.Workload{
 		Name:     name,
 		Input:    fmt.Sprintf("3 TBs/CU, %d iters/TB/kernel, readers %d Ld/thr/iter, writers %d St/thr/iter", p.Iters, p.LoadsPer, 2*p.LoadsPer),
-		Category: workload.LocalSync,
+		Category: devCategory(p.Devices, workload.LocalSync),
 		Host: func(h workload.Host) {
-			for cu := 0; cu < p.NumCUs; cu++ {
+			for cu := 0; cu < workers; cu++ {
 				for i := 0; i <= regionWords; i++ {
 					h.Write(regions[cu]+mem.Addr(4*i), uint32(1000+i))
 				}
 				h.Write(sems[cu], readers)
 			}
-			h.Launch(kernel, 3*p.NumCUs, p.Threads)
+			h.Launch(kernel, 3*workers, p.Threads)
 		},
 		Verify: func(h workload.Host) error {
 			// After I shifts, word j = init[max(0, j-I)]; init[j] = 1000+j.
-			for cu := 0; cu < p.NumCUs; cu++ {
+			for cu := 0; cu < workers; cu++ {
 				for j := 0; j <= regionWords; j++ {
 					src := j - p.Iters
 					if src < 0 {

@@ -77,7 +77,8 @@ func utsCountNodes(rootChildren int, limit int) int {
 // UTSParams configures the benchmark.
 type UTSParams struct {
 	RootChildren int // fan-out of the root; total ≈ 20x this
-	NumCUs       int
+	NumCUs       int // CUs per device
+	Devices      int // devices; the global queue is shared across all
 	TBsPerCU     int
 	Threads      int
 	Batch        int // nodes claimed per stack visit
@@ -91,6 +92,9 @@ func (p UTSParams) defaults() UTSParams {
 	}
 	if p.NumCUs == 0 {
 		p.NumCUs = 15
+	}
+	if p.Devices == 0 {
+		p.Devices = 1
 	}
 	if p.TBsPerCU == 0 {
 		p.TBsPerCU = DefaultTBsPerCU
@@ -116,16 +120,18 @@ func (p UTSParams) defaults() UTSParams {
 func UTS(p UTSParams) workload.Workload {
 	p = p.defaults()
 	total := utsCountNodes(p.RootChildren, 1_000_000)
+	workers := p.Devices * p.NumCUs
+	name := "UTS" + devSuffix(p.Devices)
 
 	lay := newLayout()
 	pending := lay.line() // count of unprocessed nodes in the system
 	glock := lay.line()
 	gtop := lay.line()
 	gstack := lay.words(256 * 1024)
-	llocks := make([]mem.Addr, p.NumCUs)
-	ltops := make([]mem.Addr, p.NumCUs)
-	lstacks := make([]mem.Addr, p.NumCUs)
-	lprocessed := make([]mem.Addr, p.NumCUs)
+	llocks := make([]mem.Addr, workers)
+	ltops := make([]mem.Addr, workers)
+	lstacks := make([]mem.Addr, workers)
+	lprocessed := make([]mem.Addr, workers)
 	for i := range llocks {
 		llocks[i] = lay.line()
 		ltops[i] = lay.line()
@@ -232,9 +238,9 @@ func UTS(p UTSParams) workload.Workload {
 	}
 
 	return workload.Workload{
-		Name:     "UTS",
+		Name:     name,
 		Input:    fmt.Sprintf("%d nodes", total),
-		Category: workload.LocalSync,
+		Category: devCategory(p.Devices, workload.LocalSync),
 		Host: func(h workload.Host) {
 			// Seed: the root's children go to the global queue; the root
 			// itself counts as processed by the host.
@@ -243,21 +249,21 @@ func UTS(p UTSParams) workload.Workload {
 			}
 			h.Write(gtop, uint32(p.RootChildren))
 			h.Write(pending, uint32(p.RootChildren))
-			h.Launch(kernel, p.TBsPerCU*p.NumCUs, p.Threads)
+			h.Launch(kernel, p.TBsPerCU*workers, p.Threads)
 		},
 		Verify: func(h workload.Host) error {
 			sum := 1 // root, processed by the host at seed time
-			for cu := 0; cu < p.NumCUs; cu++ {
+			for cu := 0; cu < workers; cu++ {
 				sum += int(h.Read(lprocessed[cu]))
 			}
 			if sum != total {
-				return fmt.Errorf("UTS processed %d nodes, want %d", sum, total)
+				return fmt.Errorf(name+" processed %d nodes, want %d", sum, total)
 			}
 			if got := h.Read(pending); got != 0 {
-				return fmt.Errorf("UTS pending = %d at end, want 0", got)
+				return fmt.Errorf(name+" pending = %d at end, want 0", got)
 			}
 			if got := h.Read(gtop); got != 0 {
-				return fmt.Errorf("UTS global queue has %d leftovers", got)
+				return fmt.Errorf(name+" global queue has %d leftovers", got)
 			}
 			return nil
 		},

@@ -78,6 +78,11 @@ const (
 	// Graph: irregular graph-analytics workloads with per-kernel-phase
 	// protocol specialization (beyond the paper; Salvador et al.).
 	Graph
+	// MultiDev: multi-device ports of the synchronization suite (beyond
+	// the paper): the same algorithms sized for N devices' worth of CUs,
+	// to be run on an N-device machine (Config.Devices) where their
+	// global synchronization crosses the inter-device link.
+	MultiDev
 )
 
 func (c Category) String() string {
@@ -90,6 +95,8 @@ func (c Category) String() string {
 		return "local-sync"
 	case Graph:
 		return "graph"
+	case MultiDev:
+		return "multi-device"
 	default:
 		return fmt.Sprintf("Category(%d)", int(c))
 	}

@@ -23,24 +23,37 @@ import (
 
 // ConfigSpec selects a configuration on the wire: by paper name
 // ("GD" … "SPEC", resolved through ConfigByName) or as a raw Config
-// struct. Exactly one of the two must be set.
+// struct. Exactly one of the two must be set. Devices, if non-zero,
+// overrides the device count of the resolved configuration (so
+// `{"name":"DD","devices":2}` is the 2-device DD machine, named
+// "DDx2").
 type ConfigSpec struct {
-	Name string  `json:"name,omitempty"`
-	Raw  *Config `json:"config,omitempty"`
+	Name    string  `json:"name,omitempty"`
+	Raw     *Config `json:"config,omitempty"`
+	Devices int     `json:"devices,omitempty"`
 }
 
 // Resolve returns the selected configuration.
 func (s ConfigSpec) Resolve() (Config, error) {
+	var cfg Config
 	switch {
 	case s.Name != "" && s.Raw != nil:
 		return Config{}, fmt.Errorf("denovogpu: config spec sets both name %q and a raw config", s.Name)
 	case s.Name != "":
-		return ConfigByName(s.Name)
+		c, err := ConfigByName(s.Name)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg = c
 	case s.Raw != nil:
-		return *s.Raw, nil
+		cfg = *s.Raw
 	default:
 		return Config{}, fmt.Errorf("denovogpu: empty config spec (want name or config)")
 	}
+	if s.Devices != 0 {
+		cfg.Devices = s.Devices
+	}
+	return cfg, nil
 }
 
 // CellSpec is the wire form of one matrix cell: a configuration, a
@@ -205,7 +218,9 @@ func CodeVersion() string {
 // changes simulated behavior changes it. Everything in Config is part
 // of the key, including fields proven behavior-neutral (Invariants,
 // GenericL1): a spurious miss only costs a re-simulation, a spurious
-// hit would be wrong.
+// hit would be wrong. The domain string is versioned ("/v2" since the
+// Devices field landed) so warm caches written by older binaries can
+// never satisfy a lookup from a build with a different Config schema.
 func CellKey(codeVersion string, s CellSpec) (string, error) {
 	cfg, err := s.Config.Resolve()
 	if err != nil {
@@ -217,7 +232,7 @@ func CellKey(codeVersion string, s CellSpec) (string, error) {
 	}
 	h := sha256.New()
 	for _, part := range []string{
-		"denovogpu-cell/v1", codeVersion, string(cfgJSON), s.Workload, fmt.Sprintf("%d", s.Seed),
+		"denovogpu-cell/v2", codeVersion, string(cfgJSON), s.Workload, fmt.Sprintf("%d", s.Seed),
 	} {
 		fmt.Fprintf(h, "%d:%s", len(part), part)
 	}
@@ -256,6 +271,12 @@ func MarshalReport(r Report) ([]byte, error) {
 		g.EnergyPJ[c.String()] = r.EnergyPJ[c]
 	}
 	for c := stats.TrafficClass(0); c < stats.NumTrafficClasses; c++ {
+		// Classes added after the goldens were pinned (XDev onward) are
+		// omitted when zero, so single-device reports keep the exact byte
+		// layout committed since PR 2.
+		if c >= stats.NumLegacyTrafficClasses && r.Flits[c] == 0 {
+			continue
+		}
 		g.Flits[c.String()] = r.Flits[c]
 	}
 	if r.Stats != nil {
